@@ -1,0 +1,103 @@
+//! Baseline distributed subgraph-enumeration algorithms.
+//!
+//! The paper compares BENU against two state-of-the-art systems. Both are
+//! closed or platform-bound, so this crate implements faithful class
+//! representatives (see DESIGN.md §2 for the substitution rationale):
+//!
+//! * [`starjoin`] — the BFS-style join-based family (TwinTwig/SEED/CBF):
+//!   the pattern is decomposed into star join units, unit matches are
+//!   materialised and assembled by left-deep hash joins, and every
+//!   intermediate relation is "shuffled" — its bytes are the communication
+//!   cost the paper's Table V attributes to CBF.
+//! * [`wcoj`] — the worst-case-optimal join of BiGJoin: embeddings are
+//!   extended one vertex at a time over the whole frontier, either fully
+//!   materialised per level (shared-memory mode, OOM-prone) or in fixed
+//!   batches (distributed mode, where each round's extended prefixes are
+//!   the shuffle volume).
+//!
+//! Both baselines apply the same symmetry-breaking technique as BENU, so
+//! their match counts are directly comparable (and are cross-checked
+//! against the brute-force reference in the tests).
+
+pub mod order;
+pub mod starjoin;
+pub mod wcoj;
+
+use std::time::Duration;
+
+/// The outcome of one baseline run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BaselineOutcome {
+    /// Matches found (meaningless when `completed` is false).
+    pub matches: u64,
+    /// Bytes of intermediate results shuffled between rounds.
+    pub shuffled_bytes: u64,
+    /// Peak bytes of materialised intermediate state.
+    pub peak_memory_bytes: u64,
+    /// Number of join/extension rounds executed.
+    pub rounds: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// False when the configured memory cap was exceeded (the paper's
+    /// OOM / CRASH cells).
+    pub completed: bool,
+    /// True when the run stopped because the work budget ran out (the
+    /// paper's `>7200s` cells) rather than memory.
+    pub budget_exceeded: bool,
+}
+
+impl BaselineOutcome {
+    /// Formats like the paper's Table V cells: `time/bytes` or `CRASH`.
+    pub fn cell(&self) -> String {
+        if self.completed {
+            format!(
+                "{:.2}s/{}",
+                self.elapsed.as_secs_f64(),
+                human_bytes(self.shuffled_bytes)
+            )
+        } else {
+            "CRASH".to_string()
+        }
+    }
+}
+
+/// Human-readable byte count (paper style: `26G`, `512M`).
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "K", "M", "G", "T"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes}B")
+    } else {
+        format!("{value:.1}{}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(2048), "2.0K");
+        assert_eq!(human_bytes(3 << 30), "3.0G");
+    }
+
+    #[test]
+    fn cell_reports_crash() {
+        let oom = BaselineOutcome { completed: false, ..Default::default() };
+        assert_eq!(oom.cell(), "CRASH");
+        let ok = BaselineOutcome {
+            completed: true,
+            shuffled_bytes: 1024,
+            elapsed: Duration::from_millis(1500),
+            ..Default::default()
+        };
+        assert_eq!(ok.cell(), "1.50s/1.0K");
+    }
+}

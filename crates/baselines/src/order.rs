@@ -1,0 +1,65 @@
+//! Vertex orders for the baselines.
+
+use benu_pattern::Pattern;
+
+/// A greedy connected order: start at the highest-degree vertex, then
+/// repeatedly pick the unordered vertex with the most already-ordered
+/// pattern neighbours (ties by degree, then index). Every vertex after the
+/// first has at least one ordered neighbour (patterns are connected), so
+/// each extension step intersects real adjacency sets.
+pub fn greedy_connected_order(p: &Pattern) -> Vec<usize> {
+    let n = p.num_vertices();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let first = (0..n).max_by_key(|&u| (p.degree(u), std::cmp::Reverse(u))).unwrap();
+    order.push(first);
+    used[first] = true;
+    while order.len() < n {
+        let next = (0..n)
+            .filter(|&u| !used[u])
+            .max_by_key(|&u| {
+                let bound = order.iter().filter(|&&v| p.has_edge(u, v)).count();
+                (bound, p.degree(u), std::cmp::Reverse(u))
+            })
+            .unwrap();
+        order.push(next);
+        used[next] = true;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benu_pattern::queries;
+
+    #[test]
+    fn order_is_a_permutation() {
+        for (name, p) in queries::catalogue() {
+            let order = greedy_connected_order(&p);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..p.num_vertices()).collect::<Vec<_>>(), "{name}");
+        }
+    }
+
+    #[test]
+    fn every_vertex_connects_to_prefix() {
+        for (name, p) in queries::catalogue() {
+            let order = greedy_connected_order(&p);
+            for (i, &u) in order.iter().enumerate().skip(1) {
+                assert!(
+                    order[..i].iter().any(|&v| p.has_edge(u, v)),
+                    "{name}: vertex {u} disconnected from prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn starts_at_max_degree() {
+        let p = queries::q3(); // the gem's apex has degree 4
+        let order = greedy_connected_order(&p);
+        assert_eq!(order[0], 4);
+    }
+}

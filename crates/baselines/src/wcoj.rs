@@ -1,0 +1,338 @@
+//! A BiGJoin-style worst-case-optimal join (Ammar et al. [13]).
+//!
+//! Embeddings are extended one pattern vertex at a time along a connected
+//! order. The candidate set of each extension is the intersection of the
+//! adjacency sets of the already-bound pattern neighbours (the generic
+//! join's `∩`-extension), filtered by injectivity and the same
+//! symmetry-breaking order BENU uses.
+//!
+//! Two execution modes mirror the paper's two BiGJoin configurations:
+//!
+//! * [`WcojMode::SharedMemory`] — classic BFS: each level's frontier is
+//!   fully materialised. Fast, but the frontier of a dense pattern can
+//!   exceed memory (the OOM cells of Table VI).
+//! * [`WcojMode::Distributed`] — BiGJoin's batching: prefixes are
+//!   processed in fixed-size batches (default 100 000, the paper's
+//!   setting), bounding memory; every extended batch is accounted as
+//!   shuffled bytes (prefixes move between dataflow workers each round).
+
+use crate::order::greedy_connected_order;
+use crate::BaselineOutcome;
+use benu_graph::ops::intersect_many_into;
+use benu_graph::{Graph, TotalOrder, VertexId};
+use benu_pattern::{Pattern, SymmetryBreaking};
+use std::time::Instant;
+
+/// Execution mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WcojMode {
+    /// Full per-level frontier (BiGJoin(S)).
+    SharedMemory,
+    /// Fixed-size prefix batches (BiGJoin(D)).
+    Distributed,
+}
+
+/// Tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct WcojConfig {
+    /// Execution mode.
+    pub mode: WcojMode,
+    /// Batch size in prefixes (distributed mode; the paper uses 100 000).
+    pub batch_size: usize,
+    /// Memory cap in bytes for materialised frontiers; exceeding it aborts
+    /// with `completed = false`.
+    pub memory_cap_bytes: u64,
+    /// Total extension budget (candidate vertices appended across the
+    /// whole run); exceeding it aborts with `budget_exceeded = true` —
+    /// the deterministic analogue of the paper's `>7200s` timeouts.
+    pub work_budget: u64,
+}
+
+impl Default for WcojConfig {
+    fn default() -> Self {
+        WcojConfig {
+            mode: WcojMode::Distributed,
+            batch_size: 100_000,
+            memory_cap_bytes: 4 << 30,
+            work_budget: u64::MAX,
+        }
+    }
+}
+
+/// Runs the WCOJ baseline, counting matches of `pattern` in `g`.
+pub fn run(g: &Graph, pattern: &Pattern, config: &WcojConfig) -> BaselineOutcome {
+    let started = Instant::now();
+    let order = greedy_connected_order(pattern);
+    let symmetry = SymmetryBreaking::compute(pattern);
+    let total_order = TotalOrder::new(g);
+    let ctx = Ctx {
+        g,
+        pattern,
+        order: &order,
+        symmetry: &symmetry,
+        total_order: &total_order,
+        config,
+    };
+
+    // Level-0 frontier: every data vertex as a 1-tuple.
+    let first: Vec<VertexId> = g.vertices().collect();
+    let mut outcome = BaselineOutcome { completed: true, ..Default::default() };
+    match config.mode {
+        WcojMode::SharedMemory => run_bfs(&ctx, first, &mut outcome),
+        WcojMode::Distributed => {
+            let mut scratch = Scratch::default();
+            // Seed batches of 1-tuples.
+            for chunk in first.chunks(config.batch_size.max(1)) {
+                if !extend_batch(&ctx, chunk, 1, &mut outcome, &mut scratch) {
+                    break;
+                }
+            }
+        }
+    }
+    outcome.elapsed = started.elapsed();
+    outcome
+}
+
+struct Ctx<'a> {
+    g: &'a Graph,
+    pattern: &'a Pattern,
+    order: &'a [usize],
+    symmetry: &'a SymmetryBreaking,
+    total_order: &'a TotalOrder,
+    config: &'a WcojConfig,
+}
+
+#[derive(Default)]
+struct Scratch {
+    candidates: Vec<VertexId>,
+    tmp: Vec<VertexId>,
+    work: u64,
+}
+
+/// Extends the tuples of one level fully before moving to the next
+/// (shared-memory BFS).
+fn run_bfs(ctx: &Ctx, first: Vec<VertexId>, outcome: &mut BaselineOutcome) {
+    let n = ctx.order.len();
+    let mut frontier: Vec<VertexId> = first; // stride 1
+    let mut scratch = Scratch::default();
+    let mut work: u64 = 0;
+    for level in 1..n {
+        let stride = level;
+        let mut next: Vec<VertexId> = Vec::new();
+        outcome.rounds += 1;
+        for tuple in frontier.chunks(stride) {
+            candidates_for(ctx, tuple, level, &mut scratch);
+            work += scratch.candidates.len() as u64 + 1;
+            if work > ctx.config.work_budget {
+                outcome.completed = false;
+                outcome.budget_exceeded = true;
+                return;
+            }
+            for &cand in &scratch.candidates {
+                next.extend_from_slice(tuple);
+                next.push(cand);
+            }
+            let bytes = (next.len() * 4) as u64;
+            if bytes > ctx.config.memory_cap_bytes {
+                outcome.completed = false;
+                outcome.peak_memory_bytes = outcome.peak_memory_bytes.max(bytes);
+                return;
+            }
+        }
+        let bytes = (next.len() * 4) as u64;
+        outcome.peak_memory_bytes = outcome.peak_memory_bytes.max(bytes);
+        outcome.shuffled_bytes += bytes;
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    outcome.matches = (frontier.len() / n) as u64;
+}
+
+/// Distributed mode: recursively extend one batch through the remaining
+/// levels, keeping at most `batch_size` prefixes materialised per level.
+/// Returns false when the memory cap is exceeded.
+fn extend_batch(
+    ctx: &Ctx,
+    batch: &[VertexId],
+    level: usize,
+    outcome: &mut BaselineOutcome,
+    scratch: &mut Scratch,
+) -> bool {
+    let n = ctx.order.len();
+    if level == n {
+        outcome.matches += (batch.len() / n) as u64;
+        return true;
+    }
+    let stride = level;
+    outcome.rounds += 1;
+    let mut extended: Vec<VertexId> = Vec::new();
+    for tuple in batch.chunks(stride) {
+        candidates_for(ctx, tuple, level, scratch);
+        scratch.work += scratch.candidates.len() as u64 + 1;
+        if scratch.work > ctx.config.work_budget {
+            outcome.completed = false;
+            outcome.budget_exceeded = true;
+            return false;
+        }
+        // Split borrows: candidates computed into scratch.candidates.
+        let cands = std::mem::take(&mut scratch.candidates);
+        for &cand in &cands {
+            extended.extend_from_slice(tuple);
+            extended.push(cand);
+        }
+        scratch.candidates = cands;
+    }
+    let bytes = (extended.len() * 4) as u64;
+    // Each extension round ships the new prefixes between workers.
+    outcome.shuffled_bytes += bytes;
+    let live = bytes + (batch.len() * 4) as u64;
+    outcome.peak_memory_bytes = outcome.peak_memory_bytes.max(live);
+    if live > ctx.config.memory_cap_bytes {
+        outcome.completed = false;
+        return false;
+    }
+    let next_stride = level + 1;
+    let chunk_tuples = ctx.config.batch_size.max(1) * next_stride;
+    for chunk in extended.chunks(chunk_tuples) {
+        if !extend_batch(ctx, chunk, next_stride, outcome, scratch) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Candidate set for extending `tuple` (bindings of `order[..level]`) with
+/// `order[level]`.
+fn candidates_for(ctx: &Ctx, tuple: &[VertexId], level: usize, scratch: &mut Scratch) {
+    let u = ctx.order[level];
+    let sets: Vec<&[VertexId]> = ctx.order[..level]
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| ctx.pattern.has_edge(u, v))
+        .map(|(i, _)| ctx.g.neighbors(tuple[i]))
+        .collect();
+    debug_assert!(!sets.is_empty(), "connected order guarantees a bound neighbour");
+    let mut candidates = std::mem::take(&mut scratch.candidates);
+    intersect_many_into(&sets, &mut candidates, &mut scratch.tmp);
+    // Injectivity and symmetry filters.
+    candidates.retain(|&cand| {
+        for (i, &v) in ctx.order[..level].iter().enumerate() {
+            if tuple[i] == cand {
+                return false;
+            }
+            match ctx.symmetry.between(v, u) {
+                Some(true) if !ctx.total_order.less(tuple[i], cand) => return false,
+                Some(false) if !ctx.total_order.less(cand, tuple[i]) => return false,
+                _ => {}
+            }
+        }
+        true
+    });
+    scratch.candidates = candidates;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benu_engine::reference;
+    use benu_graph::gen;
+    use benu_pattern::queries;
+
+    fn check_counts(g: &Graph, pattern: &Pattern, name: &str) {
+        let expected = reference::count_subgraphs(g, pattern);
+        for mode in [WcojMode::SharedMemory, WcojMode::Distributed] {
+            let outcome = run(
+                g,
+                pattern,
+                &WcojConfig { mode, batch_size: 64, ..Default::default() },
+            );
+            assert!(outcome.completed);
+            assert_eq!(outcome.matches, expected, "{name} {mode:?}");
+        }
+    }
+
+    #[test]
+    fn counts_match_reference_on_catalogue() {
+        let g = gen::erdos_renyi_gnm(40, 160, 17);
+        for (name, p) in queries::catalogue() {
+            check_counts(&g, &p, name);
+        }
+    }
+
+    #[test]
+    fn counts_match_on_clustered_graph() {
+        let g = gen::chung_lu_power_law(benu_graph::gen::PowerLawConfig {
+            n: 50,
+            m: 200,
+            gamma: 2.3,
+            clustering: 0.5,
+            seed: 2,
+        });
+        for (name, p) in [("triangle", queries::triangle()), ("q4", queries::q4())] {
+            check_counts(&g, &p, name);
+        }
+    }
+
+    #[test]
+    fn shared_memory_mode_can_oom() {
+        let g = gen::complete(40);
+        let outcome = run(
+            &g,
+            &queries::clique(5),
+            &WcojConfig {
+                mode: WcojMode::SharedMemory,
+                batch_size: 1000,
+                memory_cap_bytes: 10_000,
+                ..Default::default()
+            },
+        );
+        assert!(!outcome.completed, "tiny cap must trip on K40 frontiers");
+        assert!(outcome.peak_memory_bytes > 10_000);
+    }
+
+    #[test]
+    fn distributed_mode_bounds_memory() {
+        let g = gen::complete(25);
+        let shared = run(
+            &g,
+            &queries::clique(4),
+            &WcojConfig { mode: WcojMode::SharedMemory, ..Default::default() },
+        );
+        let dist = run(
+            &g,
+            &queries::clique(4),
+            &WcojConfig {
+                mode: WcojMode::Distributed,
+                batch_size: 100,
+                ..Default::default()
+            },
+        );
+        assert_eq!(shared.matches, dist.matches);
+        assert!(
+            dist.peak_memory_bytes < shared.peak_memory_bytes,
+            "batching must cap the frontier ({} vs {})",
+            dist.peak_memory_bytes,
+            shared.peak_memory_bytes
+        );
+    }
+
+    #[test]
+    fn shuffle_volume_grows_with_pattern_density() {
+        let g = gen::barabasi_albert(150, 6, 3);
+        let tri = run(&g, &queries::triangle(), &WcojConfig::default());
+        let q4 = run(&g, &queries::q4(), &WcojConfig::default());
+        assert!(tri.completed && q4.completed);
+        assert!(q4.shuffled_bytes > tri.shuffled_bytes);
+    }
+
+    #[test]
+    fn empty_frontier_terminates_early() {
+        // A triangle-free graph has no K3 matches.
+        let g = gen::grid(5, 5);
+        let outcome = run(&g, &queries::triangle(), &WcojConfig::default());
+        assert!(outcome.completed);
+        assert_eq!(outcome.matches, 0);
+    }
+}

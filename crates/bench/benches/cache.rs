@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the database cache and triangle cache — the DBQ
+//! fast path.
+
+use benu_cache::{DbCache, TriangleCache};
+use benu_graph::AdjSet;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn bench_db_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db-cache");
+    let cache = DbCache::new(8 << 20, 8);
+    let sets: Vec<Arc<AdjSet>> = (0..1_000u32)
+        .map(|v| Arc::new(AdjSet::from_sorted((0..64).map(|i| v + i).collect())))
+        .collect();
+    for (v, s) in sets.iter().enumerate() {
+        cache.insert(v as u32, Arc::clone(s));
+    }
+
+    group.bench_function("hit", |bench| {
+        let mut v = 0u32;
+        bench.iter(|| {
+            v = (v + 1) % 1_000;
+            black_box(cache.get(black_box(v)))
+        })
+    });
+    group.bench_function("miss", |bench| {
+        bench.iter(|| black_box(cache.get(black_box(55_555))))
+    });
+    group.bench_function("get_or_fetch/hot", |bench| {
+        bench.iter(|| {
+            let r: Result<_, ()> = cache.get_or_fetch(7, || unreachable!("always hot"));
+            black_box(r.unwrap())
+        })
+    });
+    group.bench_function("insert_evict", |bench| {
+        let tiny = DbCache::new(64 << 10, 4);
+        let mut v = 0u32;
+        bench.iter(|| {
+            v = v.wrapping_add(1);
+            tiny.insert(v, Arc::clone(&sets[(v % 1_000) as usize]));
+        })
+    });
+    group.finish();
+}
+
+fn bench_triangle_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangle-cache");
+    let mut tc = TriangleCache::new(4096);
+    for e in 0..2_000u32 {
+        tc.get_or_compute(e, e + 1, || (0..32).collect());
+    }
+    group.bench_function("hot-lookup", |bench| {
+        let mut e = 1_000u32;
+        bench.iter(|| {
+            e = 1_000 + (e + 1) % 900;
+            black_box(tc.get_or_compute(e, e + 1, || unreachable!("hot")))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_db_cache, bench_triangle_cache);
+criterion_main!(benches);

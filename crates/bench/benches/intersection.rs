@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the sorted-set intersection kernels — the inner
+//! loop of every INT instruction.
+
+use benu_graph::ops;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn sorted_set(n: usize, stride: usize, offset: u32) -> Vec<u32> {
+    (0..n).map(|i| offset + (i * stride) as u32).collect()
+}
+
+fn bench_intersections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersection");
+    let a = sorted_set(10_000, 3, 0);
+    let b = sorted_set(10_000, 5, 1);
+    let small = sorted_set(64, 450, 3);
+    let mut out = Vec::with_capacity(10_000);
+
+    group.bench_function("merge/balanced-10k", |bench| {
+        bench.iter(|| {
+            ops::merge_intersect_into(black_box(&a), black_box(&b), &mut out);
+            black_box(out.len())
+        })
+    });
+    group.bench_function("gallop/skewed-64-vs-10k", |bench| {
+        bench.iter(|| {
+            ops::gallop_intersect_into(black_box(&small), black_box(&a), &mut out);
+            black_box(out.len())
+        })
+    });
+    group.bench_function("adaptive/skewed-64-vs-10k", |bench| {
+        bench.iter(|| {
+            ops::intersect_into(black_box(&small), black_box(&a), &mut out);
+            black_box(out.len())
+        })
+    });
+    group.bench_function("count/balanced-10k", |bench| {
+        bench.iter(|| black_box(ops::intersect_count(black_box(&a), black_box(&b))))
+    });
+
+    let c1 = sorted_set(5_000, 2, 0);
+    let c2 = sorted_set(5_000, 3, 0);
+    let c3 = sorted_set(5_000, 5, 0);
+    let sets: Vec<&[u32]> = vec![&c1, &c2, &c3];
+    let mut scratch = Vec::new();
+    group.bench_function("many-way/3x5k", |bench| {
+        bench.iter(|| {
+            ops::intersect_many_into(black_box(&sets), &mut out, &mut scratch);
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersections);
+criterion_main!(benches);

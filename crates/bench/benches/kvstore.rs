@@ -1,0 +1,40 @@
+//! Micro-benchmarks of the key-value store query path (encode, decode,
+//! sharded get).
+
+use benu_graph::gen;
+use benu_kvstore::{codec, KvStore};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_kvstore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvstore");
+    let g = gen::barabasi_albert(10_000, 8, 3);
+    let store = KvStore::from_graph(&g, 16);
+
+    group.bench_function("get/accounted", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 1) % 10_000;
+            black_box(store.get(black_box(v)))
+        })
+    });
+    group.bench_function("get/unaccounted", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 1) % 10_000;
+            black_box(store.get_unaccounted(black_box(v)))
+        })
+    });
+
+    let adj: Vec<u32> = (0..256).map(|i| i * 7).collect();
+    let encoded = codec::encode_adj(&adj);
+    group.bench_function("codec/encode-256", |b| {
+        b.iter(|| black_box(codec::encode_adj(black_box(&adj))))
+    });
+    group.bench_function("codec/decode-256", |b| {
+        b.iter(|| black_box(codec::decode_adj(black_box(&encoded))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kvstore);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the plan compiler: raw generation, the three
+//! optimizations, and the full best-plan search.
+
+use benu_pattern::{queries, SymmetryBreaking};
+use benu_plan::generate::raw_plan;
+use benu_plan::optimize::{optimize, OptimizeOptions};
+use benu_plan::{GraphStatsEstimator, PlanBuilder};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_plangen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan");
+    let demo = queries::demo_pattern();
+    let sb = SymmetryBreaking::compute(&demo);
+    let order = vec![0usize, 2, 4, 1, 5, 3];
+
+    group.bench_function("raw/demo", |b| {
+        b.iter(|| black_box(raw_plan(&demo, &order, &sb)))
+    });
+    group.bench_function("optimize/demo", |b| {
+        let raw = raw_plan(&demo, &order, &sb);
+        b.iter(|| {
+            let mut plan = raw.clone();
+            optimize(&mut plan, OptimizeOptions::all());
+            black_box(plan)
+        })
+    });
+    group.bench_function("symmetry/demo", |b| {
+        b.iter(|| black_box(SymmetryBreaking::compute(&demo)))
+    });
+
+    let est = GraphStatsEstimator::generic();
+    for (name, p) in [("q4", queries::q4()), ("q9", queries::q9()), ("clique6", queries::clique(6))]
+    {
+        group.bench_function(format!("best-plan-search/{name}"), |b| {
+            b.iter(|| black_box(benu_plan::search::best_plan(&p, &est)))
+        });
+    }
+    group.bench_function("builder/compressed-q4", |b| {
+        let p = queries::q4();
+        b.iter(|| black_box(PlanBuilder::new(&p).compressed(true).best_plan()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plangen);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Exp-3 / Fig. 8 — effect of the local database cache capacity on cache
+//! hit rate (a), communication cost (b) and execution time (c).
+//!
+//! Sweeps the per-worker cache capacity as a fraction of the data graph's
+//! adjacency bytes (the paper's "relative cache capacity") for q4 and q5
+//! on the Orkut stand-in.
+//!
+//! ```text
+//! cargo run --release -p benu-bench --bin fig8_exp3 -- [--scale 0.15] [--dataset ok]
+//! ```
+
+use benu_bench::cli::Args;
+use benu_bench::{load_dataset, print_table};
+use benu_cluster::{Cluster, ClusterConfig};
+use benu_graph::datasets::Dataset;
+use benu_pattern::queries;
+use benu_plan::PlanBuilder;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    query: String,
+    relative_capacity_pct: f64,
+    hit_rate_pct: f64,
+    comm_bytes: u64,
+    time_s: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 0.15);
+    let dataset =
+        Dataset::from_abbrev(args.get_str("dataset").unwrap_or("ok")).expect("unknown dataset");
+    let g = load_dataset(dataset, scale);
+    let graph_bytes = g.adjacency_bytes();
+
+    let fractions = [0.05, 0.10, 0.20, 0.40, 0.60, 0.80, 1.00];
+    let mut records = Vec::new();
+    for (name, pattern) in [("q4", queries::q4()), ("q5", queries::q5())] {
+        let plan = PlanBuilder::new(&pattern)
+            .graph_stats(g.num_vertices(), g.num_edges())
+            .compressed(true)
+            .best_plan();
+        let mut rows = Vec::new();
+        for &fraction in &fractions {
+            let capacity = (graph_bytes as f64 * fraction) as usize;
+            let cluster = Cluster::new(
+                &g,
+                ClusterConfig::builder()
+                    .workers(4)
+                    .threads_per_worker(2)
+                    .cache_capacity_bytes(capacity)
+                    .build(),
+            );
+            let outcome = cluster.run(&plan);
+            let row = Row {
+                query: name.to_string(),
+                relative_capacity_pct: 100.0 * fraction,
+                hit_rate_pct: 100.0 * outcome.cache_hit_rate(),
+                comm_bytes: outcome.communication_bytes(),
+                time_s: outcome.makespan().as_secs_f64(),
+            };
+            rows.push(vec![
+                format!("{:.0}%", row.relative_capacity_pct),
+                format!("{:.1}%", row.hit_rate_pct),
+                benu_baselines::human_bytes(row.comm_bytes),
+                format!("{:.2}s", row.time_s),
+            ]);
+            records.push(row);
+        }
+        println!(
+            "\nFig. 8 — {name} on {} (scale {scale}, graph {} bytes/worker-cache sweep):",
+            dataset.abbrev(),
+            graph_bytes
+        );
+        print_table(&["capacity", "hit rate", "comm", "time"], &rows);
+    }
+    println!(
+        "\npaper shape: hit rate climbs steeply with capacity (q4 is locality-\n\
+         friendly and saturates sooner than q5); communication and time fall\n\
+         accordingly — memory is traded for communication."
+    );
+    if let Some(path) = args.get_str("json") {
+        benu_bench::cells::write_json(path, &records).expect("write json");
+    }
+}

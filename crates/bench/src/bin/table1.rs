@@ -1,0 +1,80 @@
+//! Table I — numbers of matches of the core motifs (triangle Δ, 4-clique
+//! ⊠, chordal square) in the five data graphs.
+//!
+//! ```text
+//! cargo run --release -p benu-bench --bin table1 -- [--scale 0.2] [--json out.json]
+//! ```
+
+use benu_bench::cli::Args;
+use benu_bench::{load_dataset, print_table};
+use benu_graph::datasets::Dataset;
+use benu_graph::stats;
+use benu_pattern::queries;
+use benu_plan::PlanBuilder;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    vertices: usize,
+    edges: usize,
+    triangles: u64,
+    cliques4: u64,
+    chordal_squares: u64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 0.2);
+
+    let motifs = [
+        ("triangle", queries::triangle()),
+        ("clique4", queries::clique(4)),
+        ("chordal_square", queries::chordal_square()),
+    ];
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for dataset in Dataset::ALL {
+        let g = load_dataset(dataset, scale);
+        let mut counts = Vec::new();
+        for (_, motif) in &motifs {
+            let plan = PlanBuilder::new(motif)
+                .graph_stats(g.num_vertices(), g.num_edges())
+                .compressed(true)
+                .best_plan();
+            counts.push(benu_engine::count_embeddings(&plan, &g));
+        }
+        // Independent cross-check of the triangle column.
+        assert_eq!(counts[0], stats::count_triangles(&g), "triangle counters disagree");
+        records.push(Row {
+            dataset: dataset.abbrev().to_string(),
+            vertices: g.num_vertices(),
+            edges: g.num_edges(),
+            triangles: counts[0],
+            cliques4: counts[1],
+            chordal_squares: counts[2],
+        });
+        rows.push(vec![
+            dataset.abbrev().to_string(),
+            format!("{:.1e}", g.num_vertices() as f64),
+            format!("{:.1e}", g.num_edges() as f64),
+            format!("{:.1e}", counts[0] as f64),
+            format!("{:.1e}", counts[1] as f64),
+            format!("{:.1e}", counts[2] as f64),
+        ]);
+    }
+
+    println!("\nTable I — match counts of core motifs (scale {scale}):");
+    print_table(
+        &["graph", "|V|", "|E|", "triangle", "4-clique", "chordal-square"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: motif counts dwarf |E| (10–100×); ok/uk are the\n\
+         clique-densest, fs is triangle-sparse for its size."
+    );
+    if let Some(path) = args.get_str("json") {
+        benu_bench::cells::write_json(path, &records).expect("write json");
+    }
+}

@@ -1,0 +1,105 @@
+//! Exp-5 / Table V — BENU vs the join-based baseline (CBF stand-in)
+//! across q1–q9 and the five data graphs. Each cell is
+//! `time/communication`; the baseline reports CRASH when it exceeds its
+//! memory cap, mirroring the paper's CBF failures on the chordal-square
+//! queries.
+//!
+//! ```text
+//! cargo run --release -p benu-bench --bin table5_exp5 -- \
+//!     [--scale 0.08] [--queries q1,q2,...] [--datasets as,lj,ok,uk,fs] \
+//!     [--join-cap-mb 512]
+//! ```
+
+use benu_bench::cells::{benu_cell, starjoin_cell, Cell};
+use benu_bench::cli::Args;
+use benu_bench::{load_dataset, print_table};
+use benu_cluster::{Cluster, ClusterConfig};
+use benu_graph::datasets::Dataset;
+use benu_pattern::queries;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    dataset: String,
+    query: String,
+    benu: Cell,
+    join: Cell,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 0.08);
+    let join_cap = args.get("join-cap-mb", 512u64) << 20;
+    let query_names: Vec<String> = args
+        .get_str("queries")
+        .unwrap_or("q1,q2,q3,q4,q5,q6,q7,q8,q9")
+        .split(',')
+        .map(String::from)
+        .collect();
+    let dataset_names: Vec<String> = args
+        .get_str("datasets")
+        .unwrap_or("as,lj,ok,uk,fs")
+        .split(',')
+        .map(String::from)
+        .collect();
+
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for dname in &dataset_names {
+        let dataset = Dataset::from_abbrev(dname).expect("unknown dataset");
+        let g = load_dataset(dataset, scale);
+        let cluster = Cluster::new(
+            &g,
+            ClusterConfig::builder()
+                .workers(4)
+                .threads_per_worker(2)
+                .cache_capacity_bytes(64 << 20)
+                .tau(500)
+                .build(),
+        );
+        for qname in &query_names {
+            let pattern = queries::by_name(qname).expect("unknown query");
+            let benu = benu_cell(&cluster, &g, &pattern, true);
+            let join = starjoin_cell(&g, &pattern, join_cap);
+            if join.completed {
+                assert_eq!(benu.matches, join.matches, "{dname}/{qname}: counts disagree");
+            }
+            eprintln!(
+                "[cell] {dname}/{qname}: BENU {} | join {}",
+                benu.render(),
+                join.render()
+            );
+            rows.push(vec![
+                dname.clone(),
+                qname.clone(),
+                join.render(),
+                benu.render(),
+                format!("{:.1e}", benu.matches as f64),
+            ]);
+            records.push(Record {
+                dataset: dname.clone(),
+                query: qname.clone(),
+                benu,
+                join,
+            });
+        }
+    }
+
+    println!("\nTable V — BENU vs join-based baseline (scale {scale}):");
+    print_table(&["graph", "query", "StarJoin (CBF-style)", "BENU", "matches"], &rows);
+    let benu_wins = records
+        .iter()
+        .filter(|r| !r.join.completed || r.benu.time_s < r.join.time_s)
+        .count();
+    println!(
+        "\nBENU wins or survives {benu_wins}/{} cells.\n\
+         paper shape: BENU faster nearly everywhere (up to ~10x on the\n\
+         clique-cored q2/q4/q6), the join baseline's communication dwarfs\n\
+         BENU's, and the baseline crashes on chordal-square queries; the\n\
+         5-cycle q5 is the baseline's best case.",
+        records.len()
+    );
+    if let Some(path) = args.get_str("json") {
+        benu_bench::cells::write_json(path, &records).expect("write json");
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal flag parsing shared by the experiment binaries (no external
+//! CLI dependency — the offline crate budget is spent on the substrate).
+
+use std::collections::HashMap;
+
+/// Parsed command line: `--key value` flags plus positional arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Self {
+        let mut args = Args::default();
+        let mut it = iter.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                args.flags.insert(key.to_string(), value);
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        args
+    }
+
+    /// A typed flag with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A string flag.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A boolean flag (`--foo` or `--foo true`).
+    pub fn has(&self, key: &str) -> bool {
+        matches!(self.flags.get(key).map(String::as_str), Some("true") | Some("1"))
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_typed_flags() {
+        let a = parse("--scale 0.5 --workers 8 q5");
+        assert_eq!(a.get("scale", 1.0f64), 0.5);
+        assert_eq!(a.get("workers", 4usize), 8);
+        assert_eq!(a.get("missing", 7u32), 7);
+        assert_eq!(a.positional(), &["q5".to_string()]);
+    }
+
+    #[test]
+    fn bare_flags_are_boolean() {
+        let a = parse("--full --json out.json");
+        assert!(a.has("full"));
+        assert_eq!(a.get_str("json"), Some("out.json"));
+        assert!(!a.has("absent"));
+    }
+}

@@ -1,0 +1,431 @@
+//! Caching layers of BENU's efficient implementation (paper §V-A).
+//!
+//! * [`DbCache`] — the per-machine in-memory *database cache* holding
+//!   adjacency sets fetched from the distributed store. Shared by all
+//!   worker threads of a machine, byte-budgeted, LRU-evicted; it exploits
+//!   both intra-task locality (backtracking revisits the same
+//!   neighbourhood) and inter-task locality (hot high-degree vertices are
+//!   queried by many tasks) to trade memory for communication.
+//! * [`TriangleCache`] — the per-thread cache behind TRC instructions,
+//!   keyed by a data edge `[f_i, f_j]` and holding the triangle set
+//!   `Γ(f_i) ∩ Γ(f_j)`.
+//! * [`lru::Lru`] — the shared LRU core, cost-budgeted with per-entry
+//!   costs (bytes for adjacency sets, entry counts for triangles).
+
+pub mod lru;
+
+use benu_graph::{AdjSet, VertexId};
+use lru::Lru;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fixed per-entry bookkeeping overhead charged against the byte budget
+/// (key + pointers + map slot), so a cache full of tiny sets cannot hold
+/// an unbounded number of entries.
+pub const ENTRY_OVERHEAD_BYTES: usize = 48;
+
+/// Snapshot of cache effectiveness counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when the cache was never queried.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The per-machine database cache: a sharded, byte-budgeted LRU over
+/// adjacency sets, safe to share across worker threads.
+#[derive(Debug)]
+pub struct DbCache {
+    shards: Vec<Mutex<Lru<VertexId, Arc<AdjSet>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl DbCache {
+    /// Creates a cache with a total byte budget split evenly across
+    /// `num_shards` internal shards (shard count only affects lock
+    /// contention, not semantics). A zero budget disables caching: every
+    /// lookup misses and nothing is retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn new(capacity_bytes: usize, num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        let per_shard = capacity_bytes / num_shards;
+        DbCache {
+            shards: (0..num_shards)
+                .map(|_| Mutex::new(Lru::new(per_shard as u64)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, v: VertexId) -> usize {
+        // Multiplicative hash spreads consecutive ids across shards.
+        (v.wrapping_mul(0x9E37_79B9) as usize >> 16) % self.shards.len()
+    }
+
+    /// Looks up `v`, counting a hit or miss.
+    pub fn get(&self, v: VertexId) -> Option<Arc<AdjSet>> {
+        let mut shard = self.shards[self.shard_of(v)].lock();
+        match shard.get(&v) {
+            Some(adj) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(adj))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts the adjacency set of `v`, evicting LRU entries as needed.
+    pub fn insert(&self, v: VertexId, adj: Arc<AdjSet>) {
+        let cost = (adj.size_bytes() + ENTRY_OVERHEAD_BYTES) as u64;
+        let mut shard = self.shards[self.shard_of(v)].lock();
+        let evicted = shard.insert(v, adj, cost);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Fetches via the cache, calling `fetch` on a miss and caching its
+    /// result. This is the DBQ fast path: `fetch` runs without holding
+    /// the shard lock, so a slow store query does not serialise unrelated
+    /// threads.
+    pub fn get_or_fetch<E>(
+        &self,
+        v: VertexId,
+        fetch: impl FnOnce() -> Result<Arc<AdjSet>, E>,
+    ) -> Result<Arc<AdjSet>, E> {
+        if let Some(adj) = self.get(v) {
+            return Ok(adj);
+        }
+        let adj = fetch()?;
+        self.insert(v, Arc::clone(&adj));
+        Ok(adj)
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bytes currently held (cost units including entry overhead).
+    pub fn used_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().used_cost()).sum()
+    }
+
+    /// Number of cached adjacency sets.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and resets the counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The per-thread triangle cache behind TRC instructions: maps a data
+/// edge (endpoints normalised to `min, max`) to the shared triangle set
+/// `Γ(a) ∩ Γ(b)`. Entry-count budgeted.
+#[derive(Debug)]
+pub struct TriangleCache {
+    lru: Lru<(VertexId, VertexId), Arc<Vec<VertexId>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TriangleCache {
+    /// Creates a cache holding at most `max_entries` triangle sets.
+    pub fn new(max_entries: usize) -> Self {
+        TriangleCache { lru: Lru::new(max_entries as u64), hits: 0, misses: 0 }
+    }
+
+    /// Looks up the triangle set of edge `(a, b)` or computes and caches
+    /// it.
+    pub fn get_or_compute(
+        &mut self,
+        a: VertexId,
+        b: VertexId,
+        compute: impl FnOnce() -> Vec<VertexId>,
+    ) -> Arc<Vec<VertexId>> {
+        let key = (a.min(b), a.max(b));
+        if let Some(v) = self.lru.get(&key) {
+            self.hits += 1;
+            return Arc::clone(v);
+        }
+        self.misses += 1;
+        let value = Arc::new(compute());
+        self.lru.insert(key, Arc::clone(&value), 1);
+        value
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits, misses: self.misses, evictions: 0 }
+    }
+
+    /// Number of cached triangle sets.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Drops all entries (counters are kept; they are per-run metrics).
+    pub fn clear(&mut self) {
+        self.lru.clear();
+    }
+}
+
+/// The per-thread *clique cache* — the paper's proposed generalization of
+/// the triangle cache (§IV-B: "The triangle cache technique could be
+/// extended to other kinds of frequent motifs, like cliques"). Maps a
+/// sorted k-tuple of data vertices (a k-clique instance) to the shared
+/// common-neighbour set `∩_i Γ(v_i)`, i.e. the vertices completing a
+/// (k+1)-clique. Entry-count budgeted, since clique sets are far more
+/// numerous than triangle sets.
+#[derive(Debug)]
+pub struct CliqueCache {
+    lru: Lru<Vec<VertexId>, Arc<Vec<VertexId>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CliqueCache {
+    /// Creates a cache holding at most `max_entries` clique sets.
+    pub fn new(max_entries: usize) -> Self {
+        CliqueCache { lru: Lru::new(max_entries as u64), hits: 0, misses: 0 }
+    }
+
+    /// Looks up the common-neighbour set of the clique `key` (must be
+    /// sorted ascending) or computes and caches it.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `key` is not sorted.
+    pub fn get_or_compute(
+        &mut self,
+        key: &[VertexId],
+        compute: impl FnOnce() -> Vec<VertexId>,
+    ) -> Arc<Vec<VertexId>> {
+        debug_assert!(key.windows(2).all(|w| w[0] < w[1]), "clique key must be sorted");
+        if let Some(v) = self.lru.get(&key.to_vec()) {
+            self.hits += 1;
+            return Arc::clone(v);
+        }
+        self.misses += 1;
+        let value = Arc::new(compute());
+        self.lru.insert(key.to_vec(), Arc::clone(&value), 1);
+        value
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits, misses: self.misses, evictions: 0 }
+    }
+
+    /// Number of cached clique sets.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.lru.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj(ids: &[u32]) -> Arc<AdjSet> {
+        Arc::new(AdjSet::from_unsorted(ids.to_vec()))
+    }
+
+    #[test]
+    fn db_cache_hits_after_insert() {
+        let cache = DbCache::new(1 << 20, 4);
+        assert!(cache.get(7).is_none());
+        cache.insert(7, adj(&[1, 2, 3]));
+        assert_eq!(cache.get(7).unwrap().as_slice(), &[1, 2, 3]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = DbCache::new(0, 2);
+        cache.insert(1, adj(&[2]));
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn byte_budget_is_respected_under_pressure() {
+        let capacity = 4096;
+        let cache = DbCache::new(capacity, 1);
+        for v in 0..200u32 {
+            cache.insert(v, adj(&[v, v + 1, v + 2, v + 3]));
+        }
+        assert!(cache.used_bytes() <= capacity as u64);
+        assert!(cache.stats().evictions > 0);
+        assert!(cache.len() < 200);
+    }
+
+    #[test]
+    fn get_or_fetch_fetches_once() {
+        let cache = DbCache::new(1 << 16, 2);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let got: Result<_, ()> = cache.get_or_fetch(9, || {
+                calls += 1;
+                Ok(adj(&[4, 5]))
+            });
+            assert_eq!(got.unwrap().as_slice(), &[4, 5]);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn get_or_fetch_propagates_errors_without_caching() {
+        let cache = DbCache::new(1 << 16, 1);
+        let got: Result<Arc<AdjSet>, &str> = cache.get_or_fetch(3, || Err("db down"));
+        assert_eq!(got.unwrap_err(), "db down");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = DbCache::new(1 << 16, 2);
+        cache.insert(1, adj(&[9]));
+        cache.get(1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn triangle_cache_normalises_edge_order() {
+        let mut tc = TriangleCache::new(16);
+        let first = tc.get_or_compute(5, 2, || vec![10, 11]);
+        let second = tc.get_or_compute(2, 5, || panic!("must hit"));
+        assert_eq!(first, second);
+        assert_eq!(tc.stats().hits, 1);
+        assert_eq!(tc.len(), 1);
+    }
+
+    #[test]
+    fn triangle_cache_evicts_at_capacity() {
+        let mut tc = TriangleCache::new(2);
+        tc.get_or_compute(0, 1, || vec![1]);
+        tc.get_or_compute(0, 2, || vec![2]);
+        tc.get_or_compute(0, 3, || vec![3]); // evicts (0,1)
+        assert_eq!(tc.len(), 2);
+        let mut recomputed = false;
+        tc.get_or_compute(0, 1, || {
+            recomputed = true;
+            vec![1]
+        });
+        assert!(recomputed);
+    }
+
+    #[test]
+    fn clique_cache_hits_on_repeated_key() {
+        let mut cc = CliqueCache::new(8);
+        let a = cc.get_or_compute(&[1, 5, 9], || vec![10, 20]);
+        let b = cc.get_or_compute(&[1, 5, 9], || panic!("must hit"));
+        assert_eq!(a, b);
+        assert_eq!(cc.stats().hits, 1);
+        assert_eq!(cc.len(), 1);
+    }
+
+    #[test]
+    fn clique_cache_distinguishes_arity() {
+        let mut cc = CliqueCache::new(8);
+        cc.get_or_compute(&[1, 2], || vec![3]);
+        let three = cc.get_or_compute(&[1, 2, 3], || vec![4]);
+        assert_eq!(*three, vec![4]);
+        assert_eq!(cc.len(), 2);
+    }
+
+    #[test]
+    fn clique_cache_evicts_at_capacity() {
+        let mut cc = CliqueCache::new(2);
+        cc.get_or_compute(&[0, 1, 2], || vec![9]);
+        cc.get_or_compute(&[0, 1, 3], || vec![9]);
+        cc.get_or_compute(&[0, 1, 4], || vec![9]);
+        assert_eq!(cc.len(), 2);
+        let mut recomputed = false;
+        cc.get_or_compute(&[0, 1, 2], || {
+            recomputed = true;
+            vec![9]
+        });
+        assert!(recomputed);
+    }
+
+    #[test]
+    fn db_cache_is_shareable_across_threads() {
+        let cache = Arc::new(DbCache::new(1 << 20, 8));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    let v = (t * 500 + i) % 700;
+                    if cache.get(v).is_none() {
+                        cache.insert(v, Arc::new(AdjSet::from_sorted(vec![v])));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 2000);
+    }
+}

@@ -1,0 +1,144 @@
+//! Cluster configuration.
+
+/// Shape and tuning of the simulated cluster. The defaults mirror the
+//  paper's deployment scaled to a single machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of logical worker machines (the paper uses 16).
+    pub workers: usize,
+    /// Working threads per worker (the paper uses 24).
+    pub threads_per_worker: usize,
+    /// Database-cache capacity per worker, in bytes (the paper gives each
+    /// reducer 30 GB).
+    pub cache_capacity_bytes: usize,
+    /// Internal shard count of each worker's cache (contention tuning
+    /// only).
+    pub cache_shards: usize,
+    /// Task-splitting degree threshold τ (paper: 500); 0 disables
+    /// splitting.
+    pub tau: usize,
+    /// Per-thread triangle-cache capacity in entries.
+    pub triangle_cache_entries: usize,
+    /// Record per-task wall-clock durations (needed by the Fig. 9
+    /// harness; off by default to keep runs lean).
+    pub collect_task_times: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 4,
+            threads_per_worker: 2,
+            cache_capacity_bytes: 64 << 20,
+            cache_shards: 8,
+            tau: 500,
+            triangle_cache_entries: 1 << 14,
+            collect_task_times: false,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder(ClusterConfig::default())
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero workers, threads or cache shards.
+    pub fn validate(&self) {
+        assert!(self.workers >= 1, "need at least one worker");
+        assert!(self.threads_per_worker >= 1, "need at least one thread");
+        assert!(self.cache_shards >= 1, "need at least one cache shard");
+    }
+}
+
+/// Fluent builder for [`ClusterConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfigBuilder(ClusterConfig);
+
+impl ClusterConfigBuilder {
+    /// Number of logical worker machines.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.0.workers = n;
+        self
+    }
+
+    /// Working threads per worker.
+    pub fn threads_per_worker(mut self, n: usize) -> Self {
+        self.0.threads_per_worker = n;
+        self
+    }
+
+    /// Per-worker database-cache capacity in bytes.
+    pub fn cache_capacity_bytes(mut self, n: usize) -> Self {
+        self.0.cache_capacity_bytes = n;
+        self
+    }
+
+    /// Internal cache shard count.
+    pub fn cache_shards(mut self, n: usize) -> Self {
+        self.0.cache_shards = n;
+        self
+    }
+
+    /// Task-splitting threshold τ (0 disables splitting).
+    pub fn tau(mut self, tau: usize) -> Self {
+        self.0.tau = tau;
+        self
+    }
+
+    /// Per-thread triangle-cache entries.
+    pub fn triangle_cache_entries(mut self, n: usize) -> Self {
+        self.0.triangle_cache_entries = n;
+        self
+    }
+
+    /// Record per-task durations.
+    pub fn collect_task_times(mut self, yes: bool) -> Self {
+        self.0.collect_task_times = yes;
+        self
+    }
+
+    /// Finalises the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn build(self) -> ClusterConfig {
+        self.0.validate();
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_overrides_defaults() {
+        let c = ClusterConfig::builder()
+            .workers(16)
+            .threads_per_worker(24)
+            .tau(500)
+            .cache_capacity_bytes(30 << 30)
+            .build();
+        assert_eq!(c.workers, 16);
+        assert_eq!(c.threads_per_worker, 24);
+        assert_eq!(c.cache_capacity_bytes, 30 << 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        ClusterConfig::builder().workers(0).build();
+    }
+
+    #[test]
+    fn default_is_valid() {
+        ClusterConfig::default().validate();
+    }
+}

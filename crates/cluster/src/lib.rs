@@ -1,0 +1,30 @@
+//! The simulated shared-nothing cluster runtime (paper §III, Fig. 2).
+//!
+//! The paper runs BENU as a MapReduce job: local search tasks are
+//! generated from the data vertices (with task splitting, §V-B), shuffled
+//! evenly to one reducer per worker machine, and executed by a pool of
+//! working threads per reducer; every machine hosts a shared database
+//! cache in front of the distributed store.
+//!
+//! This crate reproduces that topology in one process:
+//!
+//! * the data graph lives in a [`benu_kvstore::KvStore`] sharded across
+//!   the workers;
+//! * each logical worker owns a byte-budgeted [`benu_cache::DbCache`]
+//!   shared by its (real OS) worker threads;
+//! * each thread owns a [`benu_engine::LocalEngine`] with its private
+//!   triangle cache;
+//! * tasks are assigned round-robin and pulled by threads from their
+//!   worker's queue;
+//! * per-worker communication bytes, cache statistics, busy time and
+//!   optional per-task durations are reported in the [`RunOutcome`] —
+//!   exactly the measurements behind Table V, Fig. 8, Fig. 9 and Fig. 10.
+
+pub mod analysis;
+pub mod config;
+pub mod report;
+pub mod runtime;
+
+pub use config::{ClusterConfig, ClusterConfigBuilder};
+pub use report::{RunOutcome, WorkerReport};
+pub use runtime::Cluster;

@@ -1,0 +1,160 @@
+//! Run reports: the measurements the paper's evaluation plots.
+
+use benu_cache::CacheStats;
+use benu_engine::TaskMetrics;
+use benu_kvstore::KvStats;
+use std::time::Duration;
+
+/// What one logical worker machine did during a run.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerReport {
+    /// Worker index.
+    pub worker: usize,
+    /// Number of (sub)tasks executed.
+    pub tasks: usize,
+    /// Aggregated engine metrics.
+    pub metrics: TaskMetrics,
+    /// Sum of task durations across the worker's threads — the "reducer
+    /// load" of Fig. 9b.
+    pub busy_time: Duration,
+    /// Per-thread busy times; the maximum across the cluster is the
+    /// simulated makespan on dedicated machines.
+    pub thread_busy: Vec<Duration>,
+    /// Bytes fetched from the distributed store by this worker (cache
+    /// misses only) — the per-worker communication cost.
+    pub comm_bytes: u64,
+    /// Store requests issued by this worker.
+    pub comm_requests: u64,
+    /// Database-cache statistics of this worker.
+    pub cache: CacheStats,
+    /// Aggregated triangle-cache statistics of the worker's threads.
+    pub triangle_cache: CacheStats,
+}
+
+/// The outcome of one cluster run.
+#[derive(Clone, Debug, Default)]
+pub struct RunOutcome {
+    /// Total embeddings found (expanded count for compressed plans).
+    pub total_matches: u64,
+    /// Total VCBC codes emitted (zero for uncompressed plans).
+    pub total_codes: u64,
+    /// Wall-clock time of the parallel execution (excluding store
+    /// loading and plan compilation, matching the paper's "pure
+    /// enumeration" timing).
+    pub elapsed: Duration,
+    /// Aggregated engine metrics.
+    pub metrics: TaskMetrics,
+    /// Per-worker reports.
+    pub workers: Vec<WorkerReport>,
+    /// Store-level totals (cross-check of the per-worker sums).
+    pub kv: KvStats,
+    /// Total tasks executed (after splitting).
+    pub total_tasks: usize,
+    /// Per-task durations, when requested in the configuration.
+    pub task_times: Option<Vec<Duration>>,
+}
+
+impl RunOutcome {
+    /// Total communication bytes (cache misses across all workers).
+    pub fn communication_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.comm_bytes).sum()
+    }
+
+    /// Simulated parallel makespan: the busiest thread's total task time.
+    /// On a cluster of dedicated machines (the paper's setting) this is
+    /// the wall-clock enumeration time; unlike [`RunOutcome::elapsed`], it
+    /// is meaningful even when the simulation host has fewer cores than
+    /// the simulated cluster has threads.
+    pub fn makespan(&self) -> Duration {
+        self.workers
+            .iter()
+            .flat_map(|w| w.thread_busy.iter())
+            .copied()
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Cluster-wide database-cache hit rate.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for w in &self.workers {
+            hits += w.cache.hits;
+            misses += w.cache.misses;
+        }
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Load imbalance: max over workers of busy time divided by the mean
+    /// (1.0 = perfectly balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 1.0;
+        }
+        let times: Vec<f64> = self.workers.iter().map(|w| w.busy_time.as_secs_f64()).collect();
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        times.iter().cloned().fold(0.0f64, f64::max) / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker(busy_ms: u64, hits: u64, misses: u64, bytes: u64) -> WorkerReport {
+        WorkerReport {
+            busy_time: Duration::from_millis(busy_ms),
+            cache: CacheStats { hits, misses, evictions: 0 },
+            comm_bytes: bytes,
+            ..WorkerReport::default()
+        }
+    }
+
+    #[test]
+    fn aggregates_communication_and_hit_rate() {
+        let outcome = RunOutcome {
+            workers: vec![worker(10, 30, 10, 100), worker(10, 50, 10, 200)],
+            ..RunOutcome::default()
+        };
+        assert_eq!(outcome.communication_bytes(), 300);
+        assert!((outcome.cache_hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_imbalance_detects_straggler() {
+        let balanced = RunOutcome {
+            workers: vec![worker(100, 0, 0, 0), worker(100, 0, 0, 0)],
+            ..RunOutcome::default()
+        };
+        assert!((balanced.load_imbalance() - 1.0).abs() < 1e-9);
+        let skewed = RunOutcome {
+            workers: vec![worker(300, 0, 0, 0), worker(100, 0, 0, 0)],
+            ..RunOutcome::default()
+        };
+        assert!(skewed.load_imbalance() > 1.4);
+    }
+
+    #[test]
+    fn makespan_is_busiest_thread() {
+        let mut w1 = worker(0, 0, 0, 0);
+        w1.thread_busy = vec![Duration::from_millis(40), Duration::from_millis(90)];
+        let mut w2 = worker(0, 0, 0, 0);
+        w2.thread_busy = vec![Duration::from_millis(70)];
+        let o = RunOutcome { workers: vec![w1, w2], ..RunOutcome::default() };
+        assert_eq!(o.makespan(), Duration::from_millis(90));
+    }
+
+    #[test]
+    fn empty_outcome_is_sane() {
+        let o = RunOutcome::default();
+        assert_eq!(o.communication_bytes(), 0);
+        assert_eq!(o.cache_hit_rate(), 0.0);
+        assert_eq!(o.load_imbalance(), 1.0);
+    }
+}

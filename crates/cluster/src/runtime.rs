@@ -1,0 +1,417 @@
+//! The cluster executor.
+
+use crate::config::ClusterConfig;
+use crate::report::{RunOutcome, WorkerReport};
+use benu_cache::DbCache;
+use benu_engine::{
+    CollectingConsumer, CountingConsumer, DataSource, LocalEngine, MatchConsumer, SearchTask,
+    SplitSpec, TaskMetrics,
+};
+use benu_graph::{AdjSet, Graph, TotalOrder, VertexId};
+use benu_kvstore::KvStore;
+use benu_plan::ExecutionPlan;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A loaded cluster: the data graph resident in the sharded store, ready
+/// to run any number of plans.
+pub struct Cluster {
+    store: Arc<KvStore>,
+    order: Arc<TotalOrder>,
+    degrees: Vec<u32>,
+    config: ClusterConfig,
+}
+
+/// Counts store traffic per worker (the per-machine communication cost).
+struct WorkerSource<'a> {
+    store: &'a KvStore,
+    cache: &'a DbCache,
+    bytes: &'a AtomicU64,
+    requests: &'a AtomicU64,
+}
+
+impl DataSource for WorkerSource<'_> {
+    fn num_vertices(&self) -> usize {
+        self.store.num_vertices()
+    }
+
+    fn get_adj(&self, v: VertexId) -> Arc<AdjSet> {
+        self.cache
+            .get_or_fetch(v, || -> Result<Arc<AdjSet>, ()> {
+                let adj = self.store.get(v).expect("vertex exists in store");
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(adj.size_bytes() as u64, Ordering::Relaxed);
+                Ok(adj)
+            })
+            .expect("store fetch is infallible")
+    }
+}
+
+impl Cluster {
+    /// Loads `g` into a store sharded across the configured workers
+    /// (Algorithm 2 line 1 — the pattern-independent preprocessing).
+    pub fn new(g: &Graph, config: ClusterConfig) -> Self {
+        config.validate();
+        Cluster {
+            store: Arc::new(KvStore::from_graph(g, config.workers)),
+            order: Arc::new(TotalOrder::new(g)),
+            degrees: g.vertices().map(|v| g.degree(v) as u32).collect(),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The underlying store (for capacity/size queries).
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// Reconfigures the cluster in place (the store sharding stays as
+    /// loaded; only execution parameters change).
+    pub fn set_config(&mut self, config: ClusterConfig) {
+        config.validate();
+        self.config = config;
+    }
+
+    /// Generates the (split) task list for a compiled plan.
+    fn generate_tasks(&self, second_adjacent: bool, has_second: bool) -> Vec<SearchTask> {
+        let n = self.degrees.len();
+        let tau = if has_second { self.config.tau } else { 0 };
+        let mut tasks = Vec::with_capacity(n);
+        for v in 0..n {
+            let degree = self.degrees[v] as usize;
+            let bound = if second_adjacent { degree } else { n };
+            if tau > 0 && degree >= tau && bound > tau {
+                let total = bound.div_ceil(tau) as u32;
+                for index in 0..total {
+                    tasks.push(SearchTask {
+                        start: v as VertexId,
+                        split: Some(SplitSpec { index, total }),
+                    });
+                }
+            } else {
+                tasks.push(SearchTask::whole(v as VertexId));
+            }
+        }
+        tasks
+    }
+
+    /// Runs `plan`, counting matches (Algorithm 2 lines 3–8). Store
+    /// counters are reset at entry so the outcome reflects this run only.
+    pub fn run(&self, plan: &ExecutionPlan) -> RunOutcome {
+        self.run_inner(plan, false).0
+    }
+
+    /// Runs `plan` and additionally collects every (expanded) embedding.
+    /// Intended for correctness tests and small graphs.
+    pub fn run_collect(&self, plan: &ExecutionPlan) -> (RunOutcome, Vec<Vec<VertexId>>) {
+        let (outcome, matches) = self.run_inner(plan, true);
+        (outcome, matches.unwrap_or_default())
+    }
+
+    fn run_inner(
+        &self,
+        plan: &ExecutionPlan,
+        collect: bool,
+    ) -> (RunOutcome, Option<Vec<Vec<VertexId>>>) {
+        let compiled = benu_engine::CompiledPlan::compile(plan);
+        let tasks = self.generate_tasks(compiled.second_adjacent, compiled.second_vertex.is_some());
+        let p = self.config.workers;
+
+        // Round-robin assignment — the even shuffle of tasks to reducers.
+        let mut worker_tasks: Vec<Vec<SearchTask>> = vec![Vec::new(); p];
+        for (i, t) in tasks.iter().enumerate() {
+            worker_tasks[i % p].push(*t);
+        }
+
+        self.store.reset_stats();
+        let started = Instant::now();
+
+        struct ThreadResult {
+            metrics: TaskMetrics,
+            busy: Duration,
+            task_times: Vec<Duration>,
+            tri_stats: benu_cache::CacheStats,
+            matches: Option<Vec<Vec<VertexId>>>,
+        }
+
+        let mut reports: Vec<WorkerReport> = Vec::with_capacity(p);
+        let mut all_matches: Option<Vec<Vec<VertexId>>> = collect.then(Vec::new);
+        let mut all_task_times: Option<Vec<Duration>> =
+            self.config.collect_task_times.then(Vec::new);
+
+        std::thread::scope(|scope| {
+            let mut worker_handles = Vec::with_capacity(p);
+            for (w, tasks) in worker_tasks.iter().enumerate() {
+                let cache = Arc::new(DbCache::new(
+                    self.config.cache_capacity_bytes,
+                    self.config.cache_shards,
+                ));
+                let bytes = Arc::new(AtomicU64::new(0));
+                let requests = Arc::new(AtomicU64::new(0));
+                let cursor = Arc::new(AtomicUsize::new(0));
+                let mut thread_handles = Vec::with_capacity(self.config.threads_per_worker);
+                for _ in 0..self.config.threads_per_worker {
+                    let cache = Arc::clone(&cache);
+                    let bytes = Arc::clone(&bytes);
+                    let requests = Arc::clone(&requests);
+                    let cursor = Arc::clone(&cursor);
+                    let store = Arc::clone(&self.store);
+                    let order = Arc::clone(&self.order);
+                    let compiled = &compiled;
+                    let config = &self.config;
+                    thread_handles.push(scope.spawn(move || {
+                        let source = WorkerSource {
+                            store: &store,
+                            cache: &cache,
+                            bytes: &bytes,
+                            requests: &requests,
+                        };
+                        let mut engine = LocalEngine::with_triangle_cache(
+                            compiled,
+                            &source,
+                            &order,
+                            config.triangle_cache_entries,
+                        );
+                        let mut counting = CountingConsumer::default();
+                        let mut collecting = CollectingConsumer::default();
+                        let mut result = ThreadResult {
+                            metrics: TaskMetrics::default(),
+                            busy: Duration::ZERO,
+                            task_times: Vec::new(),
+                            tri_stats: benu_cache::CacheStats::default(),
+                            matches: None,
+                        };
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks.len() {
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            let consumer: &mut dyn MatchConsumer = if collect {
+                                &mut collecting
+                            } else {
+                                &mut counting
+                            };
+                            result.metrics += engine.run_task(tasks[i], consumer);
+                            let dt = t0.elapsed();
+                            result.busy += dt;
+                            if config.collect_task_times {
+                                result.task_times.push(dt);
+                            }
+                        }
+                        result.tri_stats = engine.triangle_cache_stats();
+                        if collect {
+                            result.matches = Some(collecting.into_matches());
+                        }
+                        result
+                    }));
+                }
+                worker_handles.push((w, cache, bytes, requests, tasks.len(), thread_handles));
+            }
+
+            for (w, cache, bytes, requests, num_tasks, thread_handles) in worker_handles {
+                let mut report = WorkerReport {
+                    worker: w,
+                    tasks: num_tasks,
+                    ..WorkerReport::default()
+                };
+                for handle in thread_handles {
+                    let r = handle.join().expect("worker thread panicked");
+                    report.metrics += r.metrics;
+                    report.busy_time += r.busy;
+                    report.thread_busy.push(r.busy);
+                    report.triangle_cache.hits += r.tri_stats.hits;
+                    report.triangle_cache.misses += r.tri_stats.misses;
+                    if let Some(times) = all_task_times.as_mut() {
+                        times.extend(r.task_times);
+                    }
+                    if let (Some(all), Some(mine)) = (all_matches.as_mut(), r.matches) {
+                        all.extend(mine);
+                    }
+                }
+                report.cache = cache.stats();
+                report.comm_bytes = bytes.load(Ordering::Relaxed);
+                report.comm_requests = requests.load(Ordering::Relaxed);
+                reports.push(report);
+            }
+        });
+
+        let elapsed = started.elapsed();
+        let mut metrics = TaskMetrics::default();
+        for r in &reports {
+            metrics += r.metrics;
+        }
+        let outcome = RunOutcome {
+            total_matches: metrics.matches,
+            total_codes: metrics.codes,
+            elapsed,
+            metrics,
+            workers: reports,
+            kv: self.store.stats(),
+            total_tasks: tasks.len(),
+            task_times: all_task_times,
+        };
+        if let Some(m) = all_matches.as_mut() {
+            m.sort_unstable();
+        }
+        (outcome, all_matches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benu_graph::gen;
+    use benu_pattern::queries;
+    use benu_plan::PlanBuilder;
+
+    fn small_cluster(g: &Graph, workers: usize, threads: usize) -> Cluster {
+        Cluster::new(
+            g,
+            ClusterConfig::builder()
+                .workers(workers)
+                .threads_per_worker(threads)
+                .cache_capacity_bytes(1 << 20)
+                .tau(20)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn counts_triangles_in_k6() {
+        let g = gen::complete(6);
+        let cluster = small_cluster(&g, 2, 2);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let outcome = cluster.run(&plan);
+        assert_eq!(outcome.total_matches, 20);
+        assert_eq!(outcome.total_tasks, 6);
+    }
+
+    #[test]
+    fn result_is_independent_of_cluster_shape() {
+        let g = gen::barabasi_albert(150, 4, 3);
+        let plan = PlanBuilder::new(&queries::q1()).best_plan();
+        let expected = benu_engine::count_embeddings(&plan, &g);
+        for (workers, threads) in [(1, 1), (2, 3), (5, 2)] {
+            let cluster = small_cluster(&g, workers, threads);
+            let outcome = cluster.run(&plan);
+            assert_eq!(
+                outcome.total_matches, expected,
+                "{workers}x{threads} cluster changed the count"
+            );
+        }
+    }
+
+    #[test]
+    fn result_is_independent_of_cache_capacity_and_tau() {
+        let g = gen::barabasi_albert(120, 5, 8);
+        let plan = PlanBuilder::new(&queries::q4()).compressed(true).best_plan();
+        let mut counts = std::collections::HashSet::new();
+        for (capacity, tau) in [(0usize, 0usize), (1 << 12, 10), (1 << 24, 500)] {
+            let cluster = Cluster::new(
+                &g,
+                ClusterConfig::builder()
+                    .workers(3)
+                    .threads_per_worker(2)
+                    .cache_capacity_bytes(capacity)
+                    .tau(tau)
+                    .build(),
+            );
+            counts.insert(cluster.run(&plan).total_matches);
+        }
+        assert_eq!(counts.len(), 1, "configuration changed results: {counts:?}");
+    }
+
+    #[test]
+    fn collected_matches_agree_with_sequential_engine() {
+        let g = gen::erdos_renyi_gnm(40, 150, 21);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let cluster = small_cluster(&g, 3, 2);
+        let (outcome, matches) = cluster.run_collect(&plan);
+        let expected = benu_engine::collect_embeddings(&plan, &g);
+        assert_eq!(matches, expected);
+        assert_eq!(outcome.total_matches as usize, matches.len());
+    }
+
+    #[test]
+    fn communication_accounting_is_consistent() {
+        let g = gen::barabasi_albert(200, 4, 13);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let cluster = small_cluster(&g, 2, 2);
+        let outcome = cluster.run(&plan);
+        // Worker-level byte counts must equal the store's own accounting.
+        assert_eq!(outcome.communication_bytes(), outcome.kv.bytes);
+        assert!(outcome.kv.requests > 0);
+        // Cache misses equal store requests.
+        let misses: u64 = outcome.workers.iter().map(|w| w.cache.misses).sum();
+        assert_eq!(misses, outcome.kv.requests);
+    }
+
+    #[test]
+    fn larger_cache_reduces_communication() {
+        let g = gen::barabasi_albert(300, 6, 4);
+        let plan = PlanBuilder::new(&queries::q4()).best_plan();
+        let run_with_capacity = |capacity: usize| {
+            let cluster = Cluster::new(
+                &g,
+                ClusterConfig::builder()
+                    .workers(2)
+                    .threads_per_worker(2)
+                    .cache_capacity_bytes(capacity)
+                    .build(),
+            );
+            cluster.run(&plan)
+        };
+        let cold = run_with_capacity(0);
+        let warm = run_with_capacity(64 << 20);
+        assert_eq!(cold.total_matches, warm.total_matches);
+        assert!(
+            warm.communication_bytes() < cold.communication_bytes() / 2,
+            "cache must cut communication (cold {}, warm {})",
+            cold.communication_bytes(),
+            warm.communication_bytes()
+        );
+        assert!(warm.cache_hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn task_times_are_collected_when_requested() {
+        let g = gen::erdos_renyi_gnm(50, 120, 2);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let cluster = Cluster::new(
+            &g,
+            ClusterConfig::builder()
+                .workers(2)
+                .threads_per_worker(1)
+                .collect_task_times(true)
+                .build(),
+        );
+        let outcome = cluster.run(&plan);
+        let times = outcome.task_times.as_ref().unwrap();
+        assert_eq!(times.len(), outcome.total_tasks);
+    }
+
+    #[test]
+    fn splitting_creates_more_tasks_on_skewed_graphs() {
+        let g = gen::star(100);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let unsplit = Cluster::new(
+            &g,
+            ClusterConfig::builder().workers(2).tau(0).build(),
+        );
+        let split = Cluster::new(
+            &g,
+            ClusterConfig::builder().workers(2).tau(10).build(),
+        );
+        let a = unsplit.run(&plan);
+        let b = split.run(&plan);
+        assert_eq!(a.total_matches, b.total_matches);
+        assert!(b.total_tasks > a.total_tasks);
+    }
+}

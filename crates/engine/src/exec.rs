@@ -1,0 +1,685 @@
+//! The backtracking interpreter (paper Algorithm 1/2 with BENU plans).
+//!
+//! Execution walks the compiled instruction list; every `Foreach` opens a
+//! nested loop realised as recursion. Two properties keep the hot path
+//! allocation-free and faithful to the paper:
+//!
+//! * intersection targets write into per-register scratch buffers that are
+//!   reused across executions (take/put-back around recursion);
+//! * an empty intersection result aborts the current branch immediately —
+//!   the "doomed-to-fail partial match" pruning that motivates on-demand
+//!   shuffling.
+
+use crate::compile::{CFilter, CInstr, COperand, CompiledPlan};
+use crate::consumer::MatchConsumer;
+use crate::expand;
+use crate::source::DataSource;
+use crate::task::SearchTask;
+use benu_cache::{CliqueCache, TriangleCache};
+use benu_graph::ops::{intersect_into, intersect_many_into};
+use benu_graph::{AdjSet, TotalOrder, VertexId};
+use benu_plan::FilterOp;
+use std::sync::Arc;
+
+/// Marker for an unmapped pattern vertex.
+const UNSET: VertexId = VertexId::MAX;
+
+/// Default capacity of the per-thread triangle cache (entries).
+pub const DEFAULT_TRIANGLE_CACHE_ENTRIES: usize = 1 << 14;
+
+/// Per-run metrics accumulated by the engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaskMetrics {
+    /// Embeddings found (expanded count for compressed plans).
+    pub matches: u64,
+    /// Compressed codes emitted (zero for uncompressed plans).
+    pub codes: u64,
+    /// Bytes of compressed output (helve vertices + image-set entries,
+    /// 4 bytes each); the "output size" lever of VCBC.
+    pub code_bytes: u64,
+    /// DBQ instruction executions (cache hits included).
+    pub dbq_executions: u64,
+    /// INT instruction executions.
+    pub int_executions: u64,
+    /// TRC instruction executions.
+    pub trc_executions: u64,
+}
+
+impl std::ops::AddAssign for TaskMetrics {
+    fn add_assign(&mut self, rhs: Self) {
+        self.matches += rhs.matches;
+        self.codes += rhs.codes;
+        self.code_bytes += rhs.code_bytes;
+        self.dbq_executions += rhs.dbq_executions;
+        self.int_executions += rhs.int_executions;
+        self.trc_executions += rhs.trc_executions;
+    }
+}
+
+/// A register slot holding a set value.
+#[derive(Debug, Default)]
+enum Slot {
+    /// Not yet computed on this path.
+    #[default]
+    Empty,
+    /// Owned intersection result (reusable buffer).
+    Buf(Vec<VertexId>),
+    /// Shared adjacency set from the data source.
+    Adj(Arc<AdjSet>),
+    /// Shared triangle set from the triangle cache.
+    Tri(Arc<Vec<VertexId>>),
+}
+
+impl Slot {
+    fn as_slice(&self) -> &[VertexId] {
+        match self {
+            Slot::Empty => panic!("read of undefined register (plan validated, so this is a bug)"),
+            Slot::Buf(v) => v,
+            Slot::Adj(a) => a.as_slice(),
+            Slot::Tri(t) => t,
+        }
+    }
+}
+
+/// A single-threaded executor bound to one compiled plan, one data source
+/// and one total order. One engine per worker thread; the triangle cache
+/// it owns is exactly the paper's per-thread TRC cache.
+pub struct LocalEngine<'a, S: DataSource + ?Sized> {
+    plan: &'a CompiledPlan,
+    source: &'a S,
+    order: &'a TotalOrder,
+    tcache: TriangleCache,
+    ccache: CliqueCache,
+    key_buf: Vec<VertexId>,
+    data_labels: Option<&'a [u32]>,
+    label_scratch: Vec<Vec<VertexId>>,
+    f: Vec<VertexId>,
+    slots: Vec<Slot>,
+    scratch: Vec<VertexId>,
+    scratch2: Vec<VertexId>,
+    expand_f: Vec<VertexId>,
+}
+
+impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
+    /// Creates an engine with the default triangle-cache capacity.
+    pub fn new(plan: &'a CompiledPlan, source: &'a S, order: &'a TotalOrder) -> Self {
+        Self::with_triangle_cache(plan, source, order, DEFAULT_TRIANGLE_CACHE_ENTRIES)
+    }
+
+    /// Creates an engine with an explicit triangle-cache capacity
+    /// (0 disables caching but TRC instructions still compute correctly).
+    pub fn with_triangle_cache(
+        plan: &'a CompiledPlan,
+        source: &'a S,
+        order: &'a TotalOrder,
+        tcache_entries: usize,
+    ) -> Self {
+        LocalEngine {
+            plan,
+            source,
+            order,
+            tcache: TriangleCache::new(tcache_entries),
+            ccache: CliqueCache::new(tcache_entries),
+            key_buf: Vec::new(),
+            data_labels: None,
+            label_scratch: Vec::new(),
+            f: vec![UNSET; plan.num_pattern_vertices],
+            slots: (0..plan.num_slots).map(|_| Slot::Empty).collect(),
+            scratch: Vec::new(),
+            scratch2: Vec::new(),
+            expand_f: vec![UNSET; plan.num_pattern_vertices],
+        }
+    }
+
+    /// Attaches per-data-vertex labels (property-graph extension): a
+    /// labeled pattern vertex only matches data vertices carrying the
+    /// same label.
+    ///
+    /// # Panics
+    ///
+    /// Panics later at task execution if the plan is labeled and no data
+    /// labels were provided.
+    pub fn with_data_labels(mut self, labels: &'a [u32]) -> Self {
+        self.data_labels = Some(labels);
+        self
+    }
+
+    /// True when data vertex `x` is an admissible image of pattern vertex
+    /// `u` under the label constraints.
+    #[inline]
+    fn label_ok(&self, u: usize, x: VertexId) -> bool {
+        match self.plan.labels[u] {
+            None => true,
+            Some(need) => {
+                let labels = self
+                    .data_labels
+                    .expect("labeled plan requires data labels (with_data_labels)");
+                labels[x as usize] == need
+            }
+        }
+    }
+
+    /// Runs one local search task, reporting into `consumer`.
+    pub fn run_task(&mut self, task: SearchTask, consumer: &mut dyn MatchConsumer) -> TaskMetrics {
+        let mut metrics = TaskMetrics::default();
+        self.f.fill(UNSET);
+        self.step(0, &task, consumer, &mut metrics);
+        metrics
+    }
+
+    /// Runs an unsplit task for every data vertex (the sequential version
+    /// of Algorithm 2's parallel loop).
+    pub fn run_all_vertices(&mut self, consumer: &mut dyn MatchConsumer) -> TaskMetrics {
+        let mut total = TaskMetrics::default();
+        for v in 0..self.source.num_vertices() as VertexId {
+            total += self.run_task(SearchTask::whole(v), consumer);
+        }
+        total
+    }
+
+    /// Triangle-cache statistics of this engine's thread.
+    pub fn triangle_cache_stats(&self) -> benu_cache::CacheStats {
+        self.tcache.stats()
+    }
+
+    /// Clique-cache statistics of this engine's thread (the §IV-B
+    /// extension; all zeros unless the plan uses KCache instructions).
+    pub fn clique_cache_stats(&self) -> benu_cache::CacheStats {
+        self.ccache.stats()
+    }
+
+    fn passes_filters(&self, x: VertexId, filters: &[CFilter]) -> bool {
+        filters.iter().all(|fc| {
+            let fv = self.f[fc.vertex];
+            debug_assert_ne!(fv, UNSET, "filter references unmapped vertex");
+            match fc.op {
+                FilterOp::Less => self.order.less(x, fv),
+                FilterOp::Greater => self.order.less(fv, x),
+                FilterOp::NotEqual => x != fv,
+            }
+        })
+    }
+
+    /// Executes instructions from `pc` to the end (recursing at each
+    /// `Foreach`). Returns early when an intersection comes up empty.
+    fn step(
+        &mut self,
+        mut pc: usize,
+        task: &SearchTask,
+        consumer: &mut dyn MatchConsumer,
+        metrics: &mut TaskMetrics,
+    ) {
+        // Copy the plan reference out of `self` so matching on
+        // instructions does not hold a borrow of the whole engine.
+        let plan = self.plan;
+        while pc < plan.instrs.len() {
+            match &plan.instrs[pc] {
+                CInstr::Init { vertex } => {
+                    if !self.label_ok(*vertex, task.start) {
+                        return; // the start vertex cannot host this task
+                    }
+                    self.f[*vertex] = task.start;
+                }
+                CInstr::GetAdj { vertex, target } => {
+                    metrics.dbq_executions += 1;
+                    let v = self.f[*vertex];
+                    debug_assert_ne!(v, UNSET);
+                    self.slots[*target] = Slot::Adj(self.source.get_adj(v));
+                }
+                CInstr::Intersect { target, operands, filters } => {
+                    metrics.int_executions += 1;
+                    let target = *target;
+                    let mut buf = match std::mem::take(&mut self.slots[target]) {
+                        Slot::Buf(b) => b,
+                        _ => Vec::new(),
+                    };
+                    self.compute_intersection(operands, filters, &mut buf);
+                    let empty = buf.is_empty();
+                    self.slots[target] = Slot::Buf(buf);
+                    if empty {
+                        return; // failed partial match: backtrack
+                    }
+                }
+                CInstr::TCache { a, b, a_reg, b_reg, target, filters } => {
+                    metrics.trc_executions += 1;
+                    let (va, vb) = (self.f[*a], self.f[*b]);
+                    let (a_slice, b_slice) =
+                        (self.slots[*a_reg].as_slice(), self.slots[*b_reg].as_slice());
+                    // The cache stores the raw triangle set; filters are
+                    // applied per use because they depend on other
+                    // mappings.
+                    let tri = self.tcache.get_or_compute(va, vb, || {
+                        let mut out = Vec::new();
+                        intersect_into(a_slice, b_slice, &mut out);
+                        out
+                    });
+                    let target = *target;
+                    let empty = if filters.is_empty() {
+                        let empty = tri.is_empty();
+                        self.slots[target] = Slot::Tri(tri);
+                        empty
+                    } else {
+                        let mut buf = match std::mem::take(&mut self.slots[target]) {
+                            Slot::Buf(b) => b,
+                            _ => Vec::new(),
+                        };
+                        buf.clear();
+                        for &x in tri.iter() {
+                            if self.passes_filters(x, filters) {
+                                buf.push(x);
+                            }
+                        }
+                        let empty = buf.is_empty();
+                        self.slots[target] = Slot::Buf(buf);
+                        empty
+                    };
+                    if empty {
+                        return;
+                    }
+                }
+                CInstr::KCache { verts, regs, target, filters } => {
+                    metrics.trc_executions += 1;
+                    // The cache key is the sorted tuple of mapped data
+                    // vertices — the clique instance's identity.
+                    self.key_buf.clear();
+                    self.key_buf.extend(verts.iter().map(|&v| self.f[v]));
+                    self.key_buf.sort_unstable();
+                    let slices: Vec<&[VertexId]> =
+                        regs.iter().map(|&r| self.slots[r].as_slice()).collect();
+                    let key = std::mem::take(&mut self.key_buf);
+                    let clique_set = self.ccache.get_or_compute(&key, || {
+                        let mut out = Vec::new();
+                        let mut scratch = Vec::new();
+                        intersect_many_into(&slices, &mut out, &mut scratch);
+                        out
+                    });
+                    self.key_buf = key;
+                    let target = *target;
+                    let empty = if filters.is_empty() {
+                        let empty = clique_set.is_empty();
+                        self.slots[target] = Slot::Tri(clique_set);
+                        empty
+                    } else {
+                        let mut buf = match std::mem::take(&mut self.slots[target]) {
+                            Slot::Buf(b) => b,
+                            _ => Vec::new(),
+                        };
+                        buf.clear();
+                        for &x in clique_set.iter() {
+                            if self.passes_filters(x, filters) {
+                                buf.push(x);
+                            }
+                        }
+                        let empty = buf.is_empty();
+                        self.slots[target] = Slot::Buf(buf);
+                        empty
+                    };
+                    if empty {
+                        return;
+                    }
+                }
+                CInstr::Foreach { vertex, source, is_second } => {
+                    let vertex = *vertex;
+                    // Take the candidate set out of its slot for the
+                    // duration of the loop; nothing below reads it (its
+                    // only other possible reader is RES in compressed
+                    // plans, where this vertex has no Foreach at all).
+                    let slot = std::mem::take(&mut self.slots[*source]);
+                    let items = slot.as_slice();
+                    let range = match (is_second, task.split) {
+                        (true, Some(split)) => split.range(items.len()),
+                        _ => 0..items.len(),
+                    };
+                    // Iterate by index to keep `self` free for recursion.
+                    for i in range {
+                        let x = match &slot {
+                            Slot::Buf(v) => v[i],
+                            Slot::Adj(a) => a.as_slice()[i],
+                            Slot::Tri(t) => t[i],
+                            Slot::Empty => unreachable!(),
+                        };
+                        if !self.label_ok(vertex, x) {
+                            continue;
+                        }
+                        self.f[vertex] = x;
+                        self.step(pc + 1, task, consumer, metrics);
+                    }
+                    self.f[vertex] = UNSET;
+                    self.slots[*source] = slot;
+                    return; // the loop body covered the rest of the plan
+                }
+                CInstr::Report => {
+                    self.report(consumer, metrics);
+                }
+            }
+            pc += 1;
+        }
+    }
+
+    fn compute_intersection(
+        &mut self,
+        operands: &[COperand],
+        filters: &[CFilter],
+        buf: &mut Vec<VertexId>,
+    ) {
+        buf.clear();
+        let regs: Vec<&[VertexId]> = operands
+            .iter()
+            .filter_map(|op| match op {
+                COperand::Reg(r) => Some(self.slots[*r].as_slice()),
+                COperand::All => None,
+            })
+            .collect();
+        match regs.len() {
+            0 => {
+                // Pure V(G) scan with filters.
+                for x in 0..self.source.num_vertices() as VertexId {
+                    if self.passes_filters(x, filters) {
+                        buf.push(x);
+                    }
+                }
+            }
+            1 => {
+                for &x in regs[0] {
+                    if self.passes_filters(x, filters) {
+                        buf.push(x);
+                    }
+                }
+            }
+            _ => {
+                if filters.is_empty() {
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    intersect_many_into(&regs, buf, &mut scratch);
+                    self.scratch = scratch;
+                } else {
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    let mut scratch2 = std::mem::take(&mut self.scratch2);
+                    intersect_many_into(&regs, &mut scratch, &mut scratch2);
+                    for &x in &scratch {
+                        if self.passes_filters(x, filters) {
+                            buf.push(x);
+                        }
+                    }
+                    self.scratch = scratch;
+                    self.scratch2 = scratch2;
+                }
+            }
+        }
+    }
+
+    fn report(&mut self, consumer: &mut dyn MatchConsumer, metrics: &mut TaskMetrics) {
+        let plan = self.plan;
+        match &plan.expansion {
+            None => {
+                metrics.matches += 1;
+                if consumer.needs_matches() {
+                    consumer.on_match(&self.f);
+                }
+            }
+            Some(info) => {
+                // Label-filter the image sets of labeled non-cover
+                // vertices into scratch buffers.
+                let mut label_scratch = std::mem::take(&mut self.label_scratch);
+                label_scratch.resize_with(info.non_cover.len(), Vec::new);
+                let mut images: Vec<&[VertexId]> = Vec::with_capacity(info.image_reg.len());
+                for (t, &r) in info.image_reg.iter().enumerate() {
+                    let raw = self.slots[r].as_slice();
+                    let u = info.non_cover[t];
+                    if plan.labels[u].is_some() {
+                        let buf = &mut label_scratch[t];
+                        buf.clear();
+                        for &x in raw {
+                            if self.label_ok(u, x) {
+                                buf.push(x);
+                            }
+                        }
+                    }
+                }
+                for (t, &r) in info.image_reg.iter().enumerate() {
+                    let u = info.non_cover[t];
+                    if plan.labels[u].is_some() {
+                        images.push(&label_scratch[t]);
+                    } else {
+                        images.push(self.slots[r].as_slice());
+                    }
+                }
+                // Instruction-level pruning already rejects empty image
+                // sets, so every emitted code encodes ≥ 0 embeddings.
+                let count = expand::count_code_embeddings(info, &images, self.order);
+                if count == 0 {
+                    return;
+                }
+                metrics.codes += 1;
+                metrics.matches += count;
+                let helve_len = plan.num_pattern_vertices - info.non_cover.len();
+                let image_entries: usize = images.iter().map(|s| s.len()).sum();
+                metrics.code_bytes += (4 * (helve_len + image_entries)) as u64;
+                if consumer.needs_matches() {
+                    self.expand_f.copy_from_slice(&self.f);
+                    expand::expand_code(
+                        info,
+                        &images,
+                        self.order,
+                        &mut self.expand_f,
+                        &mut |f| consumer.on_match(f),
+                    );
+                }
+                drop(images);
+                self.label_scratch = label_scratch;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::CompiledPlan;
+    use crate::consumer::{CollectingConsumer, CountingConsumer};
+    use crate::source::InMemorySource;
+    use benu_graph::{gen, Graph};
+    use benu_pattern::queries;
+    use benu_plan::PlanBuilder;
+
+    fn count(pattern: &benu_pattern::Pattern, g: &Graph) -> u64 {
+        let plan = PlanBuilder::new(pattern).best_plan();
+        crate::count_embeddings(&plan, g)
+    }
+
+    #[test]
+    fn triangles_in_k5() {
+        assert_eq!(count(&queries::triangle(), &gen::complete(5)), 10);
+    }
+
+    #[test]
+    fn k4_in_k6() {
+        assert_eq!(count(&queries::clique(4), &gen::complete(6)), 15); // C(6,4)
+    }
+
+    #[test]
+    fn squares_in_k4() {
+        // K4 contains 3 distinct 4-cycles.
+        assert_eq!(count(&queries::square(), &gen::complete(4)), 3);
+    }
+
+    #[test]
+    fn cycle5_in_c5_is_unique() {
+        assert_eq!(count(&queries::q5(), &gen::cycle(5)), 1);
+    }
+
+    #[test]
+    fn no_triangles_in_bipartite_grid() {
+        assert_eq!(count(&queries::triangle(), &gen::grid(4, 4)), 0);
+    }
+
+    #[test]
+    fn demo_pattern_is_found_in_demo_graph() {
+        let g = Graph::from_edges(queries::demo_data_edges());
+        let p = queries::demo_pattern();
+        let n = count(&p, &g);
+        assert!(n >= 1, "the paper's f' match must be found");
+    }
+
+    #[test]
+    fn compressed_and_uncompressed_counts_agree() {
+        let g = gen::erdos_renyi_gnm(60, 250, 3);
+        for (name, p) in queries::catalogue() {
+            let plain = PlanBuilder::new(&p).best_plan();
+            let compressed = PlanBuilder::new(&p).compressed(true).best_plan();
+            assert_eq!(
+                crate::count_embeddings(&plain, &g),
+                crate::count_embeddings(&compressed, &g),
+                "{name}: VCBC changed the embedding count"
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_expansion_yields_same_match_set() {
+        let g = gen::erdos_renyi_gnm(40, 140, 8);
+        let p = queries::q1();
+        let plain = PlanBuilder::new(&p).best_plan();
+        let compressed = PlanBuilder::new(&p).compressed(true).best_plan();
+        assert_eq!(
+            crate::collect_embeddings(&plain, &g),
+            crate::collect_embeddings(&compressed, &g)
+        );
+    }
+
+    #[test]
+    fn split_tasks_partition_the_work() {
+        let g = gen::barabasi_albert(120, 4, 5);
+        let p = queries::triangle();
+        let plan = PlanBuilder::new(&p).best_plan();
+        let compiled = CompiledPlan::compile(&plan);
+        let source = InMemorySource::from_graph(&g);
+        let order = benu_graph::TotalOrder::new(&g);
+
+        // Whole-graph count via unsplit tasks.
+        let mut engine = LocalEngine::new(&compiled, &source, &order);
+        let mut c = CountingConsumer::default();
+        let whole = engine.run_all_vertices(&mut c).matches;
+
+        // Same count via split tasks with τ = 5.
+        let tasks = crate::task::generate_tasks(&g, 5, compiled.second_adjacent);
+        assert!(tasks.len() > g.num_vertices(), "hubs actually split");
+        let mut split_total = 0u64;
+        for t in tasks {
+            split_total += engine.run_task(t, &mut c).matches;
+        }
+        assert_eq!(whole, split_total);
+    }
+
+    #[test]
+    fn metrics_count_instruction_executions() {
+        let g = gen::complete(4);
+        let p = queries::triangle();
+        let plan = PlanBuilder::new(&p)
+            .optimizations(benu_plan::optimize::OptimizeOptions::none())
+            .matching_order(vec![0, 1, 2])
+            .build();
+        let compiled = CompiledPlan::compile(&plan);
+        let source = InMemorySource::from_graph(&g);
+        let order = benu_graph::TotalOrder::new(&g);
+        let mut engine = LocalEngine::new(&compiled, &source, &order);
+        let mut c = CountingConsumer::default();
+        let m = engine.run_all_vertices(&mut c);
+        assert_eq!(m.matches, 4); // 4 triangles in K4
+        assert!(m.dbq_executions > 0);
+        assert!(m.int_executions > 0);
+    }
+
+    #[test]
+    fn triangle_cache_hits_across_tasks() {
+        let g = gen::complete(8);
+        // The demo pattern's plan nests TCache(f1, f5) inside the loop
+        // over f3, so the same (f1, f5) key recurs across branches — the
+        // intra-task reuse Optimization 3 exists for.
+        let p = queries::demo_pattern();
+        let plan = PlanBuilder::new(&p).matching_order(vec![0, 2, 4, 1, 5, 3]).build();
+        let compiled = CompiledPlan::compile(&plan);
+        assert!(
+            compiled.kind_counts().contains_key(&benu_plan::ir::InstrKind::Trc),
+            "the demo plan uses the triangle cache"
+        );
+        let source = InMemorySource::from_graph(&g);
+        let order = benu_graph::TotalOrder::new(&g);
+        let mut engine = LocalEngine::new(&compiled, &source, &order);
+        let mut c = CountingConsumer::default();
+        engine.run_all_vertices(&mut c);
+        assert!(engine.triangle_cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn clique_cache_extension_preserves_counts() {
+        use benu_plan::optimize::OptimizeOptions;
+        let g = gen::chung_lu_power_law(benu_graph::gen::PowerLawConfig {
+            n: 60,
+            m: 260,
+            gamma: 2.3,
+            clustering: 0.5,
+            seed: 41,
+        });
+        for (name, p) in [
+            ("clique4", queries::clique(4)),
+            ("clique5", queries::clique(5)),
+            ("q2", queries::q2()),
+            ("q4", queries::q4()),
+            ("q9", queries::q9()),
+        ] {
+            let base = PlanBuilder::new(&p).best_plan();
+            let expected = crate::count_embeddings(&base, &g);
+            let extended = PlanBuilder::new(&p)
+                .matching_order(base.matching_order.clone())
+                .optimizations(OptimizeOptions::all_with_clique_cache())
+                .build();
+            assert_eq!(
+                crate::count_embeddings(&extended, &g),
+                expected,
+                "{name}: clique cache changed the count"
+            );
+        }
+    }
+
+    #[test]
+    fn clique_cache_stats_reported() {
+        use benu_plan::optimize::OptimizeOptions;
+        let g = gen::complete(10);
+        let p = queries::clique(5);
+        let plan = PlanBuilder::new(&p)
+            .matching_order(vec![0, 1, 2, 3, 4])
+            .optimizations(OptimizeOptions::all_with_clique_cache())
+            .build();
+        let compiled = CompiledPlan::compile(&plan);
+        let source = InMemorySource::from_graph(&g);
+        let order = benu_graph::TotalOrder::new(&g);
+        let mut engine = LocalEngine::new(&compiled, &source, &order);
+        let mut c = CountingConsumer::default();
+        let m = engine.run_all_vertices(&mut c);
+        assert_eq!(m.matches, 252); // C(10,5)
+        let stats = engine.clique_cache_stats();
+        assert!(stats.misses > 0, "KCache instructions executed");
+    }
+
+    #[test]
+    fn collecting_consumer_sees_expanded_matches() {
+        let g = gen::complete(5);
+        let p = queries::triangle();
+        let plan = PlanBuilder::new(&p).compressed(true).best_plan();
+        let compiled = CompiledPlan::compile(&plan);
+        let source = InMemorySource::from_graph(&g);
+        let order = benu_graph::TotalOrder::new(&g);
+        let mut engine = LocalEngine::new(&compiled, &source, &order);
+        let mut c = CollectingConsumer::default();
+        let m = engine.run_all_vertices(&mut c);
+        assert_eq!(m.matches, 10);
+        assert_eq!(c.matches().len(), 10);
+        assert!(m.codes > 0 && m.codes <= 10, "codes compress the output");
+        for matched in c.matches() {
+            // Every reported triple really is a triangle.
+            assert!(g.has_edge(matched[0], matched[1]));
+            assert!(g.has_edge(matched[1], matched[2]));
+            assert!(g.has_edge(matched[0], matched[2]));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Adjacency-set data sources for the engine.
+//!
+//! A `GetAdj` (DBQ) instruction resolves through a [`DataSource`]. Two
+//! implementations are provided:
+//!
+//! * [`InMemorySource`] — the whole graph pinned in memory, no accounting;
+//!   used by tests, examples and the single-machine baselines.
+//! * [`KvSource`] — the paper's architecture: a shared [`DbCache`] in
+//!   front of the sharded [`KvStore`]; every cache miss is a counted
+//!   database query (the communication-cost metric).
+
+use benu_cache::DbCache;
+use benu_graph::{AdjSet, Graph, VertexId};
+use benu_kvstore::KvStore;
+use std::sync::Arc;
+
+/// Resolves adjacency sets for DBQ instructions. Implementations must be
+/// shareable across worker threads.
+pub trait DataSource: Sync {
+    /// Number of vertices in the data graph (`V(G)` for `AllVertices`
+    /// operands).
+    fn num_vertices(&self) -> usize;
+
+    /// The adjacency set of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `v` is not a vertex of the data graph
+    /// (plans only query mapped vertices, which always exist).
+    fn get_adj(&self, v: VertexId) -> Arc<AdjSet>;
+}
+
+/// The whole data graph resident in memory as shared adjacency sets.
+#[derive(Debug)]
+pub struct InMemorySource {
+    adj: Vec<Arc<AdjSet>>,
+}
+
+impl InMemorySource {
+    /// Materialises every adjacency set of `g`.
+    pub fn from_graph(g: &Graph) -> Self {
+        InMemorySource {
+            adj: g.vertices().map(|v| Arc::new(g.adj_set(v))).collect(),
+        }
+    }
+}
+
+impl DataSource for InMemorySource {
+    fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn get_adj(&self, v: VertexId) -> Arc<AdjSet> {
+        Arc::clone(&self.adj[v as usize])
+    }
+}
+
+/// The distributed-database stack: per-machine cache over the sharded
+/// store.
+pub struct KvSource {
+    store: Arc<KvStore>,
+    cache: Arc<DbCache>,
+}
+
+impl KvSource {
+    /// Fronts `store` with `cache`.
+    pub fn new(store: Arc<KvStore>, cache: Arc<DbCache>) -> Self {
+        KvSource { store, cache }
+    }
+
+    /// The cache (for stats inspection).
+    pub fn cache(&self) -> &DbCache {
+        &self.cache
+    }
+
+    /// The store (for stats inspection).
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+}
+
+impl DataSource for KvSource {
+    fn num_vertices(&self) -> usize {
+        self.store.num_vertices()
+    }
+
+    fn get_adj(&self, v: VertexId) -> Arc<AdjSet> {
+        let store = &self.store;
+        self.cache
+            .get_or_fetch(v, || {
+                store
+                    .get(v)
+                    .ok_or_else(|| format!("vertex {v} missing from KV store"))
+            })
+            .expect("data graph vertex must exist in the store")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benu_graph::gen;
+
+    #[test]
+    fn in_memory_source_matches_graph() {
+        let g = gen::cycle(6);
+        let src = InMemorySource::from_graph(&g);
+        assert_eq!(src.num_vertices(), 6);
+        for v in g.vertices() {
+            assert_eq!(src.get_adj(v).as_slice(), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn kv_source_counts_misses_only() {
+        let g = gen::complete(5);
+        let store = Arc::new(KvStore::from_graph(&g, 2));
+        let cache = Arc::new(DbCache::new(1 << 16, 2));
+        let src = KvSource::new(Arc::clone(&store), Arc::clone(&cache));
+        for _ in 0..3 {
+            src.get_adj(0);
+        }
+        assert_eq!(store.stats().requests, 1, "two hits served by the cache");
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn kv_source_with_disabled_cache_hits_store_every_time() {
+        let g = gen::complete(4);
+        let store = Arc::new(KvStore::from_graph(&g, 1));
+        let cache = Arc::new(DbCache::new(0, 1));
+        let src = KvSource::new(Arc::clone(&store), cache);
+        src.get_adj(1);
+        src.get_adj(1);
+        assert_eq!(store.stats().requests, 2);
+    }
+}

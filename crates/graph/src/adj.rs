@@ -1,0 +1,138 @@
+//! Sorted adjacency sets.
+//!
+//! An [`AdjSet`] is the value type of the distributed key-value store: the
+//! neighbours of one data vertex, sorted ascending by vertex id. Keeping the
+//! sets sorted lets every `Intersect` instruction run as a linear merge (or
+//! a galloping search when operand sizes are skewed) without hashing or
+//! allocation beyond the output buffer.
+
+use crate::VertexId;
+
+/// A sorted, duplicate-free set of vertex ids — the adjacency set
+/// `Γ_G(v)` of one data vertex.
+///
+/// Invariant: `self.0` is strictly increasing.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct AdjSet(Vec<VertexId>);
+
+impl AdjSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        AdjSet(Vec::new())
+    }
+
+    /// Creates a set from a vector that is already sorted and
+    /// duplicate-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the invariant does not hold.
+    pub fn from_sorted(v: Vec<VertexId>) -> Self {
+        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "AdjSet not sorted");
+        AdjSet(v)
+    }
+
+    /// Creates a set from arbitrary input, sorting and deduplicating it.
+    pub fn from_unsorted(mut v: Vec<VertexId>) -> Self {
+        v.sort_unstable();
+        v.dedup();
+        AdjSet(v)
+    }
+
+    /// Number of vertices in the set (the degree, when this is `Γ_G(v)`).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The sorted ids as a slice.
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.0
+    }
+
+    /// Membership test via binary search.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.0.binary_search(&v).is_ok()
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> std::slice::Iter<'_, VertexId> {
+        self.0.iter()
+    }
+
+    /// Approximate heap footprint in bytes; used for cache budgeting and
+    /// communication accounting (4 bytes per neighbour id).
+    pub fn size_bytes(&self) -> usize {
+        self.0.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Consumes the set, returning the underlying sorted vector.
+    pub fn into_vec(self) -> Vec<VertexId> {
+        self.0
+    }
+}
+
+impl From<Vec<VertexId>> for AdjSet {
+    fn from(v: Vec<VertexId>) -> Self {
+        AdjSet::from_unsorted(v)
+    }
+}
+
+impl<'a> IntoIterator for &'a AdjSet {
+    type Item = &'a VertexId;
+    type IntoIter = std::slice::Iter<'a, VertexId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl FromIterator<VertexId> for AdjSet {
+    fn from_iter<T: IntoIterator<Item = VertexId>>(iter: T) -> Self {
+        AdjSet::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_unsorted_sorts_and_dedups() {
+        let s = AdjSet::from_unsorted(vec![5, 1, 3, 3, 1]);
+        assert_eq!(s.as_slice(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let s = AdjSet::from_sorted(vec![2, 4, 8, 16]);
+        assert!(s.contains(8));
+        assert!(!s.contains(9));
+        assert!(!s.contains(0));
+        assert!(!s.contains(17));
+    }
+
+    #[test]
+    fn size_bytes_counts_ids() {
+        let s = AdjSet::from_sorted(vec![1, 2, 3]);
+        assert_eq!(s.size_bytes(), 12);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = AdjSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.size_bytes(), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: AdjSet = [9u32, 1, 9, 4].into_iter().collect();
+        assert_eq!(s.as_slice(), &[1, 4, 9]);
+    }
+}

@@ -1,0 +1,143 @@
+//! r-hop neighborhood machinery (paper §V-A, complexity analysis).
+//!
+//! The cache-capacity analysis of the paper is phrased in terms of the
+//! r-hop neighborhood `γ_g^r(v)` (all vertices within `r` hops of `v`),
+//! its size `S_g^r(v) = Σ_{w ∈ γ^r(v)} d(w)` (the bytes needed to cache
+//! every adjacency set in the neighborhood), and the graph-wide maximum
+//! `H_g^r = max_v S_g^r(v)`.
+
+use crate::{Graph, VertexId};
+
+/// The vertices at most `r` hops from `v` (including `v`), sorted.
+pub fn r_hop_neighborhood(g: &Graph, v: VertexId, r: usize) -> Vec<VertexId> {
+    let mut visited = vec![false; g.num_vertices()];
+    let mut frontier = vec![v];
+    visited[v as usize] = true;
+    let mut all = vec![v];
+    for _ in 0..r {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &w in g.neighbors(u) {
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    next.push(w);
+                    all.push(w);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    all.sort_unstable();
+    all
+}
+
+/// `S_g^r(v)` — the total degree (≈ cached bytes / 4) of the r-hop
+/// neighborhood of `v`.
+pub fn r_hop_size(g: &Graph, v: VertexId, r: usize) -> usize {
+    r_hop_neighborhood(g, v, r)
+        .into_iter()
+        .map(|w| g.degree(w))
+        .sum()
+}
+
+/// `|γ_g^r(v)|` — the number of vertices within `r` hops.
+pub fn r_hop_vertex_count(g: &Graph, v: VertexId, r: usize) -> usize {
+    r_hop_neighborhood(g, v, r).len()
+}
+
+/// `H_g^r = max_v S_g^r(v)` — the size of the largest r-hop neighborhood.
+/// For `r ≥ 1` this is exact but `O(N · BFS)`; `sample` limits the scan to
+/// the given number of highest-degree vertices (the maximizer is almost
+/// always a hub), `0` meaning all vertices.
+pub fn max_r_hop_size(g: &Graph, r: usize, sample: usize) -> usize {
+    let mut vertices: Vec<VertexId> = g.vertices().collect();
+    if sample > 0 && sample < vertices.len() {
+        vertices.sort_unstable_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+        vertices.truncate(sample);
+    }
+    vertices
+        .into_iter()
+        .map(|v| r_hop_size(g, v, r))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The largest `R` such that a cache of `capacity_bytes` can hold the
+/// R-hop neighborhood of any vertex for each of `threads` working threads
+/// (the paper's condition `C ≥ w · H_G^R`), capped at `max_r`. Returns 0
+/// when even 0-hop neighborhoods (single adjacency sets per thread) do not
+/// fit.
+pub fn cacheable_radius(
+    g: &Graph,
+    capacity_bytes: usize,
+    threads: usize,
+    max_r: usize,
+    sample: usize,
+) -> usize {
+    let bytes_per_entry = std::mem::size_of::<VertexId>();
+    let mut best = 0;
+    for r in 0..=max_r {
+        let h = max_r_hop_size(g, r, sample) * bytes_per_entry * threads.max(1);
+        if h <= capacity_bytes {
+            best = r;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn zero_hop_is_the_vertex_itself() {
+        let g = gen::path(5);
+        assert_eq!(r_hop_neighborhood(&g, 2, 0), vec![2]);
+        assert_eq!(r_hop_size(&g, 2, 0), 2);
+    }
+
+    #[test]
+    fn hops_expand_along_the_path() {
+        let g = gen::path(7); // 0-1-2-3-4-5-6
+        assert_eq!(r_hop_neighborhood(&g, 3, 1), vec![2, 3, 4]);
+        assert_eq!(r_hop_neighborhood(&g, 3, 2), vec![1, 2, 3, 4, 5]);
+        assert_eq!(r_hop_vertex_count(&g, 0, 3), 4);
+    }
+
+    #[test]
+    fn neighborhood_saturates_at_graph_diameter() {
+        let g = gen::cycle(6);
+        let all = r_hop_neighborhood(&g, 0, 10);
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn max_r_hop_dominated_by_hub() {
+        let g = gen::star(20);
+        // 1 hop from the centre covers everything: S = sum of all degrees.
+        assert_eq!(max_r_hop_size(&g, 1, 0), 2 * g.num_edges());
+        // Sampling only the top-degree vertex finds the same maximum.
+        assert_eq!(max_r_hop_size(&g, 1, 1), 2 * g.num_edges());
+    }
+
+    #[test]
+    fn cacheable_radius_monotone_in_capacity() {
+        let g = gen::barabasi_albert(300, 3, 6);
+        let small = cacheable_radius(&g, 1 << 10, 2, 4, 16);
+        let large = cacheable_radius(&g, 64 << 20, 2, 4, 16);
+        assert!(large >= small);
+        assert!(large >= 2, "a giant cache covers multi-hop neighborhoods");
+    }
+
+    #[test]
+    fn disconnected_component_not_reached() {
+        let g = crate::Graph::from_edges([(0, 1), (2, 3)]);
+        assert_eq!(r_hop_neighborhood(&g, 0, 5), vec![0, 1]);
+    }
+}

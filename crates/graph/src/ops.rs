@@ -1,0 +1,261 @@
+//! Sorted-set kernels backing the `Intersect` instructions.
+//!
+//! All kernels operate on strictly increasing `&[VertexId]` slices and write
+//! into a caller-supplied output buffer so the hot enumeration loop performs
+//! no allocation. Two strategies are used:
+//!
+//! * **merge scan** — linear two-pointer walk, best when the operands have
+//!   comparable sizes;
+//! * **galloping** — for each element of the small side, exponential +
+//!   binary search in the large side; best when `|small| ≪ |large|`.
+//!
+//! [`intersect_into`] picks between them with the classical `len ratio`
+//! heuristic (switch to galloping when one side is 32× larger), following
+//! the adaptive designs used by high-performance set-intersection code.
+
+use crate::VertexId;
+
+/// Size ratio beyond which galloping beats the linear merge.
+const GALLOP_RATIO: usize = 32;
+
+/// Intersects two sorted slices into `out` (cleared first).
+///
+/// Chooses merge vs galloping automatically.
+pub fn intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if large.len() / small.len() >= GALLOP_RATIO {
+        gallop_intersect_into(small, large, out);
+    } else {
+        merge_intersect_into(a, b, out);
+    }
+}
+
+/// Two-pointer merge intersection.
+pub fn merge_intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x < y {
+            i += 1;
+        } else if y < x {
+            j += 1;
+        } else {
+            out.push(x);
+            i += 1;
+            j += 1;
+        }
+    }
+}
+
+/// Galloping intersection: for each element of the (small) `a`, gallop in
+/// `b`. Requires `a.len() <= b.len()` for the intended complexity but is
+/// correct regardless.
+pub fn gallop_intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    let mut lo = 0usize;
+    for &x in a {
+        // Exponential probe from the last position.
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < b.len() && b[hi] < x {
+            lo = hi;
+            hi += step;
+            step <<= 1;
+        }
+        // `hi` now sits on the first probed element `>= x` (or past the
+        // end); include it in the search window.
+        let hi = (hi + 1).min(b.len());
+        match b[lo..hi].binary_search(&x) {
+            Ok(off) => {
+                out.push(x);
+                lo += off + 1;
+            }
+            Err(off) => {
+                lo += off;
+            }
+        }
+        if lo >= b.len() {
+            break;
+        }
+    }
+}
+
+/// Counts `|a ∩ b|` without materialising the result.
+pub fn intersect_count(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x < y {
+            i += 1;
+        } else if y < x {
+            j += 1;
+        } else {
+            n += 1;
+            i += 1;
+            j += 1;
+        }
+    }
+    n
+}
+
+/// Intersects `k ≥ 1` sorted slices into `out`, smallest-first to keep the
+/// running intermediate minimal. `scratch` is a reusable temporary.
+pub fn intersect_many_into(
+    sets: &[&[VertexId]],
+    out: &mut Vec<VertexId>,
+    scratch: &mut Vec<VertexId>,
+) {
+    out.clear();
+    match sets.len() {
+        0 => {}
+        1 => out.extend_from_slice(sets[0]),
+        _ => {
+            let mut order: Vec<usize> = (0..sets.len()).collect();
+            order.sort_unstable_by_key(|&i| sets[i].len());
+            intersect_into(sets[order[0]], sets[order[1]], out);
+            for &i in &order[2..] {
+                if out.is_empty() {
+                    return;
+                }
+                std::mem::swap(out, scratch);
+                intersect_into(scratch, sets[i], out);
+            }
+        }
+    }
+}
+
+/// Sorted-set difference `a \ b` into `out`.
+pub fn difference_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() {
+        if j >= b.len() || a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else if a[i] > b[j] {
+            j += 1;
+        } else {
+            i += 1;
+            j += 1;
+        }
+    }
+}
+
+/// Sorted-set union of two slices into `out`.
+pub fn union_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        if j >= b.len() || (i < a.len() && a[i] < b[j]) {
+            out.push(a[i]);
+            i += 1;
+        } else if i >= a.len() || b[j] < a[i] {
+            out.push(b[j]);
+            j += 1;
+        } else {
+            out.push(a[i]);
+            i += 1;
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[u32], b: &[u32]) -> Vec<u32> {
+        a.iter().filter(|x| b.contains(x)).copied().collect()
+    }
+
+    #[test]
+    fn merge_matches_naive() {
+        let a = vec![1, 3, 5, 7, 9];
+        let b = vec![2, 3, 5, 8, 9, 10];
+        let mut out = Vec::new();
+        merge_intersect_into(&a, &b, &mut out);
+        assert_eq!(out, naive(&a, &b));
+    }
+
+    #[test]
+    fn gallop_matches_naive_on_skewed_input() {
+        let big: Vec<u32> = (0..10_000).map(|x| x * 3).collect();
+        let small = vec![0, 3, 7, 9_999, 12_000, 29_997];
+        let mut out = Vec::new();
+        gallop_intersect_into(&small, &big, &mut out);
+        assert_eq!(out, naive(&small, &big));
+    }
+
+    #[test]
+    fn adaptive_picks_correct_result_both_ways() {
+        let big: Vec<u32> = (0..5_000).collect();
+        let small = vec![10, 4_999, 6_000];
+        let mut out = Vec::new();
+        intersect_into(&small, &big, &mut out);
+        assert_eq!(out, vec![10, 4_999]);
+        intersect_into(&big, &small, &mut out);
+        assert_eq!(out, vec![10, 4_999]);
+    }
+
+    #[test]
+    fn count_matches_materialised_len() {
+        let a = vec![1, 2, 3, 10, 20];
+        let b = vec![2, 3, 4, 20, 21];
+        assert_eq!(intersect_count(&a, &b), 3);
+    }
+
+    #[test]
+    fn many_way_intersection() {
+        let a = vec![1, 2, 3, 4, 5, 6];
+        let b = vec![2, 4, 6, 8];
+        let c = vec![4, 5, 6, 7];
+        let sets: Vec<&[u32]> = vec![&a, &b, &c];
+        let (mut out, mut scratch) = (Vec::new(), Vec::new());
+        intersect_many_into(&sets, &mut out, &mut scratch);
+        assert_eq!(out, vec![4, 6]);
+    }
+
+    #[test]
+    fn many_way_single_and_empty() {
+        let a = vec![3, 9];
+        let (mut out, mut scratch) = (Vec::new(), Vec::new());
+        intersect_many_into(&[&a], &mut out, &mut scratch);
+        assert_eq!(out, vec![3, 9]);
+        intersect_many_into(&[], &mut out, &mut scratch);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn many_way_short_circuits_on_empty_intermediate() {
+        let a = vec![1, 2];
+        let b = vec![3, 4];
+        let c = vec![1, 3];
+        let sets: Vec<&[u32]> = vec![&a, &b, &c];
+        let (mut out, mut scratch) = (Vec::new(), Vec::new());
+        intersect_many_into(&sets, &mut out, &mut scratch);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn difference_basic() {
+        let mut out = Vec::new();
+        difference_into(&[1, 2, 3, 4], &[2, 4, 6], &mut out);
+        assert_eq!(out, vec![1, 3]);
+        difference_into(&[1, 2], &[], &mut out);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn union_basic() {
+        let mut out = Vec::new();
+        union_into(&[1, 3, 5], &[2, 3, 6], &mut out);
+        assert_eq!(out, vec![1, 2, 3, 5, 6]);
+        union_into(&[], &[7], &mut out);
+        assert_eq!(out, vec![7]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Value encoding for the key-value store.
+//!
+//! Adjacency sets are stored as little-endian `u32` runs — the same wire
+//! format a real deployment would put in HBase cells. Byte counts of these
+//! encoded values are what the communication-cost metric measures.
+
+use benu_graph::{AdjSet, VertexId};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Encodes a sorted adjacency slice into an opaque value.
+pub fn encode_adj(neighbors: &[VertexId]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(neighbors.len() * 4);
+    for &v in neighbors {
+        buf.put_u32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a value back into an adjacency set.
+///
+/// # Panics
+///
+/// Panics if the value length is not a multiple of four (corrupt value).
+pub fn decode_adj(value: &Bytes) -> AdjSet {
+    assert!(value.len() % 4 == 0, "corrupt adjacency value");
+    let ids: Vec<VertexId> = value
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    AdjSet::from_sorted(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let adj = vec![1u32, 7, 42, 1_000_000];
+        let encoded = encode_adj(&adj);
+        assert_eq!(encoded.len(), 16);
+        assert_eq!(decode_adj(&encoded).as_slice(), adj.as_slice());
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let encoded = encode_adj(&[]);
+        assert!(encoded.is_empty());
+        assert!(decode_adj(&encoded).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt")]
+    fn corrupt_value_detected() {
+        decode_adj(&Bytes::from_static(&[1, 2, 3]));
+    }
+}

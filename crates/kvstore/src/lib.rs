@@ -1,0 +1,222 @@
+//! The distributed key-value database holding the data graph.
+//!
+//! The paper stores adjacency sets in HBase and queries them with `GetAdj`
+//! (DBQ) instructions. This crate is the single-process stand-in: a
+//! [`KvStore`] partitions the vertex space across shards (one per worker
+//! machine in the simulated cluster), stores each adjacency set as an
+//! opaque encoded value, and counts every request and transferred byte —
+//! the communication-cost metric of the paper's evaluation.
+//!
+//! The store is immutable after loading (BENU's preprocessing step,
+//! Algorithm 2 line 1, is pattern-independent), so reads are lock-free.
+
+pub mod codec;
+
+use benu_graph::{AdjSet, Graph, VertexId};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-shard request/byte counters.
+#[derive(Debug, Default)]
+struct ShardStats {
+    requests: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// One partition of the key space (the role of one HBase region server).
+#[derive(Debug)]
+struct Shard {
+    values: HashMap<VertexId, Bytes>,
+    stats: ShardStats,
+}
+
+/// A sharded, read-only key-value store mapping each data vertex to its
+/// encoded adjacency set.
+#[derive(Debug)]
+pub struct KvStore {
+    shards: Vec<Shard>,
+    num_vertices: usize,
+}
+
+/// Snapshot of the store's access statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// Total `GetAdj` requests served.
+    pub requests: u64,
+    /// Total value bytes transferred ("communication cost").
+    pub bytes: u64,
+}
+
+impl KvStore {
+    /// Loads the data graph into `num_shards` partitions (vertices are
+    /// assigned round-robin by id, giving balanced shards even for skewed
+    /// degree distributions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn from_graph(g: &Graph, num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        let mut shards: Vec<Shard> = (0..num_shards)
+            .map(|_| Shard { values: HashMap::new(), stats: ShardStats::default() })
+            .collect();
+        for v in g.vertices() {
+            let value = codec::encode_adj(g.neighbors(v));
+            shards[v as usize % num_shards].values.insert(v, value);
+        }
+        KvStore { shards, num_vertices: g.num_vertices() }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of vertices stored.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The shard holding vertex `v`.
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        v as usize % self.shards.len()
+    }
+
+    /// Fetches and decodes the adjacency set of `v`, counting the request
+    /// and transferred bytes. Returns `None` for unknown vertices.
+    pub fn get(&self, v: VertexId) -> Option<Arc<AdjSet>> {
+        let shard = &self.shards[self.shard_of(v)];
+        let value = shard.values.get(&v)?;
+        shard.stats.requests.fetch_add(1, Ordering::Relaxed);
+        shard.stats.bytes.fetch_add(value.len() as u64, Ordering::Relaxed);
+        Some(Arc::new(codec::decode_adj(value)))
+    }
+
+    /// Fetches without touching the statistics (used by loaders and
+    /// tests).
+    pub fn get_unaccounted(&self, v: VertexId) -> Option<Arc<AdjSet>> {
+        let shard = &self.shards[self.shard_of(v)];
+        shard.values.get(&v).map(|value| Arc::new(codec::decode_adj(value)))
+    }
+
+    /// Aggregated access statistics.
+    pub fn stats(&self) -> KvStats {
+        let mut total = KvStats::default();
+        for s in &self.shards {
+            total.requests += s.stats.requests.load(Ordering::Relaxed);
+            total.bytes += s.stats.bytes.load(Ordering::Relaxed);
+        }
+        total
+    }
+
+    /// Statistics of one shard.
+    pub fn shard_stats(&self, shard: usize) -> KvStats {
+        let s = &self.shards[shard].stats;
+        KvStats {
+            requests: s.requests.load(Ordering::Relaxed),
+            bytes: s.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters (used between experiment runs).
+    pub fn reset_stats(&self) {
+        for s in &self.shards {
+            s.stats.requests.store(0, Ordering::Relaxed);
+            s.stats.bytes.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Total stored value bytes — the "size of the data graph" that
+    /// Exp-3's relative cache capacities are measured against.
+    pub fn total_value_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.values.values().map(Bytes::len).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benu_graph::gen;
+
+    #[test]
+    fn round_trips_adjacency_sets() {
+        let g = gen::erdos_renyi_gnm(100, 300, 5);
+        let store = KvStore::from_graph(&g, 4);
+        for v in g.vertices() {
+            let adj = store.get(v).unwrap();
+            assert_eq!(adj.as_slice(), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn counts_requests_and_bytes() {
+        let g = gen::star(9); // centre 0 has 9 neighbours
+        let store = KvStore::from_graph(&g, 2);
+        store.get(0).unwrap();
+        store.get(1).unwrap();
+        store.get(1).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.requests, 3);
+        // centre: 9 ids × 4 bytes; leaf: 1 id × 4 bytes fetched twice.
+        assert_eq!(stats.bytes, 36 + 4 + 4);
+    }
+
+    #[test]
+    fn unknown_vertex_is_none_and_unaccounted() {
+        let g = gen::path(4);
+        let store = KvStore::from_graph(&g, 3);
+        assert!(store.get(100).is_none());
+        assert_eq!(store.stats().requests, 0);
+    }
+
+    #[test]
+    fn unaccounted_reads_leave_stats_untouched() {
+        let g = gen::path(4);
+        let store = KvStore::from_graph(&g, 1);
+        assert!(store.get_unaccounted(0).is_some());
+        assert_eq!(store.stats(), KvStats::default());
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let g = gen::cycle(5);
+        let store = KvStore::from_graph(&g, 2);
+        store.get(0);
+        store.reset_stats();
+        assert_eq!(store.stats(), KvStats::default());
+    }
+
+    #[test]
+    fn shards_partition_all_vertices() {
+        let g = gen::erdos_renyi_gnm(50, 100, 1);
+        let store = KvStore::from_graph(&g, 7);
+        assert_eq!(store.num_shards(), 7);
+        for v in g.vertices() {
+            assert!(store.shard_of(v) < 7);
+            assert!(store.get_unaccounted(v).is_some());
+        }
+    }
+
+    #[test]
+    fn total_value_bytes_matches_graph() {
+        let g = gen::complete(6);
+        let store = KvStore::from_graph(&g, 3);
+        assert_eq!(store.total_value_bytes(), g.adjacency_bytes());
+    }
+
+    #[test]
+    fn per_shard_stats_attribute_requests() {
+        let g = gen::path(6);
+        let store = KvStore::from_graph(&g, 2);
+        store.get(0); // shard 0
+        store.get(2); // shard 0
+        store.get(1); // shard 1
+        assert_eq!(store.shard_stats(0).requests, 2);
+        assert_eq!(store.shard_stats(1).requests, 1);
+    }
+}

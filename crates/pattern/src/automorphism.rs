@@ -1,0 +1,144 @@
+//! Exact automorphism enumeration for pattern graphs.
+//!
+//! Patterns are tiny, so a plain backtracking search with degree and
+//! consistency pruning enumerates `Aut(P)` quickly even for the worst case
+//! (`K_10` has `10! = 3 628 800` automorphisms, found in well under a
+//! second). The automorphism group feeds the symmetry-breaking partial
+//! order computation.
+
+use crate::pattern::{Pattern, PatternVertex};
+
+/// Enumerates every automorphism of `p` as a permutation vector
+/// (`perm[u] = image of u`). The identity is always included and is always
+/// the first element returned.
+pub fn automorphisms(p: &Pattern) -> Vec<Vec<PatternVertex>> {
+    let n = p.num_vertices();
+    let mut result = Vec::new();
+    let mut perm = Vec::with_capacity(n);
+    search(p, &mut perm, &mut result);
+    // Backtracking tries candidates in ascending order, so the identity is
+    // found first; assert the invariant cheaply.
+    debug_assert!(result[0].iter().enumerate().all(|(i, &v)| i == v));
+    result
+}
+
+fn search(p: &Pattern, perm: &mut Vec<PatternVertex>, out: &mut Vec<Vec<PatternVertex>>) {
+    let u = perm.len();
+    if u == p.num_vertices() {
+        out.push(perm.clone());
+        return;
+    }
+    let used: u64 = perm.iter().fold(0, |acc, &v| acc | (1 << v));
+    for cand in p.vertices() {
+        if used & (1 << cand) != 0
+            || p.degree(cand) != p.degree(u)
+            || p.label(cand) != p.label(u)
+        {
+            continue;
+        }
+        if (0..u).all(|w| p.has_edge(u, w) == p.has_edge(cand, perm[w])) {
+            perm.push(cand);
+            search(p, perm, out);
+            perm.pop();
+        }
+    }
+}
+
+/// The number of automorphisms `|Aut(P)|`.
+pub fn automorphism_count(p: &Pattern) -> usize {
+    automorphisms(p).len()
+}
+
+/// Orbit partition of `V(P)` under a set of permutations: `orbit[u]` is the
+/// smallest vertex reachable from `u` by applying group elements, acting as
+/// the orbit representative.
+pub fn orbits(n: usize, perms: &[Vec<PatternVertex>]) -> Vec<PatternVertex> {
+    // Union-find over vertices.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    for perm in perms {
+        for u in 0..n {
+            let (a, b) = (find(&mut parent, u), find(&mut parent, perm[u]));
+            if a != b {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                parent[hi] = lo;
+            }
+        }
+    }
+    (0..n).map(|u| find(&mut parent, u)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries;
+
+    #[test]
+    fn triangle_has_six_automorphisms() {
+        let p = Pattern::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(automorphism_count(&p), 6);
+    }
+
+    #[test]
+    fn square_has_eight() {
+        let p = Pattern::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(automorphism_count(&p), 8); // dihedral group D4
+    }
+
+    #[test]
+    fn path_has_two() {
+        let p = Pattern::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(automorphism_count(&p), 2);
+    }
+
+    #[test]
+    fn clique_has_factorial() {
+        let p = queries::clique(5);
+        assert_eq!(automorphism_count(&p), 120);
+    }
+
+    #[test]
+    fn asymmetric_graph_is_rigid() {
+        // Smallest asymmetric graphs have 6 vertices; this is one of them:
+        // a triangle with pendant paths of lengths 1, 2 hanging off two
+        // distinct corners.
+        let p = Pattern::from_edges(6, &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 4), (4, 5)]);
+        assert_eq!(automorphism_count(&p), 1);
+    }
+
+    #[test]
+    fn demo_pattern_group_is_the_stated_one() {
+        // Fig. 1a pattern: Aut = {id, (u2 u6)(u3 u5)} (1-based), i.e.
+        // 0-based fixes 0 and 3 and swaps 1<->5, 2<->4.
+        let p = queries::demo_pattern();
+        let auts = automorphisms(&p);
+        assert_eq!(auts.len(), 2);
+        assert_eq!(auts[1], vec![0, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn orbits_of_star() {
+        // Star S3: centre 0, leaves 1..3 form one orbit.
+        let p = Pattern::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let auts = automorphisms(&p);
+        let orb = orbits(4, &auts);
+        assert_eq!(orb[0], 0);
+        assert_eq!(orb[1], 1);
+        assert_eq!(orb[2], 1);
+        assert_eq!(orb[3], 1);
+    }
+
+    #[test]
+    fn identity_always_first() {
+        for p in [queries::clique(4), queries::q5(), queries::demo_pattern()] {
+            let auts = automorphisms(&p);
+            assert!(auts[0].iter().enumerate().all(|(i, &v)| i == v));
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! The pattern catalogue used throughout the paper's evaluation.
+//!
+//! Fig. 6 of the paper (which depicts q1–q9) is not reproducible from the
+//! text, so the queries are reconstructed from the paper's own constraints
+//! (q1–q4 have five vertices, q5 behaves like a triangle-free cycle,
+//! q2/q4 carry a 4-clique core, q6–q9 have six vertices and q7–q9 share the
+//! chordal-square core). See DESIGN.md §3 for the full rationale.
+
+use crate::pattern::Pattern;
+
+/// The running-example pattern of Fig. 1a, reconstructed exactly from the
+/// text: two triangles (`u1 u2 u3`, `u1 u5 u6`) sharing `u1`, joined by the
+/// path `u3 – u4 – u5`, plus the edge `u1 – u4` (required for the paper's
+/// Optimization-1 walkthrough, where `Intersect(A1, A3)` is a *common*
+/// subexpression of `T2` and `T4 := Intersect(A1, A3, A5)`, and for the
+/// instruction numbering of Fig. 3b). Its automorphism group is
+/// `{id, (u2 u6)(u3 u5)}` and symmetry breaking yields the single
+/// constraint `u3 < u5`.
+pub fn demo_pattern() -> Pattern {
+    Pattern::from_edges(
+        6,
+        &[
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (0, 4),
+            (0, 5),
+            (4, 5),
+            (2, 3),
+            (3, 4),
+            (0, 3),
+        ],
+    )
+}
+
+/// The demo *data* graph of Fig. 1b, reconstructed to satisfy every claim
+/// the paper makes about it: `f' = (v1,v2,v3,v4,v5,v8)` is a match of the
+/// demo pattern, and `Γ(v1) ∩ Γ(v2) − {v1,v2} = {v3, v7}`. Returned as an
+/// edge list over 0-based ids (`v1 → 0`, …, `v9 → 8`).
+pub fn demo_data_edges() -> Vec<(u32, u32)> {
+    vec![
+        (0, 1), // v1 v2
+        (0, 2), // v1 v3
+        (1, 2), // v2 v3
+        (0, 4), // v1 v5
+        (0, 7), // v1 v8
+        (4, 7), // v5 v8
+        (2, 3), // v3 v4
+        (3, 4), // v4 v5
+        (0, 3), // v1 v4
+        (0, 6), // v1 v7
+        (1, 6), // v2 v7
+        (5, 8), // v6 v9 — filler so the demo graph has 9 vertices
+        (4, 8), // v5 v9
+    ]
+}
+
+/// The complete graph `K_k` as a pattern.
+pub fn clique(k: usize) -> Pattern {
+    let mut p = Pattern::empty(k);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            p.add_edge(u, v);
+        }
+    }
+    p
+}
+
+/// The triangle `K_3` (Table I's Δ column; Table VI row 1).
+pub fn triangle() -> Pattern {
+    clique(3)
+}
+
+/// The 4-cycle.
+pub fn square() -> Pattern {
+    Pattern::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])
+}
+
+/// The chordal square (4-cycle plus one chord): the shared core of q7–q9
+/// and the third motif column of Table I.
+pub fn chordal_square() -> Pattern {
+    Pattern::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+}
+
+/// The path with `k` vertices.
+pub fn path(k: usize) -> Pattern {
+    assert!(k >= 2);
+    let edges: Vec<_> = (0..k - 1).map(|i| (i, i + 1)).collect();
+    Pattern::from_edges(k, &edges)
+}
+
+/// The cycle with `k` vertices.
+pub fn cycle(k: usize) -> Pattern {
+    assert!(k >= 3);
+    let mut edges: Vec<_> = (0..k - 1).map(|i| (i, i + 1)).collect();
+    edges.push((k - 1, 0));
+    Pattern::from_edges(k, &edges)
+}
+
+/// The star with `k` leaves (centre is vertex 0).
+pub fn star(k: usize) -> Pattern {
+    assert!(k >= 1);
+    let edges: Vec<_> = (1..=k).map(|i| (0, i)).collect();
+    Pattern::from_edges(k + 1, &edges)
+}
+
+/// q1 — the house: a 4-cycle with a triangle roof (5 vertices, 6 edges).
+pub fn q1() -> Pattern {
+    Pattern::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)])
+}
+
+/// q2 — the tailed 4-clique: `K_4` plus a pendant vertex (5 vertices,
+/// 7 edges). Carries the 4-clique core responsible for CBF's large shuffle
+/// volumes in Table V.
+pub fn q2() -> Pattern {
+    let mut p = Pattern::empty(5);
+    for u in 0..4 {
+        for v in (u + 1)..4 {
+            p.add_edge(u, v);
+        }
+    }
+    p.add_edge(0, 4);
+    p
+}
+
+/// q3 — the gem: a 4-path dominated by an apex vertex (5 vertices,
+/// 7 edges).
+pub fn q3() -> Pattern {
+    Pattern::from_edges(5, &[(0, 1), (1, 2), (2, 3), (0, 4), (1, 4), (2, 4), (3, 4)])
+}
+
+/// q4 — `K_4` plus a vertex adjacent to two clique vertices (5 vertices,
+/// 8 edges). The densest 5-vertex query; BiGJoin ships a specially
+/// optimized plan for it (Table VI).
+pub fn q4() -> Pattern {
+    let mut p = Pattern::empty(5);
+    for u in 0..4 {
+        for v in (u + 1)..4 {
+            p.add_edge(u, v);
+        }
+    }
+    p.add_edge(0, 4);
+    p.add_edge(1, 4);
+    p
+}
+
+/// q5 — the 5-cycle: triangle-free, the one query where join-based
+/// baselines stay competitive (Table V, fs row) and where the triangle
+/// cache is useless by construction (Exp-3).
+pub fn q5() -> Pattern {
+    cycle(5)
+}
+
+/// q6 — the dumbbell: two triangles joined by an edge (6 vertices,
+/// 7 edges).
+pub fn q6() -> Pattern {
+    Pattern::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+}
+
+/// q7 — chordal square with a length-2 pendant path (6 vertices, 7 edges).
+pub fn q7() -> Pattern {
+    Pattern::from_edges(
+        6,
+        &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (0, 4), (4, 5)],
+    )
+}
+
+/// q8 — chordal square with pendant vertices on both degree-2 corners
+/// (6 vertices, 7 edges). The hardest of the chordal-square family in
+/// Table V.
+pub fn q8() -> Pattern {
+    Pattern::from_edges(
+        6,
+        &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 4), (3, 5)],
+    )
+}
+
+/// q9 — chordal square with a second triangle on the chord plus a pendant
+/// (6 vertices, 8 edges).
+pub fn q9() -> Pattern {
+    Pattern::from_edges(
+        6,
+        &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (0, 4), (2, 4), (0, 5)],
+    )
+}
+
+/// The nine evaluation queries in paper order.
+pub fn evaluation_queries() -> Vec<(&'static str, Pattern)> {
+    vec![
+        ("q1", q1()),
+        ("q2", q2()),
+        ("q3", q3()),
+        ("q4", q4()),
+        ("q5", q5()),
+        ("q6", q6()),
+        ("q7", q7()),
+        ("q8", q8()),
+        ("q9", q9()),
+    ]
+}
+
+/// Looks up an evaluation query by name (`"q1"` … `"q9"`).
+pub fn by_name(name: &str) -> Option<Pattern> {
+    evaluation_queries()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, p)| p)
+}
+
+/// The full named catalogue: evaluation queries plus the stock motifs used
+/// by Table I, Table VI and the tests.
+pub fn catalogue() -> Vec<(&'static str, Pattern)> {
+    let mut all = evaluation_queries();
+    all.push(("demo", demo_pattern()));
+    all.push(("triangle", triangle()));
+    all.push(("square", square()));
+    all.push(("chordal_square", chordal_square()));
+    all.push(("clique4", clique(4)));
+    all.push(("clique5", clique(5)));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_design_table() {
+        let expect = [
+            ("q1", 5, 6),
+            ("q2", 5, 7),
+            ("q3", 5, 7),
+            ("q4", 5, 8),
+            ("q5", 5, 5),
+            ("q6", 6, 7),
+            ("q7", 6, 7),
+            ("q8", 6, 7),
+            ("q9", 6, 8),
+        ];
+        for (name, n, m) in expect {
+            let p = by_name(name).unwrap();
+            assert_eq!(p.num_vertices(), n, "{name} vertices");
+            assert_eq!(p.num_edges(), m, "{name} edges");
+        }
+    }
+
+    #[test]
+    fn all_catalogue_patterns_are_connected() {
+        for (name, p) in catalogue() {
+            assert!(p.is_connected(), "{name} must be connected");
+        }
+    }
+
+    #[test]
+    fn demo_pattern_shape() {
+        let p = demo_pattern();
+        assert_eq!(p.num_vertices(), 6);
+        assert_eq!(p.num_edges(), 9);
+        assert_eq!(p.degree(0), 5); // u1 dominates the pattern
+    }
+
+    #[test]
+    fn chordal_square_core_is_present_in_q7_q8_q9() {
+        let core = chordal_square();
+        for q in [q7(), q8(), q9()] {
+            // The first four vertices induce the chordal square.
+            let sub = q.induced(&[0, 1, 2, 3]);
+            assert!(sub.is_isomorphic(&core));
+        }
+    }
+
+    #[test]
+    fn q2_and_q4_contain_k4() {
+        for q in [q2(), q4()] {
+            let sub = q.induced(&[0, 1, 2, 3]);
+            assert!(sub.is_isomorphic(&clique(4)));
+        }
+    }
+
+    #[test]
+    fn q5_is_triangle_free() {
+        let p = q5();
+        let mut tri = false;
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                for w in (v + 1)..5 {
+                    if p.has_edge(u, v) && p.has_edge(v, w) && p.has_edge(u, w) {
+                        tri = true;
+                    }
+                }
+            }
+        }
+        assert!(!tri);
+    }
+
+    #[test]
+    fn by_name_rejects_unknown() {
+        assert!(by_name("q10").is_none());
+    }
+
+    #[test]
+    fn demo_data_graph_hosts_f_prime() {
+        // f' = (v1,v2,v3,v4,v5,v8) must be a match of the demo pattern.
+        let p = demo_pattern();
+        let edges = demo_data_edges();
+        let has = |a: u32, b: u32| {
+            edges.contains(&(a.min(b), a.max(b))) || edges.contains(&(a.max(b), a.min(b)))
+        };
+        let f = [0u32, 1, 2, 3, 4, 7];
+        for (u, v) in p.edges() {
+            assert!(has(f[u], f[v]), "pattern edge ({u},{v}) missing in data");
+        }
+    }
+}

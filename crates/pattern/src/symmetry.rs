@@ -1,0 +1,176 @@
+//! Symmetry breaking (Grochow–Kellis [15]).
+//!
+//! Enumerating all matches of `P` reports each isomorphic subgraph
+//! `|Aut(P)|` times. Symmetry breaking computes a partial order `<` on
+//! `V(P)` such that, for any total order `≺` on `V(G)`, every subgraph has
+//! *exactly one* match satisfying `u_i < u_j ⇒ f(u_i) ≺ f(u_j)`.
+//!
+//! The construction iteratively picks a vertex lying in a non-trivial orbit
+//! of the (remaining) automorphism group, constrains it to be the
+//! `≺`-minimum of its orbit, and descends into the stabilizer. Vertices are
+//! picked by highest degree first (ties broken by lowest index) — the
+//! choice that reproduces the paper's running example, where the
+//! Fig. 1a pattern yields the single constraint `u3 < u5`.
+
+use crate::automorphism::{automorphisms, orbits};
+use crate::pattern::{Pattern, PatternVertex};
+use serde::{Deserialize, Serialize};
+
+/// The symmetry-breaking partial order: a set of `(a, b)` pairs meaning
+/// `f(a) ≺ f(b)` must hold in every reported match.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymmetryBreaking {
+    constraints: Vec<(PatternVertex, PatternVertex)>,
+}
+
+impl SymmetryBreaking {
+    /// Computes the partial order for `p`.
+    pub fn compute(p: &Pattern) -> Self {
+        let n = p.num_vertices();
+        let mut group = automorphisms(p);
+        let mut constraints = Vec::new();
+        loop {
+            let orbit_repr = orbits(n, &group);
+            // Group members of non-trivial orbits.
+            let mut orbit_members: Vec<Vec<PatternVertex>> = vec![Vec::new(); n];
+            for u in 0..n {
+                orbit_members[orbit_repr[u]].push(u);
+            }
+            // Pick the anchor vertex: highest degree in a non-trivial
+            // orbit, ties by lowest index.
+            let anchor = (0..n)
+                .filter(|&u| orbit_members[orbit_repr[u]].len() > 1)
+                .max_by(|&a, &b| {
+                    p.degree(a)
+                        .cmp(&p.degree(b))
+                        .then_with(|| b.cmp(&a)) // lower index wins ties
+                });
+            let Some(anchor) = anchor else { break };
+            for &w in &orbit_members[orbit_repr[anchor]] {
+                if w != anchor {
+                    constraints.push((anchor, w));
+                }
+            }
+            // Descend into the stabilizer of the anchor.
+            group.retain(|perm| perm[anchor] == anchor);
+        }
+        constraints.sort_unstable();
+        SymmetryBreaking { constraints }
+    }
+
+    /// An empty order (used when enumerating raw matches without
+    /// deduplication).
+    pub fn none() -> Self {
+        SymmetryBreaking::default()
+    }
+
+    /// The `(a, b)` pairs with `f(a) ≺ f(b)` required, sorted.
+    pub fn constraints(&self) -> &[(PatternVertex, PatternVertex)] {
+        &self.constraints
+    }
+
+    /// True if `a < b` is directly required.
+    pub fn requires_less(&self, a: PatternVertex, b: PatternVertex) -> bool {
+        self.constraints.binary_search(&(a, b)).is_ok()
+    }
+
+    /// The constraint between a pair, if any: `Some(true)` if `a < b`,
+    /// `Some(false)` if `b < a`, `None` if unconstrained.
+    pub fn between(&self, a: PatternVertex, b: PatternVertex) -> Option<bool> {
+        if self.requires_less(a, b) {
+            Some(true)
+        } else if self.requires_less(b, a) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Applies a vertex relabeling `perm` (old index → new index) to every
+    /// constraint. Used by the dual-plan construction in the best-plan
+    /// search.
+    pub fn relabeled(&self, perm: &[PatternVertex]) -> Self {
+        let mut constraints: Vec<_> = self
+            .constraints
+            .iter()
+            .map(|&(a, b)| (perm[a], perm[b]))
+            .collect();
+        constraints.sort_unstable();
+        SymmetryBreaking { constraints }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries;
+
+    /// Counts automorphisms of `p` compatible with the constraints under
+    /// the identity total order on `V(P)`; symmetry breaking is correct
+    /// iff exactly one survives (this is the `G = P` special case of the
+    /// Grochow–Kellis theorem).
+    fn surviving_automorphisms(p: &Pattern, sb: &SymmetryBreaking) -> usize {
+        automorphisms(p)
+            .iter()
+            .filter(|perm| sb.constraints().iter().all(|&(a, b)| perm[a] < perm[b]))
+            .count()
+    }
+
+    #[test]
+    fn demo_pattern_matches_paper() {
+        let p = queries::demo_pattern();
+        let sb = SymmetryBreaking::compute(&p);
+        // Paper: the only constraint is u3 < u5, i.e. 0-based (2, 4).
+        assert_eq!(sb.constraints(), &[(2, 4)]);
+        assert_eq!(surviving_automorphisms(&p, &sb), 1);
+    }
+
+    #[test]
+    fn triangle_is_fully_ordered() {
+        let p = queries::clique(3);
+        let sb = SymmetryBreaking::compute(&p);
+        assert_eq!(surviving_automorphisms(&p, &sb), 1);
+        // K3: first anchor constrains both others, stabilizer still swaps
+        // the remaining two, so a second round adds one more constraint.
+        assert_eq!(sb.constraints().len(), 3);
+    }
+
+    #[test]
+    fn exactly_one_automorphism_survives_for_catalogue() {
+        for (name, p) in queries::catalogue() {
+            let sb = SymmetryBreaking::compute(&p);
+            assert_eq!(
+                surviving_automorphisms(&p, &sb),
+                1,
+                "pattern {name} keeps a unique representative"
+            );
+        }
+    }
+
+    #[test]
+    fn rigid_graph_needs_no_constraints() {
+        let p = Pattern::from_edges(6, &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 4), (4, 5)]);
+        let sb = SymmetryBreaking::compute(&p);
+        assert!(sb.constraints().is_empty());
+    }
+
+    #[test]
+    fn between_reports_direction() {
+        let p = queries::demo_pattern();
+        let sb = SymmetryBreaking::compute(&p);
+        assert_eq!(sb.between(2, 4), Some(true));
+        assert_eq!(sb.between(4, 2), Some(false));
+        assert_eq!(sb.between(0, 3), None);
+    }
+
+    #[test]
+    fn relabeled_constraints_follow_permutation() {
+        let p = queries::clique(3);
+        let sb = SymmetryBreaking::compute(&p);
+        let relabeled = sb.relabeled(&[2, 0, 1]);
+        for &(a, b) in sb.constraints() {
+            let mapped = ([2, 0, 1][a], [2, 0, 1][b]);
+            assert!(relabeled.constraints().contains(&mapped));
+        }
+    }
+}

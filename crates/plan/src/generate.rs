@@ -1,0 +1,288 @@
+//! Raw execution-plan generation (paper §IV-A).
+//!
+//! Given a matching order `O : u_{k1}, …, u_{kn}`, instructions are
+//! generated vertex by vertex:
+//!
+//! 1. `f_{k1} := Init(start)` and `A_{k1} := GetAdj(f_{k1})` for the first
+//!    vertex;
+//! 2. for every later vertex: a raw-candidate INT over the adjacency sets
+//!    of its already-mapped pattern neighbours (or `V(G)` if none), a
+//!    refined-candidate INT applying symmetry-breaking and injectivity
+//!    filters, an ENU, and — only when a later vertex will need it — a DBQ;
+//! 3. a final RES instruction;
+//! 4. *uni-operand elimination*: single-operand, filter-free temporaries
+//!    (`T_i := Intersect(X)`) are removed and their uses rewritten. The
+//!    paper's example keeps candidate sets `C_i` intact (Fig. 4 still
+//!    shows `C3` after elimination), so only `Tmp` targets are elided.
+
+use crate::ir::{ExecutionPlan, FilterCond, Instruction, ResultItem, SetVar};
+use benu_pattern::{Pattern, PatternVertex, SymmetryBreaking};
+
+/// Generates the raw execution plan for `pattern` under `order`.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the pattern's vertices or the
+/// pattern has fewer than two vertices.
+pub fn raw_plan(
+    pattern: &Pattern,
+    order: &[PatternVertex],
+    symmetry: &SymmetryBreaking,
+) -> ExecutionPlan {
+    let n = pattern.num_vertices();
+    assert!(n >= 2, "patterns need at least two vertices");
+    assert_eq!(order.len(), n, "matching order must cover all vertices");
+    {
+        let mut seen = vec![false; n];
+        for &u in order {
+            assert!(u < n && !seen[u], "matching order is not a permutation");
+            seen[u] = true;
+        }
+    }
+
+    let mut instructions = Vec::with_capacity(3 * n + 2);
+    let first = order[0];
+    instructions.push(Instruction::Init { vertex: first });
+    instructions.push(Instruction::GetAdj { vertex: first });
+
+    for i in 1..n {
+        let u = order[i];
+        // 1) Raw candidate set: intersect adjacency sets of the mapped
+        //    pattern neighbours (in matching-order position).
+        let mapped_neighbors: Vec<PatternVertex> = order[..i]
+            .iter()
+            .copied()
+            .filter(|&j| pattern.has_edge(j, u))
+            .collect();
+        let operands: Vec<SetVar> = if mapped_neighbors.is_empty() {
+            vec![SetVar::AllVertices]
+        } else {
+            mapped_neighbors.iter().map(|&j| SetVar::Adj(j)).collect()
+        };
+        instructions.push(Instruction::Intersect {
+            target: SetVar::Tmp(u),
+            operands,
+            filters: Vec::new(),
+        });
+
+        // 2) Refined candidate set: symmetry-breaking conditions for
+        //    order-constrained pairs; injectivity for non-adjacent pairs
+        //    (adjacency already implies f_j ∉ T_u).
+        let mut filters = Vec::new();
+        for &j in &order[..i] {
+            match symmetry.between(j, u) {
+                // j < u: result vertices must be ≻ f_j.
+                Some(true) => filters.push(FilterCond::greater(j)),
+                // u < j: result vertices must be ≺ f_j.
+                Some(false) => filters.push(FilterCond::less(j)),
+                None => {
+                    if !pattern.has_edge(j, u) {
+                        filters.push(FilterCond::not_equal(j));
+                    }
+                }
+            }
+        }
+        instructions.push(Instruction::Intersect {
+            target: SetVar::Cand(u),
+            operands: vec![SetVar::Tmp(u)],
+            filters,
+        });
+
+        // 3) Enumerate.
+        instructions.push(Instruction::Foreach { vertex: u, source: SetVar::Cand(u) });
+
+        // 4) Fetch the adjacency set only if a later vertex needs it.
+        let needed_later = order[i + 1..].iter().any(|&j| pattern.has_edge(j, u));
+        if needed_later {
+            instructions.push(Instruction::GetAdj { vertex: u });
+        }
+    }
+
+    instructions.push(Instruction::ReportMatch {
+        items: (0..n).map(ResultItem::Vertex).collect(),
+    });
+
+    let mut plan = ExecutionPlan {
+        pattern: pattern.clone(),
+        matching_order: order.to_vec(),
+        symmetry: symmetry.clone(),
+        instructions,
+        compressed: false,
+    };
+    uni_operand_elimination(&mut plan);
+    debug_assert_eq!(plan.validate(), Ok(()));
+    plan
+}
+
+/// Removes single-operand, filter-free INT instructions targeting
+/// temporaries and rewrites their uses (paper: "If an INT instruction has
+/// one operand and no filtering condition like `T_i := Intersect(X)`, we
+/// remove the instruction and replace `T_i` with `X`").
+pub fn uni_operand_elimination(plan: &mut ExecutionPlan) {
+    loop {
+        let victim = plan.instructions.iter().position(|instr| {
+            matches!(
+                instr,
+                Instruction::Intersect { target: SetVar::Tmp(_), operands, filters }
+                    if operands.len() == 1 && filters.is_empty()
+            )
+        });
+        let Some(idx) = victim else { break };
+        let (from, to) = match &plan.instructions[idx] {
+            Instruction::Intersect { target, operands, .. } => (*target, operands[0]),
+            _ => unreachable!(),
+        };
+        plan.instructions.remove(idx);
+        for instr in plan.instructions.iter_mut() {
+            instr.replace_operand(from, to);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::InstrKind;
+    use benu_pattern::queries;
+
+    /// The paper's running example: demo pattern, matching order
+    /// u1,u3,u5,u2,u6,u4 (0-based: 0,2,4,1,5,3).
+    fn demo_raw() -> ExecutionPlan {
+        let p = queries::demo_pattern();
+        let sb = SymmetryBreaking::compute(&p);
+        raw_plan(&p, &[0, 2, 4, 1, 5, 3], &sb)
+    }
+
+    #[test]
+    fn demo_plan_has_paper_instruction_count() {
+        // Fig. 3b has 18 instructions: u4's are the 15th–17th and RES is
+        // last.
+        let plan = demo_raw();
+        assert_eq!(plan.instructions.len(), 18);
+        // 15th instruction (1-based) is u4's raw candidate
+        // T4 := Intersect(A1, A3, A5).
+        assert_eq!(
+            plan.instructions[14],
+            Instruction::Intersect {
+                target: SetVar::Tmp(3),
+                operands: vec![SetVar::Adj(0), SetVar::Adj(2), SetVar::Adj(4)],
+                filters: vec![],
+            }
+        );
+        // 16th: C4 := Intersect(T4)[≠f2, ≠f6].
+        assert_eq!(
+            plan.instructions[15],
+            Instruction::Intersect {
+                target: SetVar::Cand(3),
+                operands: vec![SetVar::Tmp(3)],
+                filters: vec![FilterCond::not_equal(1), FilterCond::not_equal(5)],
+            }
+        );
+        // 17th: f4 := Foreach(C4).
+        assert_eq!(
+            plan.instructions[16],
+            Instruction::Foreach { vertex: 3, source: SetVar::Cand(3) }
+        );
+    }
+
+    #[test]
+    fn demo_plan_keeps_c3_and_applies_symmetry_to_c5() {
+        let plan = demo_raw();
+        // C3 := Intersect(A1) survives elimination (Cand target).
+        assert_eq!(
+            plan.instructions[2],
+            Instruction::Intersect {
+                target: SetVar::Cand(2),
+                operands: vec![SetVar::Adj(0)],
+                filters: vec![],
+            }
+        );
+        // C5 := Intersect(A1)[≻ f3] carries the u3 < u5 constraint.
+        assert_eq!(
+            plan.instructions[5],
+            Instruction::Intersect {
+                target: SetVar::Cand(4),
+                operands: vec![SetVar::Adj(0)],
+                filters: vec![FilterCond::greater(2)],
+            }
+        );
+    }
+
+    #[test]
+    fn dbq_skipped_when_adjacency_unused() {
+        let plan = demo_raw();
+        // Only u1, u3, u5 need DBQ instructions (u2, u6, u4 have no
+        // pattern neighbours after them in the order).
+        let dbqs: Vec<_> = plan
+            .instructions
+            .iter()
+            .filter_map(|i| match i {
+                Instruction::GetAdj { vertex } => Some(*vertex),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dbqs, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn non_adjacent_prior_vertices_get_injectivity_filters() {
+        let plan = demo_raw();
+        // C2 := Intersect(T2→A?)[≠f5]: u2 adjacent to u1,u3 (omitted),
+        // not adjacent to u5.
+        let c2 = plan
+            .instructions
+            .iter()
+            .find_map(|i| match i {
+                Instruction::Intersect { target: SetVar::Cand(1), filters, .. } => Some(filters),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(c2, &vec![FilterCond::not_equal(4)]);
+    }
+
+    #[test]
+    fn disconnected_order_uses_all_vertices_operand() {
+        // Path 0-1-2 with order [0, 2, 1]: u2 is not adjacent to u0.
+        let p = queries::path(3);
+        let sb = SymmetryBreaking::compute(&p);
+        let plan = raw_plan(&p, &[0, 2, 1], &sb);
+        let c2 = plan
+            .instructions
+            .iter()
+            .find_map(|i| match i {
+                Instruction::Intersect { target: SetVar::Cand(2), operands, .. } => {
+                    Some(operands.clone())
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(c2, vec![SetVar::AllVertices]);
+    }
+
+    #[test]
+    fn plans_validate_for_all_catalogue_patterns() {
+        for (name, p) in queries::catalogue() {
+            let sb = SymmetryBreaking::compute(&p);
+            let order: Vec<_> = (0..p.num_vertices()).collect();
+            let plan = raw_plan(&p, &order, &sb);
+            plan.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(plan.num_levels(), p.num_vertices() - 1);
+        }
+    }
+
+    #[test]
+    fn first_vertex_always_gets_init_and_dbq() {
+        let plan = demo_raw();
+        assert_eq!(plan.instructions[0], Instruction::Init { vertex: 0 });
+        assert_eq!(plan.instructions[1], Instruction::GetAdj { vertex: 0 });
+        assert_eq!(plan.instructions[0].kind(), InstrKind::Ini);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_bad_order() {
+        let p = queries::triangle();
+        let sb = SymmetryBreaking::compute(&p);
+        raw_plan(&p, &[0, 1, 1], &sb);
+    }
+}

@@ -1,0 +1,63 @@
+//! Network-motif census — the paper's motivating application
+//! (network motif mining, graphlet-based comparison).
+//!
+//! Counts the core motifs of Table I (triangle, 4-clique, chordal square)
+//! plus squares and 5-cliques across the five mini datasets, printing a
+//! motif-frequency table that characterises each network.
+//!
+//! ```text
+//! cargo run --release --example motif_census [scale]
+//! ```
+
+use benu::engine;
+use benu::graph::datasets::Dataset;
+use benu::graph::stats;
+use benu::pattern::queries;
+use benu::plan::PlanBuilder;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+
+    let motifs = [
+        ("triangle", queries::triangle()),
+        ("square", queries::square()),
+        ("chordal-sq", queries::chordal_square()),
+        ("clique4", queries::clique(4)),
+        ("clique5", queries::clique(5)),
+    ];
+
+    println!(
+        "{:<6} {:>9} {:>10} | {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "graph", "|V|", "|E|", "triangle", "square", "chordal-sq", "clique4", "clique5"
+    );
+    for dataset in Dataset::ALL {
+        let g = dataset.build(scale);
+        let s = stats::graph_stats(&g);
+        let mut counts = Vec::new();
+        for (_, motif) in &motifs {
+            let plan = PlanBuilder::new(motif)
+                .graph_stats(g.num_vertices(), g.num_edges())
+                .compressed(true)
+                .best_plan();
+            counts.push(engine::count_embeddings(&plan, &g));
+        }
+        // Cross-check the triangle count against the independent
+        // node-iterator counter.
+        assert_eq!(counts[0], s.triangles, "triangle counters disagree");
+        println!(
+            "{:<6} {:>9} {:>10} | {:>12} {:>12} {:>12} {:>12} {:>12}",
+            dataset.abbrev(),
+            s.num_vertices,
+            s.num_edges,
+            counts[0],
+            counts[1],
+            counts[2],
+            counts[3],
+            counts[4]
+        );
+    }
+    println!("\n(scale = {scale}; pass a larger scale for bigger graphs)");
+}

@@ -1,0 +1,58 @@
+//! # BENU — Distributed Subgraph Enumeration with a Backtracking-Based Framework
+//!
+//! This crate is the facade of a from-scratch Rust reproduction of
+//! *BENU: Distributed Subgraph Enumeration with Backtracking-based
+//! Framework* (Wang et al., ICDE 2019). It re-exports the workspace crates
+//! so downstream users need a single dependency:
+//!
+//! * [`graph`] — data graphs, sorted adjacency sets, set kernels, the
+//!   degree-based total order `≺`, generators and IO.
+//! * [`pattern`] — pattern graphs, automorphisms, symmetry breaking, and
+//!   the q1–q9 query catalogue.
+//! * [`plan`] — the BENU execution-plan compiler: raw generation,
+//!   Optimizations 1–3, VCBC compression, cost estimation, and the
+//!   best-plan search (Algorithm 3).
+//! * [`kvstore`] — the sharded key-value store holding the data graph
+//!   (the paper's HBase role).
+//! * [`cache`] — the per-machine LRU database cache and per-thread
+//!   triangle cache.
+//! * [`engine`] — the backtracking interpreter executing compiled plans.
+//! * [`cluster`] — the simulated shared-nothing cluster: task generation,
+//!   task splitting, workers and metrics.
+//! * [`baselines`] — join-based (CBF-style) and worst-case-optimal
+//!   (BiGJoin-style) competitors.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use benu::prelude::*;
+//!
+//! // A small data graph and the triangle pattern.
+//! let g = benu::graph::gen::complete(5);
+//! let pattern = benu::pattern::queries::triangle();
+//!
+//! // Compile the best execution plan and run it on a simulated cluster.
+//! let plan = PlanBuilder::new(&pattern).best_plan();
+//! let config = ClusterConfig::builder().workers(2).threads_per_worker(2).build();
+//! let outcome = Cluster::new(&g, config).run(&plan);
+//! assert_eq!(outcome.total_matches, 10); // C(5,3) triangles in K5
+//! ```
+
+pub use benu_baselines as baselines;
+pub use benu_cache as cache;
+pub use benu_cluster as cluster;
+pub use benu_engine as engine;
+pub use benu_graph as graph;
+pub use benu_kvstore as kvstore;
+pub use benu_pattern as pattern;
+pub use benu_plan as plan;
+
+/// Convenience re-exports covering the common end-to-end workflow.
+pub mod prelude {
+    pub use benu_cluster::{Cluster, ClusterConfig, RunOutcome};
+    pub use benu_engine::LocalEngine;
+    pub use benu_graph::{AdjSet, Graph, GraphBuilder, TotalOrder, VertexId};
+    pub use benu_kvstore::KvStore;
+    pub use benu_pattern::{Pattern, PatternVertex};
+    pub use benu_plan::{ExecutionPlan, PlanBuilder};
+}

@@ -1,0 +1,88 @@
+//! Integration tests of the property-graph (vertex-label) extension —
+//! the second future-work item of the paper's §VIII.
+
+use benu::engine::reference;
+use benu::graph::gen;
+use benu::pattern::automorphism::automorphism_count;
+use benu::pattern::{queries, Pattern};
+use benu::plan::PlanBuilder;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic labels in `0..k` for every vertex.
+fn labels(n: usize, k: u32, seed: u64) -> Vec<u32> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..k)).collect()
+}
+
+#[test]
+fn labeled_engine_agrees_with_labeled_reference() {
+    let g = gen::erdos_renyi_gnm(40, 160, 3);
+    let data_labels = labels(g.num_vertices(), 3, 7);
+    for (name, base) in queries::evaluation_queries() {
+        let n = base.num_vertices();
+        let p = base.with_labels((0..n as u32).map(|i| i % 3).collect());
+        let expected = reference::count_subgraphs_labeled(&g, &p, &data_labels);
+        let plan = PlanBuilder::new(&p).compressed(true).best_plan();
+        let got = benu::engine::count_labeled_embeddings(&plan, &g, &data_labels);
+        assert_eq!(got, expected, "{name} labeled");
+    }
+}
+
+#[test]
+fn uniform_labels_reproduce_unlabeled_counts() {
+    let g = gen::barabasi_albert(60, 3, 5);
+    let data_labels = vec![0u32; g.num_vertices()];
+    for (name, base) in [("triangle", queries::triangle()), ("q1", queries::q1())] {
+        let unlabeled_plan = PlanBuilder::new(&base).best_plan();
+        let expected = benu::engine::count_embeddings(&unlabeled_plan, &g);
+        let n = base.num_vertices();
+        let p = base.with_labels(vec![0; n]);
+        let plan = PlanBuilder::new(&p).best_plan();
+        let got = benu::engine::count_labeled_embeddings(&plan, &g, &data_labels);
+        assert_eq!(got, expected, "{name}: uniform labels must be a no-op");
+    }
+}
+
+#[test]
+fn labels_shrink_the_automorphism_group() {
+    // An unlabeled triangle has |Aut| = 6; colouring one corner
+    // differently leaves only the swap of the two same-coloured corners.
+    let tri = queries::triangle().with_labels(vec![1, 0, 0]);
+    assert_eq!(automorphism_count(&tri), 2);
+    // All distinct: rigid.
+    let rigid = queries::triangle().with_labels(vec![0, 1, 2]);
+    assert_eq!(automorphism_count(&rigid), 1);
+}
+
+#[test]
+fn labeled_symmetry_breaking_still_deduplicates() {
+    // A bipartite-labeled square: corners alternate labels; symmetry
+    // breaking on the labeled pattern must still report each labeled
+    // subgraph exactly once (engine vs brute force).
+    let g = gen::erdos_renyi_gnm(30, 120, 9);
+    let data_labels = labels(g.num_vertices(), 2, 4);
+    let p = queries::square().with_labels(vec![0, 1, 0, 1]);
+    let expected = reference::count_subgraphs_labeled(&g, &p, &data_labels);
+    let plan = PlanBuilder::new(&p).best_plan();
+    assert_eq!(
+        benu::engine::count_labeled_embeddings(&plan, &g, &data_labels),
+        expected
+    );
+}
+
+#[test]
+fn heterogeneous_motif_example_two_colored_wedge() {
+    // A "user–item–user" wedge: centre labeled 1, endpoints labeled 0.
+    let p = Pattern::from_edges(3, &[(0, 1), (0, 2)]).with_labels(vec![1, 0, 0]);
+    // Star data graph: centre 0 (label 1), leaves labeled 0.
+    let g = gen::star(5);
+    let mut data_labels = vec![0u32; g.num_vertices()];
+    data_labels[0] = 1;
+    let plan = PlanBuilder::new(&p).best_plan();
+    // C(5, 2) = 10 wedges.
+    assert_eq!(benu::engine::count_labeled_embeddings(&plan, &g, &data_labels), 10);
+    // Flipping the pattern's centre label kills every match.
+    let p2 = Pattern::from_edges(3, &[(0, 1), (0, 2)]).with_labels(vec![0, 1, 1]);
+    let plan2 = PlanBuilder::new(&p2).best_plan();
+    assert_eq!(benu::engine::count_labeled_embeddings(&plan2, &g, &data_labels), 0);
+}

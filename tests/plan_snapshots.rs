@@ -1,0 +1,67 @@
+//! Golden-file snapshots of compiled plans.
+//!
+//! The textual rendering of every evaluation query's best plan (plus the
+//! paper's running example at its fixed order) is pinned under
+//! `tests/golden/`. Any plan-compiler change that alters instruction
+//! sequences shows up as a readable diff. Regenerate with
+//! `BLESS=1 cargo test --test plan_snapshots`.
+
+use benu::pattern::queries;
+use benu::plan::PlanBuilder;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.plan.txt"))
+}
+
+fn check(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var("BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("golden file missing: run BLESS=1 cargo test --test plan_snapshots"));
+    assert_eq!(
+        rendered, expected,
+        "plan for {name} changed; review and re-bless if intentional"
+    );
+}
+
+#[test]
+fn demo_pattern_plan_matches_golden() {
+    let p = queries::demo_pattern();
+    let plan = PlanBuilder::new(&p).matching_order(vec![0, 2, 4, 1, 5, 3]).build();
+    check("demo_fig3e", &format!("{plan}"));
+    let compressed = PlanBuilder::new(&p)
+        .matching_order(vec![0, 2, 4, 1, 5, 3])
+        .compressed(true)
+        .build();
+    check("demo_fig3f", &format!("{compressed}"));
+}
+
+#[test]
+fn evaluation_query_best_plans_match_golden() {
+    // Best plans are deterministic: the search, the tie-breaks and the
+    // estimator are all deterministic.
+    for (name, p) in queries::evaluation_queries() {
+        let plan = PlanBuilder::new(&p).compressed(true).best_plan();
+        check(name, &format!("{plan}"));
+    }
+}
+
+#[test]
+fn motif_plans_match_golden() {
+    for (name, p) in [
+        ("triangle", queries::triangle()),
+        ("clique4", queries::clique(4)),
+        ("clique5", queries::clique(5)),
+        ("chordal_square", queries::chordal_square()),
+    ] {
+        let plan = PlanBuilder::new(&p).best_plan();
+        check(name, &format!("{plan}"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests over random graphs and random patterns.
+//!
+//! The central invariants of the whole system:
+//!
+//! * every plan (any order, any optimization level, compressed or not)
+//!   enumerates exactly the brute-force match set;
+//! * symmetry breaking reports each subgraph exactly once
+//!   (`raw matches = subgraphs × |Aut(P)|`);
+//! * the intersection kernels agree with naive set semantics;
+//! * task splitting partitions, never duplicates.
+
+use benu::engine::reference;
+use benu::graph::{gen, ops, Graph};
+use benu::pattern::automorphism::automorphism_count;
+use benu::pattern::{queries, Pattern, SymmetryBreaking};
+use benu::plan::optimize::OptimizeOptions;
+use benu::plan::PlanBuilder;
+use proptest::prelude::*;
+
+/// A random connected pattern with 3–6 vertices.
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    (3usize..=6, 0usize..=4, 0u64..1000).prop_map(|(n, extra, seed)| {
+        let g = gen::random_connected(n, extra, seed);
+        let edges: Vec<(usize, usize)> =
+            g.edges().map(|(a, b)| (a as usize, b as usize)).collect();
+        Pattern::from_edges(n, &edges)
+    })
+}
+
+/// A small random data graph.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (10usize..40, 0u64..1000, 1usize..4).prop_map(|(n, seed, density)| {
+        let max_m = n * (n - 1) / 2;
+        let m = (n * density * 2).min(max_m);
+        gen::erdos_renyi_gnm(n, m, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_equals_reference_on_random_inputs(
+        p in arb_pattern(),
+        g in arb_graph(),
+        compressed in any::<bool>(),
+    ) {
+        let expected = reference::count_subgraphs(&g, &p);
+        let plan = PlanBuilder::new(&p).compressed(compressed).best_plan();
+        let got = benu::engine::count_embeddings(&plan, &g);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn optimizations_never_change_the_match_multiset(
+        p in arb_pattern(),
+        g in arb_graph(),
+        seed in 0u64..100,
+    ) {
+        // A pseudo-random (but valid) matching order derived from the seed.
+        let n = p.num_vertices();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let raw = PlanBuilder::new(&p)
+            .matching_order(order.clone())
+            .optimizations(OptimizeOptions::none())
+            .build();
+        let opt = PlanBuilder::new(&p)
+            .matching_order(order)
+            .optimizations(OptimizeOptions::all())
+            .build();
+        prop_assert_eq!(
+            benu::engine::collect_embeddings(&raw, &g),
+            benu::engine::collect_embeddings(&opt, &g)
+        );
+    }
+
+    #[test]
+    fn symmetry_breaking_deduplicates_exactly(
+        p in arb_pattern(),
+        g in arb_graph(),
+    ) {
+        let with = reference::count(&g, &p, &SymmetryBreaking::compute(&p));
+        let without = reference::count(&g, &p, &SymmetryBreaking::none());
+        prop_assert_eq!(without, with * automorphism_count(&p) as u64);
+    }
+
+    #[test]
+    fn intersection_kernels_match_naive(
+        mut a in proptest::collection::vec(0u32..200, 0..60),
+        mut b in proptest::collection::vec(0u32..200, 0..60),
+    ) {
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        let naive: Vec<u32> = a.iter().filter(|x| b.contains(x)).copied().collect();
+        let mut out = Vec::new();
+        ops::merge_intersect_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &naive);
+        ops::gallop_intersect_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &naive);
+        ops::intersect_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &naive);
+        prop_assert_eq!(ops::intersect_count(&a, &b), naive.len());
+    }
+
+    #[test]
+    fn split_tasks_partition_matches(
+        g in arb_graph(),
+        tau in 1usize..8,
+    ) {
+        use benu::engine::{task, CompiledPlan, CountingConsumer, InMemorySource, LocalEngine, SearchTask};
+        let p = queries::triangle();
+        let plan = PlanBuilder::new(&p).best_plan();
+        let compiled = CompiledPlan::compile(&plan);
+        let source = InMemorySource::from_graph(&g);
+        let order = benu::graph::TotalOrder::new(&g);
+        let mut engine = LocalEngine::new(&compiled, &source, &order);
+        let mut c = CountingConsumer::default();
+
+        let mut whole = 0u64;
+        for v in g.vertices() {
+            whole += engine.run_task(SearchTask::whole(v), &mut c).matches;
+        }
+        let mut split = 0u64;
+        for t in task::generate_tasks(&g, tau, compiled.second_adjacent) {
+            split += engine.run_task(t, &mut c).matches;
+        }
+        prop_assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn lru_cache_respects_budget_always(
+        ops in proptest::collection::vec((0u32..50, 1u64..20), 1..200),
+        capacity in 1u64..100,
+    ) {
+        let mut lru: benu::cache::lru::Lru<u32, u32> = benu::cache::lru::Lru::new(capacity);
+        for (key, cost) in ops {
+            lru.insert(key, key, cost);
+            prop_assert!(lru.used_cost() <= capacity);
+        }
+    }
+}
