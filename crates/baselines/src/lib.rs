@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn cell_reports_crash() {
-        let oom = BaselineOutcome { completed: false, ..Default::default() };
+        let oom = BaselineOutcome {
+            completed: false,
+            ..Default::default()
+        };
         assert_eq!(oom.cell(), "CRASH");
         let ok = BaselineOutcome {
             completed: true,

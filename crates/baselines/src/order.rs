@@ -11,7 +11,9 @@ pub fn greedy_connected_order(p: &Pattern) -> Vec<usize> {
     let n = p.num_vertices();
     let mut order = Vec::with_capacity(n);
     let mut used = vec![false; n];
-    let first = (0..n).max_by_key(|&u| (p.degree(u), std::cmp::Reverse(u))).unwrap();
+    let first = (0..n)
+        .max_by_key(|&u| (p.degree(u), std::cmp::Reverse(u)))
+        .unwrap();
     order.push(first);
     used[first] = true;
     while order.len() < n {

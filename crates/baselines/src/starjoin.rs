@@ -28,7 +28,9 @@ pub struct StarJoinConfig {
 
 impl Default for StarJoinConfig {
     fn default() -> Self {
-        StarJoinConfig { memory_cap_bytes: 2 << 30 }
+        StarJoinConfig {
+            memory_cap_bytes: 2 << 30,
+        }
     }
 }
 
@@ -102,7 +104,10 @@ pub fn run(g: &Graph, pattern: &Pattern, config: &StarJoinConfig) -> BaselineOut
     let started = Instant::now();
     let symmetry = SymmetryBreaking::compute(pattern);
     let total_order = TotalOrder::new(g);
-    let mut outcome = BaselineOutcome { completed: true, ..Default::default() };
+    let mut outcome = BaselineOutcome {
+        completed: true,
+        ..Default::default()
+    };
 
     let stars = decompose(pattern);
     debug_assert!(!stars.is_empty());
@@ -139,8 +144,7 @@ pub fn run(g: &Graph, pattern: &Pattern, config: &StarJoinConfig) -> BaselineOut
         outcome.rounds += 1;
         // Both join inputs are shuffled by key in a MapReduce round.
         outcome.shuffled_bytes += acc.bytes() + unit.bytes();
-        let Some(joined) =
-            hash_join(&acc, &unit, &symmetry, &total_order, config, &mut outcome)
+        let Some(joined) = hash_join(&acc, &unit, &symmetry, &total_order, config, &mut outcome)
         else {
             return abort(outcome, started);
         };
@@ -193,7 +197,10 @@ fn enumerate_star(
 ) -> Option<Relation> {
     let mut vars = vec![star.center];
     vars.extend_from_slice(&star.leaves);
-    let mut rel = Relation { vars, tuples: Vec::new() };
+    let mut rel = Relation {
+        vars,
+        tuples: Vec::new(),
+    };
     let k = star.leaves.len();
     let mut assignment: Vec<VertexId> = Vec::with_capacity(k);
     // The cap must be enforced *inside* the per-centre recursion: a
@@ -254,7 +261,16 @@ fn assign_leaves(
             }
         }
         assignment.push(w);
-        let ok = assign_leaves(g, star, symmetry, order, center, assignment, out, cap_entries);
+        let ok = assign_leaves(
+            g,
+            star,
+            symmetry,
+            order,
+            center,
+            assignment,
+            out,
+            cap_entries,
+        );
         assignment.pop();
         if !ok {
             return false;
@@ -318,12 +334,17 @@ fn hash_join(
 
     let mut vars = left.vars.clone();
     vars.extend_from_slice(&right_only);
-    let mut out = Relation { vars, tuples: Vec::new() };
+    let mut out = Relation {
+        vars,
+        tuples: Vec::new(),
+    };
     let mut key = Vec::with_capacity(key_vars.len());
     for ltuple in left.tuples.chunks(left.stride()) {
         key.clear();
         key.extend(left_key_pos.iter().map(|&p| ltuple[p]));
-        let Some(matches) = table.get(&key) else { continue };
+        let Some(matches) = table.get(&key) else {
+            continue;
+        };
         'probe: for &ri in matches {
             let rtuple = &right.tuples[ri * right.stride()..(ri + 1) * right.stride()];
             // Cross filters between left-only and right-only vertices.
@@ -339,8 +360,7 @@ fn hash_join(
                 }
             }
             out.tuples.extend_from_slice(ltuple);
-            out.tuples
-                .extend(right_only_pos.iter().map(|&p| rtuple[p]));
+            out.tuples.extend(right_only_pos.iter().map(|&p| rtuple[p]));
             if out.bytes() > config.memory_cap_bytes {
                 outcome.peak_memory_bytes = outcome.peak_memory_bytes.max(out.bytes());
                 return None;
@@ -360,7 +380,10 @@ pub fn enumerate_matches(
 ) -> Option<Vec<Vec<VertexId>>> {
     let symmetry = SymmetryBreaking::compute(pattern);
     let total_order = TotalOrder::new(g);
-    let mut outcome = BaselineOutcome { completed: true, ..Default::default() };
+    let mut outcome = BaselineOutcome {
+        completed: true,
+        ..Default::default()
+    };
     let stars = decompose(pattern);
     let mut remaining = stars;
     let mut acc = enumerate_star(
@@ -452,7 +475,9 @@ mod tests {
         let outcome = run(
             &g,
             &queries::q8(),
-            &StarJoinConfig { memory_cap_bytes: 50_000 },
+            &StarJoinConfig {
+                memory_cap_bytes: 50_000,
+            },
         );
         assert!(!outcome.completed);
     }

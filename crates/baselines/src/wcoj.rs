@@ -76,7 +76,10 @@ pub fn run(g: &Graph, pattern: &Pattern, config: &WcojConfig) -> BaselineOutcome
 
     // Level-0 frontier: every data vertex as a 1-tuple.
     let first: Vec<VertexId> = g.vertices().collect();
-    let mut outcome = BaselineOutcome { completed: true, ..Default::default() };
+    let mut outcome = BaselineOutcome {
+        completed: true,
+        ..Default::default()
+    };
     match config.mode {
         WcojMode::SharedMemory => run_bfs(&ctx, first, &mut outcome),
         WcojMode::Distributed => {
@@ -213,7 +216,10 @@ fn candidates_for(ctx: &Ctx, tuple: &[VertexId], level: usize, scratch: &mut Scr
         .filter(|&(_, &v)| ctx.pattern.has_edge(u, v))
         .map(|(i, _)| ctx.g.neighbors(tuple[i]))
         .collect();
-    debug_assert!(!sets.is_empty(), "connected order guarantees a bound neighbour");
+    debug_assert!(
+        !sets.is_empty(),
+        "connected order guarantees a bound neighbour"
+    );
     let mut candidates = std::mem::take(&mut scratch.candidates);
     intersect_many_into(&sets, &mut candidates, &mut scratch.tmp);
     // Injectivity and symmetry filters.
@@ -246,7 +252,11 @@ mod tests {
             let outcome = run(
                 g,
                 pattern,
-                &WcojConfig { mode, batch_size: 64, ..Default::default() },
+                &WcojConfig {
+                    mode,
+                    batch_size: 64,
+                    ..Default::default()
+                },
             );
             assert!(outcome.completed);
             assert_eq!(outcome.matches, expected, "{name} {mode:?}");
@@ -298,7 +308,10 @@ mod tests {
         let shared = run(
             &g,
             &queries::clique(4),
-            &WcojConfig { mode: WcojMode::SharedMemory, ..Default::default() },
+            &WcojConfig {
+                mode: WcojMode::SharedMemory,
+                ..Default::default()
+            },
         );
         let dist = run(
             &g,

@@ -25,6 +25,27 @@ fn bench_kvstore(c: &mut Criterion) {
         })
     });
 
+    // Frontier fetch: a hub's neighbourhood pulled one `get` at a time
+    // versus one shard-grouped `get_many` — the batched-transport win.
+    let frontier: Vec<u32> = {
+        let hub = (0..10_000u32).max_by_key(|&v| g.degree(v)).unwrap();
+        g.neighbors(hub).to_vec()
+    };
+    group.bench_function("frontier/get-loop", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for &v in black_box(&frontier) {
+                if let Some(adj) = store.get(v) {
+                    bytes += adj.size_bytes();
+                }
+            }
+            black_box(bytes)
+        })
+    });
+    group.bench_function("frontier/get_many", |b| {
+        b.iter(|| black_box(store.get_many(black_box(&frontier))))
+    });
+
     let adj: Vec<u32> = (0..256).map(|i| i * 7).collect();
     let encoded = codec::encode_adj(&adj);
     group.bench_function("codec/encode-256", |b| {

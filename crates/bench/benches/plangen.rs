@@ -29,8 +29,11 @@ fn bench_plangen(c: &mut Criterion) {
     });
 
     let est = GraphStatsEstimator::generic();
-    for (name, p) in [("q4", queries::q4()), ("q9", queries::q9()), ("clique6", queries::clique(6))]
-    {
+    for (name, p) in [
+        ("q4", queries::q4()),
+        ("q9", queries::q9()),
+        ("clique6", queries::clique(6)),
+    ] {
         group.bench_function(format!("best-plan-search/{name}"), |b| {
             b.iter(|| black_box(benu_plan::search::best_plan(&p, &est)))
         });

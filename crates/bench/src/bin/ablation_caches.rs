@@ -10,21 +10,27 @@
 //! ```
 
 use benu_bench::cli::Args;
+use benu_bench::impl_to_json;
 use benu_bench::{load_dataset, print_table, secs};
 use benu_cluster::{Cluster, ClusterConfig};
 use benu_graph::datasets::Dataset;
 use benu_pattern::queries;
 use benu_plan::optimize::OptimizeOptions;
 use benu_plan::PlanBuilder;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     query: String,
     strategy: String,
     time_s: f64,
     trc_executions: u64,
 }
+
+impl_to_json!(Row {
+    query,
+    strategy,
+    time_s,
+    trc_executions
+});
 
 fn main() {
     let args = Args::parse();
@@ -44,7 +50,12 @@ fn main() {
     let strategies: [(&str, OptimizeOptions); 3] = [
         (
             "no cache",
-            OptimizeOptions { cse: true, reorder: true, triangle_cache: false, clique_cache: false },
+            OptimizeOptions {
+                cse: true,
+                reorder: true,
+                triangle_cache: false,
+                clique_cache: false,
+            },
         ),
         ("triangle cache", OptimizeOptions::all()),
         ("clique cache", OptimizeOptions::all_with_clique_cache()),
@@ -71,7 +82,10 @@ fn main() {
                 .optimizations(*opts)
                 .compressed(true)
                 .build();
-            let outcome = cluster.run(&plan);
+            // The per-machine caches persist across runs; start each
+            // strategy cold so timings are comparable.
+            cluster.clear_caches();
+            let outcome = cluster.run(&plan).expect("cluster run failed");
             match reference {
                 None => reference = Some(outcome.total_matches),
                 Some(c) => assert_eq!(c, outcome.total_matches, "{qname}/{sname}"),
@@ -91,7 +105,10 @@ fn main() {
         "\nAblation — caching strategies on {} (scale {scale}):",
         dataset.abbrev()
     );
-    print_table(&["query", "no cache", "triangle cache", "clique cache"], &rows);
+    print_table(
+        &["query", "no cache", "triangle cache", "clique cache"],
+        &rows,
+    );
     println!(
         "\nexpected shape: the triangle cache pays off on patterns whose plans\n\
          re-intersect start-vertex adjacency pairs; the clique extension adds\n\

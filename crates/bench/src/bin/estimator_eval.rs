@@ -13,14 +13,13 @@
 //! ```
 
 use benu_bench::cli::Args;
+use benu_bench::impl_to_json;
 use benu_bench::{load_dataset, print_table};
 use benu_graph::datasets::Dataset;
 use benu_pattern::queries;
 use benu_plan::cost::CardinalityEstimator;
 use benu_plan::{ChungLuEstimator, GraphStatsEstimator, PlanBuilder};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     query: String,
@@ -30,6 +29,16 @@ struct Row {
     er_log_error: f64,
     cl_log_error: f64,
 }
+
+impl_to_json!(Row {
+    dataset,
+    query,
+    truth,
+    er_estimate,
+    cl_estimate,
+    er_log_error,
+    cl_log_error
+});
 
 fn main() {
     let args = Args::parse();
@@ -63,7 +72,8 @@ fn main() {
             let full_mask = (1u64 << p.num_vertices()) - 1;
             let er_est = er.estimate_pattern_subset(&p, full_mask);
             let cl_est = cl.estimate_pattern_subset(&p, full_mask);
-            let log_err = |est: f64| ((est.max(1e-9)).log10() - (truth.max(1) as f64).log10()).abs();
+            let log_err =
+                |est: f64| ((est.max(1e-9)).log10() - (truth.max(1) as f64).log10()).abs();
             let (ee, ce) = (log_err(er_est), log_err(cl_est));
             if ce < ee {
                 wins.1 += 1;
@@ -93,7 +103,15 @@ fn main() {
 
     println!("\nEstimator ablation (scale {scale}):");
     print_table(
-        &["graph", "query", "truth", "ER est", "CL est", "ER log-err", "CL log-err"],
+        &[
+            "graph",
+            "query",
+            "truth",
+            "ER est",
+            "CL est",
+            "ER log-err",
+            "CL log-err",
+        ],
         &rows,
     );
     println!(

@@ -14,15 +14,14 @@
 //! ```
 
 use benu_bench::cli::Args;
+use benu_bench::impl_to_json;
 use benu_bench::{load_dataset, print_table};
 use benu_cluster::{Cluster, ClusterConfig};
 use benu_graph::datasets::Dataset;
 use benu_pattern::queries;
 use benu_plan::PlanBuilder;
-use serde::Serialize;
 use std::collections::BinaryHeap;
 
-#[derive(Serialize)]
 struct Record {
     dataset: String,
     query: String,
@@ -30,6 +29,14 @@ struct Record {
     makespan_s: f64,
     speedup_vs_1: f64,
 }
+
+impl_to_json!(Record {
+    dataset,
+    query,
+    workers,
+    makespan_s,
+    speedup_vs_1
+});
 
 /// Simulates the runtime's scheduler: tasks are assigned round-robin to
 /// `workers`; within each worker, `threads` threads repeatedly pull the
@@ -70,8 +77,10 @@ fn main() {
     // Splitting must be fine-grained relative to the mini graphs' hub
     // degrees, or one unsplittable hub task flattens the curve.
     let tau: usize = args.get("tau", 24);
-    let worker_counts: Vec<usize> =
-        [1usize, 2, 4, 8, 16].into_iter().filter(|&w| w <= max_workers).collect();
+    let worker_counts: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&w| w <= max_workers)
+        .collect();
 
     let dataset_filter = args.get_str("datasets").map(|s| s.to_string());
     let query_filter = args.get_str("queries").map(|s| s.to_string());
@@ -83,8 +92,12 @@ fn main() {
     ]
     .into_iter()
     .filter(|(d, q)| {
-        dataset_filter.as_deref().is_none_or(|f| f.split(',').any(|x| x == d.abbrev()))
-            && query_filter.as_deref().is_none_or(|f| f.split(',').any(|x| x == *q))
+        dataset_filter
+            .as_deref()
+            .is_none_or(|f| f.split(',').any(|x| x == d.abbrev()))
+            && query_filter
+                .as_deref()
+                .is_none_or(|f| f.split(',').any(|x| x == *q))
     })
     .collect();
 
@@ -107,7 +120,7 @@ fn main() {
                 .collect_task_times(true)
                 .build(),
         );
-        let outcome = cluster.run(&plan);
+        let outcome = cluster.run(&plan).expect("cluster run failed");
         let task_times: Vec<f64> = outcome
             .task_times
             .as_ref()

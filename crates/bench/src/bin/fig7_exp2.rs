@@ -11,21 +11,27 @@
 //! ```
 
 use benu_bench::cli::Args;
+use benu_bench::impl_to_json;
 use benu_bench::{load_dataset, print_table, secs};
 use benu_cluster::{Cluster, ClusterConfig};
 use benu_graph::datasets::Dataset;
 use benu_pattern::queries;
 use benu_plan::optimize::OptimizeOptions;
 use benu_plan::PlanBuilder;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     case: String,
     stage: String,
     time_s: f64,
     matches: u64,
 }
+
+impl_to_json!(Row {
+    case,
+    stage,
+    time_s,
+    matches
+});
 
 fn main() {
     let args = Args::parse();
@@ -46,8 +52,24 @@ fn main() {
 
     let stages: [(&str, OptimizeOptions); 4] = [
         ("raw", OptimizeOptions::none()),
-        ("+opt1", OptimizeOptions { cse: true, reorder: false, triangle_cache: false, clique_cache: false }),
-        ("+opt2", OptimizeOptions { cse: true, reorder: true, triangle_cache: false, clique_cache: false }),
+        (
+            "+opt1",
+            OptimizeOptions {
+                cse: true,
+                reorder: false,
+                triangle_cache: false,
+                clique_cache: false,
+            },
+        ),
+        (
+            "+opt2",
+            OptimizeOptions {
+                cse: true,
+                reorder: true,
+                triangle_cache: false,
+                clique_cache: false,
+            },
+        ),
         ("+opt3", OptimizeOptions::all()),
     ];
     let cases = [
@@ -79,7 +101,10 @@ fn main() {
                 .optimizations(*opts)
                 .compressed(*compressed)
                 .build();
-            let outcome = cluster.run(&plan);
+            // Fresh cache per stage: the fixture compares plan quality,
+            // not run-to-run cache warmth.
+            cluster.clear_caches();
+            let outcome = cluster.run(&plan).expect("cluster run failed");
             match reference_count {
                 None => reference_count = Some(outcome.total_matches),
                 Some(c) => assert_eq!(c, outcome.total_matches, "{case}/{stage}: count changed"),
@@ -95,7 +120,10 @@ fn main() {
         rows.push(row);
     }
 
-    println!("\nFig. 7 — execution time with cumulative plan optimizations ({}, scale {scale}):", dataset.abbrev());
+    println!(
+        "\nFig. 7 — execution time with cumulative plan optimizations ({}, scale {scale}):",
+        dataset.abbrev()
+    );
     print_table(&["case", "raw", "+opt1", "+opt2", "+opt3"], &rows);
     println!(
         "\npaper shape: Opt2 (reordering) helps everywhere; Opt1 helps where a\n\

@@ -10,14 +10,13 @@
 //! ```
 
 use benu_bench::cli::Args;
+use benu_bench::impl_to_json;
 use benu_bench::{load_dataset, print_table};
 use benu_cluster::{Cluster, ClusterConfig};
 use benu_graph::datasets::Dataset;
 use benu_pattern::queries;
 use benu_plan::PlanBuilder;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     query: String,
     relative_capacity_pct: f64,
@@ -25,6 +24,14 @@ struct Row {
     comm_bytes: u64,
     time_s: f64,
 }
+
+impl_to_json!(Row {
+    query,
+    relative_capacity_pct,
+    hit_rate_pct,
+    comm_bytes,
+    time_s
+});
 
 fn main() {
     let args = Args::parse();
@@ -52,7 +59,7 @@ fn main() {
                     .cache_capacity_bytes(capacity)
                     .build(),
             );
-            let outcome = cluster.run(&plan);
+            let outcome = cluster.run(&plan).expect("cluster run failed");
             let row = Row {
                 query: name.to_string(),
                 relative_capacity_pct: 100.0 * fraction,

@@ -10,23 +10,36 @@
 //! ```
 
 use benu_bench::cli::Args;
+use benu_bench::impl_to_json;
 use benu_bench::{load_dataset, print_table};
-use benu_cluster::{Cluster, ClusterConfig, RunOutcome};
+use benu_cluster::{Cluster, ClusterConfig, RunOutcome, SchedulerKind};
 use benu_graph::datasets::Dataset;
 use benu_pattern::queries;
 use benu_plan::PlanBuilder;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Summary {
     variant: String,
+    scheduler: String,
     tasks: usize,
+    steals: u64,
     max_task_s: f64,
     p99_task_s: f64,
     mean_task_s: f64,
     load_imbalance: f64,
     worker_busy_s: Vec<f64>,
 }
+
+impl_to_json!(Summary {
+    variant,
+    scheduler,
+    tasks,
+    steals,
+    max_task_s,
+    p99_task_s,
+    mean_task_s,
+    load_imbalance,
+    worker_busy_s,
+});
 
 fn summarize(variant: &str, outcome: &RunOutcome) -> Summary {
     let mut times: Vec<f64> = outcome
@@ -40,7 +53,9 @@ fn summarize(variant: &str, outcome: &RunOutcome) -> Summary {
     let p99 = times[((times.len() as f64 * 0.99) as usize).min(times.len() - 1)];
     Summary {
         variant: variant.to_string(),
+        scheduler: outcome.scheduler.name().to_string(),
         tasks: outcome.total_tasks,
+        steals: outcome.total_steals(),
         max_task_s: *times.last().unwrap_or(&0.0),
         p99_task_s: p99,
         mean_task_s: times.iter().sum::<f64>() / times.len().max(1) as f64,
@@ -67,30 +82,49 @@ fn main() {
         .compressed(true)
         .best_plan();
 
+    // `--scheduler` pins one policy; without it both are run for the A/B.
+    let schedulers = match args.scheduler() {
+        Some(kind) => vec![kind],
+        None => vec![SchedulerKind::Static, SchedulerKind::WorkStealing],
+    };
     let mut summaries = Vec::new();
     for (variant, tau_value) in [("no splitting", 0usize), ("tau splitting", tau)] {
-        let cluster = Cluster::new(
-            &g,
-            ClusterConfig::builder()
-                .workers(4)
-                .threads_per_worker(2)
-                .cache_capacity_bytes(64 << 20)
-                .tau(tau_value)
-                .collect_task_times(true)
-                .build(),
-        );
-        let outcome = cluster.run(&plan);
-        summaries.push((summarize(variant, &outcome), outcome.total_matches));
+        for &kind in &schedulers {
+            let cluster = Cluster::new(
+                &g,
+                ClusterConfig::builder()
+                    .workers(4)
+                    .threads_per_worker(2)
+                    .cache_capacity_bytes(64 << 20)
+                    .tau(tau_value)
+                    .collect_task_times(true)
+                    .scheduler(kind)
+                    .build(),
+            );
+            let outcome = cluster.run(&plan).expect("cluster run failed");
+            summaries.push((summarize(variant, &outcome), outcome.total_matches));
+        }
     }
-    assert_eq!(summaries[0].1, summaries[1].1, "splitting changed the count");
+    for (s, count) in &summaries[1..] {
+        assert_eq!(
+            summaries[0].1, *count,
+            "{}/{} changed the count",
+            s.variant, s.scheduler
+        );
+    }
 
-    println!("\nFig. 9 — task splitting, {qname} on {} (scale {scale}, tau {tau}):", dataset.abbrev());
+    println!(
+        "\nFig. 9 — task splitting, {qname} on {} (scale {scale}, tau {tau}):",
+        dataset.abbrev()
+    );
     let rows: Vec<Vec<String>> = summaries
         .iter()
         .map(|(s, _)| {
             vec![
                 s.variant.clone(),
+                s.scheduler.clone(),
                 s.tasks.to_string(),
+                s.steals.to_string(),
                 format!("{:.4}s", s.max_task_s),
                 format!("{:.4}s", s.p99_task_s),
                 format!("{:.6}s", s.mean_task_s),
@@ -99,20 +133,35 @@ fn main() {
         })
         .collect();
     print_table(
-        &["variant", "tasks", "max task", "p99 task", "mean task", "imbalance"],
+        &[
+            "variant",
+            "scheduler",
+            "tasks",
+            "steals",
+            "max task",
+            "p99 task",
+            "mean task",
+            "imbalance",
+        ],
         &rows,
     );
     for (s, _) in &summaries {
         println!(
-            "{:<14} per-worker busy time: {:?}",
+            "{:<14} {:<14} per-worker busy time: {:?}",
             s.variant,
-            s.worker_busy_s.iter().map(|t| format!("{t:.2}s")).collect::<Vec<_>>()
+            s.scheduler,
+            s.worker_busy_s
+                .iter()
+                .map(|t| format!("{t:.2}s"))
+                .collect::<Vec<_>>()
         );
     }
     println!(
         "\npaper shape: without splitting a few hub tasks dominate (huge max\n\
          task time, skewed reducers); with tau the task count grows slightly\n\
-         while the maximum task time collapses and workers even out."
+         while the maximum task time collapses and workers even out. Work\n\
+         stealing attacks the same skew at run time: steals > 0 and the\n\
+         imbalance drops even when tau is off."
     );
     if let Some(path) = args.get_str("json") {
         let records: Vec<&Summary> = summaries.iter().map(|(s, _)| s).collect();

@@ -6,14 +6,13 @@
 //! ```
 
 use benu_bench::cli::Args;
+use benu_bench::impl_to_json;
 use benu_bench::{load_dataset, print_table};
 use benu_graph::datasets::Dataset;
 use benu_graph::stats;
 use benu_pattern::queries;
 use benu_plan::PlanBuilder;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     vertices: usize,
@@ -22,6 +21,15 @@ struct Row {
     cliques4: u64,
     chordal_squares: u64,
 }
+
+impl_to_json!(Row {
+    dataset,
+    vertices,
+    edges,
+    triangles,
+    cliques4,
+    chordal_squares
+});
 
 fn main() {
     let args = Args::parse();
@@ -46,7 +54,11 @@ fn main() {
             counts.push(benu_engine::count_embeddings(&plan, &g));
         }
         // Independent cross-check of the triangle column.
-        assert_eq!(counts[0], stats::count_triangles(&g), "triangle counters disagree");
+        assert_eq!(
+            counts[0],
+            stats::count_triangles(&g),
+            "triangle counters disagree"
+        );
         records.push(Row {
             dataset: dataset.abbrev().to_string(),
             vertices: g.num_vertices(),
@@ -67,7 +79,14 @@ fn main() {
 
     println!("\nTable I — match counts of core motifs (scale {scale}):");
     print_table(
-        &["graph", "|V|", "|E|", "triangle", "4-clique", "chordal-square"],
+        &[
+            "graph",
+            "|V|",
+            "|E|",
+            "triangle",
+            "4-clique",
+            "chordal-square",
+        ],
         &rows,
     );
     println!(

@@ -9,19 +9,25 @@
 //! ```
 
 use benu_bench::cli::Args;
+use benu_bench::impl_to_json;
 use benu_bench::print_table;
 use benu_graph::gen;
 use benu_pattern::{queries, Pattern};
 use benu_plan::{GraphStatsEstimator, SearchStats};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     case: String,
     alpha_rel_pct: f64,
     beta_rel_pct: f64,
     time_s: f64,
 }
+
+impl_to_json!(Row {
+    case,
+    alpha_rel_pct,
+    beta_rel_pct,
+    time_s
+});
 
 fn measure(pattern: &Pattern) -> (f64, f64, f64) {
     let est = GraphStatsEstimator::generic();
@@ -43,7 +49,12 @@ fn main() {
     let mut rows = Vec::new();
     let mut records = Vec::new();
     let mut push = |case: String, a: f64, b: f64, t: f64, rows: &mut Vec<Vec<String>>| {
-        records.push(Row { case: case.clone(), alpha_rel_pct: a, beta_rel_pct: b, time_s: t });
+        records.push(Row {
+            case: case.clone(),
+            alpha_rel_pct: a,
+            beta_rel_pct: b,
+            time_s: t,
+        });
         rows.push(vec![
             case,
             format!("{a:.1}"),
@@ -78,11 +89,20 @@ fn main() {
             st += t;
         }
         let c = random_count as f64;
-        push(format!("random n={n} (avg of {random_count})"), sa / c, sb / c, st / c, &mut rows);
+        push(
+            format!("random n={n} (avg of {random_count})"),
+            sa / c,
+            sb / c,
+            st / c,
+            &mut rows,
+        );
     }
 
     println!("\nTable IV — best execution plan generation efficiency:");
-    print_table(&["case", "rel alpha (%)", "rel beta (%)", "time (s)"], &rows);
+    print_table(
+        &["case", "rel alpha (%)", "rel beta (%)", "time (s)"],
+        &rows,
+    );
     println!(
         "\npaper shape: beta/n! < 15% everywhere, < 1% for random patterns;\n\
          plan generation takes well under a second except the largest cliques."

@@ -12,19 +12,25 @@
 
 use benu_bench::cells::{benu_cell, starjoin_cell, Cell};
 use benu_bench::cli::Args;
+use benu_bench::impl_to_json;
 use benu_bench::{load_dataset, print_table};
 use benu_cluster::{Cluster, ClusterConfig};
 use benu_graph::datasets::Dataset;
 use benu_pattern::queries;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Record {
     dataset: String,
     query: String,
     benu: Cell,
     join: Cell,
 }
+
+impl_to_json!(Record {
+    dataset,
+    query,
+    benu,
+    join
+});
 
 fn main() {
     let args = Args::parse();
@@ -62,7 +68,10 @@ fn main() {
             let benu = benu_cell(&cluster, &g, &pattern, true);
             let join = starjoin_cell(&g, &pattern, join_cap);
             if join.completed {
-                assert_eq!(benu.matches, join.matches, "{dname}/{qname}: counts disagree");
+                assert_eq!(
+                    benu.matches, join.matches,
+                    "{dname}/{qname}: counts disagree"
+                );
             }
             eprintln!(
                 "[cell] {dname}/{qname}: BENU {} | join {}",
@@ -86,7 +95,10 @@ fn main() {
     }
 
     println!("\nTable V — BENU vs join-based baseline (scale {scale}):");
-    print_table(&["graph", "query", "StarJoin (CBF-style)", "BENU", "matches"], &rows);
+    print_table(
+        &["graph", "query", "StarJoin (CBF-style)", "BENU", "matches"],
+        &rows,
+    );
     let benu_wins = records
         .iter()
         .filter(|r| !r.join.completed || r.benu.time_s < r.join.time_s)

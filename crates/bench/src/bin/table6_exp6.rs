@@ -11,13 +11,12 @@
 use benu_baselines::wcoj::WcojMode;
 use benu_bench::cells::{benu_cell, wcoj_cell, Cell};
 use benu_bench::cli::Args;
+use benu_bench::impl_to_json;
 use benu_bench::{load_dataset, print_table};
 use benu_cluster::{Cluster, ClusterConfig};
 use benu_graph::datasets::Dataset;
 use benu_pattern::queries;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Record {
     dataset: String,
     query: String,
@@ -25,6 +24,14 @@ struct Record {
     wcoj_distributed: Cell,
     benu: Cell,
 }
+
+impl_to_json!(Record {
+    dataset,
+    query,
+    wcoj_shared,
+    wcoj_distributed,
+    benu
+});
 
 fn time_or_oom(c: &Cell) -> String {
     if c.completed {
@@ -69,7 +76,10 @@ fn main() {
                 assert_eq!(shared.matches, benu.matches, "{qname}: counts disagree");
             }
             if distributed.completed {
-                assert_eq!(distributed.matches, benu.matches, "{qname}: counts disagree");
+                assert_eq!(
+                    distributed.matches, benu.matches,
+                    "{qname}: counts disagree"
+                );
             }
             eprintln!(
                 "[cell] {}/{qname}: S {} | D {} | BENU {:.2}s",

@@ -1,16 +1,17 @@
 //! Measurement cells: run one system on one (query, graph) pair and
 //! return the quantities the paper's tables report.
 
+use crate::impl_to_json;
+use crate::json::ToJson;
 use benu_baselines::{starjoin, wcoj, BaselineOutcome};
 use benu_cluster::{Cluster, RunOutcome};
 use benu_graph::Graph;
 use benu_pattern::Pattern;
 use benu_plan::PlanBuilder;
-use serde::Serialize;
 use std::time::Duration;
 
 /// One table cell: execution time and cumulative communication.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Cell {
     /// Simulated parallel makespan in seconds.
     pub time_s: f64,
@@ -23,6 +24,14 @@ pub struct Cell {
     /// True when a work budget (not memory) stopped the run.
     pub budget_exceeded: bool,
 }
+
+impl_to_json!(Cell {
+    time_s,
+    comm_bytes,
+    matches,
+    completed,
+    budget_exceeded
+});
 
 impl Cell {
     /// Paper-style rendering: `12.3s/45.6M` or `CRASH`.
@@ -48,7 +57,7 @@ pub fn benu_cell(cluster: &Cluster, g: &Graph, pattern: &Pattern, compressed: bo
         .graph_stats(g.num_vertices(), g.num_edges())
         .compressed(compressed)
         .best_plan();
-    let outcome = cluster.run(&plan);
+    let outcome = cluster.run(&plan).expect("cluster run failed");
     outcome_cell(&outcome)
 }
 
@@ -79,7 +88,13 @@ pub fn baseline_cell(outcome: &BaselineOutcome) -> Cell {
 /// when the budget is exceeded the run is reported as incomplete (the
 /// paper's `>7200s` cells).
 pub fn starjoin_cell(g: &Graph, pattern: &Pattern, memory_cap: u64) -> Cell {
-    let outcome = starjoin::run(g, pattern, &starjoin::StarJoinConfig { memory_cap_bytes: memory_cap });
+    let outcome = starjoin::run(
+        g,
+        pattern,
+        &starjoin::StarJoinConfig {
+            memory_cap_bytes: memory_cap,
+        },
+    );
     baseline_cell(&outcome)
 }
 
@@ -98,10 +113,9 @@ pub fn wcoj_cell(g: &Graph, pattern: &Pattern, mode: wcoj::WcojMode, memory_cap:
     baseline_cell(&outcome)
 }
 
-/// Writes a serializable record set as pretty JSON to `path`.
-pub fn write_json<T: Serialize>(path: &str, value: &T) -> std::io::Result<()> {
-    let json = serde_json::to_string_pretty(value).expect("serializable");
-    std::fs::write(path, json)
+/// Writes a record set as pretty JSON to `path`.
+pub fn write_json<T: ToJson + ?Sized>(path: &str, value: &T) -> std::io::Result<()> {
+    std::fs::write(path, value.to_json().render_pretty())
 }
 
 /// Helper: a `Duration` from fractional seconds.
@@ -128,7 +142,13 @@ mod tests {
 
     #[test]
     fn crash_cell_renders() {
-        let c = Cell { time_s: 1.0, comm_bytes: 0, matches: 0, completed: false, budget_exceeded: false };
+        let c = Cell {
+            time_s: 1.0,
+            comm_bytes: 0,
+            matches: 0,
+            completed: false,
+            budget_exceeded: false,
+        };
         assert_eq!(c.render(), "CRASH");
     }
 }

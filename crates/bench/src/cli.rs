@@ -1,6 +1,7 @@
 //! Minimal flag parsing shared by the experiment binaries (no external
 //! CLI dependency — the offline crate budget is spent on the substrate).
 
+use benu_cluster::SchedulerKind;
 use std::collections::HashMap;
 
 /// Parsed command line: `--key value` flags plus positional arguments.
@@ -49,12 +50,28 @@ impl Args {
 
     /// A boolean flag (`--foo` or `--foo true`).
     pub fn has(&self, key: &str) -> bool {
-        matches!(self.flags.get(key).map(String::as_str), Some("true") | Some("1"))
+        matches!(
+            self.flags.get(key).map(String::as_str),
+            Some("true") | Some("1")
+        )
     }
 
     /// Positional arguments.
     pub fn positional(&self) -> &[String] {
         &self.positional
+    }
+
+    /// The `--scheduler` flag parsed into a scheduling policy, or `None`
+    /// when absent (binaries pick their own default or run an A/B).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown policy name, listing the accepted ones.
+    pub fn scheduler(&self) -> Option<SchedulerKind> {
+        self.get_str("scheduler").map(|s| {
+            s.parse()
+                .unwrap_or_else(|e: String| panic!("--scheduler: {e}"))
+        })
     }
 }
 
@@ -73,6 +90,25 @@ mod tests {
         assert_eq!(a.get("workers", 4usize), 8);
         assert_eq!(a.get("missing", 7u32), 7);
         assert_eq!(a.positional(), &["q5".to_string()]);
+    }
+
+    #[test]
+    fn scheduler_flag_parses_into_a_kind() {
+        assert_eq!(parse("").scheduler(), None);
+        assert_eq!(
+            parse("--scheduler work-stealing").scheduler(),
+            Some(SchedulerKind::WorkStealing)
+        );
+        assert_eq!(
+            parse("--scheduler static").scheduler(),
+            Some(SchedulerKind::Static)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheduler")]
+    fn unknown_scheduler_is_rejected() {
+        parse("--scheduler lifo").scheduler();
     }
 
     #[test]

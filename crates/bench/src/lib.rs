@@ -8,6 +8,7 @@
 
 pub mod cells;
 pub mod cli;
+pub mod json;
 
 use benu_graph::datasets::Dataset;
 use benu_graph::Graph;
@@ -48,7 +49,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             .collect();
         println!("| {} |", padded.join(" | "));
     };
-    let rule: String = widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect();
+    let rule: String = widths
+        .iter()
+        .map(|w| format!("+{}", "-".repeat(w + 2)))
+        .collect();
     println!("{rule}+");
     line(headers.iter().map(|s| s.to_string()).collect());
     println!("{rule}+");

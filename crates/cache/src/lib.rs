@@ -100,6 +100,14 @@ impl DbCache {
         }
     }
 
+    /// True when `v` is currently cached. Unlike [`DbCache::get`] this
+    /// does not count a hit or miss and does not touch recency — it is a
+    /// pure peek, used by prefetchers deciding what to fetch without
+    /// distorting the effectiveness statistics.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.shards[self.shard_of(v)].lock().peek(&v).is_some()
+    }
+
     /// Inserts the adjacency set of `v`, evicting LRU entries as needed.
     pub fn insert(&self, v: VertexId, adj: Arc<AdjSet>) {
         let cost = (adj.size_bytes() + ENTRY_OVERHEAD_BYTES) as u64;
@@ -175,7 +183,11 @@ pub struct TriangleCache {
 impl TriangleCache {
     /// Creates a cache holding at most `max_entries` triangle sets.
     pub fn new(max_entries: usize) -> Self {
-        TriangleCache { lru: Lru::new(max_entries as u64), hits: 0, misses: 0 }
+        TriangleCache {
+            lru: Lru::new(max_entries as u64),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Looks up the triangle set of edge `(a, b)` or computes and caches
@@ -199,12 +211,21 @@ impl TriangleCache {
 
     /// Effectiveness counters.
     pub fn stats(&self) -> CacheStats {
-        CacheStats { hits: self.hits, misses: self.misses, evictions: 0 }
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: 0,
+        }
     }
 
     /// Number of cached triangle sets.
     pub fn len(&self) -> usize {
         self.lru.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.lru.len() == 0
     }
 
     /// Drops all entries (counters are kept; they are per-run metrics).
@@ -230,7 +251,11 @@ pub struct CliqueCache {
 impl CliqueCache {
     /// Creates a cache holding at most `max_entries` clique sets.
     pub fn new(max_entries: usize) -> Self {
-        CliqueCache { lru: Lru::new(max_entries as u64), hits: 0, misses: 0 }
+        CliqueCache {
+            lru: Lru::new(max_entries as u64),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Looks up the common-neighbour set of the clique `key` (must be
@@ -244,7 +269,10 @@ impl CliqueCache {
         key: &[VertexId],
         compute: impl FnOnce() -> Vec<VertexId>,
     ) -> Arc<Vec<VertexId>> {
-        debug_assert!(key.windows(2).all(|w| w[0] < w[1]), "clique key must be sorted");
+        debug_assert!(
+            key.windows(2).all(|w| w[0] < w[1]),
+            "clique key must be sorted"
+        );
         if let Some(v) = self.lru.get(&key.to_vec()) {
             self.hits += 1;
             return Arc::clone(v);
@@ -257,7 +285,11 @@ impl CliqueCache {
 
     /// Effectiveness counters.
     pub fn stats(&self) -> CacheStats {
-        CacheStats { hits: self.hits, misses: self.misses, evictions: 0 }
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: 0,
+        }
     }
 
     /// Number of cached clique sets.

@@ -128,10 +128,22 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
             return 0;
         }
         let idx = if let Some(idx) = self.free.pop() {
-            self.nodes[idx] = Node { key: key.clone(), value, cost, prev: NIL, next: NIL };
+            self.nodes[idx] = Node {
+                key: key.clone(),
+                value,
+                cost,
+                prev: NIL,
+                next: NIL,
+            };
             idx
         } else {
-            self.nodes.push(Node { key: key.clone(), value, cost, prev: NIL, next: NIL });
+            self.nodes.push(Node {
+                key: key.clone(),
+                value,
+                cost,
+                prev: NIL,
+                next: NIL,
+            });
             self.nodes.len() - 1
         };
         self.map.insert(key, idx);
@@ -156,7 +168,9 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
 
     /// Removes a specific key; returns true if it was present.
     pub fn remove(&mut self, key: &K) -> bool {
-        let Some(idx) = self.map.remove(key) else { return false };
+        let Some(idx) = self.map.remove(key) else {
+            return false;
+        };
         self.detach(idx);
         self.used -= self.nodes[idx].cost;
         self.free.push(idx);

@@ -117,8 +117,13 @@ pub fn communication_upper_bound(
         }
         let r_beta = estimator.estimate_pattern_subset(pattern, order_prefix_mask(order, beta));
         let queries = prefix_cost + r_beta * max_gamma(r_needed, g);
-        let candidate = CommBound { queries, radius, beta, whole_graph: false };
-        if best.map_or(true, |b| candidate.queries < b.queries) {
+        let candidate = CommBound {
+            queries,
+            radius,
+            beta,
+            whole_graph: false,
+        };
+        if best.is_none_or(|b| candidate.queries < b.queries) {
             best = Some(candidate);
         }
     }

@@ -1,5 +1,7 @@
 //! Cluster configuration.
 
+use crate::schedule::SchedulerKind;
+
 /// Shape and tuning of the simulated cluster. The defaults mirror the
 //  paper's deployment scaled to a single machine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,6 +24,13 @@ pub struct ClusterConfig {
     /// Record per-task wall-clock durations (needed by the Fig. 9
     /// harness; off by default to keep runs lean).
     pub collect_task_times: bool,
+    /// Task scheduling policy (static round-robin by default, matching
+    /// the paper's even shuffle).
+    pub scheduler: SchedulerKind,
+    /// Prefetch each task's frontier (the start vertex's neighbourhood)
+    /// in one batched round trip before executing it. Trades bytes for
+    /// round trips; only active when the database cache is enabled.
+    pub prefetch_frontier: bool,
 }
 
 impl Default for ClusterConfig {
@@ -34,6 +43,8 @@ impl Default for ClusterConfig {
             tau: 500,
             triangle_cache_entries: 1 << 14,
             collect_task_times: false,
+            scheduler: SchedulerKind::Static,
+            prefetch_frontier: false,
         }
     }
 }
@@ -103,6 +114,18 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Task scheduling policy.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.0.scheduler = kind;
+        self
+    }
+
+    /// Prefetch each task's frontier in one batched round trip.
+    pub fn prefetch_frontier(mut self, yes: bool) -> Self {
+        self.0.prefetch_frontier = yes;
+        self
+    }
+
     /// Finalises the configuration.
     ///
     /// # Panics
@@ -140,5 +163,18 @@ mod tests {
     #[test]
     fn default_is_valid() {
         ClusterConfig::default().validate();
+    }
+
+    #[test]
+    fn default_scheduler_is_the_papers_static_shuffle() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.scheduler, SchedulerKind::Static);
+        assert!(!c.prefetch_frontier);
+        let ws = ClusterConfig::builder()
+            .scheduler(SchedulerKind::WorkStealing)
+            .prefetch_frontier(true)
+            .build();
+        assert_eq!(ws.scheduler, SchedulerKind::WorkStealing);
+        assert!(ws.prefetch_frontier);
     }
 }

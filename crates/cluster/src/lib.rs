@@ -6,25 +6,38 @@
 //! working threads per reducer; every machine hosts a shared database
 //! cache in front of the distributed store.
 //!
-//! This crate reproduces that topology in one process:
+//! This crate reproduces that topology in one process, layered as:
 //!
-//! * the data graph lives in a [`benu_kvstore::KvStore`] sharded across
-//!   the workers;
-//! * each logical worker owns a byte-budgeted [`benu_cache::DbCache`]
-//!   shared by its (real OS) worker threads;
-//! * each thread owns a [`benu_engine::LocalEngine`] with its private
-//!   triangle cache;
-//! * tasks are assigned round-robin and pulled by threads from their
-//!   worker's queue;
-//! * per-worker communication bytes, cache statistics, busy time and
-//!   optional per-task durations are reported in the [`RunOutcome`] —
-//!   exactly the measurements behind Table V, Fig. 8, Fig. 9 and Fig. 10.
+//! * **store** — the data graph lives in a [`benu_kvstore::KvStore`]
+//!   sharded across the workers;
+//! * **transport** — every worker's store traffic flows through a
+//!   [`transport::Transport`], which accounts bytes, round trips and
+//!   batched multi-gets;
+//! * **cache** — each logical worker owns a byte-budgeted
+//!   [`benu_cache::DbCache`] shared by its (real OS) worker threads and
+//!   *persistent across runs* (see [`Cluster::clear_caches`]);
+//! * **scheduler** — a pluggable [`schedule::Scheduler`] hands tasks to
+//!   threads: static round-robin (the paper's even shuffle) or work
+//!   stealing for skewed task sets;
+//! * **worker** — each thread runs a [`worker::Worker`] hosting a
+//!   [`benu_engine::LocalEngine`] with its private triangle cache, and
+//!   fails soft: store/task errors surface as [`WorkerError`] instead of
+//!   panics;
+//! * per-worker communication bytes, cache statistics, busy time, steal
+//!   counts and optional per-task durations are reported in the
+//!   [`RunOutcome`] — exactly the measurements behind Table V, Fig. 8,
+//!   Fig. 9 and Fig. 10.
 
 pub mod analysis;
 pub mod config;
 pub mod report;
 pub mod runtime;
+pub mod schedule;
+pub mod transport;
+pub mod worker;
 
 pub use config::{ClusterConfig, ClusterConfigBuilder};
 pub use report::{RunOutcome, WorkerReport};
 pub use runtime::Cluster;
+pub use schedule::{Scheduler, SchedulerKind};
+pub use worker::WorkerError;

@@ -1,5 +1,6 @@
 //! Run reports: the measurements the paper's evaluation plots.
 
+use crate::schedule::SchedulerKind;
 use benu_cache::CacheStats;
 use benu_engine::TaskMetrics;
 use benu_kvstore::KvStats;
@@ -10,8 +11,19 @@ use std::time::Duration;
 pub struct WorkerReport {
     /// Worker index.
     pub worker: usize,
-    /// Number of (sub)tasks executed.
+    /// Number of (sub)tasks initially assigned to this worker by the
+    /// round-robin shuffle.
     pub tasks: usize,
+    /// Number of (sub)tasks this worker actually executed. Equal to
+    /// `tasks` under the static scheduler; under work stealing the
+    /// difference is migration.
+    pub tasks_executed: usize,
+    /// Tasks this worker stole from other workers' queues (zero under
+    /// the static scheduler).
+    pub steals: u64,
+    /// Batched multi-get round trips this worker issued (a subset of
+    /// `comm_requests`).
+    pub batch_round_trips: u64,
     /// Aggregated engine metrics.
     pub metrics: TaskMetrics,
     /// Sum of task durations across the worker's threads — the "reducer
@@ -50,6 +62,8 @@ pub struct RunOutcome {
     pub kv: KvStats,
     /// Total tasks executed (after splitting).
     pub total_tasks: usize,
+    /// The scheduling policy this run used.
+    pub scheduler: SchedulerKind,
     /// Per-task durations, when requested in the configuration.
     pub task_times: Option<Vec<Duration>>,
 }
@@ -88,13 +102,45 @@ impl RunOutcome {
         }
     }
 
+    /// Total tasks stolen across all workers (zero under the static
+    /// scheduler).
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Ratio of the busiest worker's busy time to the least busy
+    /// worker's (with `floor` as the minimum denominator, guarding
+    /// against idle workers). 1.0 = perfectly balanced; the work-stealing
+    /// scheduler exists to pull this down on skewed task sets.
+    pub fn busy_ratio(&self, floor: Duration) -> f64 {
+        let max = self
+            .workers
+            .iter()
+            .map(|w| w.busy_time)
+            .max()
+            .unwrap_or(Duration::ZERO)
+            .max(floor);
+        let min = self
+            .workers
+            .iter()
+            .map(|w| w.busy_time)
+            .min()
+            .unwrap_or(Duration::ZERO)
+            .max(floor);
+        max.as_secs_f64() / min.as_secs_f64()
+    }
+
     /// Load imbalance: max over workers of busy time divided by the mean
     /// (1.0 = perfectly balanced).
     pub fn load_imbalance(&self) -> f64 {
         if self.workers.is_empty() {
             return 1.0;
         }
-        let times: Vec<f64> = self.workers.iter().map(|w| w.busy_time.as_secs_f64()).collect();
+        let times: Vec<f64> = self
+            .workers
+            .iter()
+            .map(|w| w.busy_time.as_secs_f64())
+            .collect();
         let mean = times.iter().sum::<f64>() / times.len() as f64;
         if mean == 0.0 {
             return 1.0;
@@ -110,7 +156,11 @@ mod tests {
     fn worker(busy_ms: u64, hits: u64, misses: u64, bytes: u64) -> WorkerReport {
         WorkerReport {
             busy_time: Duration::from_millis(busy_ms),
-            cache: CacheStats { hits, misses, evictions: 0 },
+            cache: CacheStats {
+                hits,
+                misses,
+                evictions: 0,
+            },
             comm_bytes: bytes,
             ..WorkerReport::default()
         }
@@ -146,7 +196,10 @@ mod tests {
         w1.thread_busy = vec![Duration::from_millis(40), Duration::from_millis(90)];
         let mut w2 = worker(0, 0, 0, 0);
         w2.thread_busy = vec![Duration::from_millis(70)];
-        let o = RunOutcome { workers: vec![w1, w2], ..RunOutcome::default() };
+        let o = RunOutcome {
+            workers: vec![w1, w2],
+            ..RunOutcome::default()
+        };
         assert_eq!(o.makespan(), Duration::from_millis(90));
     }
 
@@ -156,5 +209,22 @@ mod tests {
         assert_eq!(o.communication_bytes(), 0);
         assert_eq!(o.cache_hit_rate(), 0.0);
         assert_eq!(o.load_imbalance(), 1.0);
+        assert_eq!(o.total_steals(), 0);
+        assert_eq!(o.scheduler, SchedulerKind::Static);
+    }
+
+    #[test]
+    fn busy_ratio_floors_idle_workers() {
+        let o = RunOutcome {
+            workers: vec![worker(100, 0, 0, 0), worker(0, 0, 0, 0)],
+            ..RunOutcome::default()
+        };
+        let ratio = o.busy_ratio(Duration::from_millis(1));
+        assert!((ratio - 100.0).abs() < 1e-9, "100ms vs 1ms floor");
+        let balanced = RunOutcome {
+            workers: vec![worker(50, 0, 0, 0), worker(50, 0, 0, 0)],
+            ..RunOutcome::default()
+        };
+        assert!((balanced.busy_ratio(Duration::from_millis(1)) - 1.0).abs() < 1e-9);
     }
 }

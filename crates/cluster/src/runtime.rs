@@ -1,64 +1,63 @@
 //! The cluster executor.
+//!
+//! `Cluster` wires the runtime layers together: a [`Scheduler`] hands
+//! tasks to worker threads, each worker's [`Transport`] carries its store
+//! traffic (with byte/round-trip accounting), and each worker machine
+//! owns a persistent [`DbCache`] that survives across `run` calls — the
+//! paper's long-lived per-machine database cache. See DESIGN.md
+//! "Runtime layering" for the full picture.
 
 use crate::config::ClusterConfig;
 use crate::report::{RunOutcome, WorkerReport};
-use benu_cache::DbCache;
-use benu_engine::{
-    CollectingConsumer, CountingConsumer, DataSource, LocalEngine, MatchConsumer, SearchTask,
-    SplitSpec, TaskMetrics,
-};
-use benu_graph::{AdjSet, Graph, TotalOrder, VertexId};
+use crate::transport::Transport;
+use crate::worker::{ErrorSlot, ThreadResult, Worker, WorkerError};
+use benu_cache::{CacheStats, DbCache};
+use benu_engine::{SearchTask, SplitSpec};
+use benu_graph::{Graph, TotalOrder, VertexId};
 use benu_kvstore::KvStore;
 use benu_plan::ExecutionPlan;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
+
+type Matches = Vec<Vec<VertexId>>;
 
 /// A loaded cluster: the data graph resident in the sharded store, ready
-/// to run any number of plans.
+/// to run any number of plans. Each worker machine's database cache is
+/// created once and persists across runs (warm caches), mirroring the
+/// paper's long-lived reducer processes; call [`Cluster::clear_caches`]
+/// for a cold-cache run.
 pub struct Cluster {
     store: Arc<KvStore>,
     order: Arc<TotalOrder>,
     degrees: Vec<u32>,
+    caches: Vec<Arc<DbCache>>,
     config: ClusterConfig,
-}
-
-/// Counts store traffic per worker (the per-machine communication cost).
-struct WorkerSource<'a> {
-    store: &'a KvStore,
-    cache: &'a DbCache,
-    bytes: &'a AtomicU64,
-    requests: &'a AtomicU64,
-}
-
-impl DataSource for WorkerSource<'_> {
-    fn num_vertices(&self) -> usize {
-        self.store.num_vertices()
-    }
-
-    fn get_adj(&self, v: VertexId) -> Arc<AdjSet> {
-        self.cache
-            .get_or_fetch(v, || -> Result<Arc<AdjSet>, ()> {
-                let adj = self.store.get(v).expect("vertex exists in store");
-                self.requests.fetch_add(1, Ordering::Relaxed);
-                self.bytes.fetch_add(adj.size_bytes() as u64, Ordering::Relaxed);
-                Ok(adj)
-            })
-            .expect("store fetch is infallible")
-    }
 }
 
 impl Cluster {
     /// Loads `g` into a store sharded across the configured workers
-    /// (Algorithm 2 line 1 — the pattern-independent preprocessing).
+    /// (Algorithm 2 line 1 — the pattern-independent preprocessing) and
+    /// creates the per-machine caches.
     pub fn new(g: &Graph, config: ClusterConfig) -> Self {
         config.validate();
         Cluster {
             store: Arc::new(KvStore::from_graph(g, config.workers)),
             order: Arc::new(TotalOrder::new(g)),
             degrees: g.vertices().map(|v| g.degree(v) as u32).collect(),
+            caches: Self::build_caches(&config),
             config,
         }
+    }
+
+    fn build_caches(config: &ClusterConfig) -> Vec<Arc<DbCache>> {
+        (0..config.workers)
+            .map(|_| {
+                Arc::new(DbCache::new(
+                    config.cache_capacity_bytes,
+                    config.cache_shards,
+                ))
+            })
+            .collect()
     }
 
     /// The active configuration.
@@ -71,10 +70,32 @@ impl Cluster {
         &self.store
     }
 
-    /// Reconfigures the cluster in place (the store sharding stays as
-    /// loaded; only execution parameters change).
+    /// The persistent per-machine database caches.
+    pub fn caches(&self) -> &[Arc<DbCache>] {
+        &self.caches
+    }
+
+    /// Drops every cached adjacency set and resets the cache counters —
+    /// the cold-cache starting point of the Exp-3 ablation. Run-to-run
+    /// warmth is otherwise deliberate.
+    pub fn clear_caches(&self) {
+        for cache in &self.caches {
+            cache.clear();
+        }
+    }
+
+    /// Reconfigures the cluster in place. The store sharding stays as
+    /// loaded; execution parameters change, and the per-machine caches
+    /// are rebuilt (cold) only when the new configuration changes their
+    /// shape (worker count, capacity or shard count).
     pub fn set_config(&mut self, config: ClusterConfig) {
         config.validate();
+        let reshape = config.workers != self.config.workers
+            || config.cache_capacity_bytes != self.config.cache_capacity_bytes
+            || config.cache_shards != self.config.cache_shards;
+        if reshape {
+            self.caches = Self::build_caches(&config);
+        }
         self.config = config;
     }
 
@@ -102,148 +123,129 @@ impl Cluster {
     }
 
     /// Runs `plan`, counting matches (Algorithm 2 lines 3–8). Store
-    /// counters are reset at entry so the outcome reflects this run only.
-    pub fn run(&self, plan: &ExecutionPlan) -> RunOutcome {
-        self.run_inner(plan, false).0
+    /// counters are reset at entry so the outcome reflects this run only;
+    /// cache contents persist from earlier runs (cache *stats* in the
+    /// outcome are per-run deltas).
+    ///
+    /// # Errors
+    ///
+    /// Aborts with a [`WorkerError`] when a task queries a vertex the
+    /// store does not hold or a task panics.
+    pub fn run(&self, plan: &ExecutionPlan) -> Result<RunOutcome, WorkerError> {
+        Ok(self.run_inner(plan, false)?.0)
     }
 
     /// Runs `plan` and additionally collects every (expanded) embedding.
     /// Intended for correctness tests and small graphs.
-    pub fn run_collect(&self, plan: &ExecutionPlan) -> (RunOutcome, Vec<Vec<VertexId>>) {
-        let (outcome, matches) = self.run_inner(plan, true);
-        (outcome, matches.unwrap_or_default())
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::run`].
+    pub fn run_collect(&self, plan: &ExecutionPlan) -> Result<(RunOutcome, Matches), WorkerError> {
+        let (outcome, matches) = self.run_inner(plan, true)?;
+        Ok((outcome, matches.unwrap_or_default()))
     }
 
     fn run_inner(
         &self,
         plan: &ExecutionPlan,
         collect: bool,
-    ) -> (RunOutcome, Option<Vec<Vec<VertexId>>>) {
+    ) -> Result<(RunOutcome, Option<Matches>), WorkerError> {
         let compiled = benu_engine::CompiledPlan::compile(plan);
         let tasks = self.generate_tasks(compiled.second_adjacent, compiled.second_vertex.is_some());
+        let total_tasks = tasks.len();
         let p = self.config.workers;
 
-        // Round-robin assignment — the even shuffle of tasks to reducers.
+        // Round-robin initial assignment — the even shuffle of tasks to
+        // reducers. The scheduler decides whether tasks may migrate.
         let mut worker_tasks: Vec<Vec<SearchTask>> = vec![Vec::new(); p];
-        for (i, t) in tasks.iter().enumerate() {
-            worker_tasks[i % p].push(*t);
+        for (i, t) in tasks.into_iter().enumerate() {
+            worker_tasks[i % p].push(t);
         }
+        let scheduler = self.config.scheduler.build(worker_tasks);
 
         self.store.reset_stats();
+        let transports: Vec<Transport> = (0..p)
+            .map(|_| Transport::new(Arc::clone(&self.store)))
+            .collect();
+        let cache_stats_before: Vec<CacheStats> = self.caches.iter().map(|c| c.stats()).collect();
+        let errors = ErrorSlot::new();
         let started = Instant::now();
 
-        struct ThreadResult {
-            metrics: TaskMetrics,
-            busy: Duration,
-            task_times: Vec<Duration>,
-            tri_stats: benu_cache::CacheStats,
-            matches: Option<Vec<Vec<VertexId>>>,
+        let mut thread_results: Vec<Vec<Result<ThreadResult, WorkerError>>> =
+            (0..p).map(|_| Vec::new()).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p * self.config.threads_per_worker);
+            for (w, transport) in transports.iter().enumerate() {
+                for _ in 0..self.config.threads_per_worker {
+                    let worker = Worker {
+                        id: w,
+                        scheduler: scheduler.as_ref(),
+                        transport,
+                        cache: &self.caches[w],
+                        order: &self.order,
+                        compiled: &compiled,
+                        config: &self.config,
+                        errors: &errors,
+                    };
+                    handles.push((w, scope.spawn(move || worker.run_thread(collect))));
+                }
+            }
+            for (w, handle) in handles {
+                let result = handle
+                    .join()
+                    .unwrap_or(Err(WorkerError::ThreadPanicked { worker: w }));
+                thread_results[w].push(result);
+            }
+        });
+        let elapsed = started.elapsed();
+
+        if let Some(err) = errors.first() {
+            return Err(err);
         }
 
         let mut reports: Vec<WorkerReport> = Vec::with_capacity(p);
-        let mut all_matches: Option<Vec<Vec<VertexId>>> = collect.then(Vec::new);
-        let mut all_task_times: Option<Vec<Duration>> =
-            self.config.collect_task_times.then(Vec::new);
-
-        std::thread::scope(|scope| {
-            let mut worker_handles = Vec::with_capacity(p);
-            for (w, tasks) in worker_tasks.iter().enumerate() {
-                let cache = Arc::new(DbCache::new(
-                    self.config.cache_capacity_bytes,
-                    self.config.cache_shards,
-                ));
-                let bytes = Arc::new(AtomicU64::new(0));
-                let requests = Arc::new(AtomicU64::new(0));
-                let cursor = Arc::new(AtomicUsize::new(0));
-                let mut thread_handles = Vec::with_capacity(self.config.threads_per_worker);
-                for _ in 0..self.config.threads_per_worker {
-                    let cache = Arc::clone(&cache);
-                    let bytes = Arc::clone(&bytes);
-                    let requests = Arc::clone(&requests);
-                    let cursor = Arc::clone(&cursor);
-                    let store = Arc::clone(&self.store);
-                    let order = Arc::clone(&self.order);
-                    let compiled = &compiled;
-                    let config = &self.config;
-                    thread_handles.push(scope.spawn(move || {
-                        let source = WorkerSource {
-                            store: &store,
-                            cache: &cache,
-                            bytes: &bytes,
-                            requests: &requests,
-                        };
-                        let mut engine = LocalEngine::with_triangle_cache(
-                            compiled,
-                            &source,
-                            &order,
-                            config.triangle_cache_entries,
-                        );
-                        let mut counting = CountingConsumer::default();
-                        let mut collecting = CollectingConsumer::default();
-                        let mut result = ThreadResult {
-                            metrics: TaskMetrics::default(),
-                            busy: Duration::ZERO,
-                            task_times: Vec::new(),
-                            tri_stats: benu_cache::CacheStats::default(),
-                            matches: None,
-                        };
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= tasks.len() {
-                                break;
-                            }
-                            let t0 = Instant::now();
-                            let consumer: &mut dyn MatchConsumer = if collect {
-                                &mut collecting
-                            } else {
-                                &mut counting
-                            };
-                            result.metrics += engine.run_task(tasks[i], consumer);
-                            let dt = t0.elapsed();
-                            result.busy += dt;
-                            if config.collect_task_times {
-                                result.task_times.push(dt);
-                            }
-                        }
-                        result.tri_stats = engine.triangle_cache_stats();
-                        if collect {
-                            result.matches = Some(collecting.into_matches());
-                        }
-                        result
-                    }));
+        let mut all_matches: Option<Matches> = collect.then(Vec::new);
+        let mut all_task_times = self.config.collect_task_times.then(Vec::new);
+        for (w, results) in thread_results.into_iter().enumerate() {
+            let mut report = WorkerReport {
+                worker: w,
+                tasks: scheduler.assigned(w),
+                steals: scheduler.steals(w),
+                ..WorkerReport::default()
+            };
+            for result in results {
+                let r = result?;
+                report.metrics += r.metrics;
+                report.busy_time += r.busy;
+                report.tasks_executed += r.executed;
+                report.thread_busy.push(r.busy);
+                report.triangle_cache.hits += r.tri_stats.hits;
+                report.triangle_cache.misses += r.tri_stats.misses;
+                if let Some(times) = all_task_times.as_mut() {
+                    times.extend(r.task_times);
                 }
-                worker_handles.push((w, cache, bytes, requests, tasks.len(), thread_handles));
-            }
-
-            for (w, cache, bytes, requests, num_tasks, thread_handles) in worker_handles {
-                let mut report = WorkerReport {
-                    worker: w,
-                    tasks: num_tasks,
-                    ..WorkerReport::default()
-                };
-                for handle in thread_handles {
-                    let r = handle.join().expect("worker thread panicked");
-                    report.metrics += r.metrics;
-                    report.busy_time += r.busy;
-                    report.thread_busy.push(r.busy);
-                    report.triangle_cache.hits += r.tri_stats.hits;
-                    report.triangle_cache.misses += r.tri_stats.misses;
-                    if let Some(times) = all_task_times.as_mut() {
-                        times.extend(r.task_times);
-                    }
-                    if let (Some(all), Some(mine)) = (all_matches.as_mut(), r.matches) {
-                        all.extend(mine);
-                    }
+                if let (Some(all), Some(mine)) = (all_matches.as_mut(), r.matches) {
+                    all.extend(mine);
                 }
-                report.cache = cache.stats();
-                report.comm_bytes = bytes.load(Ordering::Relaxed);
-                report.comm_requests = requests.load(Ordering::Relaxed);
-                reports.push(report);
             }
-        });
+            // Per-run cache effectiveness: delta against the persistent
+            // cache's counters at run start.
+            let now = self.caches[w].stats();
+            let before = cache_stats_before[w];
+            report.cache = CacheStats {
+                hits: now.hits - before.hits,
+                misses: now.misses - before.misses,
+                evictions: now.evictions - before.evictions,
+            };
+            report.comm_bytes = transports[w].bytes();
+            report.comm_requests = transports[w].requests();
+            report.batch_round_trips = transports[w].batch_round_trips();
+            reports.push(report);
+        }
 
-        let elapsed = started.elapsed();
-        let mut metrics = TaskMetrics::default();
+        let mut metrics = benu_engine::TaskMetrics::default();
         for r in &reports {
             metrics += r.metrics;
         }
@@ -254,22 +256,25 @@ impl Cluster {
             metrics,
             workers: reports,
             kv: self.store.stats(),
-            total_tasks: tasks.len(),
+            total_tasks,
+            scheduler: self.config.scheduler,
             task_times: all_task_times,
         };
         if let Some(m) = all_matches.as_mut() {
             m.sort_unstable();
         }
-        (outcome, all_matches)
+        Ok((outcome, all_matches))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule::SchedulerKind;
     use benu_graph::gen;
     use benu_pattern::queries;
     use benu_plan::PlanBuilder;
+    use std::time::Duration;
 
     fn small_cluster(g: &Graph, workers: usize, threads: usize) -> Cluster {
         Cluster::new(
@@ -288,9 +293,11 @@ mod tests {
         let g = gen::complete(6);
         let cluster = small_cluster(&g, 2, 2);
         let plan = PlanBuilder::new(&queries::triangle()).best_plan();
-        let outcome = cluster.run(&plan);
+        let outcome = cluster.run(&plan).unwrap();
         assert_eq!(outcome.total_matches, 20);
         assert_eq!(outcome.total_tasks, 6);
+        let executed: usize = outcome.workers.iter().map(|w| w.tasks_executed).sum();
+        assert_eq!(executed, 6);
     }
 
     #[test]
@@ -300,7 +307,7 @@ mod tests {
         let expected = benu_engine::count_embeddings(&plan, &g);
         for (workers, threads) in [(1, 1), (2, 3), (5, 2)] {
             let cluster = small_cluster(&g, workers, threads);
-            let outcome = cluster.run(&plan);
+            let outcome = cluster.run(&plan).unwrap();
             assert_eq!(
                 outcome.total_matches, expected,
                 "{workers}x{threads} cluster changed the count"
@@ -311,7 +318,9 @@ mod tests {
     #[test]
     fn result_is_independent_of_cache_capacity_and_tau() {
         let g = gen::barabasi_albert(120, 5, 8);
-        let plan = PlanBuilder::new(&queries::q4()).compressed(true).best_plan();
+        let plan = PlanBuilder::new(&queries::q4())
+            .compressed(true)
+            .best_plan();
         let mut counts = std::collections::HashSet::new();
         for (capacity, tau) in [(0usize, 0usize), (1 << 12, 10), (1 << 24, 500)] {
             let cluster = Cluster::new(
@@ -323,7 +332,7 @@ mod tests {
                     .tau(tau)
                     .build(),
             );
-            counts.insert(cluster.run(&plan).total_matches);
+            counts.insert(cluster.run(&plan).unwrap().total_matches);
         }
         assert_eq!(counts.len(), 1, "configuration changed results: {counts:?}");
     }
@@ -333,7 +342,7 @@ mod tests {
         let g = gen::erdos_renyi_gnm(40, 150, 21);
         let plan = PlanBuilder::new(&queries::triangle()).best_plan();
         let cluster = small_cluster(&g, 3, 2);
-        let (outcome, matches) = cluster.run_collect(&plan);
+        let (outcome, matches) = cluster.run_collect(&plan).unwrap();
         let expected = benu_engine::collect_embeddings(&plan, &g);
         assert_eq!(matches, expected);
         assert_eq!(outcome.total_matches as usize, matches.len());
@@ -344,13 +353,17 @@ mod tests {
         let g = gen::barabasi_albert(200, 4, 13);
         let plan = PlanBuilder::new(&queries::triangle()).best_plan();
         let cluster = small_cluster(&g, 2, 2);
-        let outcome = cluster.run(&plan);
+        let outcome = cluster.run(&plan).unwrap();
         // Worker-level byte counts must equal the store's own accounting.
         assert_eq!(outcome.communication_bytes(), outcome.kv.bytes);
         assert!(outcome.kv.requests > 0);
-        // Cache misses equal store requests.
+        // Cache misses equal values served by the store (round trips and
+        // keys coincide here because nothing batches without prefetch).
         let misses: u64 = outcome.workers.iter().map(|w| w.cache.misses).sum();
-        assert_eq!(misses, outcome.kv.requests);
+        assert_eq!(misses, outcome.kv.keys);
+        assert_eq!(outcome.kv.keys, outcome.kv.requests);
+        let requests: u64 = outcome.workers.iter().map(|w| w.comm_requests).sum();
+        assert_eq!(requests, outcome.kv.requests);
     }
 
     #[test]
@@ -366,7 +379,7 @@ mod tests {
                     .cache_capacity_bytes(capacity)
                     .build(),
             );
-            cluster.run(&plan)
+            cluster.run(&plan).unwrap()
         };
         let cold = run_with_capacity(0);
         let warm = run_with_capacity(64 << 20);
@@ -381,6 +394,55 @@ mod tests {
     }
 
     #[test]
+    fn caches_persist_across_runs_until_cleared() {
+        let g = gen::barabasi_albert(200, 5, 6);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        // One thread per worker: concurrent threads can race on the same
+        // cold miss and double-fetch, which would make the exact
+        // cold-vs-cold byte comparison below nondeterministic.
+        let cluster = Cluster::new(
+            &g,
+            ClusterConfig::builder()
+                .workers(2)
+                .threads_per_worker(1)
+                .cache_capacity_bytes(64 << 20)
+                .build(),
+        );
+        let first = cluster.run(&plan).unwrap();
+        let second = cluster.run(&plan).unwrap();
+        assert_eq!(first.total_matches, second.total_matches);
+        assert!(
+            second.communication_bytes() < first.communication_bytes() / 10,
+            "second run must be nearly free on a warm cache ({} vs {})",
+            second.communication_bytes(),
+            first.communication_bytes()
+        );
+        cluster.clear_caches();
+        let cold = cluster.run(&plan).unwrap();
+        assert_eq!(
+            cold.communication_bytes(),
+            first.communication_bytes(),
+            "clear_caches must restore the cold-cache cost"
+        );
+    }
+
+    #[test]
+    fn per_run_cache_stats_are_deltas() {
+        let g = gen::erdos_renyi_gnm(80, 300, 3);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let cluster = small_cluster(&g, 2, 1);
+        let first = cluster.run(&plan).unwrap();
+        let second = cluster.run(&plan).unwrap();
+        let misses = |o: &RunOutcome| o.workers.iter().map(|w| w.cache.misses).sum::<u64>();
+        assert!(misses(&first) > 0);
+        assert_eq!(
+            misses(&second),
+            0,
+            "warm second run must report zero per-run misses"
+        );
+    }
+
+    #[test]
     fn task_times_are_collected_when_requested() {
         let g = gen::erdos_renyi_gnm(50, 120, 2);
         let plan = PlanBuilder::new(&queries::triangle()).best_plan();
@@ -392,7 +454,7 @@ mod tests {
                 .collect_task_times(true)
                 .build(),
         );
-        let outcome = cluster.run(&plan);
+        let outcome = cluster.run(&plan).unwrap();
         let times = outcome.task_times.as_ref().unwrap();
         assert_eq!(times.len(), outcome.total_tasks);
     }
@@ -401,17 +463,126 @@ mod tests {
     fn splitting_creates_more_tasks_on_skewed_graphs() {
         let g = gen::star(100);
         let plan = PlanBuilder::new(&queries::triangle()).best_plan();
-        let unsplit = Cluster::new(
-            &g,
-            ClusterConfig::builder().workers(2).tau(0).build(),
-        );
-        let split = Cluster::new(
-            &g,
-            ClusterConfig::builder().workers(2).tau(10).build(),
-        );
-        let a = unsplit.run(&plan);
-        let b = split.run(&plan);
+        let unsplit = Cluster::new(&g, ClusterConfig::builder().workers(2).tau(0).build());
+        let split = Cluster::new(&g, ClusterConfig::builder().workers(2).tau(10).build());
+        let a = unsplit.run(&plan).unwrap();
+        let b = split.run(&plan).unwrap();
         assert_eq!(a.total_matches, b.total_matches);
         assert!(b.total_tasks > a.total_tasks);
+    }
+
+    /// An adversarial placement for the static shuffle: cliques laid out
+    /// so every member's id is ≡ 0 (mod `spacing`). With tau = 0 the
+    /// task index equals the vertex id, so round-robin over `spacing`
+    /// workers parks every clique task — all the triangle work — on
+    /// worker 0, while the other workers draw only isolated vertices.
+    fn cliques_on_multiples_of(spacing: usize, cliques: usize, size: usize) -> Graph {
+        let mut edges = Vec::new();
+        for c in 0..cliques {
+            let base = c * size * spacing;
+            for i in 0..size {
+                for j in (i + 1)..size {
+                    edges.push((
+                        (base + i * spacing) as VertexId,
+                        (base + j * spacing) as VertexId,
+                    ));
+                }
+            }
+        }
+        Graph::from_edges(edges)
+    }
+
+    #[test]
+    fn work_stealing_improves_balance_on_skewed_placement() {
+        // 4 workers × 1 thread; all clique members at ids ≡ 0 (mod 4) so
+        // the static round-robin shuffle lands every heavy task on
+        // worker 0.
+        let workers = 4;
+        let g = cliques_on_multiples_of(workers, 2, 40);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let run = |kind: SchedulerKind| {
+            let cluster = Cluster::new(
+                &g,
+                ClusterConfig::builder()
+                    .workers(workers)
+                    .threads_per_worker(1)
+                    .tau(0)
+                    .cache_capacity_bytes(0)
+                    .scheduler(kind)
+                    .build(),
+            );
+            cluster.run(&plan).unwrap()
+        };
+        let stat = run(SchedulerKind::Static);
+        let ws = run(SchedulerKind::WorkStealing);
+        assert_eq!(stat.total_matches, ws.total_matches);
+        assert_eq!(stat.total_steals(), 0);
+        assert!(ws.total_steals() > 0, "idle workers must have stolen");
+        let floor = Duration::from_micros(50);
+        let (r_stat, r_ws) = (stat.busy_ratio(floor), ws.busy_ratio(floor));
+        assert!(
+            r_ws < r_stat,
+            "work stealing must improve the max/min busy ratio (static {r_stat:.1}, ws {r_ws:.1})"
+        );
+        // Migration must be visible in the per-worker reports.
+        let moved = ws.workers.iter().any(|w| w.tasks_executed != w.tasks);
+        assert!(moved, "some tasks must have migrated");
+    }
+
+    #[test]
+    fn invariants_hold_under_both_schedulers() {
+        let g = gen::barabasi_albert(150, 4, 9);
+        let plan = PlanBuilder::new(&queries::q1()).best_plan();
+        let expected = benu_engine::count_embeddings(&plan, &g);
+        for kind in [SchedulerKind::Static, SchedulerKind::WorkStealing] {
+            let cluster = Cluster::new(
+                &g,
+                ClusterConfig::builder()
+                    .workers(3)
+                    .threads_per_worker(2)
+                    .scheduler(kind)
+                    .build(),
+            );
+            let outcome = cluster.run(&plan).unwrap();
+            assert_eq!(outcome.total_matches, expected, "{kind} changed the count");
+            assert_eq!(outcome.scheduler, kind);
+            let executed: usize = outcome.workers.iter().map(|w| w.tasks_executed).sum();
+            assert_eq!(
+                executed, outcome.total_tasks,
+                "{kind} lost or duplicated tasks"
+            );
+            let assigned: usize = outcome.workers.iter().map(|w| w.tasks).sum();
+            assert_eq!(assigned, outcome.total_tasks);
+        }
+    }
+
+    #[test]
+    fn prefetch_cuts_round_trips_without_changing_bytes_accounting() {
+        let g = gen::barabasi_albert(200, 5, 11);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let run = |prefetch: bool| {
+            let cluster = Cluster::new(
+                &g,
+                ClusterConfig::builder()
+                    .workers(2)
+                    .threads_per_worker(1)
+                    .cache_capacity_bytes(64 << 20)
+                    .prefetch_frontier(prefetch)
+                    .build(),
+            );
+            cluster.run(&plan).unwrap()
+        };
+        let plain = run(false);
+        let prefetched = run(true);
+        assert_eq!(plain.total_matches, prefetched.total_matches);
+        assert!(prefetched.workers.iter().any(|w| w.batch_round_trips > 0));
+        assert!(
+            prefetched.kv.requests < plain.kv.requests,
+            "batched prefetch must lower round trips ({} vs {})",
+            prefetched.kv.requests,
+            plain.kv.requests
+        );
+        // Bytes still reconcile between worker and store accounting.
+        assert_eq!(prefetched.communication_bytes(), prefetched.kv.bytes);
     }
 }

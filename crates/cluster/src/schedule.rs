@@ -1,0 +1,290 @@
+//! Pluggable task schedulers.
+//!
+//! The paper shuffles local search tasks evenly to the reducers and lets
+//! task splitting (§V-B) bound the size of any single task. Splitting
+//! caps the *largest* task but cannot fix placement skew: a static
+//! round-robin shuffle can still land all the heavy tasks on one worker.
+//! This module makes the assignment policy pluggable behind the
+//! [`Scheduler`] trait:
+//!
+//! * [`StaticScheduler`] — the paper's even shuffle: each worker owns a
+//!   fixed slice of the task list and threads pull from it; nothing moves
+//!   between workers.
+//! * [`WorkStealingScheduler`] — the same initial shuffle, but a worker
+//!   that drains its queue steals the back half of a victim's queue,
+//!   redistributing placement skew at run time.
+//!
+//! Both schedulers execute every generated task exactly once, so match
+//! counts — and, with the database cache disabled, communication bytes —
+//! are scheduler-independent (asserted by the cross-scheduler property
+//! test in `tests/`).
+
+use benu_engine::SearchTask;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Which scheduling policy a cluster run uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Fixed round-robin assignment (the paper's even shuffle).
+    #[default]
+    Static,
+    /// Round-robin assignment plus steal-half-on-exhaustion.
+    WorkStealing,
+}
+
+impl SchedulerKind {
+    /// Stable lowercase name (the CLI / JSON spelling).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Static => "static",
+            SchedulerKind::WorkStealing => "work-stealing",
+        }
+    }
+
+    /// Builds a scheduler of this kind over an initial per-worker
+    /// assignment (one queue per worker, tasks in execution order).
+    pub fn build(&self, worker_tasks: Vec<Vec<SearchTask>>) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Static => Box::new(StaticScheduler::new(worker_tasks)),
+            SchedulerKind::WorkStealing => Box::new(WorkStealingScheduler::new(worker_tasks)),
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "static" | "round-robin" | "rr" => Ok(SchedulerKind::Static),
+            "work-stealing" | "stealing" | "ws" => Ok(SchedulerKind::WorkStealing),
+            other => Err(format!(
+                "unknown scheduler {other:?} (expected \"static\" or \"work-stealing\")"
+            )),
+        }
+    }
+}
+
+/// Hands tasks to worker threads. One scheduler instance drives one run;
+/// all threads of worker `w` call [`Scheduler::next`]`(w)` until it
+/// returns `None`.
+pub trait Scheduler: Sync {
+    /// The next task for a thread of `worker`, or `None` when no work
+    /// remains anywhere this worker may draw from.
+    fn next(&self, worker: usize) -> Option<SearchTask>;
+
+    /// Tasks initially assigned to `worker` (before any stealing).
+    fn assigned(&self, worker: usize) -> usize;
+
+    /// Tasks `worker` has taken from other workers' queues so far.
+    fn steals(&self, worker: usize) -> u64;
+}
+
+/// The paper's static shuffle: per-worker task slices consumed through an
+/// atomic cursor, no migration.
+pub struct StaticScheduler {
+    queues: Vec<(Vec<SearchTask>, AtomicUsize)>,
+}
+
+impl StaticScheduler {
+    /// Wraps a fixed per-worker assignment.
+    pub fn new(worker_tasks: Vec<Vec<SearchTask>>) -> Self {
+        StaticScheduler {
+            queues: worker_tasks
+                .into_iter()
+                .map(|tasks| (tasks, AtomicUsize::new(0)))
+                .collect(),
+        }
+    }
+}
+
+impl Scheduler for StaticScheduler {
+    fn next(&self, worker: usize) -> Option<SearchTask> {
+        let (tasks, cursor) = &self.queues[worker];
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        tasks.get(i).copied()
+    }
+
+    fn assigned(&self, worker: usize) -> usize {
+        self.queues[worker].0.len()
+    }
+
+    fn steals(&self, _worker: usize) -> u64 {
+        0
+    }
+}
+
+/// Steal-half work stealing over per-worker deques.
+///
+/// Threads pop their own worker's queue from the front; an exhausted
+/// worker scans the other workers (starting at its right neighbour) and
+/// transfers the *back* half of the first non-empty queue it finds —
+/// back, because a queue's front is about to be executed by its owner and
+/// is the most cache-relevant to it. The victim's lock is released before
+/// the thief touches its own queue, so no thread ever holds two queue
+/// locks (no lock-order deadlock).
+///
+/// A momentary race (a thread observing all queues empty while a thief
+/// holds freshly stolen tasks it has not yet re-queued) can only make
+/// that thread exit early — the stolen tasks are still executed exactly
+/// once by the thief's worker.
+pub struct WorkStealingScheduler {
+    queues: Vec<Mutex<VecDeque<SearchTask>>>,
+    assigned: Vec<usize>,
+    steals: Vec<AtomicU64>,
+}
+
+impl WorkStealingScheduler {
+    /// Wraps an initial per-worker assignment.
+    pub fn new(worker_tasks: Vec<Vec<SearchTask>>) -> Self {
+        WorkStealingScheduler {
+            assigned: worker_tasks.iter().map(Vec::len).collect(),
+            steals: worker_tasks.iter().map(|_| AtomicU64::new(0)).collect(),
+            queues: worker_tasks
+                .into_iter()
+                .map(|tasks| Mutex::new(VecDeque::from(tasks)))
+                .collect(),
+        }
+    }
+}
+
+impl Scheduler for WorkStealingScheduler {
+    fn next(&self, worker: usize) -> Option<SearchTask> {
+        if let Some(task) = self.queues[worker].lock().pop_front() {
+            return Some(task);
+        }
+        let p = self.queues.len();
+        for offset in 1..p {
+            let victim = (worker + offset) % p;
+            let mut stolen = {
+                let mut queue = self.queues[victim].lock();
+                let n = queue.len();
+                if n == 0 {
+                    continue;
+                }
+                // Victim keeps the front ⌊n/2⌋ tasks; the thief takes the
+                // rest (so a single remaining task migrates whole).
+                queue.split_off(n / 2)
+            };
+            self.steals[worker].fetch_add(stolen.len() as u64, Ordering::Relaxed);
+            let task = stolen.pop_front().expect("stole at least one task");
+            if !stolen.is_empty() {
+                self.queues[worker].lock().append(&mut stolen);
+            }
+            return Some(task);
+        }
+        None
+    }
+
+    fn assigned(&self, worker: usize) -> usize {
+        self.assigned[worker]
+    }
+
+    fn steals(&self, worker: usize) -> u64 {
+        self.steals[worker].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benu_graph::VertexId;
+
+    fn tasks(ids: std::ops::Range<u32>) -> Vec<SearchTask> {
+        ids.map(|v| SearchTask::whole(v as VertexId)).collect()
+    }
+
+    fn drain_all(s: &dyn Scheduler, workers: usize) -> Vec<Vec<VertexId>> {
+        (0..workers)
+            .map(|w| {
+                let mut got = Vec::new();
+                while let Some(t) = s.next(w) {
+                    got.push(t.start);
+                }
+                got
+            })
+            .collect()
+    }
+
+    #[test]
+    fn static_scheduler_keeps_assignment_fixed() {
+        let s = StaticScheduler::new(vec![tasks(0..3), tasks(3..5)]);
+        assert_eq!(s.assigned(0), 3);
+        assert_eq!(s.assigned(1), 2);
+        let got = drain_all(&s, 2);
+        assert_eq!(got[0], vec![0, 1, 2]);
+        assert_eq!(got[1], vec![3, 4]);
+        assert_eq!(s.steals(0) + s.steals(1), 0);
+    }
+
+    #[test]
+    fn work_stealing_executes_every_task_exactly_once() {
+        let s = WorkStealingScheduler::new(vec![tasks(0..10), Vec::new(), Vec::new()]);
+        // Idle worker 1 moves first, so there is still work to steal.
+        let mut all: Vec<VertexId> = Vec::new();
+        for w in [1, 2, 0] {
+            while let Some(t) = s.next(w) {
+                all.push(t.start);
+            }
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        assert!(s.steals(1) > 0, "idle workers must steal");
+        assert_eq!(s.assigned(0), 10, "initial assignment is unchanged");
+    }
+
+    #[test]
+    fn thief_takes_the_back_half() {
+        let s = WorkStealingScheduler::new(vec![tasks(0..8), Vec::new()]);
+        // Worker 1 is empty: its first `next` steals tasks 4..8.
+        let first = s.next(1).unwrap();
+        assert_eq!(first.start, 4);
+        assert_eq!(s.steals(1), 4);
+        // The victim still owns its front half.
+        assert_eq!(s.next(0).unwrap().start, 0);
+    }
+
+    #[test]
+    fn single_task_queues_are_stolen_whole() {
+        let s = WorkStealingScheduler::new(vec![tasks(0..1), Vec::new()]);
+        assert_eq!(s.next(1).unwrap().start, 0);
+        assert!(s.next(0).is_none());
+    }
+
+    #[test]
+    fn kind_parses_and_displays() {
+        use std::str::FromStr;
+        assert_eq!(
+            SchedulerKind::from_str("static").unwrap(),
+            SchedulerKind::Static
+        );
+        assert_eq!(
+            SchedulerKind::from_str("rr").unwrap(),
+            SchedulerKind::Static
+        );
+        assert_eq!(
+            SchedulerKind::from_str("work-stealing").unwrap(),
+            SchedulerKind::WorkStealing
+        );
+        assert_eq!(SchedulerKind::WorkStealing.to_string(), "work-stealing");
+        assert!(SchedulerKind::from_str("lottery").is_err());
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Static);
+    }
+
+    #[test]
+    fn exhausted_scheduler_returns_none_everywhere() {
+        let s = WorkStealingScheduler::new(vec![tasks(0..2), tasks(2..4)]);
+        drain_all(&s, 2);
+        for w in 0..2 {
+            assert!(s.next(w).is_none());
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The per-worker store transport.
+//!
+//! Every database access of a worker machine flows through one
+//! [`Transport`], which owns the worker-side communication accounting:
+//! bytes transferred, round trips issued, and how many of those round
+//! trips were batched multi-gets. Centralising the counters here keeps
+//! the rest of the runtime free of accounting code and guarantees the
+//! per-worker sums reconcile with the store's own shard counters (the
+//! `communication_accounting_is_consistent` test).
+
+use benu_graph::{AdjSet, VertexId};
+use benu_kvstore::KvStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One worker's channel to the sharded store.
+pub struct Transport {
+    store: Arc<KvStore>,
+    bytes: AtomicU64,
+    requests: AtomicU64,
+    batch_round_trips: AtomicU64,
+}
+
+impl Transport {
+    /// Attaches a worker to the store.
+    pub fn new(store: Arc<KvStore>) -> Self {
+        Transport {
+            store,
+            bytes: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            batch_round_trips: AtomicU64::new(0),
+        }
+    }
+
+    /// The attached store.
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// Fetches one adjacency set (one round trip). `None` for unknown
+    /// vertices — nothing is charged for a miss.
+    pub fn fetch(&self, v: VertexId) -> Option<Arc<AdjSet>> {
+        let adj = self.store.get(v)?;
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(adj.size_bytes() as u64, Ordering::Relaxed);
+        Some(adj)
+    }
+
+    /// Fetches a batch in one round trip per touched shard. Slots of
+    /// unknown vertices come back `None`.
+    pub fn fetch_many(&self, vs: &[VertexId]) -> Vec<Option<Arc<AdjSet>>> {
+        let batch = self.store.get_many(vs);
+        self.requests
+            .fetch_add(batch.round_trips, Ordering::Relaxed);
+        self.batch_round_trips
+            .fetch_add(batch.round_trips, Ordering::Relaxed);
+        self.bytes.fetch_add(batch.bytes, Ordering::Relaxed);
+        batch.values
+    }
+
+    /// Value bytes this worker has pulled over the wire.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Round trips this worker has issued (single gets plus one per shard
+    /// touched by each batch).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// The subset of [`Transport::requests`] issued by batched multi-gets.
+    pub fn batch_round_trips(&self) -> u64 {
+        self.batch_round_trips.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benu_graph::gen;
+
+    #[test]
+    fn fetch_accounts_bytes_and_requests() {
+        let g = gen::star(9);
+        let t = Transport::new(Arc::new(KvStore::from_graph(&g, 2)));
+        let adj = t.fetch(0).unwrap();
+        assert_eq!(adj.len(), 9);
+        assert_eq!(t.requests(), 1);
+        assert_eq!(t.bytes(), 36);
+        assert_eq!(t.batch_round_trips(), 0);
+        assert!(t.fetch(100).is_none());
+        assert_eq!(t.requests(), 1, "misses are free");
+    }
+
+    #[test]
+    fn fetch_many_batches_round_trips() {
+        let g = gen::cycle(8);
+        let t = Transport::new(Arc::new(KvStore::from_graph(&g, 4)));
+        let values = t.fetch_many(&[0, 4, 1]);
+        assert!(values.iter().all(Option::is_some));
+        assert_eq!(t.requests(), 2, "vertices 0 and 4 share a shard");
+        assert_eq!(t.batch_round_trips(), 2);
+        assert_eq!(t.bytes(), 3 * 8);
+    }
+
+    #[test]
+    fn worker_counters_reconcile_with_store_counters() {
+        let g = gen::barabasi_albert(50, 3, 2);
+        let store = Arc::new(KvStore::from_graph(&g, 3));
+        let t = Transport::new(Arc::clone(&store));
+        t.fetch(1);
+        t.fetch_many(&[2, 3, 4, 5]);
+        let kv = store.stats();
+        assert_eq!(t.bytes(), kv.bytes);
+        assert_eq!(t.requests(), kv.requests);
+    }
+}

@@ -1,0 +1,409 @@
+//! The worker thread body.
+//!
+//! Each simulated worker machine runs `threads_per_worker` OS threads,
+//! all executing [`Worker::run_thread`]: pull a task from the scheduler,
+//! optionally prefetch its frontier in one batched round trip, run it on
+//! a thread-local engine, accumulate metrics. Failures are structured —
+//! a vertex missing from the store or a panicking task aborts the whole
+//! run with a [`WorkerError`] instead of poisoning a thread join.
+
+use crate::config::ClusterConfig;
+use crate::schedule::Scheduler;
+use crate::transport::Transport;
+use benu_cache::DbCache;
+use benu_engine::{
+    CollectingConsumer, CompiledPlan, CountingConsumer, DataSource, LocalEngine, MatchConsumer,
+    TaskMetrics,
+};
+use benu_graph::{AdjSet, TotalOrder, VertexId};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a cluster run aborted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerError {
+    /// A task queried a vertex the store does not hold — the data graph
+    /// and the task list disagree (corrupted load or bad task input).
+    MissingVertex {
+        /// The worker that issued the query.
+        worker: usize,
+        /// The unknown vertex.
+        vertex: VertexId,
+    },
+    /// A task panicked inside the engine.
+    TaskPanicked {
+        /// The worker executing the task.
+        worker: usize,
+        /// The task's start vertex.
+        start: VertexId,
+    },
+    /// A worker thread died outside of task execution.
+    ThreadPanicked {
+        /// The worker whose thread died.
+        worker: usize,
+    },
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::MissingVertex { worker, vertex } => {
+                write!(f, "worker {worker}: vertex {vertex} missing from the store")
+            }
+            WorkerError::TaskPanicked { worker, start } => {
+                write!(
+                    f,
+                    "worker {worker}: task starting at vertex {start} panicked"
+                )
+            }
+            WorkerError::ThreadPanicked { worker } => {
+                write!(f, "worker {worker}: thread panicked outside task execution")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+/// First-error slot shared by every thread of a run. Recording an error
+/// raises the abort flag; threads poll it between tasks and bail out, so
+/// one failure drains the whole cluster quickly but cleanly.
+pub(crate) struct ErrorSlot {
+    error: Mutex<Option<WorkerError>>,
+    abort: AtomicBool,
+}
+
+impl ErrorSlot {
+    pub(crate) fn new() -> Self {
+        ErrorSlot {
+            error: Mutex::new(None),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    /// Records `err` if it is the first, and raises the abort flag.
+    pub(crate) fn record(&self, err: WorkerError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        self.abort.store(true, Ordering::Release);
+    }
+
+    /// True once any thread has failed.
+    pub(crate) fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    /// The first recorded error, if any.
+    pub(crate) fn first(&self) -> Option<WorkerError> {
+        self.error.lock().clone()
+    }
+}
+
+/// The engine's view of the data graph from inside one worker: database
+/// cache in front of the worker's [`Transport`]. Missing vertices cannot
+/// surface through the infallible [`DataSource`] signature, so they are
+/// recorded in the [`ErrorSlot`] and answered with an empty adjacency set
+/// — the run aborts before the bogus empty result can be observed as a
+/// match count.
+pub(crate) struct WorkerSource<'a> {
+    worker: usize,
+    transport: &'a Transport,
+    cache: &'a DbCache,
+    errors: &'a ErrorSlot,
+}
+
+impl WorkerSource<'_> {
+    fn missing(&self, vertex: VertexId) -> Arc<AdjSet> {
+        self.errors.record(WorkerError::MissingVertex {
+            worker: self.worker,
+            vertex,
+        });
+        Arc::new(AdjSet::new())
+    }
+
+    /// Warms the cache for a task starting at `start`: fetches the start
+    /// vertex, then pulls all its uncached neighbours in one batched
+    /// round trip. Prefetched entries enter the cache without counting a
+    /// miss (their later lookups count as hits); the byte accounting is
+    /// exact either way. May fetch neighbours the task never expands —
+    /// prefetching trades bytes for round trips.
+    pub(crate) fn prefetch_frontier(&self, start: VertexId) {
+        let adj = self.get_adj(start);
+        let missing: Vec<VertexId> = adj
+            .iter()
+            .copied()
+            .filter(|&w| !self.cache.contains(w))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        for (i, value) in self.transport.fetch_many(&missing).into_iter().enumerate() {
+            match value {
+                Some(adj) => self.cache.insert(missing[i], adj),
+                None => {
+                    self.missing(missing[i]);
+                }
+            }
+        }
+    }
+}
+
+impl DataSource for WorkerSource<'_> {
+    fn num_vertices(&self) -> usize {
+        self.transport.store().num_vertices()
+    }
+
+    fn get_adj(&self, v: VertexId) -> Arc<AdjSet> {
+        match self
+            .cache
+            .get_or_fetch(v, || self.transport.fetch(v).ok_or(()))
+        {
+            Ok(adj) => adj,
+            Err(()) => self.missing(v),
+        }
+    }
+
+    fn get_adj_batch(&self, vs: &[VertexId]) -> Vec<Arc<AdjSet>> {
+        let mut out: Vec<Option<Arc<AdjSet>>> = vec![None; vs.len()];
+        let mut missing_slots = Vec::new();
+        let mut missing_keys = Vec::new();
+        for (i, &v) in vs.iter().enumerate() {
+            match self.cache.get(v) {
+                Some(adj) => out[i] = Some(adj),
+                None => {
+                    missing_slots.push(i);
+                    missing_keys.push(v);
+                }
+            }
+        }
+        if !missing_keys.is_empty() {
+            for (j, value) in self
+                .transport
+                .fetch_many(&missing_keys)
+                .into_iter()
+                .enumerate()
+            {
+                out[missing_slots[j]] = Some(match value {
+                    Some(adj) => {
+                        self.cache.insert(missing_keys[j], Arc::clone(&adj));
+                        adj
+                    }
+                    None => self.missing(missing_keys[j]),
+                });
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every slot filled"))
+            .collect()
+    }
+}
+
+/// What one thread accumulated over its share of the run.
+pub struct ThreadResult {
+    pub(crate) metrics: TaskMetrics,
+    pub(crate) busy: Duration,
+    pub(crate) executed: usize,
+    pub(crate) task_times: Vec<Duration>,
+    pub(crate) tri_stats: benu_cache::CacheStats,
+    pub(crate) matches: Option<Vec<Vec<VertexId>>>,
+}
+
+/// One worker machine's execution context, shared by its threads.
+pub struct Worker<'a> {
+    pub(crate) id: usize,
+    pub(crate) scheduler: &'a dyn Scheduler,
+    pub(crate) transport: &'a Transport,
+    pub(crate) cache: &'a DbCache,
+    pub(crate) order: &'a TotalOrder,
+    pub(crate) compiled: &'a CompiledPlan,
+    pub(crate) config: &'a ClusterConfig,
+    pub(crate) errors: &'a ErrorSlot,
+}
+
+impl Worker<'_> {
+    /// The thread body: pulls tasks from the scheduler until exhaustion
+    /// or abort. `collect` switches from counting to materialising
+    /// matches.
+    pub fn run_thread(&self, collect: bool) -> Result<ThreadResult, WorkerError> {
+        let source = WorkerSource {
+            worker: self.id,
+            transport: self.transport,
+            cache: self.cache,
+            errors: self.errors,
+        };
+        let mut engine = LocalEngine::with_triangle_cache(
+            self.compiled,
+            &source,
+            self.order,
+            self.config.triangle_cache_entries,
+        );
+        let mut counting = CountingConsumer::default();
+        let mut collecting = CollectingConsumer::default();
+        let mut result = ThreadResult {
+            metrics: TaskMetrics::default(),
+            busy: Duration::ZERO,
+            executed: 0,
+            task_times: Vec::new(),
+            tri_stats: benu_cache::CacheStats::default(),
+            matches: None,
+        };
+        let prefetch = self.config.prefetch_frontier && self.config.cache_capacity_bytes > 0;
+        while !self.errors.aborted() {
+            let Some(task) = self.scheduler.next(self.id) else {
+                break;
+            };
+            if prefetch {
+                source.prefetch_frontier(task.start);
+            }
+            let t0 = Instant::now();
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                let consumer: &mut dyn MatchConsumer = if collect {
+                    &mut collecting
+                } else {
+                    &mut counting
+                };
+                engine.run_task(task, consumer)
+            }));
+            match run {
+                Ok(metrics) => {
+                    result.metrics += metrics;
+                    result.executed += 1;
+                }
+                Err(_) => {
+                    let err = WorkerError::TaskPanicked {
+                        worker: self.id,
+                        start: task.start,
+                    };
+                    self.errors.record(err.clone());
+                    return Err(err);
+                }
+            }
+            let dt = t0.elapsed();
+            result.busy += dt;
+            if self.config.collect_task_times {
+                result.task_times.push(dt);
+            }
+        }
+        result.tri_stats = engine.triangle_cache_stats();
+        if collect {
+            result.matches = Some(collecting.into_matches());
+        }
+        // Another thread may have failed while this one drained cleanly:
+        // surface that error so the run aborts deterministically.
+        match self.errors.first() {
+            Some(err) => Err(err),
+            None => Ok(result),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benu_graph::gen;
+    use benu_kvstore::KvStore;
+
+    fn harness(shards: usize) -> (Transport, DbCache, ErrorSlot) {
+        let g = gen::complete(5);
+        (
+            Transport::new(Arc::new(KvStore::from_graph(&g, shards))),
+            DbCache::new(1 << 16, 2),
+            ErrorSlot::new(),
+        )
+    }
+
+    #[test]
+    fn missing_vertex_records_error_and_returns_empty_set() {
+        let (transport, cache, errors) = harness(2);
+        let source = WorkerSource {
+            worker: 3,
+            transport: &transport,
+            cache: &cache,
+            errors: &errors,
+        };
+        let adj = source.get_adj(99);
+        assert!(adj.is_empty());
+        assert!(errors.aborted());
+        assert_eq!(
+            errors.first(),
+            Some(WorkerError::MissingVertex {
+                worker: 3,
+                vertex: 99
+            })
+        );
+    }
+
+    #[test]
+    fn error_slot_keeps_the_first_error() {
+        let slot = ErrorSlot::new();
+        assert!(!slot.aborted());
+        slot.record(WorkerError::ThreadPanicked { worker: 1 });
+        slot.record(WorkerError::ThreadPanicked { worker: 2 });
+        assert_eq!(
+            slot.first(),
+            Some(WorkerError::ThreadPanicked { worker: 1 })
+        );
+    }
+
+    #[test]
+    fn batch_lookup_serves_cache_hits_without_round_trips() {
+        let (transport, cache, errors) = harness(2);
+        let source = WorkerSource {
+            worker: 0,
+            transport: &transport,
+            cache: &cache,
+            errors: &errors,
+        };
+        source.get_adj(0);
+        let before = transport.requests();
+        let sets = source.get_adj_batch(&[0, 1, 2]);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets[0].len(), 4);
+        // Vertex 0 was cached; 1 and 2 arrive via one batched trip each
+        // shard (1 on shard 1, 2 on shard 0 → 2 round trips).
+        assert_eq!(transport.requests() - before, 2);
+        assert_eq!(transport.batch_round_trips(), 2);
+    }
+
+    #[test]
+    fn prefetch_warms_the_cache_in_one_batched_trip() {
+        let (transport, cache, errors) = harness(1);
+        let source = WorkerSource {
+            worker: 0,
+            transport: &transport,
+            cache: &cache,
+            errors: &errors,
+        };
+        source.prefetch_frontier(0);
+        // Start vertex + its 4 neighbours are now cached.
+        for v in 0..5 {
+            assert!(cache.contains(v));
+        }
+        // 1 single fetch for the start + 1 batched trip (single shard).
+        assert_eq!(transport.requests(), 2);
+        assert_eq!(transport.batch_round_trips(), 1);
+        // Re-prefetching is free.
+        source.prefetch_frontier(0);
+        assert_eq!(transport.requests(), 2);
+        assert!(!errors.aborted());
+    }
+
+    #[test]
+    fn worker_error_displays_context() {
+        let e = WorkerError::MissingVertex {
+            worker: 2,
+            vertex: 7,
+        };
+        assert_eq!(e.to_string(), "worker 2: vertex 7 missing from the store");
+        let e = WorkerError::TaskPanicked {
+            worker: 0,
+            start: 3,
+        };
+        assert!(e.to_string().contains("task starting at vertex 3"));
+    }
+}

@@ -36,15 +36,35 @@ pub enum CInstr {
     /// `slot[target] := source.get_adj(f[vertex])`.
     GetAdj { vertex: usize, target: usize },
     /// `slot[target] := ∩ operands, filtered`.
-    Intersect { target: usize, operands: Vec<COperand>, filters: Vec<CFilter> },
+    Intersect {
+        target: usize,
+        operands: Vec<COperand>,
+        filters: Vec<CFilter>,
+    },
     /// Loop `f[vertex]` over `slot[source]`; `is_second` marks the
     /// split-point enumeration of the second pattern vertex.
-    Foreach { vertex: usize, source: usize, is_second: bool },
+    Foreach {
+        vertex: usize,
+        source: usize,
+        is_second: bool,
+    },
     /// Triangle-cached `slot[target] := Γ(f[a]) ∩ Γ(f[b])`, filtered.
-    TCache { a: usize, b: usize, a_reg: usize, b_reg: usize, target: usize, filters: Vec<CFilter> },
+    TCache {
+        a: usize,
+        b: usize,
+        a_reg: usize,
+        b_reg: usize,
+        target: usize,
+        filters: Vec<CFilter>,
+    },
     /// Clique-cached `slot[target] := ∩_v Γ(f[v])`, filtered (the §IV-B
     /// future-work extension).
-    KCache { verts: Vec<usize>, regs: Vec<usize>, target: usize, filters: Vec<CFilter> },
+    KCache {
+        verts: Vec<usize>,
+        regs: Vec<usize>,
+        target: usize,
+        filters: Vec<CFilter>,
+    },
     /// Emit a match (or compressed code).
     Report,
 }
@@ -118,9 +138,16 @@ impl CompiledPlan {
                 Instruction::Init { vertex } => instrs.push(CInstr::Init { vertex: *vertex }),
                 Instruction::GetAdj { vertex } => {
                     let target = alloc(SetVar::Adj(*vertex), &mut reg_of);
-                    instrs.push(CInstr::GetAdj { vertex: *vertex, target });
+                    instrs.push(CInstr::GetAdj {
+                        vertex: *vertex,
+                        target,
+                    });
                 }
-                Instruction::Intersect { target, operands, filters } => {
+                Instruction::Intersect {
+                    target,
+                    operands,
+                    filters,
+                } => {
                     let operands = operands
                         .iter()
                         .map(|&op| match op {
@@ -136,7 +163,10 @@ impl CompiledPlan {
                         operands,
                         filters: filters
                             .iter()
-                            .map(|f| CFilter { op: f.op, vertex: f.vertex })
+                            .map(|f| CFilter {
+                                op: f.op,
+                                vertex: f.vertex,
+                            })
                             .collect(),
                     });
                 }
@@ -148,7 +178,12 @@ impl CompiledPlan {
                         is_second: Some(*vertex) == plan.matching_order.get(1).copied(),
                     });
                 }
-                Instruction::TCache { target, a, b, filters } => {
+                Instruction::TCache {
+                    target,
+                    a,
+                    b,
+                    filters,
+                } => {
                     let a_reg = *reg_of.get(&SetVar::Adj(*a)).expect("A_a defined");
                     let b_reg = *reg_of.get(&SetVar::Adj(*b)).expect("A_b defined");
                     let target = alloc(*target, &mut reg_of);
@@ -160,11 +195,18 @@ impl CompiledPlan {
                         target,
                         filters: filters
                             .iter()
-                            .map(|f| CFilter { op: f.op, vertex: f.vertex })
+                            .map(|f| CFilter {
+                                op: f.op,
+                                vertex: f.vertex,
+                            })
                             .collect(),
                     });
                 }
-                Instruction::KCache { target, verts, filters } => {
+                Instruction::KCache {
+                    target,
+                    verts,
+                    filters,
+                } => {
                     let regs: Vec<usize> = verts
                         .iter()
                         .map(|&v| *reg_of.get(&SetVar::Adj(v)).expect("A_v defined"))
@@ -176,7 +218,10 @@ impl CompiledPlan {
                         target,
                         filters: filters
                             .iter()
-                            .map(|f| CFilter { op: f.op, vertex: f.vertex })
+                            .map(|f| CFilter {
+                                op: f.op,
+                                vertex: f.vertex,
+                            })
                             .collect(),
                     });
                 }
@@ -214,20 +259,21 @@ impl CompiledPlan {
                     pair_order[t1][t2] = plan.symmetry.between(a, b);
                 }
             }
-            ExpansionInfo { non_cover, image_reg, pair_order }
+            ExpansionInfo {
+                non_cover,
+                image_reg,
+                pair_order,
+            }
         });
 
-        let second_vertex = plan
-            .instructions
-            .iter()
-            .find_map(|i| match i {
-                Instruction::Foreach { vertex, .. }
-                    if Some(*vertex) == plan.matching_order.get(1).copied() =>
-                {
-                    Some(*vertex)
-                }
-                _ => None,
-            });
+        let second_vertex = plan.instructions.iter().find_map(|i| match i {
+            Instruction::Foreach { vertex, .. }
+                if Some(*vertex) == plan.matching_order.get(1).copied() =>
+            {
+                Some(*vertex)
+            }
+            _ => None,
+        });
         let second_adjacent = plan
             .matching_order
             .get(1)
@@ -289,7 +335,9 @@ mod tests {
     #[test]
     fn compiles_demo_plan() {
         let p = queries::demo_pattern();
-        let plan = PlanBuilder::new(&p).matching_order(vec![0, 2, 4, 1, 5, 3]).build();
+        let plan = PlanBuilder::new(&p)
+            .matching_order(vec![0, 2, 4, 1, 5, 3])
+            .build();
         let c = CompiledPlan::compile(&plan);
         assert_eq!(c.num_pattern_vertices, 6);
         assert_eq!(c.start_vertex, 0);
@@ -322,7 +370,15 @@ mod tests {
         let second_count = c
             .instrs
             .iter()
-            .filter(|i| matches!(i, CInstr::Foreach { is_second: true, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    CInstr::Foreach {
+                        is_second: true,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(second_count, 1);
     }

@@ -226,7 +226,11 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                     debug_assert_ne!(v, UNSET);
                     self.slots[*target] = Slot::Adj(self.source.get_adj(v));
                 }
-                CInstr::Intersect { target, operands, filters } => {
+                CInstr::Intersect {
+                    target,
+                    operands,
+                    filters,
+                } => {
                     metrics.int_executions += 1;
                     let target = *target;
                     let mut buf = match std::mem::take(&mut self.slots[target]) {
@@ -240,7 +244,14 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                         return; // failed partial match: backtrack
                     }
                 }
-                CInstr::TCache { a, b, a_reg, b_reg, target, filters } => {
+                CInstr::TCache {
+                    a,
+                    b,
+                    a_reg,
+                    b_reg,
+                    target,
+                    filters,
+                } => {
                     metrics.trc_executions += 1;
                     let (va, vb) = (self.f[*a], self.f[*b]);
                     let (a_slice, b_slice) =
@@ -277,7 +288,12 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                         return;
                     }
                 }
-                CInstr::KCache { verts, regs, target, filters } => {
+                CInstr::KCache {
+                    verts,
+                    regs,
+                    target,
+                    filters,
+                } => {
                     metrics.trc_executions += 1;
                     // The cache key is the sorted tuple of mapped data
                     // vertices — the clique instance's identity.
@@ -318,7 +334,11 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                         return;
                     }
                 }
-                CInstr::Foreach { vertex, source, is_second } => {
+                CInstr::Foreach {
+                    vertex,
+                    source,
+                    is_second,
+                } => {
                     let vertex = *vertex;
                     // Take the candidate set out of its slot for the
                     // duration of the loop; nothing below reads it (its
@@ -456,13 +476,9 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                 metrics.code_bytes += (4 * (helve_len + image_entries)) as u64;
                 if consumer.needs_matches() {
                     self.expand_f.copy_from_slice(&self.f);
-                    expand::expand_code(
-                        info,
-                        &images,
-                        self.order,
-                        &mut self.expand_f,
-                        &mut |f| consumer.on_match(f),
-                    );
+                    expand::expand_code(info, &images, self.order, &mut self.expand_f, &mut |f| {
+                        consumer.on_match(f)
+                    });
                 }
                 drop(images);
                 self.label_scratch = label_scratch;
@@ -596,10 +612,14 @@ mod tests {
         // over f3, so the same (f1, f5) key recurs across branches — the
         // intra-task reuse Optimization 3 exists for.
         let p = queries::demo_pattern();
-        let plan = PlanBuilder::new(&p).matching_order(vec![0, 2, 4, 1, 5, 3]).build();
+        let plan = PlanBuilder::new(&p)
+            .matching_order(vec![0, 2, 4, 1, 5, 3])
+            .build();
         let compiled = CompiledPlan::compile(&plan);
         assert!(
-            compiled.kind_counts().contains_key(&benu_plan::ir::InstrKind::Trc),
+            compiled
+                .kind_counts()
+                .contains_key(&benu_plan::ir::InstrKind::Trc),
             "the demo plan uses the triangle cache"
         );
         let source = InMemorySource::from_graph(&g);

@@ -38,8 +38,8 @@ pub fn count_code_embeddings(
     let mut comp = (0..t).collect::<Vec<usize>>();
     for a in 0..t {
         for b in (a + 1)..t {
-            let interacting = info.pair_order[a][b].is_some()
-                || intersect_count(images[a], images[b]) > 0;
+            let interacting =
+                info.pair_order[a][b].is_some() || intersect_count(images[a], images[b]) > 0;
             if interacting {
                 let (ra, rb) = (root(&mut comp, a), root(&mut comp, b));
                 if ra != rb {
@@ -59,7 +59,7 @@ pub fn count_code_embeddings(
     total
 }
 
-fn root(comp: &mut Vec<usize>, mut x: usize) -> usize {
+fn root(comp: &mut [usize], mut x: usize) -> usize {
     while comp[x] != x {
         comp[x] = comp[comp[x]];
         x = comp[x];
@@ -152,13 +152,7 @@ fn count_injective_inclusion_exclusion(images: &[&[VertexId]], members: &[usize]
     // Enumerate set partitions of {0..k} (restricted growth strings).
     let mut total: i128 = 0;
     let mut blocks: Vec<usize> = Vec::new(); // block masks
-    fn rec(
-        pos: usize,
-        k: usize,
-        blocks: &mut Vec<usize>,
-        subset_size: &[i128],
-        total: &mut i128,
-    ) {
+    fn rec(pos: usize, k: usize, blocks: &mut Vec<usize>, subset_size: &[i128], total: &mut i128) {
         if pos == k {
             let mut term: i128 = 1;
             for &b in blocks.iter() {
@@ -264,15 +258,16 @@ fn expand_rec(
                 continue 'cand;
             }
             let (a, b) = (prev_depth.min(depth), prev_depth.max(depth));
-            match info.pair_order[a][b] {
-                Some(req) => {
-                    let (va, vb) = if a == prev_depth { (y, x) } else { (x, y) };
-                    let holds = if req { order.less(va, vb) } else { order.less(vb, va) };
-                    if !holds {
-                        continue 'cand;
-                    }
+            if let Some(req) = info.pair_order[a][b] {
+                let (va, vb) = if a == prev_depth { (y, x) } else { (x, y) };
+                let holds = if req {
+                    order.less(va, vb)
+                } else {
+                    order.less(vb, va)
+                };
+                if !holds {
+                    continue 'cand;
                 }
-                None => {}
             }
         }
         f[cur_vertex] = x;
@@ -304,7 +299,11 @@ mod tests {
         for &(a, b, ord) in pairs {
             pair_order[a][b] = ord;
         }
-        ExpansionInfo { non_cover, image_reg: vec![0; t], pair_order }
+        ExpansionInfo {
+            non_cover,
+            image_reg: vec![0; t],
+            pair_order,
+        }
     }
 
     fn identity_order(n: usize) -> TotalOrder {
@@ -377,7 +376,9 @@ mod tests {
         let mut f = vec![u32::MAX; 3];
         f[1] = 9; // pretend cover vertex
         let mut seen = Vec::new();
-        expand_code(&i, &[&a, &b], &order, &mut f, &mut |f| seen.push(f.to_vec()));
+        expand_code(&i, &[&a, &b], &order, &mut f, &mut |f| {
+            seen.push(f.to_vec())
+        });
         assert_eq!(seen.len() as u64, count);
         // Every emitted embedding respects injectivity.
         for m in &seen {
@@ -393,7 +394,9 @@ mod tests {
         assert_eq!(count_code_embeddings(&i, &[&a, &a], &order), 3);
         let mut f = vec![u32::MAX; 2];
         let mut seen = Vec::new();
-        expand_code(&i, &[&a, &a], &order, &mut f, &mut |f| seen.push(f.to_vec()));
+        expand_code(&i, &[&a, &a], &order, &mut f, &mut |f| {
+            seen.push(f.to_vec())
+        });
         assert!(seen.iter().all(|m| m[1] < m[0]));
     }
 
@@ -402,7 +405,9 @@ mod tests {
         // Deterministic pseudo-random overlapping sets, injectivity only.
         let mut state = 0xDEAD_BEEFu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         for t in 2..=4usize {

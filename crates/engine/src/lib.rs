@@ -55,16 +55,11 @@ pub fn count_embeddings(plan: &ExecutionPlan, g: &Graph) -> u64 {
 /// Convenience: counts embeddings of a *labeled* plan in `g` where
 /// `data_labels[v]` is the label of data vertex `v` (property-graph
 /// extension).
-pub fn count_labeled_embeddings(
-    plan: &ExecutionPlan,
-    g: &Graph,
-    data_labels: &[u32],
-) -> u64 {
+pub fn count_labeled_embeddings(plan: &ExecutionPlan, g: &Graph, data_labels: &[u32]) -> u64 {
     let compiled = CompiledPlan::compile(plan);
     let source = InMemorySource::from_graph(g);
     let order = TotalOrder::new(g);
-    let mut engine =
-        LocalEngine::new(&compiled, &source, &order).with_data_labels(data_labels);
+    let mut engine = LocalEngine::new(&compiled, &source, &order).with_data_labels(data_labels);
     let mut consumer = CountingConsumer::default();
     engine.run_all_vertices(&mut consumer).matches
 }

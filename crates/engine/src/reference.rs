@@ -28,7 +28,16 @@ pub fn enumerate_labeled(
     let n = pattern.num_vertices();
     let mut f: Vec<VertexId> = vec![VertexId::MAX; n];
     let mut out = Vec::new();
-    backtrack(g, pattern, symmetry, &order, data_labels, &mut f, 0, &mut out);
+    backtrack(
+        g,
+        pattern,
+        symmetry,
+        &order,
+        data_labels,
+        &mut f,
+        0,
+        &mut out,
+    );
     out.sort_unstable();
     out
 }
@@ -89,10 +98,10 @@ fn backtrack(
             }
         }
         // Symmetry-breaking partial order.
-        for w in 0..u {
+        for (w, &fw) in f.iter().enumerate().take(u) {
             match symmetry.between(w, u) {
-                Some(true) if !order.less(f[w], v) => continue 'cand,
-                Some(false) if !order.less(v, f[w]) => continue 'cand,
+                Some(true) if !order.less(fw, v) => continue 'cand,
+                Some(false) if !order.less(v, fw) => continue 'cand,
                 _ => {}
             }
         }
@@ -111,13 +120,17 @@ mod tests {
 
     #[test]
     fn triangle_count_matches_formula() {
-        assert_eq!(count_subgraphs(&gen::complete(6), &queries::triangle()), 20); // C(6,3)
+        assert_eq!(count_subgraphs(&gen::complete(6), &queries::triangle()), 20);
+        // C(6,3)
     }
 
     #[test]
     fn without_symmetry_each_subgraph_counted_aut_times() {
         let g = gen::erdos_renyi_gnm(20, 60, 4);
-        for (name, p) in [("triangle", queries::triangle()), ("square", queries::square())] {
+        for (name, p) in [
+            ("triangle", queries::triangle()),
+            ("square", queries::square()),
+        ] {
             let with = count(&g, &p, &SymmetryBreaking::compute(&p));
             let without = count(&g, &p, &SymmetryBreaking::none());
             assert_eq!(

@@ -28,6 +28,14 @@ pub trait DataSource: Sync {
     /// Implementations may panic if `v` is not a vertex of the data graph
     /// (plans only query mapped vertices, which always exist).
     fn get_adj(&self, v: VertexId) -> Arc<AdjSet>;
+
+    /// The adjacency sets of `vs`, in order. The default resolves each
+    /// vertex with [`DataSource::get_adj`]; batched backends override this
+    /// to group the lookups into fewer round trips (e.g. one per store
+    /// shard), which is how frontier prefetching stays cheap.
+    fn get_adj_batch(&self, vs: &[VertexId]) -> Vec<Arc<AdjSet>> {
+        vs.iter().map(|&v| self.get_adj(v)).collect()
+    }
 }
 
 /// The whole data graph resident in memory as shared adjacency sets.
@@ -94,6 +102,33 @@ impl DataSource for KvSource {
             })
             .expect("data graph vertex must exist in the store")
     }
+
+    fn get_adj_batch(&self, vs: &[VertexId]) -> Vec<Arc<AdjSet>> {
+        let mut out: Vec<Option<Arc<AdjSet>>> = vec![None; vs.len()];
+        let mut missing_slots = Vec::new();
+        let mut missing_keys = Vec::new();
+        for (i, &v) in vs.iter().enumerate() {
+            match self.cache.get(v) {
+                Some(adj) => out[i] = Some(adj),
+                None => {
+                    missing_slots.push(i);
+                    missing_keys.push(v);
+                }
+            }
+        }
+        if !missing_keys.is_empty() {
+            let batch = self.store.get_many(&missing_keys);
+            for (j, value) in batch.values.into_iter().enumerate() {
+                let adj = value
+                    .unwrap_or_else(|| panic!("vertex {} missing from KV store", missing_keys[j]));
+                self.cache.insert(missing_keys[j], Arc::clone(&adj));
+                out[missing_slots[j]] = Some(adj);
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every slot filled"))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +158,35 @@ mod tests {
         assert_eq!(store.stats().requests, 1, "two hits served by the cache");
         assert_eq!(cache.stats().hits, 2);
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn kv_source_batch_groups_round_trips_and_warms_the_cache() {
+        let g = gen::complete(6);
+        let store = Arc::new(KvStore::from_graph(&g, 3));
+        let cache = Arc::new(DbCache::new(1 << 16, 2));
+        let src = KvSource::new(Arc::clone(&store), Arc::clone(&cache));
+        let all: Vec<VertexId> = g.vertices().collect();
+        let sets = src.get_adj_batch(&all);
+        for (&v, adj) in all.iter().zip(&sets) {
+            assert_eq!(adj.as_slice(), g.neighbors(v));
+        }
+        let cold = store.stats();
+        assert_eq!(cold.requests, 3, "one round trip per touched shard");
+        assert_eq!(cold.keys, 6);
+        // A second batch is fully served by the cache.
+        src.get_adj_batch(&all);
+        assert_eq!(store.stats().requests, cold.requests);
+    }
+
+    #[test]
+    fn default_batch_matches_single_gets() {
+        let g = gen::cycle(5);
+        let src = InMemorySource::from_graph(&g);
+        let sets = src.get_adj_batch(&[4, 0, 2]);
+        assert_eq!(sets[0].as_slice(), g.neighbors(4));
+        assert_eq!(sets[1].as_slice(), g.neighbors(0));
+        assert_eq!(sets[2].as_slice(), g.neighbors(2));
     }
 
     #[test]

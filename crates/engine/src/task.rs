@@ -61,11 +61,18 @@ impl SearchTask {
 pub fn generate_tasks(g: &Graph, tau: usize, second_adjacent: bool) -> Vec<SearchTask> {
     let mut tasks = Vec::with_capacity(g.num_vertices());
     for v in g.vertices() {
-        let candidate_bound = if second_adjacent { g.degree(v) } else { g.num_vertices() };
+        let candidate_bound = if second_adjacent {
+            g.degree(v)
+        } else {
+            g.num_vertices()
+        };
         if tau > 0 && g.degree(v) >= tau && candidate_bound > tau {
             let total = candidate_bound.div_ceil(tau) as u32;
             for index in 0..total {
-                tasks.push(SearchTask { start: v, split: Some(SplitSpec { index, total }) });
+                tasks.push(SearchTask {
+                    start: v,
+                    split: Some(SplitSpec { index, total }),
+                });
             }
         } else {
             tasks.push(SearchTask::whole(v));

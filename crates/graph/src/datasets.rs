@@ -118,7 +118,11 @@ mod tests {
             2.0 * g.num_edges() as f64 / g.num_vertices() as f64
         };
         let ok = avg(Dataset::Orkut);
-        for d in [Dataset::AsSkitter, Dataset::LiveJournal, Dataset::FriendSter] {
+        for d in [
+            Dataset::AsSkitter,
+            Dataset::LiveJournal,
+            Dataset::FriendSter,
+        ] {
             assert!(ok > avg(d), "ok should be densest vs {d:?}");
         }
     }

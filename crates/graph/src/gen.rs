@@ -248,7 +248,10 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 /// approximate.
 pub fn rmat(scale_log2: u32, edges: usize, probs: (f64, f64, f64, f64), seed: u64) -> Graph {
     let (a, b, c, d) = probs;
-    assert!((a + b + c + d - 1.0).abs() < 1e-9, "quadrant probabilities must sum to 1");
+    assert!(
+        (a + b + c + d - 1.0).abs() < 1e-9,
+        "quadrant probabilities must sum to 1"
+    );
     let n = 1usize << scale_log2;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new();

@@ -92,7 +92,12 @@ pub fn read_edge_list_file(path: impl AsRef<Path>, renumber: bool) -> Result<Gra
 /// Writes the graph as a SNAP-style edge list (one `u v` pair per line,
 /// `u < v`).
 pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> io::Result<()> {
-    writeln!(writer, "# benu edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        writer,
+        "# benu edge list: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(writer, "{u}\t{v}")?;
     }

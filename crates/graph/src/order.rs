@@ -66,7 +66,9 @@ impl TotalOrder {
             while cursor <= max_d && buckets[cursor].is_empty() {
                 cursor += 1;
             }
-            let Some(&v) = buckets[cursor].last() else { break };
+            let Some(&v) = buckets[cursor].last() else {
+                break;
+            };
             buckets[cursor].pop();
             if removed[v as usize] || degree[v as usize] != cursor {
                 // Stale entry: the vertex moved buckets.

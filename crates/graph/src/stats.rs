@@ -37,7 +37,11 @@ pub fn graph_stats(g: &Graph) -> GraphStats {
     GraphStats {
         num_vertices: n,
         num_edges: m,
-        avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * m as f64 / n as f64
+        },
         max_degree: g.max_degree(),
         global_clustering: if wedges == 0 {
             0.0

@@ -22,7 +22,7 @@ pub fn encode_adj(neighbors: &[VertexId]) -> Bytes {
 ///
 /// Panics if the value length is not a multiple of four (corrupt value).
 pub fn decode_adj(value: &Bytes) -> AdjSet {
-    assert!(value.len() % 4 == 0, "corrupt adjacency value");
+    assert!(value.len().is_multiple_of(4), "corrupt adjacency value");
     let ids: Vec<VertexId> = value
         .chunks_exact(4)
         .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))

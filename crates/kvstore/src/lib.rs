@@ -22,6 +22,7 @@ use std::sync::Arc;
 #[derive(Debug, Default)]
 struct ShardStats {
     requests: AtomicU64,
+    keys: AtomicU64,
     bytes: AtomicU64,
 }
 
@@ -41,11 +42,30 @@ pub struct KvStore {
 }
 
 /// Snapshot of the store's access statistics.
+///
+/// `requests` counts *round trips* (one per [`KvStore::get`], one per
+/// touched shard per [`KvStore::get_many`]); `keys` counts individual
+/// values served. For unbatched access the two coincide; batching lowers
+/// `requests` while `keys` and `bytes` stay workload-determined.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KvStats {
-    /// Total `GetAdj` requests served.
+    /// Total round trips served.
     pub requests: u64,
+    /// Total values served (individual `GetAdj` answers).
+    pub keys: u64,
     /// Total value bytes transferred ("communication cost").
+    pub bytes: u64,
+}
+
+/// The result of one batched multi-get.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One slot per requested key, in request order (`None` for unknown
+    /// vertices). Duplicate keys are decoded and accounted per occurrence.
+    pub values: Vec<Option<Arc<AdjSet>>>,
+    /// Round trips this batch cost (= number of distinct shards touched).
+    pub round_trips: u64,
+    /// Value bytes transferred by this batch.
     pub bytes: u64,
 }
 
@@ -60,13 +80,19 @@ impl KvStore {
     pub fn from_graph(g: &Graph, num_shards: usize) -> Self {
         assert!(num_shards >= 1, "need at least one shard");
         let mut shards: Vec<Shard> = (0..num_shards)
-            .map(|_| Shard { values: HashMap::new(), stats: ShardStats::default() })
+            .map(|_| Shard {
+                values: HashMap::new(),
+                stats: ShardStats::default(),
+            })
             .collect();
         for v in g.vertices() {
             let value = codec::encode_adj(g.neighbors(v));
             shards[v as usize % num_shards].values.insert(v, value);
         }
-        KvStore { shards, num_vertices: g.num_vertices() }
+        KvStore {
+            shards,
+            num_vertices: g.num_vertices(),
+        }
     }
 
     /// Number of shards.
@@ -90,15 +116,61 @@ impl KvStore {
         let shard = &self.shards[self.shard_of(v)];
         let value = shard.values.get(&v)?;
         shard.stats.requests.fetch_add(1, Ordering::Relaxed);
-        shard.stats.bytes.fetch_add(value.len() as u64, Ordering::Relaxed);
+        shard.stats.keys.fetch_add(1, Ordering::Relaxed);
+        shard
+            .stats
+            .bytes
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
         Some(Arc::new(codec::decode_adj(value)))
+    }
+
+    /// Fetches a batch of adjacency sets, grouping the keys by shard so
+    /// each touched shard is charged exactly one round trip regardless of
+    /// how many of its keys appear in `keys` (the HBase `multi-get`
+    /// analogue). Returns the values in request order.
+    pub fn get_many(&self, keys: &[VertexId]) -> BatchOutcome {
+        let mut values: Vec<Option<Arc<AdjSet>>> = vec![None; keys.len()];
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, &v) in keys.iter().enumerate() {
+            by_shard[self.shard_of(v)].push(i);
+        }
+        let mut round_trips = 0u64;
+        let mut total_bytes = 0u64;
+        for (s, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[s];
+            round_trips += 1;
+            shard.stats.requests.fetch_add(1, Ordering::Relaxed);
+            let mut shard_keys = 0u64;
+            let mut shard_bytes = 0u64;
+            for &i in indices {
+                if let Some(value) = shard.values.get(&keys[i]) {
+                    shard_keys += 1;
+                    shard_bytes += value.len() as u64;
+                    values[i] = Some(Arc::new(codec::decode_adj(value)));
+                }
+            }
+            shard.stats.keys.fetch_add(shard_keys, Ordering::Relaxed);
+            shard.stats.bytes.fetch_add(shard_bytes, Ordering::Relaxed);
+            total_bytes += shard_bytes;
+        }
+        BatchOutcome {
+            values,
+            round_trips,
+            bytes: total_bytes,
+        }
     }
 
     /// Fetches without touching the statistics (used by loaders and
     /// tests).
     pub fn get_unaccounted(&self, v: VertexId) -> Option<Arc<AdjSet>> {
         let shard = &self.shards[self.shard_of(v)];
-        shard.values.get(&v).map(|value| Arc::new(codec::decode_adj(value)))
+        shard
+            .values
+            .get(&v)
+            .map(|value| Arc::new(codec::decode_adj(value)))
     }
 
     /// Aggregated access statistics.
@@ -106,6 +178,7 @@ impl KvStore {
         let mut total = KvStats::default();
         for s in &self.shards {
             total.requests += s.stats.requests.load(Ordering::Relaxed);
+            total.keys += s.stats.keys.load(Ordering::Relaxed);
             total.bytes += s.stats.bytes.load(Ordering::Relaxed);
         }
         total
@@ -116,6 +189,7 @@ impl KvStore {
         let s = &self.shards[shard].stats;
         KvStats {
             requests: s.requests.load(Ordering::Relaxed),
+            keys: s.keys.load(Ordering::Relaxed),
             bytes: s.bytes.load(Ordering::Relaxed),
         }
     }
@@ -124,6 +198,7 @@ impl KvStore {
     pub fn reset_stats(&self) {
         for s in &self.shards {
             s.stats.requests.store(0, Ordering::Relaxed);
+            s.stats.keys.store(0, Ordering::Relaxed);
             s.stats.bytes.store(0, Ordering::Relaxed);
         }
     }
@@ -162,8 +237,84 @@ mod tests {
         store.get(1).unwrap();
         let stats = store.stats();
         assert_eq!(stats.requests, 3);
+        assert_eq!(stats.keys, 3, "unbatched gets serve one key per request");
         // centre: 9 ids × 4 bytes; leaf: 1 id × 4 bytes fetched twice.
         assert_eq!(stats.bytes, 36 + 4 + 4);
+    }
+
+    #[test]
+    fn get_many_charges_one_round_trip_per_touched_shard() {
+        let g = gen::cycle(8);
+        let store = KvStore::from_graph(&g, 4);
+        // Vertices 0 and 4 share shard 0; 1 is on shard 1: 2 round trips.
+        let batch = store.get_many(&[0, 4, 1]);
+        assert_eq!(batch.round_trips, 2);
+        assert_eq!(batch.values.iter().filter(|v| v.is_some()).count(), 3);
+        let stats = store.stats();
+        assert_eq!(stats.requests, 2, "per-shard grouping batches round trips");
+        assert_eq!(stats.keys, 3, "every key is still served");
+        // Each cycle vertex has 2 neighbours × 4 bytes.
+        assert_eq!(stats.bytes, 3 * 8);
+        assert_eq!(batch.bytes, stats.bytes);
+        assert_eq!(store.shard_stats(0).requests, 1);
+        assert_eq!(store.shard_stats(0).keys, 2);
+        assert_eq!(store.shard_stats(1).requests, 1);
+        assert_eq!(store.shard_stats(2).requests, 0);
+    }
+
+    #[test]
+    fn get_many_returns_values_in_request_order() {
+        let g = gen::path(6);
+        let store = KvStore::from_graph(&g, 3);
+        let keys = [5u32, 0, 3, 1];
+        let batch = store.get_many(&keys);
+        for (i, &v) in keys.iter().enumerate() {
+            assert_eq!(
+                batch.values[i].as_ref().unwrap().as_slice(),
+                g.neighbors(v),
+                "slot {i} must hold vertex {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn get_many_marks_unknown_vertices_none_without_charging_bytes() {
+        let g = gen::path(4);
+        let store = KvStore::from_graph(&g, 2);
+        let batch = store.get_many(&[1, 100]);
+        assert!(batch.values[0].is_some());
+        assert!(batch.values[1].is_none());
+        // The round trip to vertex 100's shard still happened.
+        assert_eq!(batch.round_trips, 2);
+        assert_eq!(store.stats().keys, 1);
+    }
+
+    #[test]
+    fn batched_and_unbatched_transfer_identical_bytes() {
+        let g = gen::barabasi_albert(60, 3, 7);
+        let keys: Vec<VertexId> = g.vertices().collect();
+        let store = KvStore::from_graph(&g, 4);
+        let batch = store.get_many(&keys);
+        let batched = store.stats();
+        store.reset_stats();
+        for &v in &keys {
+            store.get(v).unwrap();
+        }
+        let unbatched = store.stats();
+        assert_eq!(batched.bytes, unbatched.bytes);
+        assert_eq!(batched.keys, unbatched.keys);
+        assert_eq!(batch.round_trips, 4, "one trip per shard for a full scan");
+        assert!(batched.requests < unbatched.requests);
+    }
+
+    #[test]
+    fn get_many_of_empty_batch_is_free() {
+        let g = gen::path(3);
+        let store = KvStore::from_graph(&g, 2);
+        let batch = store.get_many(&[]);
+        assert!(batch.values.is_empty());
+        assert_eq!(batch.round_trips, 0);
+        assert_eq!(store.stats(), KvStats::default());
     }
 
     #[test]

@@ -30,10 +30,7 @@ fn search(p: &Pattern, perm: &mut Vec<PatternVertex>, out: &mut Vec<Vec<PatternV
     }
     let used: u64 = perm.iter().fold(0, |acc, &v| acc | (1 << v));
     for cand in p.vertices() {
-        if used & (1 << cand) != 0
-            || p.degree(cand) != p.degree(u)
-            || p.label(cand) != p.label(u)
-        {
+        if used & (1 << cand) != 0 || p.degree(cand) != p.degree(u) || p.label(cand) != p.label(u) {
             continue;
         }
         if (0..u).all(|w| p.has_edge(u, w) == p.has_edge(cand, perm[w])) {
@@ -63,8 +60,8 @@ pub fn orbits(n: usize, perms: &[Vec<PatternVertex>]) -> Vec<PatternVertex> {
         parent[x]
     }
     for perm in perms {
-        for u in 0..n {
-            let (a, b) = (find(&mut parent, u), find(&mut parent, perm[u]));
+        for (u, &image) in perm.iter().enumerate().take(n) {
+            let (a, b) = (find(&mut parent, u), find(&mut parent, image));
             if a != b {
                 let (lo, hi) = if a < b { (a, b) } else { (b, a) };
                 parent[hi] = lo;

@@ -11,7 +11,8 @@ use crate::pattern::{BitIter, Pattern, PatternVertex};
 
 /// True iff the vertex set `mask` covers every edge of `p`.
 pub fn is_vertex_cover(p: &Pattern, mask: u64) -> bool {
-    p.edges().all(|(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0)
+    p.edges()
+        .all(|(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0)
 }
 
 /// A minimum vertex cover of `p`, returned as a bitmask. Exhaustive search

@@ -4,8 +4,6 @@
 //! adjacency is a single `u64` bitmask row. Vertices are `0-based` in code;
 //! the paper's `u1..un` map to `0..n-1`.
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a pattern vertex (`0 ..= 63`).
 pub type PatternVertex = usize;
 
@@ -16,13 +14,12 @@ pub const MAX_PATTERN_VERTICES: usize = 64;
 /// optionally vertex-labeled (the property-graph extension the paper
 /// lists as future work: a labeled pattern vertex only matches data
 /// vertices carrying the same label).
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Pattern {
     n: usize,
     /// `rows[u]` has bit `v` set iff `(u, v) ∈ E(P)`.
     rows: Vec<u64>,
     /// Vertex labels; `None` for the unlabeled patterns of the paper.
-    #[serde(default)]
     labels: Option<Vec<u32>>,
 }
 
@@ -33,8 +30,15 @@ impl Pattern {
     ///
     /// Panics if `n` is zero or exceeds [`MAX_PATTERN_VERTICES`].
     pub fn empty(n: usize) -> Self {
-        assert!(n >= 1 && n <= MAX_PATTERN_VERTICES, "pattern size {n} out of range");
-        Pattern { n, rows: vec![0; n], labels: None }
+        assert!(
+            (1..=MAX_PATTERN_VERTICES).contains(&n),
+            "pattern size {n} out of range"
+        );
+        Pattern {
+            n,
+            rows: vec![0; n],
+            labels: None,
+        }
     }
 
     /// Attaches vertex labels (property-graph extension). Automorphisms,
@@ -96,7 +100,11 @@ impl Pattern {
 
     /// Number of edges `m = |E(P)|`.
     pub fn num_edges(&self) -> usize {
-        self.rows.iter().map(|r| r.count_ones() as usize).sum::<usize>() / 2
+        self.rows
+            .iter()
+            .map(|r| r.count_ones() as usize)
+            .sum::<usize>()
+            / 2
     }
 
     /// Degree of `u` in `P`.
@@ -182,7 +190,11 @@ impl Pattern {
         if self.n == 0 {
             return true;
         }
-        let full = if self.n == 64 { u64::MAX } else { (1u64 << self.n) - 1 };
+        let full = if self.n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.n) - 1
+        };
         self.component_of(0) == full
     }
 

@@ -159,20 +159,14 @@ pub fn q6() -> Pattern {
 
 /// q7 — chordal square with a length-2 pendant path (6 vertices, 7 edges).
 pub fn q7() -> Pattern {
-    Pattern::from_edges(
-        6,
-        &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (0, 4), (4, 5)],
-    )
+    Pattern::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (0, 4), (4, 5)])
 }
 
 /// q8 — chordal square with pendant vertices on both degree-2 corners
 /// (6 vertices, 7 edges). The hardest of the chordal-square family in
 /// Table V.
 pub fn q8() -> Pattern {
-    Pattern::from_edges(
-        6,
-        &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 4), (3, 5)],
-    )
+    Pattern::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 4), (3, 5)])
 }
 
 /// q9 — chordal square with a second triangle on the chord plus a pendant
@@ -180,7 +174,16 @@ pub fn q8() -> Pattern {
 pub fn q9() -> Pattern {
     Pattern::from_edges(
         6,
-        &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (0, 4), (2, 4), (0, 5)],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 0),
+            (0, 2),
+            (0, 4),
+            (2, 4),
+            (0, 5),
+        ],
     )
 }
 

@@ -14,11 +14,10 @@
 
 use crate::automorphism::{automorphisms, orbits};
 use crate::pattern::{Pattern, PatternVertex};
-use serde::{Deserialize, Serialize};
 
 /// The symmetry-breaking partial order: a set of `(a, b)` pairs meaning
 /// `f(a) ≺ f(b)` must hold in every reported match.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SymmetryBreaking {
     constraints: Vec<(PatternVertex, PatternVertex)>,
 }
@@ -41,9 +40,7 @@ impl SymmetryBreaking {
             let anchor = (0..n)
                 .filter(|&u| orbit_members[orbit_repr[u]].len() > 1)
                 .max_by(|&a, &b| {
-                    p.degree(a)
-                        .cmp(&p.degree(b))
-                        .then_with(|| b.cmp(&a)) // lower index wins ties
+                    p.degree(a).cmp(&p.degree(b)).then_with(|| b.cmp(&a)) // lower index wins ties
                 });
             let Some(anchor) = anchor else { break };
             for &w in &orbit_members[orbit_repr[anchor]] {

@@ -245,9 +245,7 @@ mod tests {
             .build();
         for instr in &plan.instructions {
             if let Instruction::Intersect { filters, .. } = instr {
-                assert!(filters
-                    .iter()
-                    .all(|f| f.op == FilterOp::NotEqual || false));
+                assert!(filters.iter().all(|f| f.op == FilterOp::NotEqual || false));
             }
         }
     }

@@ -75,7 +75,10 @@ impl GraphStatsEstimator {
     /// the exact values because every candidate order is scored with the
     /// same statistics.
     pub fn generic() -> Self {
-        GraphStatsEstimator { num_vertices: 1e6, num_edges: 1e7 }
+        GraphStatsEstimator {
+            num_vertices: 1e6,
+            num_edges: 1e7,
+        }
     }
 }
 
@@ -124,7 +127,10 @@ impl ChungLuEstimator {
                 p *= d;
             }
         }
-        ChungLuEstimator { moments, two_m: (2 * g.num_edges()).max(1) as f64 }
+        ChungLuEstimator {
+            moments,
+            two_m: (2 * g.num_edges()).max(1) as f64,
+        }
     }
 
     /// Builds directly from a degree histogram (`hist[d]` = #vertices of
@@ -141,7 +147,10 @@ impl ChungLuEstimator {
                 p *= d_f;
             }
         }
-        ChungLuEstimator { moments, two_m: edges2.max(1.0) }
+        ChungLuEstimator {
+            moments,
+            two_m: edges2.max(1.0),
+        }
     }
 }
 
@@ -244,7 +253,7 @@ mod tests {
     fn disconnected_subsets_multiply() {
         let est = GraphStatsEstimator::new(1000, 5000);
         let p = queries::path(3); // 0-1-2
-        // Mask {0, 2}: two isolated vertices → N².
+                                  // Mask {0, 2}: two isolated vertices → N².
         let got = est.estimate_pattern_subset(&p, 0b101);
         assert!((got - 1e6).abs() / 1e6 < 1e-9);
         // Mask {0, 1}: one edge component.
@@ -295,7 +304,15 @@ mod tests {
         let est = GraphStatsEstimator::new(10_000, 1_000_000);
         let raw = raw_plan(&p, &order, &sb);
         let mut opt = raw.clone();
-        optimize(&mut opt, OptimizeOptions { cse: true, reorder: true, triangle_cache: false, clique_cache: false });
+        optimize(
+            &mut opt,
+            OptimizeOptions {
+                cse: true,
+                reorder: true,
+                triangle_cache: false,
+                clique_cache: false,
+            },
+        );
         assert!(
             estimate_computation_cost(&opt, &est) < estimate_computation_cost(&raw, &est),
             "hoisting must reduce modeled computation"

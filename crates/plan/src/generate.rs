@@ -89,7 +89,10 @@ pub fn raw_plan(
         });
 
         // 3) Enumerate.
-        instructions.push(Instruction::Foreach { vertex: u, source: SetVar::Cand(u) });
+        instructions.push(Instruction::Foreach {
+            vertex: u,
+            source: SetVar::Cand(u),
+        });
 
         // 4) Fetch the adjacency set only if a later vertex needs it.
         let needed_later = order[i + 1..].iter().any(|&j| pattern.has_edge(j, u));
@@ -129,7 +132,9 @@ pub fn uni_operand_elimination(plan: &mut ExecutionPlan) {
         });
         let Some(idx) = victim else { break };
         let (from, to) = match &plan.instructions[idx] {
-            Instruction::Intersect { target, operands, .. } => (*target, operands[0]),
+            Instruction::Intersect {
+                target, operands, ..
+            } => (*target, operands[0]),
             _ => unreachable!(),
         };
         plan.instructions.remove(idx);
@@ -181,7 +186,10 @@ mod tests {
         // 17th: f4 := Foreach(C4).
         assert_eq!(
             plan.instructions[16],
-            Instruction::Foreach { vertex: 3, source: SetVar::Cand(3) }
+            Instruction::Foreach {
+                vertex: 3,
+                source: SetVar::Cand(3)
+            }
         );
     }
 
@@ -233,7 +241,11 @@ mod tests {
             .instructions
             .iter()
             .find_map(|i| match i {
-                Instruction::Intersect { target: SetVar::Cand(1), filters, .. } => Some(filters),
+                Instruction::Intersect {
+                    target: SetVar::Cand(1),
+                    filters,
+                    ..
+                } => Some(filters),
                 _ => None,
             })
             .unwrap();
@@ -250,9 +262,11 @@ mod tests {
             .instructions
             .iter()
             .find_map(|i| match i {
-                Instruction::Intersect { target: SetVar::Cand(2), operands, .. } => {
-                    Some(operands.clone())
-                }
+                Instruction::Intersect {
+                    target: SetVar::Cand(2),
+                    operands,
+                    ..
+                } => Some(operands.clone()),
                 _ => None,
             })
             .unwrap();

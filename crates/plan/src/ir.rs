@@ -15,10 +15,9 @@
 //! | RES  | `f := ReportMatch(…)` | emit a (possibly VCBC-compressed) match |
 
 use benu_pattern::PatternVertex;
-use serde::{Deserialize, Serialize};
 
 /// A set-valued variable referenced by instructions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SetVar {
     /// `A_i` — the adjacency set of `f_i`.
     Adj(PatternVertex),
@@ -38,7 +37,7 @@ impl SetVar {
 }
 
 /// Comparison operator of a filtering condition.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FilterOp {
     /// Symmetry-breaking: result vertices must satisfy `x ≺ f_i`.
     Less,
@@ -49,7 +48,7 @@ pub enum FilterOp {
 }
 
 /// A filtering condition `[op f_vertex]` attached to an INT instruction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FilterCond {
     /// The comparison.
     pub op: FilterOp,
@@ -61,20 +60,29 @@ pub struct FilterCond {
 impl FilterCond {
     /// `x ≺ f_v`.
     pub fn less(vertex: PatternVertex) -> Self {
-        FilterCond { op: FilterOp::Less, vertex }
+        FilterCond {
+            op: FilterOp::Less,
+            vertex,
+        }
     }
     /// `f_v ≺ x`.
     pub fn greater(vertex: PatternVertex) -> Self {
-        FilterCond { op: FilterOp::Greater, vertex }
+        FilterCond {
+            op: FilterOp::Greater,
+            vertex,
+        }
     }
     /// `x ≠ f_v`.
     pub fn not_equal(vertex: PatternVertex) -> Self {
-        FilterCond { op: FilterOp::NotEqual, vertex }
+        FilterCond {
+            op: FilterOp::NotEqual,
+            vertex,
+        }
     }
 }
 
 /// One item of the RES instruction's output tuple.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ResultItem {
     /// An enumerated vertex `f_i`.
     Vertex(PatternVertex),
@@ -84,7 +92,7 @@ pub enum ResultItem {
 }
 
 /// One execution instruction (Table III).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Instruction {
     /// INI — `f_i := Init(start)`.
     Init {
@@ -147,7 +155,7 @@ pub enum Instruction {
 
 /// Instruction kind, used for Optimization 2's rank (`INI < INT < TRC <
 /// DBQ < ENU < RES`) and for cost accounting.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum InstrKind {
     /// Initialization.
     Ini,
@@ -202,9 +210,7 @@ impl Instruction {
             Instruction::Intersect { operands, .. } => operands.clone(),
             Instruction::Foreach { source, .. } => vec![*source],
             Instruction::TCache { a, b, .. } => vec![SetVar::Adj(*a), SetVar::Adj(*b)],
-            Instruction::KCache { verts, .. } => {
-                verts.iter().map(|&v| SetVar::Adj(v)).collect()
-            }
+            Instruction::KCache { verts, .. } => verts.iter().map(|&v| SetVar::Adj(v)).collect(),
             Instruction::ReportMatch { items } => items
                 .iter()
                 .filter_map(|it| match it {
@@ -254,10 +260,8 @@ impl Instruction {
                     }
                 }
             }
-            Instruction::Foreach { source, .. } => {
-                if *source == from {
-                    *source = to;
-                }
+            Instruction::Foreach { source, .. } if *source == from => {
+                *source = to;
             }
             Instruction::ReportMatch { items } => {
                 for it in items.iter_mut() {
@@ -274,7 +278,7 @@ impl Instruction {
 }
 
 /// A complete execution plan for one pattern graph.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExecutionPlan {
     /// The pattern this plan enumerates.
     pub pattern: benu_pattern::Pattern,
@@ -303,7 +307,10 @@ impl ExecutionPlan {
 
     /// Number of instructions of the given kind.
     pub fn count_kind(&self, kind: InstrKind) -> usize {
-        self.instructions.iter().filter(|i| i.kind() == kind).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.kind() == kind)
+            .count()
     }
 
     /// Number of enumeration levels (ENU instructions).
@@ -322,7 +329,9 @@ impl ExecutionPlan {
         for (idx, instr) in self.instructions.iter().enumerate() {
             for s in instr.used_sets() {
                 if !defined_sets.contains(&s) {
-                    return Err(format!("instruction {idx}: set {s:?} used before definition"));
+                    return Err(format!(
+                        "instruction {idx}: set {s:?} used before definition"
+                    ));
                 }
             }
             for v in instr.used_vertices() {
@@ -384,14 +393,20 @@ mod tests {
                     operands: vec![SetVar::Adj(0)],
                     filters: vec![FilterCond::greater(0)],
                 },
-                Instruction::Foreach { vertex: 1, source: SetVar::Cand(1) },
+                Instruction::Foreach {
+                    vertex: 1,
+                    source: SetVar::Cand(1),
+                },
                 Instruction::GetAdj { vertex: 1 },
                 Instruction::Intersect {
                     target: SetVar::Cand(2),
                     operands: vec![SetVar::Adj(0), SetVar::Adj(1)],
                     filters: vec![FilterCond::greater(1)],
                 },
-                Instruction::Foreach { vertex: 2, source: SetVar::Cand(2) },
+                Instruction::Foreach {
+                    vertex: 2,
+                    source: SetVar::Cand(2),
+                },
                 Instruction::ReportMatch {
                     items: vec![
                         ResultItem::Vertex(0),
@@ -442,10 +457,7 @@ mod tests {
             filters: vec![],
         };
         instr.replace_operand(SetVar::Adj(0), SetVar::Tmp(3));
-        assert_eq!(
-            instr.used_sets(),
-            vec![SetVar::Tmp(3), SetVar::Adj(1)]
-        );
+        assert_eq!(instr.used_sets(), vec![SetVar::Tmp(3), SetVar::Adj(1)]);
         assert_eq!(instr.defined_set(), Some(SetVar::Tmp(9)));
     }
 

@@ -43,17 +43,30 @@ impl OptimizeOptions {
     /// All of the paper's optimizations on (its default configuration;
     /// the clique-cache extension stays off).
     pub fn all() -> Self {
-        OptimizeOptions { cse: true, reorder: true, triangle_cache: true, clique_cache: false }
+        OptimizeOptions {
+            cse: true,
+            reorder: true,
+            triangle_cache: true,
+            clique_cache: false,
+        }
     }
 
     /// The paper's optimizations plus the clique-cache extension.
     pub fn all_with_clique_cache() -> Self {
-        OptimizeOptions { clique_cache: true, ..OptimizeOptions::all() }
+        OptimizeOptions {
+            clique_cache: true,
+            ..OptimizeOptions::all()
+        }
     }
 
     /// No optimizations (raw plan).
     pub fn none() -> Self {
-        OptimizeOptions { cse: false, reorder: false, triangle_cache: false, clique_cache: false }
+        OptimizeOptions {
+            cse: false,
+            reorder: false,
+            triangle_cache: false,
+            clique_cache: false,
+        }
     }
 }
 
@@ -85,7 +98,9 @@ pub fn eliminate_common_subexpressions(plan: &mut ExecutionPlan) {
         // Canonical (sorted) subset -> (frequency, first instruction idx).
         let mut stats: HashMap<Vec<SetVar>, (usize, usize)> = HashMap::new();
         for (idx, instr) in plan.instructions.iter().enumerate() {
-            let Instruction::Intersect { operands, .. } = instr else { continue };
+            let Instruction::Intersect { operands, .. } = instr else {
+                continue;
+            };
             if operands.len() < 2 {
                 continue;
             }
@@ -99,12 +114,11 @@ pub fn eliminate_common_subexpressions(plan: &mut ExecutionPlan) {
             .into_iter()
             .filter(|(_, (freq, _))| *freq >= 2)
             .max_by(|(sa, (fa, ia)), (sb, (fb, ib))| {
-                sa.len()
-                    .cmp(&sb.len())
-                    .then(fa.cmp(fb))
-                    .then(ib.cmp(ia)) // smaller first index wins
+                sa.len().cmp(&sb.len()).then(fa.cmp(fb)).then(ib.cmp(ia)) // smaller first index wins
             });
-        let Some((subset, (_, first_idx))) = best else { break };
+        let Some((subset, (_, first_idx))) = best else {
+            break;
+        };
 
         // Emit the hoisted temporary with operands in the order they
         // appear in the first containing instruction.
@@ -121,7 +135,9 @@ pub fn eliminate_common_subexpressions(plan: &mut ExecutionPlan) {
 
         // Replace the subset in every INT instruction containing it.
         for instr in plan.instructions.iter_mut() {
-            let Instruction::Intersect { operands, .. } = instr else { continue };
+            let Instruction::Intersect { operands, .. } = instr else {
+                continue;
+            };
             if subset.iter().all(|s| operands.contains(s)) && operands.len() >= subset.len() {
                 let first_pos = operands.iter().position(|op| subset.contains(op)).unwrap();
                 operands.retain(|op| !subset.contains(op));
@@ -130,7 +146,11 @@ pub fn eliminate_common_subexpressions(plan: &mut ExecutionPlan) {
         }
         plan.instructions.insert(
             first_idx,
-            Instruction::Intersect { target: tmp, operands: ordered_operands, filters: vec![] },
+            Instruction::Intersect {
+                target: tmp,
+                operands: ordered_operands,
+                filters: vec![],
+            },
         );
     }
     uni_operand_elimination(plan);
@@ -177,7 +197,11 @@ pub fn flatten_intersections(plan: &mut ExecutionPlan) {
     let mut out: Vec<Instruction> = Vec::with_capacity(plan.instructions.len());
     for instr in plan.instructions.drain(..) {
         match instr {
-            Instruction::Intersect { target, mut operands, filters } if operands.len() > 2 => {
+            Instruction::Intersect {
+                target,
+                mut operands,
+                filters,
+            } if operands.len() > 2 => {
                 // Definition position of each operand in the output so far
                 // (AllVertices counts as always-defined).
                 let def_pos = |s: SetVar, out: &[Instruction]| -> isize {
@@ -302,11 +326,20 @@ pub fn apply_triangle_cache(plan: &mut ExecutionPlan) {
     let start = plan.start_vertex();
     let pattern = plan.pattern.clone();
     for instr in plan.instructions.iter_mut() {
-        let Instruction::Intersect { target, operands, filters } = instr else { continue };
+        let Instruction::Intersect {
+            target,
+            operands,
+            filters,
+        } = instr
+        else {
+            continue;
+        };
         if operands.len() != 2 {
             continue;
         }
-        let (SetVar::Adj(i), SetVar::Adj(j)) = (operands[0], operands[1]) else { continue };
+        let (SetVar::Adj(i), SetVar::Adj(j)) = (operands[0], operands[1]) else {
+            continue;
+        };
         let qualifies = (i == start && pattern.has_edge(start, j))
             || (j == start && pattern.has_edge(start, i));
         if qualifies {
@@ -365,12 +398,21 @@ pub fn apply_clique_cache(plan: &mut ExecutionPlan) {
 
     for instr in plan.instructions.iter_mut() {
         match instr {
-            Instruction::TCache { target, a, b, filters } => {
+            Instruction::TCache {
+                target,
+                a,
+                b,
+                filters,
+            } => {
                 let comp: BTreeSet<usize> = [*a, *b].into_iter().collect();
                 let pure = filters.is_empty();
                 composition.insert(*target, pure.then_some(comp));
             }
-            Instruction::Intersect { target, operands, filters } => {
+            Instruction::Intersect {
+                target,
+                operands,
+                filters,
+            } => {
                 let comp = compose(operands, &composition);
                 if let Some(comp) = &comp {
                     if comp.len() >= 3 && is_clique(comp) {
@@ -389,7 +431,11 @@ pub fn apply_clique_cache(plan: &mut ExecutionPlan) {
                 let pure = filters.is_empty();
                 composition.insert(*target, if pure { comp } else { None });
             }
-            Instruction::KCache { target, verts, filters } => {
+            Instruction::KCache {
+                target,
+                verts,
+                filters,
+            } => {
                 let comp: BTreeSet<usize> = verts.iter().copied().collect();
                 let pure = filters.is_empty();
                 composition.insert(*target, pure.then_some(comp));
@@ -416,7 +462,12 @@ mod tests {
 
     #[test]
     fn cse_reproduces_fig_3c() {
-        let plan = demo_plan(OptimizeOptions { cse: true, reorder: false, triangle_cache: false, clique_cache: false });
+        let plan = demo_plan(OptimizeOptions {
+            cse: true,
+            reorder: false,
+            triangle_cache: false,
+            clique_cache: false,
+        });
         // The common subexpression {A1, A3} (0-based {A0, A2}) is hoisted
         // into the fresh temporary T7 = Tmp(6)...
         let tmp6 = plan
@@ -452,7 +503,12 @@ mod tests {
 
     #[test]
     fn reorder_reproduces_fig_3d() {
-        let plan = demo_plan(OptimizeOptions { cse: true, reorder: true, triangle_cache: false, clique_cache: false });
+        let plan = demo_plan(OptimizeOptions {
+            cse: true,
+            reorder: true,
+            triangle_cache: false,
+            clique_cache: false,
+        });
         // Expected instruction sequence derived in the paper's Fig. 3d
         // (0-based variable names; T7→Tmp6, T6→Tmp5, T4→Tmp3).
         use Instruction as I;
@@ -533,7 +589,11 @@ mod tests {
             .instructions
             .iter()
             .find_map(|i| match i {
-                Instruction::Intersect { target: SetVar::Cand(2), operands, filters } => {
+                Instruction::Intersect {
+                    target: SetVar::Cand(2),
+                    operands,
+                    filters,
+                } => {
                     assert_eq!(operands, &vec![trc.2]);
                     Some(filters.clone())
                 }
@@ -573,7 +633,15 @@ mod tests {
                 .cloned()
                 .collect();
             let mut opt = raw.clone();
-            optimize(&mut opt, OptimizeOptions { cse: true, reorder: true, triangle_cache: false, clique_cache: false });
+            optimize(
+                &mut opt,
+                OptimizeOptions {
+                    cse: true,
+                    reorder: true,
+                    triangle_cache: false,
+                    clique_cache: false,
+                },
+            );
             let opt_seq: Vec<_> = opt
                 .instructions
                 .iter()
@@ -641,7 +709,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(kcaches.contains(&vec![0, 1, 2]), "triangle composition cached: {kcaches:?}");
+        assert!(
+            kcaches.contains(&vec![0, 1, 2]),
+            "triangle composition cached: {kcaches:?}"
+        );
         plan.validate().unwrap();
     }
 
@@ -691,9 +762,11 @@ mod tests {
             .instructions
             .iter()
             .find_map(|i| match i {
-                Instruction::Intersect { target: SetVar::Cand(4), filters, .. } => {
-                    Some(filters.clone())
-                }
+                Instruction::Intersect {
+                    target: SetVar::Cand(4),
+                    filters,
+                    ..
+                } => Some(filters.clone()),
                 _ => None,
             })
             .unwrap();

@@ -49,7 +49,11 @@ pub fn render(plan: &ExecutionPlan) -> String {
             Instruction::GetAdj { vertex } => {
                 let _ = writeln!(out, "A{0} := GetAdj(f{0})", vertex + 1);
             }
-            Instruction::Intersect { target, operands, filters } => {
+            Instruction::Intersect {
+                target,
+                operands,
+                filters,
+            } => {
                 let ops: Vec<_> = operands.iter().map(|&o| set_name(o)).collect();
                 let _ = writeln!(
                     out,
@@ -63,7 +67,12 @@ pub fn render(plan: &ExecutionPlan) -> String {
                 let _ = writeln!(out, "f{} := Foreach({})", vertex + 1, set_name(*source));
                 depth += 1;
             }
-            Instruction::TCache { target, a, b, filters } => {
+            Instruction::TCache {
+                target,
+                a,
+                b,
+                filters,
+            } => {
                 let _ = writeln!(
                     out,
                     "{} := TCache(f{1},f{2},A{1},A{2}){3}",
@@ -73,7 +82,11 @@ pub fn render(plan: &ExecutionPlan) -> String {
                     filters_suffix(filters)
                 );
             }
-            Instruction::KCache { target, verts, filters } => {
+            Instruction::KCache {
+                target,
+                verts,
+                filters,
+            } => {
                 let fs: Vec<_> = verts.iter().map(|v| format!("f{}", v + 1)).collect();
                 let adjs: Vec<_> = verts.iter().map(|v| format!("A{}", v + 1)).collect();
                 let _ = writeln!(
@@ -125,7 +138,11 @@ mod tests {
         // The hoisted common subexpression is T7 in the paper's numbering.
         assert!(text.contains("T7 := TCache(f1,f3,A1,A3)"), "{text}");
         assert!(text.contains("C5 := Intersect(A1)[|>f3]"), "{text}");
-        assert!(text.trim_end().ends_with("f := ReportMatch(f1,f2,f3,f4,f5,f6)"), "{text}");
+        assert!(
+            text.trim_end()
+                .ends_with("f := ReportMatch(f1,f2,f3,f4,f5,f6)"),
+            "{text}"
+        );
     }
 
     #[test]

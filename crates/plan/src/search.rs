@@ -95,7 +95,7 @@ pub fn best_plan(pattern: &Pattern, estimator: &dyn CardinalityEstimator) -> Bes
         let mut plan = raw_plan(pattern, order, &symmetry);
         optimize(&mut plan, OptimizeOptions::all());
         let cost = estimate_computation_cost(&plan, estimator);
-        if best.as_ref().map_or(true, |(_, c)| cost < *c) {
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
             best = Some((plan, cost));
         }
     }
@@ -104,7 +104,11 @@ pub fn best_plan(pattern: &Pattern, estimator: &dyn CardinalityEstimator) -> Bes
         plan,
         comm_cost: ctx.best_comm,
         comp_cost,
-        stats: SearchStats { alpha: ctx.alpha, beta, elapsed: start_time.elapsed() },
+        stats: SearchStats {
+            alpha: ctx.alpha,
+            beta,
+            elapsed: start_time.elapsed(),
+        },
     }
 }
 
@@ -147,7 +151,8 @@ impl SearchCtx<'_> {
             // is the match count of the partial pattern including u.
             let s = if self.pattern.neighbor_mask(u) & remaining != 0 {
                 self.alpha += 1;
-                self.estimator.estimate_pattern_subset(self.pattern, used_next)
+                self.estimator
+                    .estimate_pattern_subset(self.pattern, used_next)
             } else {
                 // Case 2: all of u's neighbours are already placed.
                 0.0

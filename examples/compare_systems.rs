@@ -39,7 +39,7 @@ fn main() {
             .cache_capacity_bytes(32 << 20)
             .build(),
     );
-    let benu_outcome = cluster.run(&plan);
+    let benu_outcome = cluster.run(&plan).expect("cluster run failed");
     println!(
         "BENU        : {:>12} matches  {:>9.2?}  comm {:>12} B  (cache hit {:.0}%)",
         benu_outcome.total_matches,
@@ -56,7 +56,11 @@ fn main() {
         join.matches,
         t0.elapsed(),
         join.shuffled_bytes,
-        if join.completed { "" } else { "(CRASH: memory cap)" }
+        if join.completed {
+            ""
+        } else {
+            "(CRASH: memory cap)"
+        }
     );
 
     // --- worst-case optimal join (BiGJoin-style), both modes ---
@@ -64,7 +68,10 @@ fn main() {
         ("WCOJ shared", wcoj::WcojMode::SharedMemory),
         ("WCOJ dist.  ", wcoj::WcojMode::Distributed),
     ] {
-        let cfg = wcoj::WcojConfig { mode, ..Default::default() };
+        let cfg = wcoj::WcojConfig {
+            mode,
+            ..Default::default()
+        };
         let outcome = wcoj::run(&g, &pattern, &cfg);
         println!(
             "{label}: {:>12} matches  {:>9.2?}  shuffle {:>10} B  {}",

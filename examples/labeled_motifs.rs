@@ -24,7 +24,13 @@ fn main() {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
     let labels: Vec<u32> = g
         .vertices()
-        .map(|v| if g.degree(v) > 20 || rng.gen_bool(0.05) { COMMUNITY } else { USER })
+        .map(|v| {
+            if g.degree(v) > 20 || rng.gen_bool(0.05) {
+                COMMUNITY
+            } else {
+                USER
+            }
+        })
         .collect();
     let communities = labels.iter().filter(|&&l| l == COMMUNITY).count();
     println!(
@@ -35,12 +41,14 @@ fn main() {
     );
 
     // Pattern: user(0) — user(1) edge, both adjacent to community(2).
-    let friends_in_community = Pattern::from_edges(3, &[(0, 1), (0, 2), (1, 2)])
-        .with_labels(vec![USER, USER, COMMUNITY]);
+    let friends_in_community =
+        Pattern::from_edges(3, &[(0, 1), (0, 2), (1, 2)]).with_labels(vec![USER, USER, COMMUNITY]);
     // Same shape, unlabeled, for comparison.
     let any_triangle = Pattern::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
 
-    let labeled_plan = PlanBuilder::new(&friends_in_community).compressed(true).best_plan();
+    let labeled_plan = PlanBuilder::new(&friends_in_community)
+        .compressed(true)
+        .best_plan();
     let unlabeled_plan = PlanBuilder::new(&any_triangle).compressed(true).best_plan();
 
     let labeled = engine::count_labeled_embeddings(&labeled_plan, &g, &labels);

@@ -23,8 +23,7 @@ fn main() {
         "triangle" => queries::triangle(),
         "clique4" => queries::clique(4),
         "clique5" => queries::clique(5),
-        other => queries::by_name(other)
-            .unwrap_or_else(|| panic!("unknown pattern {other:?}")),
+        other => queries::by_name(other).unwrap_or_else(|| panic!("unknown pattern {other:?}")),
     };
     let est = GraphStatsEstimator::new(1_000_000, 10_000_000);
     let sb = SymmetryBreaking::compute(&pattern);
@@ -45,17 +44,30 @@ fn main() {
     } else {
         PlanBuilder::new(&pattern).best_plan().matching_order
     };
-    println!("matching order: {:?}\n", order.iter().map(|v| v + 1).collect::<Vec<_>>());
+    println!(
+        "matching order: {:?}\n",
+        order.iter().map(|v| v + 1).collect::<Vec<_>>()
+    );
 
     let stages: [(&str, OptimizeOptions); 4] = [
         ("raw plan (Fig. 3b)", OptimizeOptions::none()),
         (
             "+ Opt1: common subexpression elimination (Fig. 3c)",
-            OptimizeOptions { cse: true, reorder: false, triangle_cache: false, clique_cache: false },
+            OptimizeOptions {
+                cse: true,
+                reorder: false,
+                triangle_cache: false,
+                clique_cache: false,
+            },
         ),
         (
             "+ Opt2: instruction reordering (Fig. 3d)",
-            OptimizeOptions { cse: true, reorder: true, triangle_cache: false, clique_cache: false },
+            OptimizeOptions {
+                cse: true,
+                reorder: true,
+                triangle_cache: false,
+                clique_cache: false,
+            },
         ),
         ("+ Opt3: triangle caching (Fig. 3e)", OptimizeOptions::all()),
     ];

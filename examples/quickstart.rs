@@ -34,7 +34,10 @@ fn main() {
         .graph_stats(g.num_vertices(), g.num_edges())
         .compressed(true)
         .best_plan();
-    println!("\nbest execution plan (matching order {:?}):", plan.matching_order);
+    println!(
+        "\nbest execution plan (matching order {:?}):",
+        plan.matching_order
+    );
     println!("{plan}");
 
     // 4. Run it on a simulated 4-machine cluster, 2 threads each.
@@ -45,7 +48,7 @@ fn main() {
         .tau(500)
         .build();
     let cluster = Cluster::new(&g, config);
-    let outcome = cluster.run(&plan);
+    let outcome = cluster.run(&plan).expect("cluster run failed");
 
     println!("matches     : {}", outcome.total_matches);
     println!("VCBC codes  : {}", outcome.total_codes);

@@ -34,7 +34,7 @@
 //! // Compile the best execution plan and run it on a simulated cluster.
 //! let plan = PlanBuilder::new(&pattern).best_plan();
 //! let config = ClusterConfig::builder().workers(2).threads_per_worker(2).build();
-//! let outcome = Cluster::new(&g, config).run(&plan);
+//! let outcome = Cluster::new(&g, config).run(&plan).expect("run failed");
 //! assert_eq!(outcome.total_matches, 10); // C(5,3) triangles in K5
 //! ```
 

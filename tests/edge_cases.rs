@@ -61,9 +61,13 @@ fn star_pattern_with_non_adjacent_second_vertex_splits_correctly() {
     let expected = engine::count_embeddings(&plan, &g);
     let cluster = Cluster::new(
         &g,
-        ClusterConfig::builder().workers(2).threads_per_worker(2).tau(7).build(),
+        ClusterConfig::builder()
+            .workers(2)
+            .threads_per_worker(2)
+            .tau(7)
+            .build(),
     );
-    let outcome = cluster.run(&plan);
+    let outcome = cluster.run(&plan).unwrap();
     assert_eq!(outcome.total_matches, expected);
     assert!(
         outcome.total_tasks > g.num_vertices(),
@@ -94,10 +98,13 @@ fn cluster_on_tiny_graph_with_many_workers() {
     let g = gen::complete(3);
     let cluster = Cluster::new(
         &g,
-        ClusterConfig::builder().workers(8).threads_per_worker(2).build(),
+        ClusterConfig::builder()
+            .workers(8)
+            .threads_per_worker(2)
+            .build(),
     );
     let plan = PlanBuilder::new(&queries::triangle()).best_plan();
-    let outcome = cluster.run(&plan);
+    let outcome = cluster.run(&plan).unwrap();
     assert_eq!(outcome.total_matches, 1);
     assert_eq!(outcome.workers.len(), 8);
 }
@@ -105,9 +112,11 @@ fn cluster_on_tiny_graph_with_many_workers() {
 #[test]
 fn compressed_plan_on_graph_without_matches_emits_no_codes() {
     let g = gen::grid(5, 5); // bipartite: no triangles
-    let plan = PlanBuilder::new(&queries::q2()).compressed(true).best_plan();
+    let plan = PlanBuilder::new(&queries::q2())
+        .compressed(true)
+        .best_plan();
     let cluster = Cluster::new(&g, ClusterConfig::default());
-    let outcome = cluster.run(&plan);
+    let outcome = cluster.run(&plan).unwrap();
     assert_eq!(outcome.total_matches, 0);
     assert_eq!(outcome.total_codes, 0);
     assert_eq!(outcome.metrics.code_bytes, 0);

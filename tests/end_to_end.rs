@@ -49,7 +49,7 @@ fn all_systems_agree_on_all_queries() {
             assert_eq!(engine_count, expected, "{gname}/{qname}: engine");
 
             let compressed = PlanBuilder::new(&p).compressed(true).best_plan();
-            let cluster_outcome = cluster.run(&compressed);
+            let cluster_outcome = cluster.run(&compressed).unwrap();
             assert_eq!(
                 cluster_outcome.total_matches, expected,
                 "{gname}/{qname}: cluster (compressed)"
@@ -87,8 +87,12 @@ fn forced_matching_orders_all_give_the_same_count() {
     let g = gen::erdos_renyi_gnm(40, 150, 9);
     let p = queries::q1();
     let expected = reference::count_subgraphs(&g, &p);
-    let orders: [[usize; 5]; 4] =
-        [[0, 1, 2, 3, 4], [4, 3, 2, 1, 0], [2, 0, 4, 1, 3], [1, 4, 0, 3, 2]];
+    let orders: [[usize; 5]; 4] = [
+        [0, 1, 2, 3, 4],
+        [4, 3, 2, 1, 0],
+        [2, 0, 4, 1, 3],
+        [1, 4, 0, 3, 2],
+    ];
     for order in orders {
         let plan = PlanBuilder::new(&p).matching_order(order.to_vec()).build();
         assert_eq!(
@@ -111,8 +115,18 @@ fn optimization_levels_preserve_semantics() {
     });
     let levels = [
         OptimizeOptions::none(),
-        OptimizeOptions { cse: true, reorder: false, triangle_cache: false, clique_cache: false },
-        OptimizeOptions { cse: true, reorder: true, triangle_cache: false, clique_cache: false },
+        OptimizeOptions {
+            cse: true,
+            reorder: false,
+            triangle_cache: false,
+            clique_cache: false,
+        },
+        OptimizeOptions {
+            cse: true,
+            reorder: true,
+            triangle_cache: false,
+            clique_cache: false,
+        },
         OptimizeOptions::all(),
     ];
     for (qname, p) in queries::evaluation_queries() {
@@ -136,10 +150,13 @@ fn cluster_collects_the_reference_match_set() {
     let expected = reference::enumerate(&g, &p, &sb);
     let cluster = Cluster::new(
         &g,
-        ClusterConfig::builder().workers(2).threads_per_worker(2).build(),
+        ClusterConfig::builder()
+            .workers(2)
+            .threads_per_worker(2)
+            .build(),
     );
     let plan = PlanBuilder::new(&p).best_plan();
-    let (_, matches) = cluster.run_collect(&plan);
+    let (_, matches) = cluster.run_collect(&plan).unwrap();
     assert_eq!(matches, expected);
 }
 
@@ -199,7 +216,7 @@ fn scalability_counts_stable_across_worker_counts() {
                 .threads_per_worker(2)
                 .build(),
         );
-        counts.insert(cluster.run(&plan).total_matches);
+        counts.insert(cluster.run(&plan).unwrap().total_matches);
     }
     assert_eq!(counts.len(), 1, "worker count changed results: {counts:?}");
 }

@@ -80,9 +80,15 @@ fn heterogeneous_motif_example_two_colored_wedge() {
     data_labels[0] = 1;
     let plan = PlanBuilder::new(&p).best_plan();
     // C(5, 2) = 10 wedges.
-    assert_eq!(benu::engine::count_labeled_embeddings(&plan, &g, &data_labels), 10);
+    assert_eq!(
+        benu::engine::count_labeled_embeddings(&plan, &g, &data_labels),
+        10
+    );
     // Flipping the pattern's centre label kills every match.
     let p2 = Pattern::from_edges(3, &[(0, 1), (0, 2)]).with_labels(vec![0, 1, 1]);
     let plan2 = PlanBuilder::new(&p2).best_plan();
-    assert_eq!(benu::engine::count_labeled_embeddings(&plan2, &g, &data_labels), 0);
+    assert_eq!(
+        benu::engine::count_labeled_embeddings(&plan2, &g, &data_labels),
+        0
+    );
 }

@@ -58,8 +58,18 @@ fn fig3_pipeline_is_semantics_preserving_on_the_demo_graph() {
     let p = queries::demo_pattern();
     let stages = [
         OptimizeOptions::none(),
-        OptimizeOptions { cse: true, reorder: false, triangle_cache: false, clique_cache: false },
-        OptimizeOptions { cse: true, reorder: true, triangle_cache: false, clique_cache: false },
+        OptimizeOptions {
+            cse: true,
+            reorder: false,
+            triangle_cache: false,
+            clique_cache: false,
+        },
+        OptimizeOptions {
+            cse: true,
+            reorder: true,
+            triangle_cache: false,
+            clique_cache: false,
+        },
         OptimizeOptions::all(),
         OptimizeOptions::all_with_clique_cache(),
     ];
@@ -99,7 +109,9 @@ fn inter_task_locality_on_the_demo_graph() {
     use benu::prelude::*;
     let g = demo_graph();
     let p = queries::demo_pattern();
-    let plan = PlanBuilder::new(&p).matching_order(vec![0, 2, 4, 1, 5, 3]).build();
+    let plan = PlanBuilder::new(&p)
+        .matching_order(vec![0, 2, 4, 1, 5, 3])
+        .build();
     let cluster = Cluster::new(
         &g,
         ClusterConfig::builder()
@@ -108,14 +120,13 @@ fn inter_task_locality_on_the_demo_graph() {
             .cache_capacity_bytes(1 << 20)
             .build(),
     );
-    let outcome = cluster.run(&plan);
+    let outcome = cluster.run(&plan).unwrap();
     let w = &outcome.workers[0];
     assert!(
         w.cache.hits > 0,
         "repeated adjacency queries must hit the shared DB cache"
     );
-    let expected =
-        benu::engine::reference::count_subgraphs(&g, &p);
+    let expected = benu::engine::reference::count_subgraphs(&g, &p);
     assert_eq!(outcome.total_matches, expected);
 }
 
@@ -123,8 +134,17 @@ fn inter_task_locality_on_the_demo_graph() {
 #[test]
 fn all_instruction_kinds_are_exercised() {
     let p = queries::demo_pattern();
-    let plan = PlanBuilder::new(&p).matching_order(vec![0, 2, 4, 1, 5, 3]).build();
-    for kind in [InstrKind::Ini, InstrKind::Dbq, InstrKind::Int, InstrKind::Trc, InstrKind::Enu, InstrKind::Res] {
+    let plan = PlanBuilder::new(&p)
+        .matching_order(vec![0, 2, 4, 1, 5, 3])
+        .build();
+    for kind in [
+        InstrKind::Ini,
+        InstrKind::Dbq,
+        InstrKind::Int,
+        InstrKind::Trc,
+        InstrKind::Enu,
+        InstrKind::Res,
+    ] {
         assert!(plan.count_kind(kind) > 0, "missing {kind:?}");
     }
 }

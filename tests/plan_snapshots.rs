@@ -23,8 +23,9 @@ fn check(name: &str, rendered: &str) {
         std::fs::write(&path, rendered).unwrap();
         return;
     }
-    let expected = std::fs::read_to_string(&path)
-        .unwrap_or_else(|_| panic!("golden file missing: run BLESS=1 cargo test --test plan_snapshots"));
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("golden file missing: run BLESS=1 cargo test --test plan_snapshots")
+    });
     assert_eq!(
         rendered, expected,
         "plan for {name} changed; review and re-bless if intentional"
@@ -34,7 +35,9 @@ fn check(name: &str, rendered: &str) {
 #[test]
 fn demo_pattern_plan_matches_golden() {
     let p = queries::demo_pattern();
-    let plan = PlanBuilder::new(&p).matching_order(vec![0, 2, 4, 1, 5, 3]).build();
+    let plan = PlanBuilder::new(&p)
+        .matching_order(vec![0, 2, 4, 1, 5, 3])
+        .build();
     check("demo_fig3e", &format!("{plan}"));
     let compressed = PlanBuilder::new(&p)
         .matching_order(vec![0, 2, 4, 1, 5, 3])

@@ -98,6 +98,10 @@ fn clique_compression_matches_binomial_structure() {
             }
             c
         };
-        assert_eq!(benu::engine::count_embeddings(&plan, &g), expected, "K{k} in K12");
+        assert_eq!(
+            benu::engine::count_embeddings(&plan, &g),
+            expected,
+            "K{k} in K12"
+        );
     }
 }
