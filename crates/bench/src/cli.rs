@@ -2,6 +2,7 @@
 //! CLI dependency — the offline crate budget is spent on the substrate).
 
 use benu_cluster::SchedulerKind;
+use benu_fault::FaultPlan;
 use std::collections::HashMap;
 
 /// Parsed command line: `--key value` flags plus positional arguments.
@@ -73,6 +74,32 @@ impl Args {
                 .unwrap_or_else(|e: String| panic!("--scheduler: {e}"))
         })
     }
+
+    /// Builds the fault plan for one point of a fault sweep: the shared
+    /// `--fault-seed` and optional `--crash worker:tasks` flags combined
+    /// with the point's transient fault rate. Returns `None` — run
+    /// faults-off — for a zero rate with no crash configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed `--crash` spec.
+    pub fn fault_plan(&self, transient_rate: f64) -> Option<FaultPlan> {
+        let crash = self.get_str("crash").map(|spec| {
+            let parsed = spec
+                .split_once(':')
+                .and_then(|(w, n)| Some((w.parse::<usize>().ok()?, n.parse::<u64>().ok()?)));
+            parsed.unwrap_or_else(|| panic!("--crash expects worker:tasks, got {spec:?}"))
+        });
+        if transient_rate == 0.0 && crash.is_none() {
+            return None;
+        }
+        let mut builder =
+            FaultPlan::builder(self.get("fault-seed", 0u64)).transient_rate(transient_rate);
+        if let Some((worker, after)) = crash {
+            builder = builder.crash(worker, after);
+        }
+        Some(builder.build())
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +136,23 @@ mod tests {
     #[should_panic(expected = "unknown scheduler")]
     fn unknown_scheduler_is_rejected() {
         parse("--scheduler lifo").scheduler();
+    }
+
+    #[test]
+    fn fault_flags_build_a_plan() {
+        assert!(parse("").fault_plan(0.0).is_none(), "faults-off point");
+        let plan = parse("--fault-seed 9").fault_plan(0.01).unwrap();
+        assert_eq!(plan.seed(), 9);
+        assert!(plan.has_faults());
+        let crashing = parse("--crash 2:5").fault_plan(0.0).unwrap();
+        assert_eq!(crashing.crash_after(2), Some(5));
+        assert_eq!(crashing.crash_after(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--crash expects worker:tasks")]
+    fn malformed_crash_spec_is_rejected() {
+        parse("--crash five").fault_plan(0.0);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Cluster configuration.
 
 use crate::schedule::SchedulerKind;
+use benu_fault::RetryPolicy;
 
 /// Shape and tuning of the simulated cluster. The defaults mirror the
 //  paper's deployment scaled to a single machine.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ClusterConfig {
     /// Number of logical worker machines (the paper uses 16).
     pub workers: usize,
@@ -31,6 +32,15 @@ pub struct ClusterConfig {
     /// in one batched round trip before executing it. Trades bytes for
     /// round trips; only active when the database cache is enabled.
     pub prefetch_frontier: bool,
+    /// How transports retry injected transient store faults (capped
+    /// exponential backoff with deterministic jitter). Only consulted
+    /// when a fault plan is installed on the cluster.
+    pub retry: RetryPolicy,
+    /// Speculatively re-execute straggler tasks whose duration exceeds
+    /// this busy-time quantile (e.g. `Some(0.95)`), taking the faster
+    /// attempt's timing. `None` disables speculation. Speculative
+    /// attempts never contribute matches, so counts stay exact.
+    pub speculate_quantile: Option<f64>,
 }
 
 impl Default for ClusterConfig {
@@ -45,6 +55,8 @@ impl Default for ClusterConfig {
             collect_task_times: false,
             scheduler: SchedulerKind::Static,
             prefetch_frontier: false,
+            retry: RetryPolicy::default(),
+            speculate_quantile: None,
         }
     }
 }
@@ -64,6 +76,13 @@ impl ClusterConfig {
         assert!(self.workers >= 1, "need at least one worker");
         assert!(self.threads_per_worker >= 1, "need at least one thread");
         assert!(self.cache_shards >= 1, "need at least one cache shard");
+        self.retry.validate();
+        if let Some(q) = self.speculate_quantile {
+            assert!(
+                (0.0..1.0).contains(&q),
+                "speculation quantile must be in [0, 1)"
+            );
+        }
     }
 }
 
@@ -123,6 +142,19 @@ impl ClusterConfigBuilder {
     /// Prefetch each task's frontier in one batched round trip.
     pub fn prefetch_frontier(mut self, yes: bool) -> Self {
         self.0.prefetch_frontier = yes;
+        self
+    }
+
+    /// Retry policy for injected transient store faults.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.0.retry = policy;
+        self
+    }
+
+    /// Busy-time quantile past which tasks are speculatively re-executed
+    /// (`None` disables speculation).
+    pub fn speculate_quantile(mut self, quantile: Option<f64>) -> Self {
+        self.0.speculate_quantile = quantile;
         self
     }
 

@@ -23,6 +23,13 @@
 //!   [`benu_engine::LocalEngine`] with its private triangle cache, and
 //!   fails soft: store/task errors surface as [`WorkerError`] instead of
 //!   panics;
+//! * **recovery** — with a [`benu_fault::FaultPlan`] installed via
+//!   [`Cluster::set_fault_plan`], transports retry injected store faults
+//!   with capped virtual backoff, crashed workers' tasks are requeued
+//!   and re-executed on survivors (BENU's idempotent-task recovery,
+//!   §III-C), stragglers past [`ClusterConfig::speculate_quantile`] are
+//!   speculatively re-executed, and the whole story is summarised in the
+//!   outcome's [`RecoveryReport`];
 //! * per-worker communication bytes, cache statistics, busy time, steal
 //!   counts and optional per-task durations are reported in the
 //!   [`RunOutcome`] — exactly the measurements behind Table V, Fig. 8,
@@ -30,6 +37,7 @@
 
 pub mod analysis;
 pub mod config;
+mod recovery;
 pub mod report;
 pub mod runtime;
 pub mod schedule;
@@ -37,7 +45,8 @@ pub mod transport;
 pub mod worker;
 
 pub use config::{ClusterConfig, ClusterConfigBuilder};
-pub use report::{RunOutcome, WorkerReport};
+pub use report::{RecoveryReport, RunOutcome, WorkerReport};
 pub use runtime::Cluster;
 pub use schedule::{Scheduler, SchedulerKind};
+pub use transport::TransportError;
 pub use worker::WorkerError;

@@ -1,0 +1,187 @@
+//! Crash recovery bookkeeping.
+//!
+//! BENU's fault-tolerance argument (paper §III-C) is that local search
+//! tasks are independent and idempotent: when a worker machine dies, its
+//! tasks can simply be regenerated and re-executed on any surviving
+//! worker, with no partial state to reconcile. [`RecoveryCtx`] is the
+//! run-scoped bookkeeping that makes this exact in the simulation:
+//!
+//! * A crash-capable worker (one the [`FaultPlan`] crashes) tracks every
+//!   task it completes in an *executed pool*. When its completion count
+//!   reaches the plan's boundary, the worker is marked dead and the pool
+//!   — every result the dead machine was holding — moves to the requeue,
+//!   together with whatever was still in the worker's scheduler queue.
+//! * The runtime discards the dead worker's thread results wholesale, so
+//!   no task is ever counted twice: each task's contribution enters the
+//!   final tally exactly once, from whichever attempt survived.
+//! * The push-into-pool / check-dead ordering below runs under the
+//!   pool's lock, so a sibling thread finishing a task concurrently with
+//!   the crash either lands its task in the pool (requeued with the
+//!   rest) or observes the death and requeues it itself — never both,
+//!   never neither.
+
+use benu_engine::SearchTask;
+use benu_fault::FaultPlan;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What became of a task a worker thread just finished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TaskFate {
+    /// The worker is alive; the result counts.
+    Counted,
+    /// This completion crashed the worker. The thread must drain its
+    /// scheduler queue into the requeue and stop.
+    Crashed,
+    /// A sibling thread crashed the worker mid-task. The result is lost
+    /// (already requeued); the thread must stop.
+    Lost,
+}
+
+/// Shared crash bookkeeping for one run (all passes).
+pub(crate) struct RecoveryCtx {
+    plan: Arc<FaultPlan>,
+    /// Tasks completed per worker, across its threads and passes.
+    completed: Vec<AtomicU64>,
+    /// Dead workers never run another pass.
+    dead: Vec<AtomicBool>,
+    /// Per-worker executed pool; only populated for crash-capable
+    /// workers (tracking a worker that cannot crash would be waste).
+    executed: Vec<Mutex<Vec<SearchTask>>>,
+    /// Tasks awaiting re-execution in the next pass.
+    requeue: Mutex<Vec<SearchTask>>,
+    crashes: AtomicU64,
+    requeued: AtomicU64,
+}
+
+impl RecoveryCtx {
+    pub(crate) fn new(plan: Arc<FaultPlan>, workers: usize) -> Self {
+        RecoveryCtx {
+            completed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            dead: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            executed: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            requeue: Mutex::new(Vec::new()),
+            crashes: AtomicU64::new(0),
+            requeued: AtomicU64::new(0),
+            plan,
+        }
+    }
+
+    /// True once `worker` has crashed. Dead workers take no further part
+    /// in the run.
+    pub(crate) fn is_dead(&self, worker: usize) -> bool {
+        self.dead[worker].load(Ordering::Acquire)
+    }
+
+    /// Books a completed task and decides whether its worker survives
+    /// the task boundary. See the module docs for the race argument.
+    pub(crate) fn task_done(&self, worker: usize, task: SearchTask) -> TaskFate {
+        let Some(boundary) = self.plan.crash_after(worker) else {
+            return TaskFate::Counted;
+        };
+        let mut pool = self.executed[worker].lock();
+        if self.dead[worker].load(Ordering::Acquire) {
+            // The machine died while this thread was mid-task: the
+            // result is gone with it.
+            drop(pool);
+            self.requeue_all(vec![task]);
+            return TaskFate::Lost;
+        }
+        pool.push(task);
+        let done = self.completed[worker].fetch_add(1, Ordering::AcqRel) + 1;
+        if done < boundary {
+            return TaskFate::Counted;
+        }
+        self.dead[worker].store(true, Ordering::Release);
+        self.crashes.fetch_add(1, Ordering::Relaxed);
+        let lost: Vec<SearchTask> = pool.drain(..).collect();
+        drop(pool);
+        self.requeue_all(lost);
+        TaskFate::Crashed
+    }
+
+    /// Queues tasks for re-execution in the next pass.
+    pub(crate) fn requeue_all(&self, tasks: Vec<SearchTask>) {
+        if tasks.is_empty() {
+            return;
+        }
+        self.requeued
+            .fetch_add(tasks.len() as u64, Ordering::Relaxed);
+        self.requeue.lock().extend(tasks);
+    }
+
+    /// Takes everything queued for re-execution.
+    pub(crate) fn take_requeue(&self) -> Vec<SearchTask> {
+        std::mem::take(&mut *self.requeue.lock())
+    }
+
+    /// Worker crashes so far.
+    pub(crate) fn crashes(&self) -> u64 {
+        self.crashes.load(Ordering::Relaxed)
+    }
+
+    /// Tasks requeued so far (executed-but-lost plus still-queued).
+    pub(crate) fn total_requeued(&self) -> u64 {
+        self.requeued.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benu_graph::VertexId;
+
+    fn task(v: VertexId) -> SearchTask {
+        SearchTask::whole(v)
+    }
+
+    #[test]
+    fn crash_free_workers_never_track_anything() {
+        let ctx = RecoveryCtx::new(Arc::new(FaultPlan::benign(0)), 2);
+        for v in 0..100 {
+            assert_eq!(ctx.task_done(v as usize % 2, task(v)), TaskFate::Counted);
+        }
+        assert!(!ctx.is_dead(0) && !ctx.is_dead(1));
+        assert_eq!(ctx.crashes(), 0);
+        assert!(ctx.take_requeue().is_empty());
+    }
+
+    #[test]
+    fn crash_boundary_requeues_everything_the_worker_held() {
+        let plan = Arc::new(FaultPlan::builder(0).crash(1, 3).build());
+        let ctx = RecoveryCtx::new(plan, 2);
+        assert_eq!(ctx.task_done(1, task(10)), TaskFate::Counted);
+        assert_eq!(ctx.task_done(1, task(11)), TaskFate::Counted);
+        assert_eq!(ctx.task_done(1, task(12)), TaskFate::Crashed);
+        assert!(ctx.is_dead(1));
+        assert_eq!(ctx.crashes(), 1);
+        let mut requeued: Vec<VertexId> = ctx.take_requeue().iter().map(|t| t.start).collect();
+        requeued.sort_unstable();
+        assert_eq!(requeued, vec![10, 11, 12], "all completed work is lost");
+        assert_eq!(ctx.total_requeued(), 3);
+        // Worker 0 is untouched by worker 1's crash.
+        assert_eq!(ctx.task_done(0, task(0)), TaskFate::Counted);
+    }
+
+    #[test]
+    fn tasks_finishing_on_a_dead_worker_are_lost_and_requeued() {
+        let plan = Arc::new(FaultPlan::builder(0).crash(0, 1).build());
+        let ctx = RecoveryCtx::new(plan, 1);
+        assert_eq!(ctx.task_done(0, task(5)), TaskFate::Crashed);
+        // A sibling thread finishing after the crash.
+        assert_eq!(ctx.task_done(0, task(6)), TaskFate::Lost);
+        let mut requeued: Vec<VertexId> = ctx.take_requeue().iter().map(|t| t.start).collect();
+        requeued.sort_unstable();
+        assert_eq!(requeued, vec![5, 6]);
+    }
+
+    #[test]
+    fn requeue_drains_once() {
+        let ctx = RecoveryCtx::new(Arc::new(FaultPlan::benign(0)), 1);
+        ctx.requeue_all(vec![task(1), task(2)]);
+        assert_eq!(ctx.take_requeue().len(), 2);
+        assert!(ctx.take_requeue().is_empty());
+        assert_eq!(ctx.total_requeued(), 2);
+    }
+}

@@ -43,6 +43,55 @@ pub struct WorkerReport {
     pub triangle_cache: CacheStats,
 }
 
+/// What the fault-recovery machinery did during a run. All zeros for a
+/// run without an installed fault plan. Whenever `Cluster::run` returns
+/// `Ok`, every injected fault was survived: transients and timeouts were
+/// retried to success, crashes were absorbed by requeueing — so
+/// "survived" equals [`RecoveryReport::faults_injected`] by construction,
+/// and the match counts are byte-identical to a fault-free run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Injected transient store errors.
+    pub transient_faults: u64,
+    /// Injected store timeouts.
+    pub timeouts: u64,
+    /// Retries issued by the transports (each fault survived costs
+    /// attempts − 1 of these).
+    pub retries: u64,
+    /// Worker machines that crashed at a task boundary.
+    pub worker_crashes: u64,
+    /// Tasks whose results died with a worker and were re-executed.
+    pub tasks_requeued: u64,
+    /// Extra scheduler passes run to re-execute requeued tasks.
+    pub recovery_passes: u64,
+    /// Straggler tasks speculatively re-executed.
+    pub speculative_launches: u64,
+    /// Speculative attempts that beat the original duration.
+    pub speculative_wins: u64,
+    /// Total virtual retry backoff charged into busy time (never slept).
+    pub backoff_virtual: Duration,
+    /// Total virtual slow-shard latency charged into busy time.
+    pub slow_penalty_virtual: Duration,
+}
+
+impl RecoveryReport {
+    /// Total faults injected: transients + timeouts + crashes.
+    pub fn faults_injected(&self) -> u64 {
+        self.transient_faults + self.timeouts + self.worker_crashes
+    }
+
+    /// Faults the run absorbed without failing. On a successful run this
+    /// is every injected fault (see the type docs).
+    pub fn faults_survived(&self) -> u64 {
+        self.faults_injected()
+    }
+
+    /// True if nothing was injected and nothing had to recover.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryReport::default()
+    }
+}
+
 /// The outcome of one cluster run.
 #[derive(Clone, Debug, Default)]
 pub struct RunOutcome {
@@ -66,6 +115,9 @@ pub struct RunOutcome {
     pub scheduler: SchedulerKind,
     /// Per-task durations, when requested in the configuration.
     pub task_times: Option<Vec<Duration>>,
+    /// What fault injection and recovery did (all zeros without a fault
+    /// plan).
+    pub recovery: RecoveryReport,
 }
 
 impl RunOutcome {
@@ -111,8 +163,13 @@ impl RunOutcome {
     /// Ratio of the busiest worker's busy time to the least busy
     /// worker's (with `floor` as the minimum denominator, guarding
     /// against idle workers). 1.0 = perfectly balanced; the work-stealing
-    /// scheduler exists to pull this down on skewed task sets.
+    /// scheduler exists to pull this down on skewed task sets. Returns
+    /// 0.0 — never NaN or ∞ — for a run with no workers, or with a zero
+    /// floor on a run where no worker did any work.
     pub fn busy_ratio(&self, floor: Duration) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
         let max = self
             .workers
             .iter()
@@ -127,14 +184,19 @@ impl RunOutcome {
             .min()
             .unwrap_or(Duration::ZERO)
             .max(floor);
+        if min.is_zero() {
+            return 0.0;
+        }
         max.as_secs_f64() / min.as_secs_f64()
     }
 
     /// Load imbalance: max over workers of busy time divided by the mean
-    /// (1.0 = perfectly balanced).
+    /// (1.0 = perfectly balanced). Returns 0.0 — never NaN — for a run
+    /// with no workers or no recorded busy time (a zero-task run has no
+    /// balance to speak of).
     pub fn load_imbalance(&self) -> f64 {
         if self.workers.is_empty() {
-            return 1.0;
+            return 0.0;
         }
         let times: Vec<f64> = self
             .workers
@@ -143,7 +205,7 @@ impl RunOutcome {
             .collect();
         let mean = times.iter().sum::<f64>() / times.len() as f64;
         if mean == 0.0 {
-            return 1.0;
+            return 0.0;
         }
         times.iter().cloned().fold(0.0f64, f64::max) / mean
     }
@@ -208,9 +270,10 @@ mod tests {
         let o = RunOutcome::default();
         assert_eq!(o.communication_bytes(), 0);
         assert_eq!(o.cache_hit_rate(), 0.0);
-        assert_eq!(o.load_imbalance(), 1.0);
+        assert_eq!(o.load_imbalance(), 0.0);
         assert_eq!(o.total_steals(), 0);
         assert_eq!(o.scheduler, SchedulerKind::Static);
+        assert!(o.recovery.is_clean());
     }
 
     #[test]
@@ -226,5 +289,48 @@ mod tests {
             ..RunOutcome::default()
         };
         assert!((balanced.busy_ratio(Duration::from_millis(1)) - 1.0).abs() < 1e-9);
+    }
+
+    // Regression: a zero-task or zero-time run must yield finite metrics
+    // (0.0), not NaN or ∞ — downstream JSON and table writers choke on
+    // non-finite numbers.
+    #[test]
+    fn imbalance_metrics_guard_zero_work_runs() {
+        let no_workers = RunOutcome::default();
+        assert_eq!(no_workers.busy_ratio(Duration::ZERO), 0.0);
+        assert_eq!(no_workers.busy_ratio(Duration::from_millis(1)), 0.0);
+        assert_eq!(no_workers.load_imbalance(), 0.0);
+
+        let all_idle = RunOutcome {
+            workers: vec![worker(0, 0, 0, 0), worker(0, 0, 0, 0)],
+            ..RunOutcome::default()
+        };
+        assert_eq!(
+            all_idle.busy_ratio(Duration::ZERO),
+            0.0,
+            "zero floor over zero busy time must not divide by zero"
+        );
+        assert_eq!(all_idle.load_imbalance(), 0.0);
+        assert!(all_idle.busy_ratio(Duration::ZERO).is_finite());
+        assert!(all_idle.load_imbalance().is_finite());
+        // A floored ratio over idle workers stays the benign 1.0.
+        assert!((all_idle.busy_ratio(Duration::from_millis(1)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_report_aggregates_faults() {
+        let r = RecoveryReport {
+            transient_faults: 5,
+            timeouts: 2,
+            worker_crashes: 1,
+            retries: 7,
+            tasks_requeued: 3,
+            recovery_passes: 1,
+            ..RecoveryReport::default()
+        };
+        assert_eq!(r.faults_injected(), 8);
+        assert_eq!(r.faults_survived(), 8);
+        assert!(!r.is_clean());
+        assert!(RecoveryReport::default().is_clean());
     }
 }

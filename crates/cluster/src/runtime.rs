@@ -6,18 +6,33 @@
 //! owns a persistent [`DbCache`] that survives across `run` calls — the
 //! paper's long-lived per-machine database cache. See DESIGN.md
 //! "Runtime layering" for the full picture.
+//!
+//! With a [`FaultPlan`] installed (see [`Cluster::set_fault_plan`]), a
+//! run also exercises BENU's recovery story: transports retry injected
+//! store faults with capped backoff, workers crash at planned task
+//! boundaries and their tasks are requeued onto survivors in extra
+//! scheduler passes, and configured straggler speculation re-executes
+//! the slowest tasks. Because tasks are idempotent and a dead worker's
+//! results are discarded wholesale, match counts are byte-identical to a
+//! fault-free run; the [`RecoveryReport`] in the outcome records what
+//! the machinery absorbed. [`Cluster::run`] returns `Err` only for
+//! unrecoverable faults (a shard outage outlasting the retry policy, or
+//! every worker crashing).
 
 use crate::config::ClusterConfig;
-use crate::report::{RunOutcome, WorkerReport};
+use crate::recovery::RecoveryCtx;
+use crate::report::{RecoveryReport, RunOutcome, WorkerReport};
+use crate::schedule::StaticScheduler;
 use crate::transport::Transport;
 use crate::worker::{ErrorSlot, ThreadResult, Worker, WorkerError};
 use benu_cache::{CacheStats, DbCache};
 use benu_engine::{SearchTask, SplitSpec};
+use benu_fault::FaultPlan;
 use benu_graph::{Graph, TotalOrder, VertexId};
 use benu_kvstore::KvStore;
 use benu_plan::ExecutionPlan;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type Matches = Vec<Vec<VertexId>>;
 
@@ -32,6 +47,7 @@ pub struct Cluster {
     degrees: Vec<u32>,
     caches: Vec<Arc<DbCache>>,
     config: ClusterConfig,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Cluster {
@@ -46,6 +62,7 @@ impl Cluster {
             degrees: g.vertices().map(|v| g.degree(v) as u32).collect(),
             caches: Self::build_caches(&config),
             config,
+            fault_plan: None,
         }
     }
 
@@ -73,6 +90,19 @@ impl Cluster {
     /// The persistent per-machine database caches.
     pub fn caches(&self) -> &[Arc<DbCache>] {
         &self.caches
+    }
+
+    /// Installs (or removes, with `None`) the fault plan subsequent runs
+    /// inject from. Transient faults and timeouts are retried per the
+    /// configured [`ClusterConfig::retry`] policy; planned worker
+    /// crashes trigger task requeue and re-execution.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan.map(Arc::new);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_deref()
     }
 
     /// Drops every cached adjacency set and resets the cache counters —
@@ -130,7 +160,11 @@ impl Cluster {
     /// # Errors
     ///
     /// Aborts with a [`WorkerError`] when a task queries a vertex the
-    /// store does not hold or a task panics.
+    /// store does not hold, a task panics, an injected shard outage
+    /// outlasts the retry policy, or every worker crashes with work
+    /// still queued. Faults the recovery machinery absorbs (retried
+    /// transients, requeued crashes) do not error — they are reported in
+    /// [`RunOutcome::recovery`].
     pub fn run(&self, plan: &ExecutionPlan) -> Result<RunOutcome, WorkerError> {
         Ok(self.run_inner(plan, false)?.0)
     }
@@ -156,67 +190,184 @@ impl Cluster {
         let total_tasks = tasks.len();
         let p = self.config.workers;
 
+        let recovery_ctx = self
+            .fault_plan
+            .as_ref()
+            .map(|plan| RecoveryCtx::new(Arc::clone(plan), p));
+
         // Round-robin initial assignment — the even shuffle of tasks to
         // reducers. The scheduler decides whether tasks may migrate.
-        let mut worker_tasks: Vec<Vec<SearchTask>> = vec![Vec::new(); p];
+        let mut pending: Vec<Vec<SearchTask>> = vec![Vec::new(); p];
         for (i, t) in tasks.into_iter().enumerate() {
-            worker_tasks[i % p].push(t);
+            pending[i % p].push(t);
         }
-        let scheduler = self.config.scheduler.build(worker_tasks);
 
         self.store.reset_stats();
         let transports: Vec<Transport> = (0..p)
-            .map(|_| Transport::new(Arc::clone(&self.store)))
+            .map(|_| match &self.fault_plan {
+                Some(plan) => Transport::with_faults(
+                    Arc::clone(&self.store),
+                    Arc::clone(plan),
+                    self.config.retry,
+                ),
+                None => Transport::new(Arc::clone(&self.store)),
+            })
             .collect();
         let cache_stats_before: Vec<CacheStats> = self.caches.iter().map(|c| c.stats()).collect();
         let errors = ErrorSlot::new();
         let started = Instant::now();
 
-        let mut thread_results: Vec<Vec<Result<ThreadResult, WorkerError>>> =
-            (0..p).map(|_| Vec::new()).collect();
+        let mut merged: Vec<Vec<ThreadResult>> = (0..p).map(|_| Vec::new()).collect();
+        let mut assigned = vec![0usize; p];
+        let mut steals = vec![0u64; p];
+        let mut recovery_passes = 0u64;
+        let mut attempt: u32 = 1;
 
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p * self.config.threads_per_worker);
-            for (w, transport) in transports.iter().enumerate() {
-                for _ in 0..self.config.threads_per_worker {
+        // Pass loop: run every queued task; if a worker crashed, its
+        // lost tasks come back via the requeue and run in another pass
+        // on the survivors (BENU's regenerate-and-re-execute recovery).
+        loop {
+            let alive_before: Vec<bool> = (0..p)
+                .map(|w| recovery_ctx.as_ref().is_none_or(|rc| !rc.is_dead(w)))
+                .collect();
+            let scheduler = self.config.scheduler.build(pending);
+            let mut pass_results: Vec<Vec<Result<ThreadResult, WorkerError>>> =
+                (0..p).map(|_| Vec::new()).collect();
+
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(p * self.config.threads_per_worker);
+                for (w, transport) in transports.iter().enumerate() {
+                    if !alive_before[w] {
+                        continue;
+                    }
+                    for _ in 0..self.config.threads_per_worker {
+                        let worker = Worker {
+                            id: w,
+                            scheduler: scheduler.as_ref(),
+                            transport,
+                            cache: &self.caches[w],
+                            order: &self.order,
+                            compiled: &compiled,
+                            config: &self.config,
+                            errors: &errors,
+                            recovery: recovery_ctx.as_ref(),
+                            attempt,
+                        };
+                        handles.push((w, scope.spawn(move || worker.run_thread(collect))));
+                    }
+                }
+                for (w, handle) in handles {
+                    let result = handle
+                        .join()
+                        .unwrap_or(Err(WorkerError::ThreadPanicked { worker: w }));
+                    pass_results[w].push(result);
+                }
+            });
+
+            if let Some(err) = errors.first() {
+                return Err(err);
+            }
+            for w in 0..p {
+                assigned[w] += scheduler.assigned(w);
+                steals[w] += scheduler.steals(w);
+            }
+            for (w, results) in pass_results.into_iter().enumerate() {
+                // A worker that died this pass takes its results down
+                // with the machine; every task it touched is already in
+                // the requeue, so nothing is counted twice.
+                if recovery_ctx.as_ref().is_some_and(|rc| rc.is_dead(w)) {
+                    continue;
+                }
+                for result in results {
+                    merged[w].push(result?);
+                }
+            }
+
+            let requeued = recovery_ctx
+                .as_ref()
+                .map(|rc| rc.take_requeue())
+                .unwrap_or_default();
+            if requeued.is_empty() {
+                break;
+            }
+            let rc = recovery_ctx.as_ref().expect("requeue implies a fault plan");
+            let alive: Vec<usize> = (0..p).filter(|&w| !rc.is_dead(w)).collect();
+            if alive.is_empty() {
+                return Err(WorkerError::ClusterLost {
+                    outstanding: requeued.len(),
+                });
+            }
+            recovery_passes += 1;
+            attempt += 1;
+            pending = vec![Vec::new(); p];
+            for (i, t) in requeued.into_iter().enumerate() {
+                pending[alive[i % alive.len()]].push(t);
+            }
+        }
+        let elapsed = started.elapsed();
+
+        // Straggler speculation: re-execute every surviving task whose
+        // duration exceeded the configured busy-time quantile, round
+        // robin over the live workers. Results are discarded (tasks are
+        // idempotent; counts must not change) — only the timing race is
+        // interesting, and a real cluster would overlap it with the tail
+        // of the run, so it is excluded from `elapsed`.
+        let mut speculative_launches = 0u64;
+        let mut speculative_wins = 0u64;
+        if let Some(q) = self.config.speculate_quantile {
+            let timed: Vec<(SearchTask, Duration)> = merged
+                .iter()
+                .flatten()
+                .flat_map(|r| r.timed_tasks.iter().copied())
+                .collect();
+            let alive: Vec<usize> = (0..p)
+                .filter(|&w| recovery_ctx.as_ref().is_none_or(|rc| !rc.is_dead(w)))
+                .collect();
+            if timed.len() >= 2 && !alive.is_empty() {
+                let mut durations: Vec<Duration> = timed.iter().map(|&(_, d)| d).collect();
+                durations.sort_unstable();
+                let threshold = durations[((durations.len() - 1) as f64 * q) as usize];
+                let spec_errors = ErrorSlot::new();
+                let idle = StaticScheduler::new(vec![Vec::new(); p]);
+                for (i, (task, original)) in timed
+                    .into_iter()
+                    .filter(|&(_, d)| d > threshold)
+                    .enumerate()
+                {
+                    let w = alive[i % alive.len()];
                     let worker = Worker {
                         id: w,
-                        scheduler: scheduler.as_ref(),
-                        transport,
+                        scheduler: &idle,
+                        transport: &transports[w],
                         cache: &self.caches[w],
                         order: &self.order,
                         compiled: &compiled,
                         config: &self.config,
-                        errors: &errors,
+                        errors: &spec_errors,
+                        recovery: None,
+                        attempt: attempt + 1,
                     };
-                    handles.push((w, scope.spawn(move || worker.run_thread(collect))));
+                    speculative_launches += 1;
+                    if let Some(dt) = worker.run_speculative(task) {
+                        if dt < original {
+                            speculative_wins += 1;
+                        }
+                    }
                 }
             }
-            for (w, handle) in handles {
-                let result = handle
-                    .join()
-                    .unwrap_or(Err(WorkerError::ThreadPanicked { worker: w }));
-                thread_results[w].push(result);
-            }
-        });
-        let elapsed = started.elapsed();
-
-        if let Some(err) = errors.first() {
-            return Err(err);
         }
 
         let mut reports: Vec<WorkerReport> = Vec::with_capacity(p);
         let mut all_matches: Option<Matches> = collect.then(Vec::new);
         let mut all_task_times = self.config.collect_task_times.then(Vec::new);
-        for (w, results) in thread_results.into_iter().enumerate() {
+        for (w, results) in merged.into_iter().enumerate() {
             let mut report = WorkerReport {
                 worker: w,
-                tasks: scheduler.assigned(w),
-                steals: scheduler.steals(w),
+                tasks: assigned[w],
+                steals: steals[w],
                 ..WorkerReport::default()
             };
-            for result in results {
-                let r = result?;
+            for r in results {
                 report.metrics += r.metrics;
                 report.busy_time += r.busy;
                 report.tasks_executed += r.executed;
@@ -245,6 +396,24 @@ impl Cluster {
             reports.push(report);
         }
 
+        let mut recovery = RecoveryReport {
+            recovery_passes,
+            speculative_launches,
+            speculative_wins,
+            ..RecoveryReport::default()
+        };
+        for t in &transports {
+            recovery.transient_faults += t.transient_faults();
+            recovery.timeouts += t.timeouts();
+            recovery.retries += t.retries();
+            recovery.backoff_virtual += t.backoff_virtual();
+            recovery.slow_penalty_virtual += t.slow_virtual();
+        }
+        if let Some(rc) = &recovery_ctx {
+            recovery.worker_crashes = rc.crashes();
+            recovery.tasks_requeued = rc.total_requeued();
+        }
+
         let mut metrics = benu_engine::TaskMetrics::default();
         for r in &reports {
             metrics += r.metrics;
@@ -259,6 +428,7 @@ impl Cluster {
             total_tasks,
             scheduler: self.config.scheduler,
             task_times: all_task_times,
+            recovery,
         };
         if let Some(m) = all_matches.as_mut() {
             m.sort_unstable();
@@ -271,6 +441,7 @@ impl Cluster {
 mod tests {
     use super::*;
     use crate::schedule::SchedulerKind;
+    use benu_fault::RetryPolicy;
     use benu_graph::gen;
     use benu_pattern::queries;
     use benu_plan::PlanBuilder;
@@ -298,6 +469,7 @@ mod tests {
         assert_eq!(outcome.total_tasks, 6);
         let executed: usize = outcome.workers.iter().map(|w| w.tasks_executed).sum();
         assert_eq!(executed, 6);
+        assert!(outcome.recovery.is_clean(), "no fault plan, no recovery");
     }
 
     #[test]
@@ -584,5 +756,230 @@ mod tests {
         );
         // Bytes still reconcile between worker and store accounting.
         assert_eq!(prefetched.communication_bytes(), prefetched.kv.bytes);
+    }
+
+    // ---- fault injection & recovery ----
+
+    fn chaos_cluster(g: &Graph, plan: FaultPlan) -> Cluster {
+        let mut cluster = Cluster::new(
+            g,
+            ClusterConfig::builder()
+                .workers(3)
+                .threads_per_worker(1)
+                .cache_capacity_bytes(0) // every fetch hits the store: plenty of fault sites
+                .tau(20)
+                .build(),
+        );
+        cluster.set_fault_plan(Some(plan));
+        cluster
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_an_identical_count() {
+        let g = gen::erdos_renyi_gnm(60, 220, 5);
+        let query = PlanBuilder::new(&queries::triangle()).best_plan();
+        let expected = benu_engine::count_embeddings(&query, &g);
+        let cluster = chaos_cluster(&g, FaultPlan::builder(77).transient_rate(0.05).build());
+        let outcome = cluster.run(&query).unwrap();
+        assert_eq!(outcome.total_matches, expected);
+        assert!(outcome.recovery.transient_faults > 0, "5% must fault");
+        assert_eq!(outcome.recovery.retries, outcome.recovery.transient_faults);
+        assert!(outcome.recovery.backoff_virtual > Duration::ZERO);
+        assert_eq!(outcome.recovery.worker_crashes, 0);
+        // Faulted attempts never reached the store, so the accounting
+        // still reconciles exactly.
+        assert_eq!(outcome.communication_bytes(), outcome.kv.bytes);
+    }
+
+    #[test]
+    fn worker_crash_requeues_tasks_and_keeps_counts_exact() {
+        let g = gen::barabasi_albert(120, 4, 31);
+        let query = PlanBuilder::new(&queries::triangle()).best_plan();
+        let expected = benu_engine::count_embeddings(&query, &g);
+        let cluster = chaos_cluster(&g, FaultPlan::builder(3).crash(1, 5).build());
+        let outcome = cluster.run(&query).unwrap();
+        assert_eq!(outcome.total_matches, expected, "crash changed the count");
+        assert_eq!(outcome.recovery.worker_crashes, 1);
+        assert!(
+            outcome.recovery.tasks_requeued >= 5,
+            "the 5 lost results + its queue"
+        );
+        assert!(outcome.recovery.recovery_passes >= 1);
+        // Every task's result enters the tally exactly once.
+        let executed: usize = outcome.workers.iter().map(|w| w.tasks_executed).sum();
+        assert_eq!(executed, outcome.total_tasks);
+        // The dead worker reports no surviving work.
+        assert_eq!(outcome.workers[1].tasks_executed, 0);
+    }
+
+    #[test]
+    fn combined_faults_survive_under_both_schedulers() {
+        let g = gen::erdos_renyi_gnm(80, 300, 9);
+        let query = PlanBuilder::new(&queries::q1()).best_plan();
+        let expected = benu_engine::count_embeddings(&query, &g);
+        for kind in [SchedulerKind::Static, SchedulerKind::WorkStealing] {
+            let mut cluster = Cluster::new(
+                &g,
+                ClusterConfig::builder()
+                    .workers(4)
+                    .threads_per_worker(2)
+                    .cache_capacity_bytes(0)
+                    .scheduler(kind)
+                    .build(),
+            );
+            cluster.set_fault_plan(Some(
+                FaultPlan::builder(11)
+                    .transient_rate(0.02)
+                    .timeout_rate(0.01)
+                    .crash(2, 4)
+                    .build(),
+            ));
+            let outcome = cluster.run(&query).unwrap();
+            assert_eq!(outcome.total_matches, expected, "{kind} lost exactness");
+            // Whether worker 2 reaches its crash boundary under work
+            // stealing is timing-dependent (its queue may be stolen bare
+            // first), so only the static scheduler guarantees the crash.
+            if kind == SchedulerKind::Static {
+                assert_eq!(outcome.recovery.worker_crashes, 1);
+            }
+            assert!(outcome.recovery.faults_injected() > 0);
+        }
+    }
+
+    #[test]
+    fn same_seed_replay_reproduces_the_recovery_report() {
+        let g = gen::barabasi_albert(100, 3, 17);
+        let query = PlanBuilder::new(&queries::triangle()).best_plan();
+        let chaos = || {
+            FaultPlan::builder(42)
+                .transient_rate(0.03)
+                .crash(0, 4)
+                .build()
+        };
+        // Determinism scope: static scheduler, one thread per worker —
+        // the acceptance configuration. (Work stealing and intra-worker
+        // thread races reorder requests, which moves fault sites.)
+        let run = || chaos_cluster(&g, chaos()).run(&query).unwrap();
+        let a = run();
+        let b = run();
+        assert_eq!(a.recovery, b.recovery, "same seed must replay identically");
+        assert_eq!(a.total_matches, b.total_matches);
+        assert!(a.recovery.transient_faults > 0);
+        assert_eq!(a.recovery.worker_crashes, 1);
+    }
+
+    #[test]
+    fn benign_plan_changes_nothing_and_reports_clean() {
+        let g = gen::erdos_renyi_gnm(50, 180, 2);
+        let query = PlanBuilder::new(&queries::triangle()).best_plan();
+        let expected = benu_engine::count_embeddings(&query, &g);
+        let cluster = chaos_cluster(&g, FaultPlan::benign(0));
+        let outcome = cluster.run(&query).unwrap();
+        assert_eq!(outcome.total_matches, expected);
+        assert!(outcome.recovery.is_clean());
+    }
+
+    #[test]
+    fn slow_shards_charge_busy_time_without_sleeping() {
+        let g = gen::erdos_renyi_gnm(60, 220, 8);
+        let query = PlanBuilder::new(&queries::triangle()).best_plan();
+        let cluster = chaos_cluster(
+            &g,
+            FaultPlan::builder(5)
+                .base_latency(Duration::from_millis(2))
+                .slow_shard(0, 4.0)
+                .build(),
+        );
+        let started = Instant::now();
+        let outcome = cluster.run(&query).unwrap();
+        let wall = started.elapsed();
+        let penalty = outcome.recovery.slow_penalty_virtual;
+        assert!(
+            penalty > Duration::ZERO,
+            "shard 0 traffic must be penalised"
+        );
+        let total_busy: Duration = outcome.workers.iter().map(|w| w.busy_time).sum();
+        assert!(
+            total_busy >= penalty,
+            "virtual latency must be charged into busy time ({total_busy:?} < {penalty:?})"
+        );
+        assert!(
+            wall < penalty,
+            "penalties are virtual: wall {wall:?} must undercut charged {penalty:?}"
+        );
+    }
+
+    #[test]
+    fn speculation_reexecutes_stragglers_without_changing_counts() {
+        let g = gen::barabasi_albert(150, 4, 23);
+        let query = PlanBuilder::new(&queries::triangle()).best_plan();
+        let expected = benu_engine::count_embeddings(&query, &g);
+        let cluster = Cluster::new(
+            &g,
+            ClusterConfig::builder()
+                .workers(2)
+                .threads_per_worker(1)
+                .speculate_quantile(Some(0.9))
+                .build(),
+        );
+        let outcome = cluster.run(&query).unwrap();
+        assert_eq!(
+            outcome.total_matches, expected,
+            "speculation changed counts"
+        );
+        let spec = outcome.recovery.speculative_launches;
+        assert!(spec > 0, "a 0.9 quantile must leave stragglers to chase");
+        assert!(
+            (spec as usize) < outcome.total_tasks / 2,
+            "only the tail may be speculated ({spec} of {})",
+            outcome.total_tasks
+        );
+        assert!(outcome.recovery.speculative_wins <= spec);
+    }
+
+    #[test]
+    fn unrecoverable_shard_outage_surfaces_a_contextual_error() {
+        let g = gen::erdos_renyi_gnm(40, 120, 1);
+        let query = PlanBuilder::new(&queries::triangle()).best_plan();
+        let mut cluster = Cluster::new(
+            &g,
+            ClusterConfig::builder()
+                .workers(2)
+                .threads_per_worker(1)
+                .cache_capacity_bytes(0)
+                .retry(RetryPolicy {
+                    max_attempts: 2,
+                    ..RetryPolicy::default()
+                })
+                .build(),
+        );
+        cluster.set_fault_plan(Some(FaultPlan::builder(0).transient_rate(0.9).build()));
+        match cluster.run(&query) {
+            Err(WorkerError::StoreUnavailable { error, task, .. }) => {
+                assert_eq!(error.attempts, 2);
+                assert!(task.is_some(), "failure happened inside a task");
+            }
+            other => panic!("rate 0.9 with 2 attempts must exhaust, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn losing_every_worker_is_an_error() {
+        let g = gen::erdos_renyi_gnm(40, 120, 6);
+        let query = PlanBuilder::new(&queries::triangle()).best_plan();
+        let mut cluster = Cluster::new(
+            &g,
+            ClusterConfig::builder()
+                .workers(2)
+                .threads_per_worker(1)
+                .build(),
+        );
+        cluster.set_fault_plan(Some(FaultPlan::builder(0).crash(0, 1).crash(1, 1).build()));
+        match cluster.run(&query) {
+            Err(WorkerError::ClusterLost { outstanding }) => {
+                assert!(outstanding > 0, "lost tasks must be reported");
+            }
+            other => panic!("expected ClusterLost, got {other:?}"),
+        }
     }
 }

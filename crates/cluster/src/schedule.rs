@@ -86,6 +86,12 @@ pub trait Scheduler: Sync {
 
     /// Tasks `worker` has taken from other workers' queues so far.
     fn steals(&self, worker: usize) -> u64;
+
+    /// Removes and returns everything still queued for `worker` — a
+    /// crashed worker's queue goes down with the machine and is handed
+    /// to the recovery requeue. Subsequent `next(worker)` calls find the
+    /// queue empty.
+    fn drain(&self, worker: usize) -> Vec<SearchTask>;
 }
 
 /// The paper's static shuffle: per-worker task slices consumed through an
@@ -119,6 +125,16 @@ impl Scheduler for StaticScheduler {
 
     fn steals(&self, _worker: usize) -> u64 {
         0
+    }
+
+    fn drain(&self, worker: usize) -> Vec<SearchTask> {
+        let (tasks, cursor) = &self.queues[worker];
+        // Jump the cursor past the end; whatever it had not yet handed
+        // out is the drained remainder. A concurrent `next` either got
+        // its index before the swap (it owns that task) or after (it
+        // sees an exhausted queue) — no task is both drained and served.
+        let i = cursor.swap(tasks.len(), Ordering::Relaxed).min(tasks.len());
+        tasks[i..].to_vec()
     }
 }
 
@@ -190,6 +206,10 @@ impl Scheduler for WorkStealingScheduler {
 
     fn steals(&self, worker: usize) -> u64 {
         self.steals[worker].load(Ordering::Relaxed)
+    }
+
+    fn drain(&self, worker: usize) -> Vec<SearchTask> {
+        self.queues[worker].lock().drain(..).collect()
     }
 }
 
@@ -277,6 +297,22 @@ mod tests {
         assert_eq!(SchedulerKind::WorkStealing.to_string(), "work-stealing");
         assert!(SchedulerKind::from_str("lottery").is_err());
         assert_eq!(SchedulerKind::default(), SchedulerKind::Static);
+    }
+
+    #[test]
+    fn drain_empties_a_queue_exactly_once() {
+        let s = StaticScheduler::new(vec![tasks(0..6), tasks(6..8)]);
+        s.next(0);
+        let drained: Vec<VertexId> = s.drain(0).iter().map(|t| t.start).collect();
+        assert_eq!(drained, vec![1, 2, 3, 4, 5]);
+        assert!(s.next(0).is_none(), "drained queue serves nothing");
+        assert!(s.drain(0).is_empty(), "second drain finds nothing");
+        assert_eq!(s.next(1).unwrap().start, 6, "other queues unaffected");
+
+        let ws = WorkStealingScheduler::new(vec![tasks(0..4), Vec::new()]);
+        ws.next(0);
+        assert_eq!(ws.drain(0).len(), 3);
+        assert!(ws.next(1).is_none(), "nothing left to steal");
     }
 
     #[test]

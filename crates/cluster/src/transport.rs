@@ -7,24 +7,135 @@
 //! the rest of the runtime free of accounting code and guarantees the
 //! per-worker sums reconcile with the store's own shard counters (the
 //! `communication_accounting_is_consistent` test).
+//!
+//! A transport built with [`Transport::with_faults`] additionally fronts
+//! the store with a [`benu_fault::FaultingStore`] and a
+//! [`benu_fault::RetryPolicy`]: injected transient faults and timeouts
+//! are retried with capped exponential backoff and deterministic jitter,
+//! and only surface as a [`TransportError`] once the policy's attempts
+//! are exhausted. Backoff waits and slow-shard latency are **virtual
+//! time** — never slept, only charged into a thread-local penalty that
+//! the worker folds into its busy-time accounting after each task (the
+//! plan stays deterministic because no fault decision reads a clock).
 
+use benu_fault::{FaultKind, FaultPlan, FaultingStore, RetryPolicy};
 use benu_graph::{AdjSet, VertexId};
 use benu_kvstore::KvStore;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+thread_local! {
+    /// Virtual latency (backoff + slow shards) charged to the task the
+    /// current thread is executing; drained by
+    /// [`Transport::take_task_penalty`] at each task boundary.
+    static TASK_PENALTY_NANOS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A store request that kept failing after every retry the policy
+/// allows — the transport's one unrecoverable condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransportError {
+    /// The shard whose round trips kept failing.
+    pub shard: usize,
+    /// The vertex whose fetch (or whose shard-batch) failed.
+    pub vertex: VertexId,
+    /// How many attempts were spent before giving up.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} unavailable for vertex {} after {} attempts",
+            self.shard, self.vertex, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// The fault-injection state of a chaos-enabled transport.
+struct FaultState {
+    store: FaultingStore,
+    retry: RetryPolicy,
+    transient: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    backoff_nanos: AtomicU64,
+    slow_nanos: AtomicU64,
+}
+
+impl FaultState {
+    /// Books an injected fault and, unless attempts are exhausted, the
+    /// backoff before the next try. Returns `false` when the caller must
+    /// give up.
+    fn book_fault(&self, kind: FaultKind, key: u64, attempt: u32) -> bool {
+        match kind {
+            FaultKind::Transient => self.transient.fetch_add(1, Ordering::Relaxed),
+            FaultKind::Timeout => self.timeouts.fetch_add(1, Ordering::Relaxed),
+        };
+        if attempt + 1 >= self.retry.max_attempts {
+            return false;
+        }
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        let wait = self
+            .retry
+            .backoff(self.store.plan().seed(), key, attempt + 1);
+        let nanos = wait.as_nanos() as u64;
+        self.backoff_nanos.fetch_add(nanos, Ordering::Relaxed);
+        TASK_PENALTY_NANOS.with(|p| p.set(p.get() + nanos));
+        true
+    }
+
+    /// Charges the slow-shard penalty of a successful round trip.
+    fn book_penalty(&self, penalty: Duration) {
+        if penalty.is_zero() {
+            return;
+        }
+        let nanos = penalty.as_nanos() as u64;
+        self.slow_nanos.fetch_add(nanos, Ordering::Relaxed);
+        TASK_PENALTY_NANOS.with(|p| p.set(p.get() + nanos));
+    }
+}
 
 /// One worker's channel to the sharded store.
 pub struct Transport {
     store: Arc<KvStore>,
+    faults: Option<FaultState>,
     bytes: AtomicU64,
     requests: AtomicU64,
     batch_round_trips: AtomicU64,
 }
 
 impl Transport {
-    /// Attaches a worker to the store.
+    /// Attaches a worker to the store (no fault injection).
     pub fn new(store: Arc<KvStore>) -> Self {
         Transport {
+            store,
+            faults: None,
+            bytes: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            batch_round_trips: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a worker to the store behind `plan`, retrying injected
+    /// faults with `retry`.
+    pub fn with_faults(store: Arc<KvStore>, plan: Arc<FaultPlan>, retry: RetryPolicy) -> Self {
+        retry.validate();
+        Transport {
+            faults: Some(FaultState {
+                store: FaultingStore::new(Arc::clone(&store), plan),
+                retry,
+                transient: AtomicU64::new(0),
+                timeouts: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                backoff_nanos: AtomicU64::new(0),
+                slow_nanos: AtomicU64::new(0),
+            }),
             store,
             bytes: AtomicU64::new(0),
             requests: AtomicU64::new(0),
@@ -37,20 +148,98 @@ impl Transport {
         &self.store
     }
 
-    /// Fetches one adjacency set (one round trip). `None` for unknown
-    /// vertices — nothing is charged for a miss.
-    pub fn fetch(&self, v: VertexId) -> Option<Arc<AdjSet>> {
-        let adj = self.store.get(v)?;
+    /// Drains the virtual latency (backoff + slow shards) charged to the
+    /// current thread since the last drain. Workers call this at each
+    /// task boundary and fold the result into the task's duration.
+    pub fn take_task_penalty() -> Duration {
+        TASK_PENALTY_NANOS.with(|p| Duration::from_nanos(p.replace(0)))
+    }
+
+    fn account_single(&self, adj: &Arc<AdjSet>) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.bytes
             .fetch_add(adj.size_bytes() as u64, Ordering::Relaxed);
-        Some(adj)
+    }
+
+    /// Fetches one adjacency set (one round trip). `Ok(None)` for unknown
+    /// vertices — a permanent condition, never retried and never charged.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError`] when the shard's injected faults outlast the
+    /// retry policy.
+    pub fn fetch(&self, v: VertexId) -> Result<Option<Arc<AdjSet>>, TransportError> {
+        let Some(faults) = &self.faults else {
+            let adj = self.store.get(v);
+            if let Some(adj) = &adj {
+                self.account_single(adj);
+            }
+            return Ok(adj);
+        };
+        for attempt in 0..faults.retry.max_attempts {
+            match faults.store.get(v, attempt) {
+                Ok(adj) => {
+                    if let Some(adj) = &adj {
+                        self.account_single(adj);
+                        faults.book_penalty(faults.store.latency_penalty(self.store.shard_of(v)));
+                    }
+                    return Ok(adj);
+                }
+                Err(fault) => {
+                    if !faults.book_fault(fault.kind, v as u64, attempt) {
+                        return Err(TransportError {
+                            shard: fault.shard,
+                            vertex: v,
+                            attempts: faults.retry.max_attempts,
+                        });
+                    }
+                }
+            }
+        }
+        unreachable!("retry loop returns on success or exhausted attempts")
     }
 
     /// Fetches a batch in one round trip per touched shard. Slots of
-    /// unknown vertices come back `None`.
-    pub fn fetch_many(&self, vs: &[VertexId]) -> Vec<Option<Arc<AdjSet>>> {
-        let batch = self.store.get_many(vs);
+    /// unknown vertices come back `None`. A faulted batch fails as a
+    /// unit and is retried as a unit.
+    ///
+    /// # Errors
+    ///
+    /// See [`Transport::fetch`]; the error names the first vertex routed
+    /// to the failing shard.
+    pub fn fetch_many(&self, vs: &[VertexId]) -> Result<Vec<Option<Arc<AdjSet>>>, TransportError> {
+        let Some(faults) = &self.faults else {
+            return Ok(self.account_batch(self.store.get_many(vs)));
+        };
+        // The batch's deterministic retry key: the smallest vertex (the
+        // same key the plan uses for its per-shard decisions).
+        let key = vs.iter().copied().min().unwrap_or(0) as u64;
+        for attempt in 0..faults.retry.max_attempts {
+            match faults.store.get_many(vs, attempt) {
+                Ok(batch) => {
+                    faults.book_penalty(faults.store.batch_latency_penalty(vs));
+                    return Ok(self.account_batch(batch));
+                }
+                Err(fault) => {
+                    if !faults.book_fault(fault.kind, key, attempt) {
+                        let vertex = vs
+                            .iter()
+                            .copied()
+                            .find(|&v| self.store.shard_of(v) == fault.shard)
+                            .unwrap_or_default();
+                        return Err(TransportError {
+                            shard: fault.shard,
+                            vertex,
+                            attempts: faults.retry.max_attempts,
+                        });
+                    }
+                }
+            }
+        }
+        unreachable!("retry loop returns on success or exhausted attempts")
+    }
+
+    fn account_batch(&self, batch: benu_kvstore::BatchOutcome) -> Vec<Option<Arc<AdjSet>>> {
         self.requests
             .fetch_add(batch.round_trips, Ordering::Relaxed);
         self.batch_round_trips
@@ -65,7 +254,8 @@ impl Transport {
     }
 
     /// Round trips this worker has issued (single gets plus one per shard
-    /// touched by each batch).
+    /// touched by each batch). Faulted attempts transfer nothing and are
+    /// not counted here — they appear in the fault counters instead.
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
     }
@@ -73,6 +263,38 @@ impl Transport {
     /// The subset of [`Transport::requests`] issued by batched multi-gets.
     pub fn batch_round_trips(&self) -> u64 {
         self.batch_round_trips.load(Ordering::Relaxed)
+    }
+
+    fn fault_counter(&self, pick: impl Fn(&FaultState) -> &AtomicU64) -> u64 {
+        self.faults
+            .as_ref()
+            .map_or(0, |f| pick(f).load(Ordering::Relaxed))
+    }
+
+    /// Injected transient errors this worker absorbed.
+    pub fn transient_faults(&self) -> u64 {
+        self.fault_counter(|f| &f.transient)
+    }
+
+    /// Injected timeouts this worker absorbed.
+    pub fn timeouts(&self) -> u64 {
+        self.fault_counter(|f| &f.timeouts)
+    }
+
+    /// Retries this worker issued (one fewer than attempts per fault
+    /// survived).
+    pub fn retries(&self) -> u64 {
+        self.fault_counter(|f| &f.retries)
+    }
+
+    /// Total virtual backoff charged into busy time.
+    pub fn backoff_virtual(&self) -> Duration {
+        Duration::from_nanos(self.fault_counter(|f| &f.backoff_nanos))
+    }
+
+    /// Total virtual slow-shard latency charged into busy time.
+    pub fn slow_virtual(&self) -> Duration {
+        Duration::from_nanos(self.fault_counter(|f| &f.slow_nanos))
     }
 }
 
@@ -85,12 +307,12 @@ mod tests {
     fn fetch_accounts_bytes_and_requests() {
         let g = gen::star(9);
         let t = Transport::new(Arc::new(KvStore::from_graph(&g, 2)));
-        let adj = t.fetch(0).unwrap();
+        let adj = t.fetch(0).unwrap().unwrap();
         assert_eq!(adj.len(), 9);
         assert_eq!(t.requests(), 1);
         assert_eq!(t.bytes(), 36);
         assert_eq!(t.batch_round_trips(), 0);
-        assert!(t.fetch(100).is_none());
+        assert!(t.fetch(100).unwrap().is_none());
         assert_eq!(t.requests(), 1, "misses are free");
     }
 
@@ -98,7 +320,7 @@ mod tests {
     fn fetch_many_batches_round_trips() {
         let g = gen::cycle(8);
         let t = Transport::new(Arc::new(KvStore::from_graph(&g, 4)));
-        let values = t.fetch_many(&[0, 4, 1]);
+        let values = t.fetch_many(&[0, 4, 1]).unwrap();
         assert!(values.iter().all(Option::is_some));
         assert_eq!(t.requests(), 2, "vertices 0 and 4 share a shard");
         assert_eq!(t.batch_round_trips(), 2);
@@ -110,10 +332,99 @@ mod tests {
         let g = gen::barabasi_albert(50, 3, 2);
         let store = Arc::new(KvStore::from_graph(&g, 3));
         let t = Transport::new(Arc::clone(&store));
-        t.fetch(1);
-        t.fetch_many(&[2, 3, 4, 5]);
+        t.fetch(1).unwrap();
+        t.fetch_many(&[2, 3, 4, 5]).unwrap();
         let kv = store.stats();
         assert_eq!(t.bytes(), kv.bytes);
         assert_eq!(t.requests(), kv.requests);
+    }
+
+    #[test]
+    fn faulting_transport_retries_to_success() {
+        let g = gen::complete(16);
+        let store = Arc::new(KvStore::from_graph(&g, 4));
+        let plan = Arc::new(FaultPlan::builder(12).transient_rate(0.4).build());
+        let t = Transport::with_faults(Arc::clone(&store), plan, RetryPolicy::default());
+        let _ = Transport::take_task_penalty();
+        for v in 0..16u32 {
+            assert_eq!(t.fetch(v).unwrap().unwrap().len(), 15);
+        }
+        assert!(t.transient_faults() > 0, "rate 0.4 over 16 gets must fault");
+        assert_eq!(t.retries(), t.transient_faults());
+        assert!(t.backoff_virtual() > Duration::ZERO);
+        assert_eq!(
+            Transport::take_task_penalty(),
+            t.backoff_virtual(),
+            "backoff is charged to the calling thread"
+        );
+        // Accounting still reconciles: faulted attempts never reached
+        // the store.
+        assert_eq!(t.bytes(), store.stats().bytes);
+        assert_eq!(t.requests(), store.stats().requests);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_contextual_error() {
+        let g = gen::complete(4);
+        let store = Arc::new(KvStore::from_graph(&g, 1));
+        let plan = Arc::new(FaultPlan::builder(0).transient_rate(0.995).build());
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let t = Transport::with_faults(store, plan, policy);
+        let err = (0..4u32)
+            .find_map(|v| t.fetch(v).err())
+            .expect("rate 0.995 with 3 attempts must exhaust somewhere");
+        assert_eq!(err.attempts, 3);
+        assert_eq!(err.shard, 0);
+        assert!(err.to_string().contains("after 3 attempts"));
+        let _ = Transport::take_task_penalty();
+    }
+
+    #[test]
+    fn slow_shards_charge_virtual_latency_not_wall_time() {
+        let g = gen::cycle(8);
+        let store = Arc::new(KvStore::from_graph(&g, 4));
+        let plan = Arc::new(
+            FaultPlan::builder(1)
+                .base_latency(Duration::from_millis(10))
+                .slow_shard(0, 3.0)
+                .build(),
+        );
+        let t = Transport::with_faults(store, plan, RetryPolicy::default());
+        let _ = Transport::take_task_penalty();
+        let wall = std::time::Instant::now();
+        t.fetch(0).unwrap(); // shard 0: slow
+        t.fetch(1).unwrap(); // shard 1: healthy
+        t.fetch_many(&[2, 4]).unwrap(); // shards 2 and 0
+                                        // 2 slow round trips × 10ms × (3 − 1) = 40ms of virtual latency.
+        assert_eq!(t.slow_virtual(), Duration::from_millis(40));
+        assert_eq!(Transport::take_task_penalty(), Duration::from_millis(40));
+        assert!(
+            wall.elapsed() < Duration::from_millis(40),
+            "penalties must be charged, not slept"
+        );
+    }
+
+    #[test]
+    fn benign_plan_transport_matches_plain_transport() {
+        let g = gen::barabasi_albert(40, 3, 7);
+        let store = Arc::new(KvStore::from_graph(&g, 2));
+        let plain = Transport::new(Arc::clone(&store));
+        let chaos = Transport::with_faults(
+            Arc::clone(&store),
+            Arc::new(FaultPlan::benign(0)),
+            RetryPolicy::default(),
+        );
+        for v in 0..40u32 {
+            assert_eq!(
+                plain.fetch(v).unwrap().is_some(),
+                chaos.fetch(v).unwrap().is_some()
+            );
+        }
+        assert_eq!(plain.bytes(), chaos.bytes());
+        assert_eq!(chaos.transient_faults() + chaos.timeouts(), 0);
+        let _ = Transport::take_task_penalty();
     }
 }

@@ -4,16 +4,21 @@
 //! all executing [`Worker::run_thread`]: pull a task from the scheduler,
 //! optionally prefetch its frontier in one batched round trip, run it on
 //! a thread-local engine, accumulate metrics. Failures are structured —
-//! a vertex missing from the store or a panicking task aborts the whole
-//! run with a [`WorkerError`] instead of poisoning a thread join.
+//! a vertex missing from the store, a store shard that outlasts the
+//! retry policy, or a panicking task aborts the whole run with a
+//! [`WorkerError`] carrying the task, shard and attempt context instead
+//! of poisoning a thread join. Injected worker crashes are *not* errors:
+//! the thread books them with the run's [`RecoveryCtx`] and stops, and
+//! the runtime re-executes the lost tasks in a recovery pass.
 
 use crate::config::ClusterConfig;
+use crate::recovery::{RecoveryCtx, TaskFate};
 use crate::schedule::Scheduler;
-use crate::transport::Transport;
+use crate::transport::{Transport, TransportError};
 use benu_cache::DbCache;
 use benu_engine::{
     CollectingConsumer, CompiledPlan, CountingConsumer, DataSource, LocalEngine, MatchConsumer,
-    TaskMetrics,
+    SearchTask, TaskMetrics,
 };
 use benu_graph::{AdjSet, TotalOrder, VertexId};
 use parking_lot::Mutex;
@@ -22,7 +27,29 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Why a cluster run aborted.
+/// Renders the task context of an error: `task v3`, `task v3[2/5]`, or
+/// `no task` for failures outside task execution.
+struct TaskLabel(Option<SearchTask>);
+
+impl std::fmt::Display for TaskLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            Some(t) => {
+                write!(f, "task v{}", t.start)?;
+                if let Some(split) = t.split {
+                    write!(f, "[{}/{}]", split.index + 1, split.total)?;
+                }
+                Ok(())
+            }
+            None => f.write_str("no task"),
+        }
+    }
+}
+
+/// Why a cluster run aborted. Every variant names the worker; task-level
+/// failures additionally carry the task being executed, the shard
+/// involved and the execution attempt (1 = first pass, +1 per recovery
+/// pass), so a one-line log message localises the failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WorkerError {
     /// A task queried a vertex the store does not hold — the data graph
@@ -32,35 +59,95 @@ pub enum WorkerError {
         worker: usize,
         /// The unknown vertex.
         vertex: VertexId,
+        /// The shard that would own the vertex.
+        shard: usize,
+        /// The task being executed, if the failure happened inside one.
+        task: Option<SearchTask>,
+        /// The execution attempt (1-based; >1 means a recovery pass).
+        attempt: u32,
+    },
+    /// A store shard kept failing past the retry policy's attempts — an
+    /// injected outage the configured recovery could not absorb.
+    StoreUnavailable {
+        /// The worker that gave up.
+        worker: usize,
+        /// The exhausted request.
+        error: TransportError,
+        /// The task being executed, if the failure happened inside one.
+        task: Option<SearchTask>,
+        /// The execution attempt (1-based).
+        attempt: u32,
     },
     /// A task panicked inside the engine.
     TaskPanicked {
         /// The worker executing the task.
         worker: usize,
-        /// The task's start vertex.
-        start: VertexId,
+        /// The panicking task.
+        task: SearchTask,
+        /// The execution attempt (1-based).
+        attempt: u32,
     },
     /// A worker thread died outside of task execution.
     ThreadPanicked {
         /// The worker whose thread died.
         worker: usize,
     },
+    /// Every worker crashed with work still queued — nothing is left to
+    /// run the recovery pass on.
+    ClusterLost {
+        /// Tasks that were awaiting re-execution.
+        outstanding: usize,
+    },
 }
 
 impl std::fmt::Display for WorkerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WorkerError::MissingVertex { worker, vertex } => {
-                write!(f, "worker {worker}: vertex {vertex} missing from the store")
-            }
-            WorkerError::TaskPanicked { worker, start } => {
+            WorkerError::MissingVertex {
+                worker,
+                vertex,
+                shard,
+                task,
+                attempt,
+            } => {
                 write!(
                     f,
-                    "worker {worker}: task starting at vertex {start} panicked"
+                    "worker {worker}: vertex {vertex} missing from the store \
+                     (shard {shard}, {}, attempt {attempt})",
+                    TaskLabel(*task)
+                )
+            }
+            WorkerError::StoreUnavailable {
+                worker,
+                error,
+                task,
+                attempt,
+            } => {
+                write!(
+                    f,
+                    "worker {worker}: {error} ({}, attempt {attempt})",
+                    TaskLabel(*task)
+                )
+            }
+            WorkerError::TaskPanicked {
+                worker,
+                task,
+                attempt,
+            } => {
+                write!(
+                    f,
+                    "worker {worker}: {} panicked (attempt {attempt})",
+                    TaskLabel(Some(*task))
                 )
             }
             WorkerError::ThreadPanicked { worker } => {
                 write!(f, "worker {worker}: thread panicked outside task execution")
+            }
+            WorkerError::ClusterLost { outstanding } => {
+                write!(
+                    f,
+                    "every worker crashed with {outstanding} tasks outstanding"
+                )
             }
         }
     }
@@ -104,24 +191,69 @@ impl ErrorSlot {
     }
 }
 
+/// How a cache fill through the transport can fail.
+enum FetchFail {
+    /// The vertex genuinely does not exist (permanent).
+    Missing,
+    /// The shard's injected faults outlasted the retry policy.
+    Unavailable(TransportError),
+}
+
 /// The engine's view of the data graph from inside one worker: database
-/// cache in front of the worker's [`Transport`]. Missing vertices cannot
-/// surface through the infallible [`DataSource`] signature, so they are
-/// recorded in the [`ErrorSlot`] and answered with an empty adjacency set
-/// — the run aborts before the bogus empty result can be observed as a
-/// match count.
+/// cache in front of the worker's [`Transport`]. Failures cannot surface
+/// through the infallible [`DataSource`] signature, so they are recorded
+/// in the [`ErrorSlot`] — with the current task, shard and attempt as
+/// context — and answered with an empty adjacency set; the run aborts
+/// before the bogus empty result can be observed as a match count.
 pub(crate) struct WorkerSource<'a> {
     worker: usize,
     transport: &'a Transport,
     cache: &'a DbCache,
     errors: &'a ErrorSlot,
+    attempt: u32,
+    current: Mutex<Option<SearchTask>>,
 }
 
-impl WorkerSource<'_> {
+impl<'a> WorkerSource<'a> {
+    pub(crate) fn new(
+        worker: usize,
+        transport: &'a Transport,
+        cache: &'a DbCache,
+        errors: &'a ErrorSlot,
+        attempt: u32,
+    ) -> Self {
+        WorkerSource {
+            worker,
+            transport,
+            cache,
+            errors,
+            attempt,
+            current: Mutex::new(None),
+        }
+    }
+
+    /// Sets the task whose fetches are in flight (error context).
+    pub(crate) fn set_current(&self, task: Option<SearchTask>) {
+        *self.current.lock() = task;
+    }
+
     fn missing(&self, vertex: VertexId) -> Arc<AdjSet> {
         self.errors.record(WorkerError::MissingVertex {
             worker: self.worker,
             vertex,
+            shard: self.transport.store().shard_of(vertex),
+            task: *self.current.lock(),
+            attempt: self.attempt,
+        });
+        Arc::new(AdjSet::new())
+    }
+
+    fn unavailable(&self, error: TransportError) -> Arc<AdjSet> {
+        self.errors.record(WorkerError::StoreUnavailable {
+            worker: self.worker,
+            error,
+            task: *self.current.lock(),
+            attempt: self.attempt,
         });
         Arc::new(AdjSet::new())
     }
@@ -142,12 +274,19 @@ impl WorkerSource<'_> {
         if missing.is_empty() {
             return;
         }
-        for (i, value) in self.transport.fetch_many(&missing).into_iter().enumerate() {
-            match value {
-                Some(adj) => self.cache.insert(missing[i], adj),
-                None => {
-                    self.missing(missing[i]);
+        match self.transport.fetch_many(&missing) {
+            Ok(values) => {
+                for (i, value) in values.into_iter().enumerate() {
+                    match value {
+                        Some(adj) => self.cache.insert(missing[i], adj),
+                        None => {
+                            self.missing(missing[i]);
+                        }
+                    }
                 }
+            }
+            Err(error) => {
+                self.unavailable(error);
             }
         }
     }
@@ -159,12 +298,17 @@ impl DataSource for WorkerSource<'_> {
     }
 
     fn get_adj(&self, v: VertexId) -> Arc<AdjSet> {
-        match self
+        let fetch = self
             .cache
-            .get_or_fetch(v, || self.transport.fetch(v).ok_or(()))
-        {
+            .get_or_fetch(v, || match self.transport.fetch(v) {
+                Ok(Some(adj)) => Ok(adj),
+                Ok(None) => Err(FetchFail::Missing),
+                Err(error) => Err(FetchFail::Unavailable(error)),
+            });
+        match fetch {
             Ok(adj) => adj,
-            Err(()) => self.missing(v),
+            Err(FetchFail::Missing) => self.missing(v),
+            Err(FetchFail::Unavailable(error)) => self.unavailable(error),
         }
     }
 
@@ -182,19 +326,24 @@ impl DataSource for WorkerSource<'_> {
             }
         }
         if !missing_keys.is_empty() {
-            for (j, value) in self
-                .transport
-                .fetch_many(&missing_keys)
-                .into_iter()
-                .enumerate()
-            {
-                out[missing_slots[j]] = Some(match value {
-                    Some(adj) => {
-                        self.cache.insert(missing_keys[j], Arc::clone(&adj));
-                        adj
+            match self.transport.fetch_many(&missing_keys) {
+                Ok(values) => {
+                    for (j, value) in values.into_iter().enumerate() {
+                        out[missing_slots[j]] = Some(match value {
+                            Some(adj) => {
+                                self.cache.insert(missing_keys[j], Arc::clone(&adj));
+                                adj
+                            }
+                            None => self.missing(missing_keys[j]),
+                        });
                     }
-                    None => self.missing(missing_keys[j]),
-                });
+                }
+                Err(error) => {
+                    let empty = self.unavailable(error);
+                    for &slot in &missing_slots {
+                        out[slot] = Some(Arc::clone(&empty));
+                    }
+                }
             }
         }
         out.into_iter()
@@ -209,6 +358,9 @@ pub struct ThreadResult {
     pub(crate) busy: Duration,
     pub(crate) executed: usize,
     pub(crate) task_times: Vec<Duration>,
+    /// Per-task durations with task identity; only recorded when
+    /// straggler speculation is configured.
+    pub(crate) timed_tasks: Vec<(SearchTask, Duration)>,
     pub(crate) tri_stats: benu_cache::CacheStats,
     pub(crate) matches: Option<Vec<Vec<VertexId>>>,
 }
@@ -223,19 +375,26 @@ pub struct Worker<'a> {
     pub(crate) compiled: &'a CompiledPlan,
     pub(crate) config: &'a ClusterConfig,
     pub(crate) errors: &'a ErrorSlot,
+    /// Crash bookkeeping; `None` when no fault plan is installed.
+    pub(crate) recovery: Option<&'a RecoveryCtx>,
+    /// Execution attempt this pass runs as (1 = first pass).
+    pub(crate) attempt: u32,
 }
 
 impl Worker<'_> {
-    /// The thread body: pulls tasks from the scheduler until exhaustion
-    /// or abort. `collect` switches from counting to materialising
-    /// matches.
+    /// The thread body: pulls tasks from the scheduler until exhaustion,
+    /// abort, or an injected crash of this worker. `collect` switches
+    /// from counting to materialising matches. Task durations include
+    /// the virtual latency (retry backoff, slow shards) their store
+    /// traffic was charged.
     pub fn run_thread(&self, collect: bool) -> Result<ThreadResult, WorkerError> {
-        let source = WorkerSource {
-            worker: self.id,
-            transport: self.transport,
-            cache: self.cache,
-            errors: self.errors,
-        };
+        let source = WorkerSource::new(
+            self.id,
+            self.transport,
+            self.cache,
+            self.errors,
+            self.attempt,
+        );
         let mut engine = LocalEngine::with_triangle_cache(
             self.compiled,
             &source,
@@ -249,14 +408,21 @@ impl Worker<'_> {
             busy: Duration::ZERO,
             executed: 0,
             task_times: Vec::new(),
+            timed_tasks: Vec::new(),
             tri_stats: benu_cache::CacheStats::default(),
             matches: None,
         };
         let prefetch = self.config.prefetch_frontier && self.config.cache_capacity_bytes > 0;
+        let record_timed = self.config.speculate_quantile.is_some();
+        let _ = Transport::take_task_penalty();
         while !self.errors.aborted() {
+            if self.recovery.is_some_and(|rc| rc.is_dead(self.id)) {
+                break;
+            }
             let Some(task) = self.scheduler.next(self.id) else {
                 break;
             };
+            source.set_current(Some(task));
             if prefetch {
                 source.prefetch_frontier(task.start);
             }
@@ -269,6 +435,7 @@ impl Worker<'_> {
                 };
                 engine.run_task(task, consumer)
             }));
+            let dt = t0.elapsed() + Transport::take_task_penalty();
             match run {
                 Ok(metrics) => {
                     result.metrics += metrics;
@@ -277,18 +444,34 @@ impl Worker<'_> {
                 Err(_) => {
                     let err = WorkerError::TaskPanicked {
                         worker: self.id,
-                        start: task.start,
+                        task,
+                        attempt: self.attempt,
                     };
                     self.errors.record(err.clone());
                     return Err(err);
                 }
             }
-            let dt = t0.elapsed();
             result.busy += dt;
             if self.config.collect_task_times {
                 result.task_times.push(dt);
             }
+            if record_timed {
+                result.timed_tasks.push((task, dt));
+            }
+            if let Some(rc) = self.recovery {
+                match rc.task_done(self.id, task) {
+                    TaskFate::Counted => {}
+                    TaskFate::Crashed => {
+                        // The machine dies at this task boundary: its
+                        // queue goes down with it.
+                        rc.requeue_all(self.scheduler.drain(self.id));
+                        break;
+                    }
+                    TaskFate::Lost => break,
+                }
+            }
         }
+        source.set_current(None);
         result.tri_stats = engine.triangle_cache_stats();
         if collect {
             result.matches = Some(collecting.into_matches());
@@ -300,11 +483,40 @@ impl Worker<'_> {
             None => Ok(result),
         }
     }
+
+    /// Executes one task speculatively: same engine, throwaway consumer,
+    /// result discarded. Returns the attempt's duration (wall time plus
+    /// charged virtual latency), or `None` if the attempt panicked. The
+    /// caller provides a throwaway [`ErrorSlot`], so speculative store
+    /// failures never poison the completed run.
+    pub(crate) fn run_speculative(&self, task: SearchTask) -> Option<Duration> {
+        let source = WorkerSource::new(
+            self.id,
+            self.transport,
+            self.cache,
+            self.errors,
+            self.attempt,
+        );
+        source.set_current(Some(task));
+        let mut engine = LocalEngine::with_triangle_cache(
+            self.compiled,
+            &source,
+            self.order,
+            self.config.triangle_cache_entries,
+        );
+        let mut consumer = CountingConsumer::default();
+        let _ = Transport::take_task_penalty();
+        let t0 = Instant::now();
+        let run = catch_unwind(AssertUnwindSafe(|| engine.run_task(task, &mut consumer)));
+        let dt = t0.elapsed() + Transport::take_task_penalty();
+        run.ok().map(|_| dt)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use benu_engine::SplitSpec;
     use benu_graph::gen;
     use benu_kvstore::KvStore;
 
@@ -320,12 +532,7 @@ mod tests {
     #[test]
     fn missing_vertex_records_error_and_returns_empty_set() {
         let (transport, cache, errors) = harness(2);
-        let source = WorkerSource {
-            worker: 3,
-            transport: &transport,
-            cache: &cache,
-            errors: &errors,
-        };
+        let source = WorkerSource::new(3, &transport, &cache, &errors, 1);
         let adj = source.get_adj(99);
         assert!(adj.is_empty());
         assert!(errors.aborted());
@@ -333,9 +540,33 @@ mod tests {
             errors.first(),
             Some(WorkerError::MissingVertex {
                 worker: 3,
-                vertex: 99
+                vertex: 99,
+                shard: 1,
+                task: None,
+                attempt: 1,
             })
         );
+    }
+
+    #[test]
+    fn errors_carry_the_current_task_context() {
+        let (transport, cache, errors) = harness(2);
+        let source = WorkerSource::new(0, &transport, &cache, &errors, 2);
+        let task = SearchTask {
+            start: 3,
+            split: Some(SplitSpec { index: 1, total: 5 }),
+        };
+        source.set_current(Some(task));
+        source.get_adj(42);
+        match errors.first() {
+            Some(WorkerError::MissingVertex {
+                task: t, attempt, ..
+            }) => {
+                assert_eq!(t, Some(task));
+                assert_eq!(attempt, 2);
+            }
+            other => panic!("expected MissingVertex, got {other:?}"),
+        }
     }
 
     #[test]
@@ -353,12 +584,7 @@ mod tests {
     #[test]
     fn batch_lookup_serves_cache_hits_without_round_trips() {
         let (transport, cache, errors) = harness(2);
-        let source = WorkerSource {
-            worker: 0,
-            transport: &transport,
-            cache: &cache,
-            errors: &errors,
-        };
+        let source = WorkerSource::new(0, &transport, &cache, &errors, 1);
         source.get_adj(0);
         let before = transport.requests();
         let sets = source.get_adj_batch(&[0, 1, 2]);
@@ -373,12 +599,7 @@ mod tests {
     #[test]
     fn prefetch_warms_the_cache_in_one_batched_trip() {
         let (transport, cache, errors) = harness(1);
-        let source = WorkerSource {
-            worker: 0,
-            transport: &transport,
-            cache: &cache,
-            errors: &errors,
-        };
+        let source = WorkerSource::new(0, &transport, &cache, &errors, 1);
         source.prefetch_frontier(0);
         // Start vertex + its 4 neighbours are now cached.
         for v in 0..5 {
@@ -394,16 +615,81 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_store_records_unavailable_with_context() {
+        use benu_fault::{FaultPlan, RetryPolicy};
+        let g = gen::complete(5);
+        let transport = Transport::with_faults(
+            Arc::new(KvStore::from_graph(&g, 1)),
+            Arc::new(FaultPlan::builder(0).transient_rate(0.995).build()),
+            RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            },
+        );
+        let cache = DbCache::new(0, 2);
+        let errors = ErrorSlot::new();
+        let source = WorkerSource::new(1, &transport, &cache, &errors, 1);
+        source.set_current(Some(SearchTask::whole(4)));
+        for v in 0..5 {
+            source.get_adj(v);
+        }
+        assert!(errors.aborted(), "rate 0.995 with 2 attempts must exhaust");
+        match errors.first() {
+            Some(WorkerError::StoreUnavailable {
+                worker,
+                error,
+                task,
+                ..
+            }) => {
+                assert_eq!(worker, 1);
+                assert_eq!(error.attempts, 2);
+                assert_eq!(task, Some(SearchTask::whole(4)));
+            }
+            other => panic!("expected StoreUnavailable, got {other:?}"),
+        }
+        let _ = Transport::take_task_penalty();
+    }
+
+    #[test]
     fn worker_error_displays_context() {
         let e = WorkerError::MissingVertex {
             worker: 2,
             vertex: 7,
+            shard: 1,
+            task: Some(SearchTask::whole(7)),
+            attempt: 1,
         };
-        assert_eq!(e.to_string(), "worker 2: vertex 7 missing from the store");
+        assert_eq!(
+            e.to_string(),
+            "worker 2: vertex 7 missing from the store (shard 1, task v7, attempt 1)"
+        );
         let e = WorkerError::TaskPanicked {
             worker: 0,
-            start: 3,
+            task: SearchTask {
+                start: 3,
+                split: Some(SplitSpec { index: 1, total: 5 }),
+            },
+            attempt: 2,
         };
-        assert!(e.to_string().contains("task starting at vertex 3"));
+        assert_eq!(e.to_string(), "worker 0: task v3[2/5] panicked (attempt 2)");
+        let e = WorkerError::StoreUnavailable {
+            worker: 4,
+            error: TransportError {
+                shard: 3,
+                vertex: 9,
+                attempts: 8,
+            },
+            task: None,
+            attempt: 1,
+        };
+        assert_eq!(
+            e.to_string(),
+            "worker 4: shard 3 unavailable for vertex 9 after 8 attempts (no task, attempt 1)"
+        );
+        let e = WorkerError::ClusterLost { outstanding: 12 };
+        assert_eq!(
+            e.to_string(),
+            "every worker crashed with 12 tasks outstanding"
+        );
     }
 }

@@ -1,0 +1,38 @@
+//! Deterministic fault injection for the BENU cluster runtime.
+//!
+//! BENU's fault-tolerance argument (paper §III-C, extended in
+//! arXiv:2006.12819) is that local search tasks are *independent* and
+//! *idempotent*: a failed task can simply be regenerated and re-executed
+//! on any surviving worker, with no partial state to reconcile. This
+//! crate supplies the machinery that lets the runtime prove that claim
+//! under test:
+//!
+//! * [`FaultPlan`] — a seeded, deterministic description of every fault a
+//!   run will see: transient store errors, simulated timeouts, slow-shard
+//!   latency multipliers (virtual time) and worker crashes at task
+//!   boundaries. Decisions are pure functions of request identity, so any
+//!   failure scenario replays exactly from its seed — no wall clock, no
+//!   global ordering dependence.
+//! * [`FaultingStore`] — wraps a [`benu_kvstore::KvStore`] with the plan;
+//!   faulted round trips fail *before* reaching the store, keeping byte
+//!   accounting exact.
+//! * [`FaultingDataSource`] — wraps any [`benu_engine::DataSource`] with
+//!   the plan plus internal retry, so a bare engine can be chaos-tested
+//!   unmodified.
+//! * [`RetryPolicy`] — capped exponential backoff with deterministic
+//!   jitter; the wait is virtual time, charged into busy-time accounting
+//!   by the consumer instead of slept.
+//!
+//! The recovery half — per-request retry, crash-triggered task requeue,
+//! straggler speculation, and the `RecoveryReport` — lives in
+//! `benu-cluster`, which consumes these decorators.
+
+pub mod plan;
+pub mod retry;
+pub mod source;
+pub mod store;
+
+pub use plan::{FaultError, FaultKind, FaultPlan, FaultPlanBuilder};
+pub use retry::RetryPolicy;
+pub use source::FaultingDataSource;
+pub use store::FaultingStore;

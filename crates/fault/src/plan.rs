@@ -1,0 +1,376 @@
+//! The deterministic fault plan.
+//!
+//! A [`FaultPlan`] is a *pure function* from request identity to fault
+//! decision. Nothing in it consults a clock, a global counter, or any
+//! other run-time state: whether the `attempt`-th fetch of vertex `v`
+//! from shard `s` fails is fully determined by the plan's seed. Two runs
+//! over the same plan therefore inject exactly the same faults at exactly
+//! the same requests, no matter how threads interleave — every failure
+//! scenario is a reproducible unit test.
+//!
+//! The taxonomy (see DESIGN.md "Fault model & recovery"):
+//!
+//! * **transient errors** — a store round trip fails and may be retried;
+//! * **timeouts** — a round trip is lost after a (virtual) wait; retried
+//!   like a transient error but counted separately;
+//! * **slow shards** — a shard answers, but `multiplier×` slower; the
+//!   extra latency is virtual time charged into busy-time accounting;
+//! * **worker crashes** — a worker machine dies at a task boundary after
+//!   completing a fixed number of tasks; its in-flight work is discarded
+//!   and re-executed elsewhere (BENU's idempotent-task recovery).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Salt separating store-fault decisions from other decision streams.
+const SALT_STORE: u64 = 0x51;
+/// Salt for the slow-shard sampler in [`FaultPlanBuilder::random_slow_shards`].
+const SALT_SLOW: u64 = 0x5C;
+
+/// SplitMix64-style combination of the seed with a decision key, giving
+/// an independent, well-mixed stream per (salt, a, b) triple.
+pub(crate) fn mix(seed: u64, salt: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(a)
+        .wrapping_mul(0x94D0_49BB_1331_11EB)
+        .wrapping_add(b);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` for the decision keyed by `(salt, a, b)`.
+pub(crate) fn draw(seed: u64, salt: u64, a: u64, b: u64) -> f64 {
+    ChaCha8Rng::seed_from_u64(mix(seed, salt, a, b)).gen::<f64>()
+}
+
+/// The kind of injected store fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The round trip failed immediately (connection reset, shard
+    /// restart). Retryable.
+    Transient,
+    /// The round trip was lost after a full (virtual) timeout wait.
+    /// Retryable, but costs the timeout latency.
+    Timeout,
+}
+
+/// An injected store fault, surfaced to the retry layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultError {
+    /// What failed.
+    pub kind: FaultKind,
+    /// The shard whose round trip failed.
+    pub shard: usize,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            FaultKind::Transient => write!(f, "transient fault on shard {}", self.shard),
+            FaultKind::Timeout => write!(f, "timeout on shard {}", self.shard),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A deterministic, seeded description of every fault a run will see.
+///
+/// Build one with [`FaultPlan::builder`]. All rates are per store round
+/// trip; crashes are per worker, at a task boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    transient_rate: f64,
+    timeout_rate: f64,
+    slow: HashMap<usize, f64>,
+    base_latency: Duration,
+    crashes: HashMap<usize, u64>,
+}
+
+impl FaultPlan {
+    /// Starts a builder with all fault rates at zero.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder(FaultPlan {
+            seed,
+            transient_rate: 0.0,
+            timeout_rate: 0.0,
+            slow: HashMap::new(),
+            base_latency: Duration::from_micros(200),
+            crashes: HashMap::new(),
+        })
+    }
+
+    /// A plan that injects nothing (useful as a control arm).
+    pub fn benign(seed: u64) -> Self {
+        FaultPlan::builder(seed).build()
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Combined per-round-trip fault probability.
+    pub fn fault_rate(&self) -> f64 {
+        self.transient_rate + self.timeout_rate
+    }
+
+    /// True if the plan can inject anything at all.
+    pub fn has_faults(&self) -> bool {
+        self.fault_rate() > 0.0 || !self.slow.is_empty() || !self.crashes.is_empty()
+    }
+
+    /// The fault (if any) injected into the `attempt`-th round trip for
+    /// `key` on `shard`. `key` identifies the request (the vertex for
+    /// single gets, the smallest vertex routed to the shard for batched
+    /// gets); decisions are independent across attempts, so retries
+    /// eventually succeed with probability 1 for any rate < 1.
+    pub fn fault_for(&self, shard: usize, key: u64, attempt: u32) -> Option<FaultKind> {
+        if self.transient_rate <= 0.0 && self.timeout_rate <= 0.0 {
+            return None;
+        }
+        let a = ((shard as u64) << 48) ^ key;
+        let x = draw(self.seed, SALT_STORE, a, attempt as u64);
+        if x < self.transient_rate {
+            Some(FaultKind::Transient)
+        } else if x < self.transient_rate + self.timeout_rate {
+            Some(FaultKind::Timeout)
+        } else {
+            None
+        }
+    }
+
+    /// The *extra* virtual latency a round trip to `shard` pays on top of
+    /// the baseline: `base_latency × (multiplier − 1)`, zero for healthy
+    /// shards. Charged into busy-time accounting by the transport.
+    pub fn latency_penalty(&self, shard: usize) -> Duration {
+        match self.slow.get(&shard) {
+            Some(&m) if m > 1.0 => self.base_latency.mul_f64(m - 1.0),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// The latency multiplier of `shard` (1.0 for healthy shards).
+    pub fn latency_multiplier(&self, shard: usize) -> f64 {
+        self.slow.get(&shard).copied().unwrap_or(1.0)
+    }
+
+    /// The number of tasks after which `worker` crashes, if the plan
+    /// crashes it at all. A worker crashes at most once per run.
+    pub fn crash_after(&self, worker: usize) -> Option<u64> {
+        self.crashes.get(&worker).copied()
+    }
+
+    /// Number of worker crashes the plan describes.
+    pub fn planned_crashes(&self) -> usize {
+        self.crashes.len()
+    }
+}
+
+/// Fluent builder for [`FaultPlan`].
+#[derive(Clone, Debug)]
+pub struct FaultPlanBuilder(FaultPlan);
+
+impl FaultPlanBuilder {
+    /// Per-round-trip probability of an immediate transient error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined fault rate leaves `[0, 1)`.
+    pub fn transient_rate(mut self, rate: f64) -> Self {
+        self.0.transient_rate = rate;
+        self.check_rates();
+        self
+    }
+
+    /// Per-round-trip probability of a simulated timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined fault rate leaves `[0, 1)`.
+    pub fn timeout_rate(mut self, rate: f64) -> Self {
+        self.0.timeout_rate = rate;
+        self.check_rates();
+        self
+    }
+
+    fn check_rates(&self) {
+        let total = self.0.transient_rate + self.0.timeout_rate;
+        assert!(
+            self.0.transient_rate >= 0.0 && self.0.timeout_rate >= 0.0 && total < 1.0,
+            "fault rates must be non-negative and sum below 1 (got {total})"
+        );
+    }
+
+    /// Marks `shard` as slow: every round trip to it pays
+    /// `base_latency × (multiplier − 1)` extra virtual latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier < 1`.
+    pub fn slow_shard(mut self, shard: usize, multiplier: f64) -> Self {
+        assert!(multiplier >= 1.0, "latency multiplier must be ≥ 1");
+        self.0.slow.insert(shard, multiplier);
+        self
+    }
+
+    /// Samples `count` distinct slow shards out of `num_shards` with the
+    /// plan's seeded RNG (deterministic per seed), all at `multiplier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > num_shards` or `multiplier < 1`.
+    pub fn random_slow_shards(mut self, count: usize, num_shards: usize, multiplier: f64) -> Self {
+        assert!(count <= num_shards, "cannot slow more shards than exist");
+        assert!(multiplier >= 1.0, "latency multiplier must be ≥ 1");
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(self.0.seed, SALT_SLOW, 0, 0));
+        let mut remaining: Vec<usize> = (0..num_shards).collect();
+        for _ in 0..count {
+            let i = rng.gen_range(0..remaining.len());
+            self.0.slow.insert(remaining.swap_remove(i), multiplier);
+        }
+        self
+    }
+
+    /// The baseline round-trip latency the slow-shard multipliers scale
+    /// (virtual time; never slept).
+    pub fn base_latency(mut self, latency: Duration) -> Self {
+        self.0.base_latency = latency;
+        self
+    }
+
+    /// Crashes `worker` at the task boundary after it has completed
+    /// `after_tasks` tasks (its `after_tasks`-th completion kills it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `after_tasks` is zero (a worker that never ran anything
+    /// has no boundary to crash at).
+    pub fn crash(mut self, worker: usize, after_tasks: u64) -> Self {
+        assert!(after_tasks >= 1, "crash boundary must be ≥ 1 task");
+        self.0.crashes.insert(worker, after_tasks);
+        self
+    }
+
+    /// Finalises the plan.
+    pub fn build(self) -> FaultPlan {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_order_independent() {
+        let plan = FaultPlan::builder(42).transient_rate(0.3).build();
+        let a: Vec<_> = (0..200).map(|v| plan.fault_for(1, v, 0)).collect();
+        let b: Vec<_> = (0..200).rev().map(|v| plan.fault_for(1, v, 0)).collect();
+        let b_fwd: Vec<_> = b.into_iter().rev().collect();
+        assert_eq!(a, b_fwd, "decision must not depend on evaluation order");
+        assert!(a.iter().any(Option::is_some));
+        assert!(a.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn rates_control_fault_frequency() {
+        let plan = FaultPlan::builder(7)
+            .transient_rate(0.2)
+            .timeout_rate(0.1)
+            .build();
+        let n = 20_000u64;
+        let mut transients = 0u64;
+        let mut timeouts = 0u64;
+        for v in 0..n {
+            match plan.fault_for(0, v, 0) {
+                Some(FaultKind::Transient) => transients += 1,
+                Some(FaultKind::Timeout) => timeouts += 1,
+                None => {}
+            }
+        }
+        let t = transients as f64 / n as f64;
+        let o = timeouts as f64 / n as f64;
+        assert!((t - 0.2).abs() < 0.02, "transient rate off: {t}");
+        assert!((o - 0.1).abs() < 0.02, "timeout rate off: {o}");
+    }
+
+    #[test]
+    fn attempts_draw_independent_decisions() {
+        let plan = FaultPlan::builder(3).transient_rate(0.5).build();
+        // Some vertex that faults on attempt 0 must succeed on a later
+        // attempt (retries converge).
+        let v = (0..1000)
+            .find(|&v| plan.fault_for(0, v, 0).is_some())
+            .expect("some fault at rate 0.5");
+        let recovered = (1..64).any(|a| plan.fault_for(0, v, a).is_none());
+        assert!(recovered, "independent attempts must eventually succeed");
+    }
+
+    #[test]
+    fn benign_plan_injects_nothing() {
+        let plan = FaultPlan::benign(99);
+        assert!(!plan.has_faults());
+        for v in 0..100 {
+            assert_eq!(plan.fault_for(0, v, 0), None);
+        }
+        assert_eq!(plan.latency_penalty(0), Duration::ZERO);
+        assert_eq!(plan.crash_after(0), None);
+    }
+
+    #[test]
+    fn slow_shards_charge_scaled_penalty() {
+        let plan = FaultPlan::builder(1)
+            .base_latency(Duration::from_micros(100))
+            .slow_shard(2, 5.0)
+            .build();
+        assert_eq!(plan.latency_penalty(2), Duration::from_micros(400));
+        assert_eq!(plan.latency_penalty(0), Duration::ZERO);
+        assert_eq!(plan.latency_multiplier(2), 5.0);
+        assert_eq!(plan.latency_multiplier(1), 1.0);
+    }
+
+    #[test]
+    fn random_slow_shards_are_seed_deterministic() {
+        let pick = |seed| {
+            let plan = FaultPlan::builder(seed)
+                .random_slow_shards(3, 16, 8.0)
+                .build();
+            let mut slow: Vec<usize> = (0..16)
+                .filter(|&s| plan.latency_multiplier(s) > 1.0)
+                .collect();
+            slow.sort_unstable();
+            slow
+        };
+        assert_eq!(pick(5), pick(5));
+        assert_eq!(pick(5).len(), 3);
+    }
+
+    #[test]
+    fn crash_plan_round_trips() {
+        let plan = FaultPlan::builder(0).crash(2, 10).build();
+        assert_eq!(plan.crash_after(2), Some(10));
+        assert_eq!(plan.crash_after(0), None);
+        assert_eq!(plan.planned_crashes(), 1);
+        assert!(plan.has_faults());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum below 1")]
+    fn rates_above_one_are_rejected() {
+        FaultPlan::builder(0).transient_rate(0.7).timeout_rate(0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary must be ≥ 1")]
+    fn zero_task_crash_is_rejected() {
+        FaultPlan::builder(0).crash(0, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Retry policy: capped exponential backoff with deterministic jitter.
+//!
+//! The backoff wait is *virtual time* — the runtime charges it into
+//! busy-time accounting instead of sleeping — and the jitter is a pure
+//! function of (seed, request, attempt), so a seeded run reproduces its
+//! exact retry schedule.
+
+use crate::plan::draw;
+use std::time::Duration;
+
+/// Salt separating jitter draws from fault decisions.
+const SALT_JITTER: u64 = 0x1E;
+
+/// How a transport retries transient store faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try + retries). A request still
+    /// failing on its last attempt is unrecoverable.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Ceiling on a single backoff wait (before jitter).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (the pre-recovery fail-fast runtime).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The virtual wait before retry number `attempt` (1-based) of the
+    /// request identified by `key`: `base × 2^(attempt−1)` capped at
+    /// `max_backoff`, then equal-jittered into `[½, 1]×` of that value
+    /// with a deterministic draw from `seed`.
+    pub fn backoff(&self, seed: u64, key: u64, attempt: u32) -> Duration {
+        debug_assert!(attempt >= 1, "backoff precedes a retry, not the first try");
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(20))
+            .min(self.max_backoff);
+        let jitter = draw(seed, SALT_JITTER, key, attempt as u64);
+        exp.mul_f64(0.5 + 0.5 * jitter)
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn validate(&self) {
+        assert!(self.max_attempts >= 1, "need at least one attempt");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_micros(800),
+        };
+        let b1 = p.backoff(1, 7, 1);
+        let b2 = p.backoff(1, 7, 2);
+        let b9 = p.backoff(1, 7, 9);
+        // Jitter keeps each wait within [½, 1]× of the deterministic value.
+        assert!(b1 >= Duration::from_micros(50) && b1 <= Duration::from_micros(100));
+        assert!(b2 >= Duration::from_micros(100) && b2 <= Duration::from_micros(200));
+        assert!(b9 <= Duration::from_micros(800), "cap must hold: {b9:?}");
+        assert!(b9 >= Duration::from_micros(400));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_key() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(3, 10, 2), p.backoff(3, 10, 2));
+        assert_ne!(
+            p.backoff(3, 10, 2),
+            p.backoff(4, 10, 2),
+            "different seeds should (overwhelmingly) jitter differently"
+        );
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow() {
+        let p = RetryPolicy::default();
+        let b = p.backoff(0, 0, 64);
+        assert!(b <= p.max_backoff);
+    }
+
+    #[test]
+    fn none_policy_fails_fast() {
+        let p = RetryPolicy::none();
+        p.validate();
+        assert_eq!(p.max_attempts, 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! The fault-injecting store decorator.
+//!
+//! [`FaultingStore`] wraps a [`KvStore`] and consults the [`FaultPlan`]
+//! *before* touching it: a faulted round trip fails without reaching the
+//! store, so the store's request/byte accounting keeps reconciling with
+//! the transport's (failed attempts transfer nothing). The wrapped API is
+//! attempt-aware — callers pass the attempt number so the plan can make
+//! independent decisions per retry.
+
+use crate::plan::{FaultError, FaultPlan};
+use benu_graph::{AdjSet, VertexId};
+use benu_kvstore::{BatchOutcome, KvStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A [`KvStore`] with a [`FaultPlan`] in front of it.
+pub struct FaultingStore {
+    store: Arc<KvStore>,
+    plan: Arc<FaultPlan>,
+    injected: AtomicU64,
+}
+
+impl FaultingStore {
+    /// Puts `plan` in front of `store`.
+    pub fn new(store: Arc<KvStore>, plan: Arc<FaultPlan>) -> Self {
+        FaultingStore {
+            store,
+            plan,
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &Arc<KvStore> {
+        &self.store
+    }
+
+    /// The plan driving the injection.
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+
+    /// Faults injected through this decorator so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// The `attempt`-th try at fetching `v`. `Ok(None)` means the vertex
+    /// genuinely does not exist (a permanent condition — retrying cannot
+    /// help); `Err` is an injected, retryable fault.
+    pub fn get(&self, v: VertexId, attempt: u32) -> Result<Option<Arc<AdjSet>>, FaultError> {
+        let shard = self.store.shard_of(v);
+        if let Some(kind) = self.plan.fault_for(shard, v as u64, attempt) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(FaultError { kind, shard });
+        }
+        Ok(self.store.get(v))
+    }
+
+    /// The `attempt`-th try at a batched multi-get. The fault decision is
+    /// per touched shard (keyed by the smallest vertex routed to it); if
+    /// any touched shard faults, the whole batch fails and the caller
+    /// retries it — matching a multi-get RPC that fails as a unit.
+    pub fn get_many(&self, keys: &[VertexId], attempt: u32) -> Result<BatchOutcome, FaultError> {
+        for (shard, key) in touched_shards(&self.store, keys) {
+            if let Some(kind) = self.plan.fault_for(shard, key, attempt) {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Err(FaultError { kind, shard });
+            }
+        }
+        Ok(self.store.get_many(keys))
+    }
+
+    /// The extra virtual latency a successful round trip to `shard` pays
+    /// (zero for healthy shards).
+    pub fn latency_penalty(&self, shard: usize) -> Duration {
+        self.plan.latency_penalty(shard)
+    }
+
+    /// The total slow-shard penalty of a successful batch over `keys`
+    /// (one round trip per touched shard).
+    pub fn batch_latency_penalty(&self, keys: &[VertexId]) -> Duration {
+        touched_shards(&self.store, keys)
+            .into_iter()
+            .map(|(shard, _)| self.plan.latency_penalty(shard))
+            .sum()
+    }
+}
+
+/// The distinct shards a batch touches, each paired with the smallest
+/// vertex routed to it (the batch's deterministic per-shard decision key).
+fn touched_shards(store: &KvStore, keys: &[VertexId]) -> Vec<(usize, u64)> {
+    let mut min_key: Vec<Option<u64>> = vec![None; store.num_shards()];
+    for &v in keys {
+        let s = store.shard_of(v);
+        let k = v as u64;
+        min_key[s] = Some(min_key[s].map_or(k, |m: u64| m.min(k)));
+    }
+    min_key
+        .into_iter()
+        .enumerate()
+        .filter_map(|(s, k)| k.map(|k| (s, k)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benu_graph::gen;
+
+    fn store(shards: usize) -> Arc<KvStore> {
+        Arc::new(KvStore::from_graph(&gen::complete(8), shards))
+    }
+
+    #[test]
+    fn benign_plan_is_a_passthrough() {
+        let s = store(2);
+        let f = FaultingStore::new(Arc::clone(&s), Arc::new(FaultPlan::benign(0)));
+        assert_eq!(f.get(0, 0).unwrap().unwrap().len(), 7);
+        assert!(f.get(99, 0).unwrap().is_none(), "missing stays missing");
+        let batch = f.get_many(&[0, 1, 2], 0).unwrap();
+        assert_eq!(batch.values.len(), 3);
+        assert_eq!(f.injected(), 0);
+    }
+
+    #[test]
+    fn injected_faults_never_touch_the_store() {
+        let s = store(1);
+        let plan = Arc::new(FaultPlan::builder(11).transient_rate(0.9).build());
+        let f = FaultingStore::new(Arc::clone(&s), plan);
+        let mut faults = 0;
+        for v in 0..8u32 {
+            if f.get(v, 0).is_err() {
+                faults += 1;
+            }
+        }
+        assert!(faults > 0, "rate 0.9 must fault something");
+        assert_eq!(f.injected(), faults);
+        // The store only accounted the successful fetches.
+        assert_eq!(s.stats().requests, 8 - faults);
+    }
+
+    #[test]
+    fn batch_faults_fail_as_a_unit() {
+        let s = store(4);
+        let plan = Arc::new(FaultPlan::builder(2).transient_rate(0.5).build());
+        let f = FaultingStore::new(Arc::clone(&s), plan);
+        let keys: Vec<VertexId> = (0..8).collect();
+        // Deterministic: either the whole batch fails (store untouched)
+        // or it succeeds wholesale.
+        match f.get_many(&keys, 0) {
+            Ok(batch) => assert_eq!(batch.values.iter().filter(|v| v.is_some()).count(), 8),
+            Err(_) => assert_eq!(s.stats().requests, 0),
+        }
+        // Same decision on a replay.
+        let replay = FaultingStore::new(Arc::clone(&s), Arc::clone(f.plan()));
+        assert_eq!(
+            f.get_many(&keys, 1).is_err(),
+            replay.get_many(&keys, 1).is_err()
+        );
+    }
+
+    #[test]
+    fn slow_shard_penalties_accumulate_per_touched_shard() {
+        let s = store(4);
+        let plan = Arc::new(
+            FaultPlan::builder(0)
+                .base_latency(Duration::from_micros(100))
+                .slow_shard(0, 3.0)
+                .slow_shard(1, 2.0)
+                .build(),
+        );
+        let f = FaultingStore::new(s, plan);
+        assert_eq!(f.latency_penalty(0), Duration::from_micros(200));
+        // Batch touching shards 0, 1 and 2: 200µs + 100µs + 0.
+        assert_eq!(
+            f.batch_latency_penalty(&[0, 4, 1, 2]),
+            Duration::from_micros(300)
+        );
+    }
+}

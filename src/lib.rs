@@ -17,8 +17,11 @@
 //! * [`cache`] — the per-machine LRU database cache and per-thread
 //!   triangle cache.
 //! * [`engine`] — the backtracking interpreter executing compiled plans.
+//! * [`fault`] — deterministic fault injection: seeded fault plans
+//!   (transient store errors, timeouts, slow shards, worker crashes) and
+//!   the retry policy the cluster recovers with.
 //! * [`cluster`] — the simulated shared-nothing cluster: task generation,
-//!   task splitting, workers and metrics.
+//!   task splitting, workers, fault recovery and metrics.
 //! * [`baselines`] — join-based (CBF-style) and worst-case-optimal
 //!   (BiGJoin-style) competitors.
 //!
@@ -42,6 +45,7 @@ pub use benu_baselines as baselines;
 pub use benu_cache as cache;
 pub use benu_cluster as cluster;
 pub use benu_engine as engine;
+pub use benu_fault as fault;
 pub use benu_graph as graph;
 pub use benu_kvstore as kvstore;
 pub use benu_pattern as pattern;
@@ -51,6 +55,7 @@ pub use benu_plan as plan;
 pub mod prelude {
     pub use benu_cluster::{Cluster, ClusterConfig, RunOutcome};
     pub use benu_engine::LocalEngine;
+    pub use benu_fault::{FaultPlan, RetryPolicy};
     pub use benu_graph::{AdjSet, Graph, GraphBuilder, TotalOrder, VertexId};
     pub use benu_kvstore::KvStore;
     pub use benu_pattern::{Pattern, PatternVertex};

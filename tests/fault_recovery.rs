@@ -1,0 +1,162 @@
+//! Chaos property tests: fault injection must never change results.
+//!
+//! The acceptance invariant of the fault subsystem — with any seeded
+//! [`FaultPlan`] the cluster survives (transient store faults retried,
+//! a crashed worker's tasks requeued and re-executed on survivors), and
+//! the match counts *and the collected match sets* are byte-identical to
+//! a fault-free run. Exercised across graph families (Erdős–Rényi,
+//! Barabási–Albert, star) and both schedulers, over a deterministic fan
+//! of fault seeds.
+
+use benu::cluster::{Cluster, ClusterConfig, SchedulerKind, WorkerError};
+use benu::fault::{FaultPlan, RetryPolicy};
+use benu::graph::{gen, Graph, VertexId};
+use benu::pattern::queries;
+use benu::plan::{ExecutionPlan, PlanBuilder};
+
+const SEEDS: u64 = 8;
+
+fn graph_families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("erdos-renyi", gen::erdos_renyi_gnm(60, 220, 7)),
+        ("barabasi-albert", gen::barabasi_albert(80, 4, 3)),
+        ("star", gen::star(50)),
+    ]
+}
+
+fn config(kind: SchedulerKind) -> ClusterConfig {
+    ClusterConfig::builder()
+        .workers(3)
+        .threads_per_worker(2)
+        // A tiny cache keeps plenty of store traffic — fault sites —
+        // while still exercising the cache layer under retries.
+        .cache_capacity_bytes(1 << 12)
+        .tau(16)
+        .scheduler(kind)
+        .build()
+}
+
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::builder(seed)
+        .transient_rate(0.01)
+        .timeout_rate(0.005)
+        .crash(seed as usize % 3, 3) // one mid-run crash, rotating victim
+        .build()
+}
+
+fn run_pair(
+    g: &Graph,
+    plan: &ExecutionPlan,
+    kind: SchedulerKind,
+    seed: u64,
+) -> (
+    (u64, Vec<Vec<VertexId>>),
+    (u64, Vec<Vec<VertexId>>),
+    benu::cluster::RecoveryReport,
+) {
+    let clean_cluster = Cluster::new(g, config(kind));
+    let (clean, clean_matches) = clean_cluster.run_collect(plan).expect("fault-free run");
+
+    let mut chaos_cluster = Cluster::new(g, config(kind));
+    chaos_cluster.set_fault_plan(Some(chaos_plan(seed)));
+    let (chaos, chaos_matches) = chaos_cluster
+        .run_collect(plan)
+        .expect("every injected fault must be survivable");
+    (
+        (clean.total_matches, clean_matches),
+        (chaos.total_matches, chaos_matches),
+        chaos.recovery,
+    )
+}
+
+#[test]
+fn faults_never_change_counts_or_matches() {
+    let query = PlanBuilder::new(&queries::triangle()).best_plan();
+    let mut total_faults = 0u64;
+    let mut total_requeues = 0u64;
+    for (family, g) in graph_families() {
+        for kind in [SchedulerKind::Static, SchedulerKind::WorkStealing] {
+            for seed in 0..SEEDS {
+                let (clean, chaos, recovery) = run_pair(&g, &query, kind, seed);
+                assert_eq!(
+                    clean.0, chaos.0,
+                    "{family}/{kind}/seed {seed}: count diverged under faults"
+                );
+                assert_eq!(
+                    clean.1, chaos.1,
+                    "{family}/{kind}/seed {seed}: match set diverged under faults"
+                );
+                total_faults += recovery.faults_injected();
+                total_requeues += recovery.tasks_requeued;
+            }
+        }
+    }
+    // The property is vacuous if nothing was ever injected or recovered.
+    assert!(total_faults > 0, "chaos plans must actually inject faults");
+    assert!(total_requeues > 0, "at least one crash must requeue tasks");
+}
+
+#[test]
+fn compressed_plans_survive_faults_identically() {
+    let g = gen::barabasi_albert(70, 4, 11);
+    let query = PlanBuilder::new(&queries::q4())
+        .compressed(true)
+        .best_plan();
+    for seed in 0..SEEDS {
+        let (clean, chaos, _) = run_pair(&g, &query, SchedulerKind::Static, seed);
+        assert_eq!(clean.0, chaos.0, "seed {seed}: compressed count diverged");
+        assert_eq!(clean.1, chaos.1, "seed {seed}: expanded matches diverged");
+    }
+}
+
+#[test]
+fn same_seed_replay_is_deterministic() {
+    // Determinism scope: static scheduler, one thread per worker.
+    let g = gen::erdos_renyi_gnm(50, 180, 13);
+    let query = PlanBuilder::new(&queries::triangle()).best_plan();
+    let run = || {
+        let mut cluster = Cluster::new(
+            &g,
+            ClusterConfig::builder()
+                .workers(3)
+                .threads_per_worker(1)
+                .cache_capacity_bytes(0)
+                .build(),
+        );
+        cluster.set_fault_plan(Some(chaos_plan(4)));
+        cluster.run(&query).expect("survivable plan")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.recovery, b.recovery, "replay must reproduce the report");
+    assert_eq!(a.total_matches, b.total_matches);
+    assert!(
+        a.recovery.faults_injected() > 0,
+        "the replay test must see faults"
+    );
+}
+
+#[test]
+fn hopeless_outages_fail_instead_of_undercounting() {
+    // When a fault plan outruns the retry policy, the run must error —
+    // never return Ok with a silently short count.
+    let g = gen::erdos_renyi_gnm(40, 120, 1);
+    let query = PlanBuilder::new(&queries::triangle()).best_plan();
+    let mut cluster = Cluster::new(
+        &g,
+        ClusterConfig::builder()
+            .workers(2)
+            .threads_per_worker(1)
+            .cache_capacity_bytes(0)
+            .retry(RetryPolicy {
+                max_attempts: 1, // no retries at all
+                ..RetryPolicy::default()
+            })
+            .build(),
+    );
+    cluster.set_fault_plan(Some(FaultPlan::builder(2).transient_rate(0.5).build()));
+    match cluster.run(&query) {
+        Err(WorkerError::StoreUnavailable { .. }) => {}
+        other => panic!("expected StoreUnavailable, got {other:?}"),
+    }
+}
