@@ -35,6 +35,7 @@ struct Point {
     tasks_requeued: u64,
     recovery_passes: u64,
     backoff_virtual_ms: f64,
+    timeout_wait_virtual_ms: f64,
 }
 
 impl_to_json!(Point {
@@ -49,6 +50,7 @@ impl_to_json!(Point {
     tasks_requeued,
     recovery_passes,
     backoff_virtual_ms,
+    timeout_wait_virtual_ms,
 });
 
 fn main() {
@@ -95,6 +97,7 @@ fn main() {
             tasks_requeued: r.tasks_requeued,
             recovery_passes: r.recovery_passes,
             backoff_virtual_ms: r.backoff_virtual.as_secs_f64() * 1e3,
+            timeout_wait_virtual_ms: r.timeout_wait_virtual.as_secs_f64() * 1e3,
         });
     }
     for p in &points[1..] {

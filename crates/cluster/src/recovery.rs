@@ -11,6 +11,10 @@
 //!   reaches the plan's boundary, the worker is marked dead and the pool
 //!   — every result the dead machine was holding — moves to the requeue,
 //!   together with whatever was still in the worker's scheduler queue.
+//!   The pool only ever holds the *current* pass's completions: once a
+//!   pass's results are merged into the run tally they are durable (a
+//!   later crash cannot lose them), so [`RecoveryCtx::commit_merged`]
+//!   empties the survivors' pools at each pass boundary.
 //! * The runtime discards the dead worker's thread results wholesale, so
 //!   no task is ever counted twice: each task's contribution enters the
 //!   final tally exactly once, from whichever attempt survived.
@@ -46,8 +50,10 @@ pub(crate) struct RecoveryCtx {
     completed: Vec<AtomicU64>,
     /// Dead workers never run another pass.
     dead: Vec<AtomicBool>,
-    /// Per-worker executed pool; only populated for crash-capable
-    /// workers (tracking a worker that cannot crash would be waste).
+    /// Per-worker executed pool holding the current pass's completions;
+    /// only populated for crash-capable workers (tracking a worker that
+    /// cannot crash would be waste). Emptied by
+    /// [`RecoveryCtx::commit_merged`] once a pass's results are merged.
     executed: Vec<Mutex<Vec<SearchTask>>>,
     /// Tasks awaiting re-execution in the next pass.
     requeue: Mutex<Vec<SearchTask>>,
@@ -116,6 +122,23 @@ impl RecoveryCtx {
         std::mem::take(&mut *self.requeue.lock())
     }
 
+    /// Marks every surviving worker's results durable at a pass boundary.
+    ///
+    /// The runtime calls this once per pass, after merging the live
+    /// workers' thread results and with no worker threads running. Merged
+    /// results can no longer be lost — a worker that crashes in a *later*
+    /// pass only discards that pass's results — so its executed pool must
+    /// be emptied here: leaving committed tasks in the pool would requeue
+    /// them on a later crash and count them twice. Dead workers' pools
+    /// were already drained into the requeue when they crashed.
+    pub(crate) fn commit_merged(&self) {
+        for (w, pool) in self.executed.iter().enumerate() {
+            if !self.dead[w].load(Ordering::Acquire) {
+                pool.lock().clear();
+            }
+        }
+    }
+
     /// Worker crashes so far.
     pub(crate) fn crashes(&self) -> u64 {
         self.crashes.load(Ordering::Relaxed)
@@ -174,6 +197,36 @@ mod tests {
         let mut requeued: Vec<VertexId> = ctx.take_requeue().iter().map(|t| t.start).collect();
         requeued.sort_unstable();
         assert_eq!(requeued, vec![5, 6]);
+    }
+
+    #[test]
+    fn committed_passes_survive_later_crashes() {
+        // Regression: the executed pool must not span passes. A worker
+        // whose pass-1 results were merged (durable) and which crashes
+        // in a later pass may only requeue that later pass's tasks.
+        let plan = Arc::new(FaultPlan::builder(0).crash(0, 3).build());
+        let ctx = RecoveryCtx::new(plan, 2);
+        assert_eq!(ctx.task_done(0, task(1)), TaskFate::Counted);
+        assert_eq!(ctx.task_done(0, task(2)), TaskFate::Counted);
+        ctx.commit_merged(); // pass boundary: results 1 and 2 merged
+        assert_eq!(ctx.task_done(0, task(3)), TaskFate::Crashed);
+        let requeued: Vec<VertexId> = ctx.take_requeue().iter().map(|t| t.start).collect();
+        assert_eq!(requeued, vec![3], "committed tasks must stay counted");
+        assert_eq!(ctx.total_requeued(), 1);
+    }
+
+    #[test]
+    fn commit_does_not_touch_dead_workers() {
+        let plan = Arc::new(FaultPlan::builder(0).crash(0, 1).build());
+        let ctx = RecoveryCtx::new(plan, 1);
+        assert_eq!(ctx.task_done(0, task(7)), TaskFate::Crashed);
+        ctx.commit_merged();
+        // The crash's requeue is intact; a later completion on the dead
+        // worker is still lost-and-requeued.
+        assert_eq!(ctx.task_done(0, task(8)), TaskFate::Lost);
+        let mut requeued: Vec<VertexId> = ctx.take_requeue().iter().map(|t| t.start).collect();
+        requeued.sort_unstable();
+        assert_eq!(requeued, vec![7, 8]);
     }
 
     #[test]

@@ -70,6 +70,11 @@ pub struct RecoveryReport {
     pub speculative_wins: u64,
     /// Total virtual retry backoff charged into busy time (never slept).
     pub backoff_virtual: Duration,
+    /// Total virtual timeout wait charged into busy time — every
+    /// injected timeout blocks (virtually) for the fault plan's full
+    /// timeout before its loss is detected, so timeouts cost latency
+    /// where transients fail instantly.
+    pub timeout_wait_virtual: Duration,
     /// Total virtual slow-shard latency charged into busy time.
     pub slow_penalty_virtual: Duration,
 }

@@ -283,6 +283,27 @@ impl Cluster {
                 }
             }
 
+            if let Some(rc) = &recovery_ctx {
+                // No threads are running now. Under work stealing, a
+                // thread of a crashing worker can steal from a victim
+                // and append the remainder to its own queue *after* the
+                // crashing sibling drained it — those tasks would be
+                // stranded in the dead queue (never drained again) and
+                // silently dropped. Sweep every dead worker's queue into
+                // the requeue before the pass's scheduler is discarded.
+                for w in 0..p {
+                    if rc.is_dead(w) {
+                        rc.requeue_all(scheduler.drain(w));
+                    }
+                }
+                // The results merged above are durable from here on — a
+                // later crash of a surviving worker can only lose work
+                // from its own pass — so commit them: leaving them in
+                // the executed pools would requeue (and double-count)
+                // them on that later crash.
+                rc.commit_merged();
+            }
+
             let requeued = recovery_ctx
                 .as_ref()
                 .map(|rc| rc.take_requeue())
@@ -306,56 +327,20 @@ impl Cluster {
         }
         let elapsed = started.elapsed();
 
-        // Straggler speculation: re-execute every surviving task whose
-        // duration exceeded the configured busy-time quantile, round
-        // robin over the live workers. Results are discarded (tasks are
-        // idempotent; counts must not change) — only the timing race is
-        // interesting, and a real cluster would overlap it with the tail
-        // of the run, so it is excluded from `elapsed`.
-        let mut speculative_launches = 0u64;
-        let mut speculative_wins = 0u64;
-        if let Some(q) = self.config.speculate_quantile {
-            let timed: Vec<(SearchTask, Duration)> = merged
+        // Per-task timings for straggler speculation. Snapshotted here,
+        // but the speculation itself runs *below*, only after every
+        // worker, store and fault counter has been read: speculative
+        // attempts are discarded, so their traffic, retries and virtual
+        // latency must not leak into the report of the real run.
+        let timed: Vec<(SearchTask, Duration)> = if self.config.speculate_quantile.is_some() {
+            merged
                 .iter()
                 .flatten()
                 .flat_map(|r| r.timed_tasks.iter().copied())
-                .collect();
-            let alive: Vec<usize> = (0..p)
-                .filter(|&w| recovery_ctx.as_ref().is_none_or(|rc| !rc.is_dead(w)))
-                .collect();
-            if timed.len() >= 2 && !alive.is_empty() {
-                let mut durations: Vec<Duration> = timed.iter().map(|&(_, d)| d).collect();
-                durations.sort_unstable();
-                let threshold = durations[((durations.len() - 1) as f64 * q) as usize];
-                let spec_errors = ErrorSlot::new();
-                let idle = StaticScheduler::new(vec![Vec::new(); p]);
-                for (i, (task, original)) in timed
-                    .into_iter()
-                    .filter(|&(_, d)| d > threshold)
-                    .enumerate()
-                {
-                    let w = alive[i % alive.len()];
-                    let worker = Worker {
-                        id: w,
-                        scheduler: &idle,
-                        transport: &transports[w],
-                        cache: &self.caches[w],
-                        order: &self.order,
-                        compiled: &compiled,
-                        config: &self.config,
-                        errors: &spec_errors,
-                        recovery: None,
-                        attempt: attempt + 1,
-                    };
-                    speculative_launches += 1;
-                    if let Some(dt) = worker.run_speculative(task) {
-                        if dt < original {
-                            speculative_wins += 1;
-                        }
-                    }
-                }
-            }
-        }
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         let mut reports: Vec<WorkerReport> = Vec::with_capacity(p);
         let mut all_matches: Option<Matches> = collect.then(Vec::new);
@@ -398,8 +383,6 @@ impl Cluster {
 
         let mut recovery = RecoveryReport {
             recovery_passes,
-            speculative_launches,
-            speculative_wins,
             ..RecoveryReport::default()
         };
         for t in &transports {
@@ -407,11 +390,60 @@ impl Cluster {
             recovery.timeouts += t.timeouts();
             recovery.retries += t.retries();
             recovery.backoff_virtual += t.backoff_virtual();
+            recovery.timeout_wait_virtual += t.timeout_virtual();
             recovery.slow_penalty_virtual += t.slow_virtual();
         }
         if let Some(rc) = &recovery_ctx {
             recovery.worker_crashes = rc.crashes();
             recovery.tasks_requeued = rc.total_requeued();
+        }
+        // Store-level totals, also read before speculation runs.
+        let kv = self.store.stats();
+
+        // Straggler speculation: re-execute every surviving task whose
+        // duration exceeded the configured busy-time quantile, round
+        // robin over the live workers. Results are discarded (tasks are
+        // idempotent; counts must not change) — only the timing race is
+        // interesting, and a real cluster would overlap it with the tail
+        // of the run, so it is excluded from `elapsed` and from every
+        // counter snapshotted above; only the launch/win tallies enter
+        // the report.
+        if let Some(q) = self.config.speculate_quantile {
+            let alive: Vec<usize> = (0..p)
+                .filter(|&w| recovery_ctx.as_ref().is_none_or(|rc| !rc.is_dead(w)))
+                .collect();
+            if timed.len() >= 2 && !alive.is_empty() {
+                let mut durations: Vec<Duration> = timed.iter().map(|&(_, d)| d).collect();
+                durations.sort_unstable();
+                let threshold = durations[((durations.len() - 1) as f64 * q) as usize];
+                let spec_errors = ErrorSlot::new();
+                let idle = StaticScheduler::new(vec![Vec::new(); p]);
+                for (i, (task, original)) in timed
+                    .into_iter()
+                    .filter(|&(_, d)| d > threshold)
+                    .enumerate()
+                {
+                    let w = alive[i % alive.len()];
+                    let worker = Worker {
+                        id: w,
+                        scheduler: &idle,
+                        transport: &transports[w],
+                        cache: &self.caches[w],
+                        order: &self.order,
+                        compiled: &compiled,
+                        config: &self.config,
+                        errors: &spec_errors,
+                        recovery: None,
+                        attempt: attempt + 1,
+                    };
+                    recovery.speculative_launches += 1;
+                    if let Some(dt) = worker.run_speculative(task) {
+                        if dt < original {
+                            recovery.speculative_wins += 1;
+                        }
+                    }
+                }
+            }
         }
 
         let mut metrics = benu_engine::TaskMetrics::default();
@@ -424,7 +456,7 @@ impl Cluster {
             elapsed,
             metrics,
             workers: reports,
-            kv: self.store.stats(),
+            kv,
             total_tasks,
             scheduler: self.config.scheduler,
             task_times: all_task_times,
@@ -810,6 +842,79 @@ mod tests {
         assert_eq!(executed, outcome.total_tasks);
         // The dead worker reports no surviving work.
         assert_eq!(outcome.workers[1].tasks_executed, 0);
+    }
+
+    #[test]
+    fn staggered_crashes_across_passes_do_not_double_count() {
+        // Regression: a worker that survives pass 1 (results merged)
+        // and crashes in a recovery pass must only requeue the tasks of
+        // the pass it died in — requeueing its committed pass-1 tasks
+        // would count them twice.
+        let g = gen::barabasi_albert(120, 4, 31);
+        let query = PlanBuilder::new(&queries::triangle()).best_plan();
+        let expected = benu_engine::count_embeddings(&query, &g);
+        // Probe the task count so worker 1's boundary provably lands in
+        // pass 2: it survives its initial static share and dies a few
+        // tasks into the requeued work from worker 0's pass-1 crash.
+        let total_tasks = chaos_cluster(&g, FaultPlan::benign(0))
+            .run(&query)
+            .unwrap()
+            .total_tasks;
+        let boundary = (total_tasks / 3 + 5) as u64;
+        let cluster = chaos_cluster(
+            &g,
+            FaultPlan::builder(9).crash(0, 5).crash(1, boundary).build(),
+        );
+        let outcome = cluster.run(&query).unwrap();
+        assert_eq!(outcome.total_matches, expected, "multi-crash double count");
+        assert_eq!(outcome.recovery.worker_crashes, 2);
+        assert!(outcome.recovery.recovery_passes >= 2);
+        let executed: usize = outcome.workers.iter().map(|w| w.tasks_executed).sum();
+        assert_eq!(
+            executed, outcome.total_tasks,
+            "every task's result must enter the tally exactly once"
+        );
+    }
+
+    #[test]
+    fn speculation_does_not_skew_recovery_or_store_accounting() {
+        // Regression: speculative attempts are discarded, so their store
+        // traffic, injected faults, retries and virtual latency must not
+        // inflate the report of the real run.
+        let g = gen::erdos_renyi_gnm(60, 220, 5);
+        let query = PlanBuilder::new(&queries::triangle()).best_plan();
+        let run = |speculate: Option<f64>| {
+            let mut cluster = Cluster::new(
+                &g,
+                ClusterConfig::builder()
+                    .workers(2)
+                    .threads_per_worker(1)
+                    .cache_capacity_bytes(0)
+                    .speculate_quantile(speculate)
+                    .build(),
+            );
+            cluster.set_fault_plan(Some(FaultPlan::builder(77).transient_rate(0.05).build()));
+            cluster.run(&query).unwrap()
+        };
+        let plain = run(None);
+        let spec = run(Some(0.5));
+        assert_eq!(plain.total_matches, spec.total_matches);
+        assert!(spec.recovery.speculative_launches > 0);
+        assert_eq!(
+            plain.recovery.transient_faults,
+            spec.recovery.transient_faults
+        );
+        assert_eq!(plain.recovery.retries, spec.recovery.retries);
+        assert_eq!(
+            plain.recovery.backoff_virtual,
+            spec.recovery.backoff_virtual
+        );
+        assert_eq!(plain.communication_bytes(), spec.communication_bytes());
+        assert_eq!(
+            plain.kv.requests, spec.kv.requests,
+            "speculative store traffic must not enter the run's totals"
+        );
+        assert_eq!(spec.communication_bytes(), spec.kv.bytes);
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! [`benu_fault::RetryPolicy`]: injected transient faults and timeouts
 //! are retried with capped exponential backoff and deterministic jitter,
 //! and only surface as a [`TransportError`] once the policy's attempts
-//! are exhausted. Backoff waits and slow-shard latency are **virtual
-//! time** — never slept, only charged into a thread-local penalty that
+//! are exhausted. Backoff waits, timeout waits and slow-shard latency
+//! are **virtual time** — never slept, only charged into a thread-local penalty that
 //! the worker folds into its busy-time accounting after each task (the
 //! plan stays deterministic because no fault decision reads a clock).
 
@@ -65,6 +65,7 @@ struct FaultState {
     timeouts: AtomicU64,
     retries: AtomicU64,
     backoff_nanos: AtomicU64,
+    timeout_nanos: AtomicU64,
     slow_nanos: AtomicU64,
 }
 
@@ -74,9 +75,19 @@ impl FaultState {
     /// give up.
     fn book_fault(&self, kind: FaultKind, key: u64, attempt: u32) -> bool {
         match kind {
-            FaultKind::Transient => self.transient.fetch_add(1, Ordering::Relaxed),
-            FaultKind::Timeout => self.timeouts.fetch_add(1, Ordering::Relaxed),
-        };
+            FaultKind::Transient => {
+                self.transient.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultKind::Timeout => {
+                // A timed-out round trip blocks for the plan's full
+                // (virtual) timeout before the loss is detected, so the
+                // wait is charged per attempt — even the final one.
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                let wait = self.store.plan().timeout_wait().as_nanos() as u64;
+                self.timeout_nanos.fetch_add(wait, Ordering::Relaxed);
+                TASK_PENALTY_NANOS.with(|p| p.set(p.get() + wait));
+            }
+        }
         if attempt + 1 >= self.retry.max_attempts {
             return false;
         }
@@ -134,6 +145,7 @@ impl Transport {
                 timeouts: AtomicU64::new(0),
                 retries: AtomicU64::new(0),
                 backoff_nanos: AtomicU64::new(0),
+                timeout_nanos: AtomicU64::new(0),
                 slow_nanos: AtomicU64::new(0),
             }),
             store,
@@ -292,6 +304,12 @@ impl Transport {
         Duration::from_nanos(self.fault_counter(|f| &f.backoff_nanos))
     }
 
+    /// Total virtual timeout wait charged into busy time (one full
+    /// [`FaultPlan::timeout_wait`] per injected timeout).
+    pub fn timeout_virtual(&self) -> Duration {
+        Duration::from_nanos(self.fault_counter(|f| &f.timeout_nanos))
+    }
+
     /// Total virtual slow-shard latency charged into busy time.
     pub fn slow_virtual(&self) -> Duration {
         Duration::from_nanos(self.fault_counter(|f| &f.slow_nanos))
@@ -361,6 +379,39 @@ mod tests {
         // the store.
         assert_eq!(t.bytes(), store.stats().bytes);
         assert_eq!(t.requests(), store.stats().requests);
+    }
+
+    #[test]
+    fn timeouts_charge_the_full_timeout_wait() {
+        let g = gen::complete(16);
+        let store = Arc::new(KvStore::from_graph(&g, 4));
+        let wait = Duration::from_millis(25);
+        let plan = Arc::new(
+            FaultPlan::builder(8)
+                .timeout_rate(0.4)
+                .timeout_wait(wait)
+                .build(),
+        );
+        let t = Transport::with_faults(store, plan, RetryPolicy::default());
+        let _ = Transport::take_task_penalty();
+        let wall = std::time::Instant::now();
+        for v in 0..16u32 {
+            assert!(t.fetch(v).unwrap().is_some());
+        }
+        let timeouts = t.timeouts();
+        assert!(timeouts > 0, "rate 0.4 over 16 gets must time out");
+        assert_eq!(
+            t.timeout_virtual(),
+            wait * timeouts as u32,
+            "every timeout costs one full wait"
+        );
+        // The wait lands in the per-task penalty alongside the backoff,
+        // and is never actually slept.
+        assert_eq!(
+            Transport::take_task_penalty(),
+            t.timeout_virtual() + t.backoff_virtual()
+        );
+        assert!(wall.elapsed() < t.timeout_virtual());
     }
 
     #[test]

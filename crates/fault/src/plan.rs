@@ -11,7 +11,8 @@
 //! The taxonomy (see DESIGN.md "Fault model & recovery"):
 //!
 //! * **transient errors** — a store round trip fails and may be retried;
-//! * **timeouts** — a round trip is lost after a (virtual) wait; retried
+//! * **timeouts** — a round trip is lost after the plan's full (virtual)
+//!   timeout wait, which is charged into busy-time accounting; retried
 //!   like a transient error but counted separately;
 //! * **slow shards** — a shard answers, but `multiplier×` slower; the
 //!   extra latency is virtual time charged into busy-time accounting;
@@ -56,7 +57,9 @@ pub enum FaultKind {
     /// restart). Retryable.
     Transient,
     /// The round trip was lost after a full (virtual) timeout wait.
-    /// Retryable, but costs the timeout latency.
+    /// Retryable, but every attempt costs the plan's
+    /// [`FaultPlan::timeout_wait`] in virtual time before the loss is
+    /// detected.
     Timeout,
 }
 
@@ -91,6 +94,7 @@ pub struct FaultPlan {
     timeout_rate: f64,
     slow: HashMap<usize, f64>,
     base_latency: Duration,
+    timeout_wait: Duration,
     crashes: HashMap<usize, u64>,
 }
 
@@ -103,6 +107,7 @@ impl FaultPlan {
             timeout_rate: 0.0,
             slow: HashMap::new(),
             base_latency: Duration::from_micros(200),
+            timeout_wait: Duration::from_millis(10),
             crashes: HashMap::new(),
         })
     }
@@ -160,6 +165,14 @@ impl FaultPlan {
     /// The latency multiplier of `shard` (1.0 for healthy shards).
     pub fn latency_multiplier(&self, shard: usize) -> f64 {
         self.slow.get(&shard).copied().unwrap_or(1.0)
+    }
+
+    /// The full (virtual) wait a timed-out round trip blocks for before
+    /// the loss is detected — the deadline a real RPC client would spend.
+    /// The transport charges it into busy-time accounting on every
+    /// injected [`FaultKind::Timeout`], retried or not.
+    pub fn timeout_wait(&self) -> Duration {
+        self.timeout_wait
     }
 
     /// The number of tasks after which `worker` crashes, if the plan
@@ -243,6 +256,14 @@ impl FaultPlanBuilder {
     /// (virtual time; never slept).
     pub fn base_latency(mut self, latency: Duration) -> Self {
         self.0.base_latency = latency;
+        self
+    }
+
+    /// The (virtual) wait every injected timeout costs before its loss
+    /// is detected (never slept; charged into busy-time accounting).
+    /// Defaults to 10 ms.
+    pub fn timeout_wait(mut self, wait: Duration) -> Self {
+        self.0.timeout_wait = wait;
         self
     }
 
@@ -351,6 +372,19 @@ mod tests {
         };
         assert_eq!(pick(5), pick(5));
         assert_eq!(pick(5).len(), 3);
+    }
+
+    #[test]
+    fn timeout_wait_defaults_and_round_trips() {
+        let plan = FaultPlan::benign(0);
+        assert!(
+            plan.timeout_wait() > Duration::ZERO,
+            "a timeout that waits for nothing is just a transient"
+        );
+        let plan = FaultPlan::builder(0)
+            .timeout_wait(Duration::from_millis(250))
+            .build();
+        assert_eq!(plan.timeout_wait(), Duration::from_millis(250));
     }
 
     #[test]
