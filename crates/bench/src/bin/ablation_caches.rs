@@ -115,6 +115,13 @@ fn main() {
          wins only when deeper clique sets recur across branches."
     );
     if let Some(path) = args.get_str("json") {
-        benu_bench::cells::write_json(path, &records).expect("write json");
+        let mut report = benu_bench::report::BenchReport::new("ablation_caches");
+        report
+            .param("dataset", dataset.abbrev())
+            .param("scale", scale);
+        for r in &records {
+            report.push_row(r);
+        }
+        report.write(path).expect("write json");
     }
 }

@@ -15,11 +15,14 @@
 
 use benu_bench::cli::Args;
 use benu_bench::impl_to_json;
+use benu_bench::report::BenchReport;
 use benu_bench::{load_dataset, print_table};
 use benu_cluster::{Cluster, ClusterConfig, SchedulerKind};
 use benu_graph::datasets::Dataset;
+use benu_obs::{ObsHub, ReportMode};
 use benu_pattern::queries;
 use benu_plan::PlanBuilder;
+use std::sync::Arc;
 
 const FAULT_RATES: [f64; 4] = [0.0, 0.001, 0.01, 0.05];
 
@@ -70,19 +73,25 @@ fn main() {
         .best_plan();
 
     let mut points: Vec<Point> = Vec::new();
+    let mut runs = Vec::new();
     for rate in FAULT_RATES {
         // A fresh cluster per point: cold caches keep the store traffic
         // (the fault surface) identical across the sweep.
-        let mut cluster = Cluster::new(
+        let hub = Arc::new(ObsHub::new());
+        let mut cluster = Cluster::new_observed(
             &g,
             ClusterConfig::builder()
                 .workers(workers)
                 .threads_per_worker(threads)
                 .scheduler(scheduler)
                 .build(),
+            Arc::clone(&hub),
         );
         cluster.set_fault_plan(args.fault_plan(rate));
         let outcome = cluster.run(&plan).expect("the sweep must be survivable");
+        let mut run = outcome.report(ReportMode::Full);
+        run.merge(hub.report(ReportMode::Full));
+        runs.push(run);
         let elapsed = outcome.elapsed.as_secs_f64();
         let r = outcome.recovery;
         points.push(Point {
@@ -148,6 +157,17 @@ fn main() {
          recovery degrades throughput gracefully instead of losing results."
     );
     if let Some(path) = args.get_str("json") {
-        benu_bench::cells::write_json(path, &points).expect("write json");
+        let mut report = BenchReport::new("degradation_curve");
+        report
+            .param("dataset", dataset.abbrev())
+            .param("scale", scale)
+            .param("query", qname.as_str())
+            .param("workers", workers as u64)
+            .param("threads", threads as u64)
+            .param("scheduler", scheduler.name());
+        for (p, run) in points.iter().zip(&runs) {
+            report.push_row_with_run(p, run);
+        }
+        report.write(path).expect("write json");
     }
 }

@@ -122,6 +122,13 @@ fn main() {
         wins.0
     );
     if let Some(path) = args.get_str("json") {
-        benu_bench::cells::write_json(path, &records).expect("write json");
+        let mut report = benu_bench::report::BenchReport::new("estimator_eval");
+        report
+            .param("datasets", dataset_names.join(",").as_str())
+            .param("scale", scale);
+        for r in &records {
+            report.push_row(r);
+        }
+        report.write(path).expect("write json");
     }
 }

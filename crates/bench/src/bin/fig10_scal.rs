@@ -161,6 +161,15 @@ fn main() {
          straggler tasks start to dominate (sub-4x from 4 to 16 workers)."
     );
     if let Some(path) = args.get_str("json") {
-        benu_bench::cells::write_json(path, &records).expect("write json");
+        let mut report = benu_bench::report::BenchReport::new("fig10_scal");
+        report
+            .param("scale", scale)
+            .param("threads", threads as u64)
+            .param("tau", tau as u64)
+            .param("max_workers", max_workers as u64);
+        for r in &records {
+            report.push_row(r);
+        }
+        report.write(path).expect("write json");
     }
 }

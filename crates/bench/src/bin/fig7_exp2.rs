@@ -131,6 +131,13 @@ fn main() {
          triangles are repeatedly enumerated."
     );
     if let Some(path) = args.get_str("json") {
-        benu_bench::cells::write_json(path, &records).expect("write json");
+        let mut report = benu_bench::report::BenchReport::new("fig7_exp2");
+        report
+            .param("dataset", dataset.abbrev())
+            .param("scale", scale);
+        for r in &records {
+            report.push_row(r);
+        }
+        report.write(path).expect("write json");
     }
 }

@@ -88,6 +88,14 @@ fn main() {
          accordingly — memory is traded for communication."
     );
     if let Some(path) = args.get_str("json") {
-        benu_bench::cells::write_json(path, &records).expect("write json");
+        let mut report = benu_bench::report::BenchReport::new("fig8_exp3");
+        report
+            .param("dataset", dataset.abbrev())
+            .param("scale", scale)
+            .param("graph_bytes", graph_bytes as u64);
+        for r in &records {
+            report.push_row(r);
+        }
+        report.write(path).expect("write json");
     }
 }

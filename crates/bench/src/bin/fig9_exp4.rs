@@ -11,11 +11,14 @@
 
 use benu_bench::cli::Args;
 use benu_bench::impl_to_json;
+use benu_bench::report::BenchReport;
 use benu_bench::{load_dataset, print_table};
 use benu_cluster::{Cluster, ClusterConfig, RunOutcome, SchedulerKind};
 use benu_graph::datasets::Dataset;
+use benu_obs::{ObsHub, ReportMode};
 use benu_pattern::queries;
 use benu_plan::PlanBuilder;
+use std::sync::Arc;
 
 struct Summary {
     variant: String,
@@ -88,9 +91,13 @@ fn main() {
         None => vec![SchedulerKind::Static, SchedulerKind::WorkStealing],
     };
     let mut summaries = Vec::new();
+    let mut runs = Vec::new();
     for (variant, tau_value) in [("no splitting", 0usize), ("tau splitting", tau)] {
         for &kind in &schedulers {
-            let cluster = Cluster::new(
+            // Each variant gets its own hub so the per-layer metrics in
+            // the JSON dump are attributable to one run.
+            let hub = Arc::new(ObsHub::new());
+            let cluster = Cluster::new_observed(
                 &g,
                 ClusterConfig::builder()
                     .workers(4)
@@ -100,8 +107,12 @@ fn main() {
                     .collect_task_times(true)
                     .scheduler(kind)
                     .build(),
+                Arc::clone(&hub),
             );
             let outcome = cluster.run(&plan).expect("cluster run failed");
+            let mut run = outcome.report(ReportMode::Full);
+            run.merge(hub.report(ReportMode::Full));
+            runs.push(run);
             summaries.push((summarize(variant, &outcome), outcome.total_matches));
         }
     }
@@ -164,7 +175,15 @@ fn main() {
          imbalance drops even when tau is off."
     );
     if let Some(path) = args.get_str("json") {
-        let records: Vec<&Summary> = summaries.iter().map(|(s, _)| s).collect();
-        benu_bench::cells::write_json(path, &records).expect("write json");
+        let mut report = BenchReport::new("fig9_exp4");
+        report
+            .param("dataset", dataset.abbrev())
+            .param("scale", scale)
+            .param("query", qname.as_str())
+            .param("tau", tau as u64);
+        for ((s, _), run) in summaries.iter().zip(&runs) {
+            report.push_row_with_run(s, run);
+        }
+        report.write(path).expect("write json");
     }
 }

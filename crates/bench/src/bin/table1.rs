@@ -94,6 +94,11 @@ fn main() {
          clique-densest, fs is triangle-sparse for its size."
     );
     if let Some(path) = args.get_str("json") {
-        benu_bench::cells::write_json(path, &records).expect("write json");
+        let mut report = benu_bench::report::BenchReport::new("table1");
+        report.param("scale", scale);
+        for r in &records {
+            report.push_row(r);
+        }
+        report.write(path).expect("write json");
     }
 }

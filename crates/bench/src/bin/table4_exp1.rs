@@ -108,6 +108,14 @@ fn main() {
          plan generation takes well under a second except the largest cliques."
     );
     if let Some(path) = args.get_str("json") {
-        benu_bench::cells::write_json(path, &records).expect("write json");
+        let mut report = benu_bench::report::BenchReport::new("table4_exp1");
+        report
+            .param("random_count", random_count as u64)
+            .param("max_clique", max_clique as u64)
+            .param("max_random", max_random as u64);
+        for r in &records {
+            report.push_row(r);
+        }
+        report.write(path).expect("write json");
     }
 }

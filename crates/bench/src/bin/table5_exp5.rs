@@ -112,6 +112,15 @@ fn main() {
         records.len()
     );
     if let Some(path) = args.get_str("json") {
-        benu_bench::cells::write_json(path, &records).expect("write json");
+        let mut report = benu_bench::report::BenchReport::new("table5_exp5");
+        report
+            .param("scale", scale)
+            .param("datasets", dataset_names.join(",").as_str())
+            .param("queries", query_names.join(",").as_str())
+            .param("join_cap_bytes", join_cap);
+        for r in &records {
+            report.push_row(r);
+        }
+        report.write(path).expect("write json");
     }
 }

@@ -117,6 +117,11 @@ fn main() {
          wins on the complex patterns and everywhere on the larger graph."
     );
     if let Some(path) = args.get_str("json") {
-        benu_bench::cells::write_json(path, &records).expect("write json");
+        let mut report = benu_bench::report::BenchReport::new("table6_exp6");
+        report.param("scale", scale).param("wcoj_cap_bytes", cap);
+        for r in &records {
+            report.push_row(r);
+        }
+        report.write(path).expect("write json");
     }
 }

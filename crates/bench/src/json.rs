@@ -200,6 +200,27 @@ impl<T: ToJson> ToJson for Option<T> {
     }
 }
 
+impl ToJson for benu_obs::Value {
+    fn to_json(&self) -> Json {
+        use benu_obs::Value;
+        match self {
+            Value::Bool(b) => Json::Bool(*b),
+            Value::UInt(n) => Json::UInt(*n),
+            Value::Int(n) => Json::Int(*n),
+            Value::Float(f) => Json::Float(*f),
+            Value::Str(s) => Json::Str(s.clone()),
+            Value::List(items) => Json::Array(items.iter().map(ToJson::to_json).collect()),
+            Value::Tree(t) => t.to_json(),
+        }
+    }
+}
+
+impl ToJson for benu_obs::Report {
+    fn to_json(&self) -> Json {
+        Json::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
 /// Derives [`ToJson`] for a struct with `ToJson` fields:
 ///
 /// ```ignore

@@ -9,6 +9,7 @@
 pub mod cells;
 pub mod cli;
 pub mod json;
+pub mod report;
 
 use benu_graph::datasets::Dataset;
 use benu_graph::Graph;

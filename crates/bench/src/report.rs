@@ -1,0 +1,150 @@
+//! The unified bench report envelope (schema `benu/report-v1`).
+//!
+//! Every experiment binary's `--json` dump is one [`BenchReport`]: the
+//! schema tag, the bench name, the parameters the run was invoked with,
+//! and a list of result rows. Rows are either existing per-bin record
+//! structs (anything [`ToJson`]) or [`benu_obs::Report`] trees — cluster
+//! rows embed [`benu_cluster::RunOutcome::report`] so every bin exposes
+//! the same run-level shape. The golden-file snapshot test
+//! (`tests/report_schema.rs`) pins this schema; bump [`SCHEMA`] when
+//! changing it.
+
+use crate::json::{Json, ToJson};
+use benu_obs::{Report, Value};
+
+/// The schema tag every unified dump carries.
+pub const SCHEMA: &str = "benu/report-v1";
+
+/// One bench invocation's machine-readable output.
+#[derive(Clone, Debug, Default)]
+pub struct BenchReport {
+    bench: String,
+    params: Report,
+    rows: Vec<Json>,
+}
+
+impl BenchReport {
+    /// An empty report for the bench named `bench`.
+    pub fn new(bench: &str) -> Self {
+        BenchReport {
+            bench: bench.to_string(),
+            params: Report::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records an invocation parameter (dataset, scale, seed, flags).
+    pub fn param(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        self.params.set(key, value);
+        self
+    }
+
+    /// Appends a result row (any [`ToJson`] record or `Report` tree).
+    pub fn push_row(&mut self, row: &(impl ToJson + ?Sized)) -> &mut Self {
+        self.rows.push(row.to_json());
+        self
+    }
+
+    /// Appends a row with the cluster run's unified report embedded under
+    /// a `"run"` key — how cluster-driving bins expose the full
+    /// per-layer breakdown next to their headline columns.
+    pub fn push_row_with_run(&mut self, row: &(impl ToJson + ?Sized), run: &Report) -> &mut Self {
+        let mut fields = match row.to_json() {
+            Json::Object(fields) => fields,
+            other => vec![("row".to_string(), other)],
+        };
+        fields.push(("run".to_string(), run.to_json()));
+        self.rows.push(Json::Object(fields));
+        self
+    }
+
+    /// Number of rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the canonical envelope.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("schema".to_string(), Json::Str(SCHEMA.to_string())),
+            ("bench".to_string(), Json::Str(self.bench.clone())),
+            ("params".to_string(), self.params.to_json()),
+            ("rows".to_string(), Json::Array(self.rows.clone())),
+        ])
+    }
+
+    /// Writes the envelope as pretty JSON to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().render_pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_has_schema_bench_params_rows() {
+        let mut report = BenchReport::new("demo");
+        report.param("scale", 0.5).param("dataset", "as");
+        let mut row = Report::new();
+        row.set("matches", 42u64);
+        report.push_row(&row);
+        assert_eq!(report.len(), 1);
+        let json = report.to_json().render_pretty();
+        assert!(json.contains("\"schema\": \"benu/report-v1\""));
+        assert!(json.contains("\"bench\": \"demo\""));
+        assert!(json.contains("\"scale\": 0.5"));
+        assert!(json.contains("\"matches\": 42"));
+        // Top-level key order is fixed.
+        let schema_pos = json.find("\"schema\"").unwrap();
+        let bench_pos = json.find("\"bench\"").unwrap();
+        let params_pos = json.find("\"params\"").unwrap();
+        let rows_pos = json.find("\"rows\"").unwrap();
+        assert!(schema_pos < bench_pos && bench_pos < params_pos && params_pos < rows_pos);
+    }
+
+    #[test]
+    fn run_subtree_rides_along_with_the_row() {
+        let mut report = BenchReport::new("demo");
+        let mut row = Report::new();
+        row.set("variant", "tau");
+        let mut run = Report::new();
+        run.set("total_matches", 99u64);
+        report.push_row_with_run(&row, &run);
+        let json = report.to_json().render_pretty();
+        assert!(json.contains("\"variant\": \"tau\""));
+        assert!(json.contains("\"run\": {"));
+        assert!(json.contains("\"total_matches\": 99"));
+    }
+
+    #[test]
+    fn obs_report_values_round_trip_to_json() {
+        let mut r = Report::new();
+        r.set("flag", true);
+        r.set("count", 7u64);
+        r.set("delta", -3i64);
+        r.set("ratio", 0.25);
+        r.set("name", "x");
+        r.set("list", Value::List(vec![Value::UInt(1), Value::UInt(2)]));
+        let mut inner = Report::new();
+        inner.set("k", 9u64);
+        r.set_tree("tree", inner);
+        let json = r.to_json().render_pretty();
+        for needle in [
+            "\"flag\": true",
+            "\"count\": 7",
+            "\"delta\": -3",
+            "\"ratio\": 0.25",
+            "\"name\": \"x\"",
+            "\"k\": 9",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

@@ -15,6 +15,7 @@
 pub mod lru;
 
 use benu_graph::{AdjSet, VertexId};
+use benu_obs::{safe_ratio, Counter, Registry};
 use lru::Lru;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,14 +38,41 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit rate in `[0, 1]`; zero when the cache was never queried.
+    /// Hit rate in `[0, 1]`; zero when the cache was never queried (the
+    /// workspace-wide [`safe_ratio`] convention — never NaN or ∞).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
+        safe_ratio(self.hits as f64, (self.hits + self.misses) as f64)
+    }
+}
+
+/// Registry handles for one cache tier (`cache.{tier}.hits` / `.misses`
+/// / `.evictions`). Shared caches record on the hot path; per-thread
+/// caches record their [`CacheStats`] in bulk at merge time via
+/// [`CacheObs::record_stats`].
+#[derive(Clone, Debug)]
+pub struct CacheObs {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+impl CacheObs {
+    /// Registers the three counters of `tier` (e.g. `"db"`,
+    /// `"triangle"`, `"clique"`).
+    pub fn register(registry: &Registry, tier: &str) -> Self {
+        CacheObs {
+            hits: registry.counter(&format!("cache.{tier}.hits")),
+            misses: registry.counter(&format!("cache.{tier}.misses")),
+            evictions: registry.counter(&format!("cache.{tier}.evictions")),
         }
+    }
+
+    /// Adds a whole [`CacheStats`] delta at once (per-thread caches are
+    /// merged at thread exit, not per lookup).
+    pub fn record_stats(&self, stats: &CacheStats) {
+        self.hits.add(stats.hits);
+        self.misses.add(stats.misses);
+        self.evictions.add(stats.evictions);
     }
 }
 
@@ -56,6 +84,7 @@ pub struct DbCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    obs: Option<CacheObs>,
 }
 
 impl DbCache {
@@ -77,7 +106,16 @@ impl DbCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            obs: None,
         }
+    }
+
+    /// Attaches registry handles (tier counters) recorded alongside the
+    /// cache's own stats. Must be called before the cache is shared.
+    /// Unlike [`DbCache::clear`]-reset local stats, the registry
+    /// counters are monotonic for the registry's lifetime.
+    pub fn attach_obs(&mut self, obs: CacheObs) {
+        self.obs = Some(obs);
     }
 
     fn shard_of(&self, v: VertexId) -> usize {
@@ -91,10 +129,19 @@ impl DbCache {
         match shard.get(&v) {
             Some(adj) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(adj))
+                let adj = Arc::clone(adj);
+                drop(shard);
+                if let Some(obs) = &self.obs {
+                    obs.hits.inc();
+                }
+                Some(adj)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                drop(shard);
+                if let Some(obs) = &self.obs {
+                    obs.misses.inc();
+                }
                 None
             }
         }
@@ -113,8 +160,12 @@ impl DbCache {
         let cost = (adj.size_bytes() + ENTRY_OVERHEAD_BYTES) as u64;
         let mut shard = self.shards[self.shard_of(v)].lock();
         let evicted = shard.insert(v, adj, cost);
+        drop(shard);
         if evicted > 0 {
             self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+            if let Some(obs) = &self.obs {
+                obs.evictions.add(evicted as u64);
+            }
         }
     }
 
@@ -437,6 +488,46 @@ mod tests {
             vec![9]
         });
         assert!(recomputed);
+    }
+
+    #[test]
+    fn hit_rate_uses_safe_ratio_zero_on_idle_cache() {
+        // Regression for the unified ratio convention: an unqueried cache
+        // reports 0.0, never NaN.
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert!(stats.hit_rate().is_finite());
+    }
+
+    #[test]
+    fn attached_obs_mirrors_db_cache_counters() {
+        let registry = benu_obs::Registry::new();
+        let mut cache = DbCache::new(1 << 16, 2);
+        cache.attach_obs(CacheObs::register(&registry, "db"));
+        cache.get(7); // miss
+        cache.insert(7, adj(&[1, 2]));
+        cache.get(7); // hit
+        assert_eq!(registry.counter("cache.db.hits").get(), 1);
+        assert_eq!(registry.counter("cache.db.misses").get(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn per_thread_tiers_record_stats_in_bulk() {
+        let registry = benu_obs::Registry::new();
+        let obs = CacheObs::register(&registry, "triangle");
+        let mut tc = TriangleCache::new(4);
+        tc.get_or_compute(1, 2, || vec![3]);
+        tc.get_or_compute(2, 1, || unreachable!());
+        obs.record_stats(&tc.stats());
+        assert_eq!(registry.counter("cache.triangle.hits").get(), 1);
+        assert_eq!(registry.counter("cache.triangle.misses").get(), 1);
     }
 
     #[test]

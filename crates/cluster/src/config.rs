@@ -4,7 +4,7 @@ use crate::schedule::SchedulerKind;
 use benu_fault::RetryPolicy;
 
 /// Shape and tuning of the simulated cluster. The defaults mirror the
-//  paper's deployment scaled to a single machine.
+/// paper's deployment scaled to a single machine.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ClusterConfig {
     /// Number of logical worker machines (the paper uses 16).
@@ -184,6 +184,59 @@ mod tests {
         assert_eq!(c.workers, 16);
         assert_eq!(c.threads_per_worker, 24);
         assert_eq!(c.cache_capacity_bytes, 30 << 30);
+    }
+
+    // API-audit completeness: every public `ClusterConfig` field must be
+    // settable through the builder. A fully-non-default config built
+    // fluently must equal the same config written as a struct literal —
+    // adding a field without a builder method breaks this test.
+    #[test]
+    fn builder_covers_every_public_field() {
+        let retry = RetryPolicy {
+            max_attempts: 7,
+            ..RetryPolicy::default()
+        };
+        let built = ClusterConfig::builder()
+            .workers(5)
+            .threads_per_worker(3)
+            .cache_capacity_bytes(1 << 22)
+            .cache_shards(2)
+            .tau(123)
+            .triangle_cache_entries(64)
+            .collect_task_times(true)
+            .scheduler(SchedulerKind::WorkStealing)
+            .prefetch_frontier(true)
+            .retry(retry)
+            .speculate_quantile(Some(0.9))
+            .build();
+        let literal = ClusterConfig {
+            workers: 5,
+            threads_per_worker: 3,
+            cache_capacity_bytes: 1 << 22,
+            cache_shards: 2,
+            tau: 123,
+            triangle_cache_entries: 64,
+            collect_task_times: true,
+            scheduler: SchedulerKind::WorkStealing,
+            prefetch_frontier: true,
+            retry,
+            speculate_quantile: Some(0.9),
+        };
+        assert_eq!(built, literal);
+        // Every field above differs from its default, so a builder
+        // method silently dropping its write would fail the comparison.
+        let d = ClusterConfig::default();
+        assert_ne!(built.workers, d.workers);
+        assert_ne!(built.threads_per_worker, d.threads_per_worker);
+        assert_ne!(built.cache_capacity_bytes, d.cache_capacity_bytes);
+        assert_ne!(built.cache_shards, d.cache_shards);
+        assert_ne!(built.tau, d.tau);
+        assert_ne!(built.triangle_cache_entries, d.triangle_cache_entries);
+        assert_ne!(built.collect_task_times, d.collect_task_times);
+        assert_ne!(built.scheduler, d.scheduler);
+        assert_ne!(built.prefetch_frontier, d.prefetch_frontier);
+        assert_ne!(built.retry, d.retry);
+        assert_ne!(built.speculate_quantile, d.speculate_quantile);
     }
 
     #[test]

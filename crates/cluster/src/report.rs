@@ -1,9 +1,18 @@
 //! Run reports: the measurements the paper's evaluation plots.
+//!
+//! [`RunOutcome`] is the typed view a program inspects; its
+//! [`RunOutcome::report`] renders the same measurements as one unified
+//! [`Report`] tree — the single serialisation surface every bench bin
+//! emits (`benu-bench` encodes it canonically as JSON). A
+//! [`ReportMode::Deterministic`] report drops every wall-clock-derived
+//! field, leaving exactly the values that are byte-identical across two
+//! executions of the same seeded run.
 
 use crate::schedule::SchedulerKind;
 use benu_cache::CacheStats;
 use benu_engine::TaskMetrics;
 use benu_kvstore::KvStats;
+use benu_obs::{safe_ratio, Report, ReportMode, Value};
 use std::time::Duration;
 
 /// What one logical worker machine did during a run.
@@ -79,7 +88,47 @@ pub struct RecoveryReport {
     pub slow_penalty_virtual: Duration,
 }
 
+/// Renders [`CacheStats`] as a report subtree with its
+/// [`CacheStats::hit_rate`] derived, not hand-plumbed.
+fn cache_report(stats: &CacheStats) -> Report {
+    let mut r = Report::new();
+    r.set("hits", stats.hits);
+    r.set("misses", stats.misses);
+    r.set("evictions", stats.evictions);
+    r.set("hit_rate", stats.hit_rate());
+    r
+}
+
 impl RecoveryReport {
+    /// This report as a unified subtree. Everything here — including the
+    /// *virtual* durations, which are deterministic functions of the
+    /// fault seed — survives [`ReportMode::Deterministic`].
+    pub fn report(&self) -> Report {
+        let mut r = Report::new();
+        r.set("transient_faults", self.transient_faults);
+        r.set("timeouts", self.timeouts);
+        r.set("retries", self.retries);
+        r.set("worker_crashes", self.worker_crashes);
+        r.set("tasks_requeued", self.tasks_requeued);
+        r.set("recovery_passes", self.recovery_passes);
+        r.set("speculative_launches", self.speculative_launches);
+        r.set("speculative_wins", self.speculative_wins);
+        r.set(
+            "backoff_virtual_nanos",
+            self.backoff_virtual.as_nanos() as u64,
+        );
+        r.set(
+            "timeout_wait_virtual_nanos",
+            self.timeout_wait_virtual.as_nanos() as u64,
+        );
+        r.set(
+            "slow_penalty_virtual_nanos",
+            self.slow_penalty_virtual.as_nanos() as u64,
+        );
+        r.set("faults_injected", self.faults_injected());
+        r
+    }
+
     /// Total faults injected: transients + timeouts + crashes.
     pub fn faults_injected(&self) -> u64 {
         self.transient_faults + self.timeouts + self.worker_crashes
@@ -94,6 +143,36 @@ impl RecoveryReport {
     /// True if nothing was injected and nothing had to recover.
     pub fn is_clean(&self) -> bool {
         *self == RecoveryReport::default()
+    }
+}
+
+impl WorkerReport {
+    /// This worker's measurements as a unified subtree. Busy times are
+    /// wall-clock-derived and appear only in [`ReportMode::Full`].
+    pub fn report(&self, mode: ReportMode) -> Report {
+        let mut r = Report::new();
+        r.set("worker", self.worker);
+        r.set("tasks", self.tasks);
+        r.set("tasks_executed", self.tasks_executed);
+        r.set("steals", self.steals);
+        r.set("batch_round_trips", self.batch_round_trips);
+        r.set("comm_bytes", self.comm_bytes);
+        r.set("comm_requests", self.comm_requests);
+        r.set_tree("cache", cache_report(&self.cache));
+        r.set_tree("triangle_cache", cache_report(&self.triangle_cache));
+        if mode == ReportMode::Full {
+            r.set("busy_seconds", self.busy_time.as_secs_f64());
+            r.set(
+                "thread_busy_seconds",
+                Value::List(
+                    self.thread_busy
+                        .iter()
+                        .map(|d| Value::Float(d.as_secs_f64()))
+                        .collect(),
+                ),
+            );
+        }
+        r
     }
 }
 
@@ -145,18 +224,15 @@ impl RunOutcome {
             .unwrap_or(Duration::ZERO)
     }
 
-    /// Cluster-wide database-cache hit rate.
+    /// Cluster-wide database-cache hit rate (the shared [`safe_ratio`]
+    /// convention: 0.0 when no lookups happened).
     pub fn cache_hit_rate(&self) -> f64 {
         let (mut hits, mut misses) = (0u64, 0u64);
         for w in &self.workers {
             hits += w.cache.hits;
             misses += w.cache.misses;
         }
-        if hits + misses == 0 {
-            0.0
-        } else {
-            hits as f64 / (hits + misses) as f64
-        }
+        safe_ratio(hits as f64, (hits + misses) as f64)
     }
 
     /// Total tasks stolen across all workers (zero under the static
@@ -189,10 +265,7 @@ impl RunOutcome {
             .min()
             .unwrap_or(Duration::ZERO)
             .max(floor);
-        if min.is_zero() {
-            return 0.0;
-        }
-        max.as_secs_f64() / min.as_secs_f64()
+        safe_ratio(max.as_secs_f64(), min.as_secs_f64())
     }
 
     /// Load imbalance: max over workers of busy time divided by the mean
@@ -208,11 +281,72 @@ impl RunOutcome {
             .iter()
             .map(|w| w.busy_time.as_secs_f64())
             .collect();
-        let mean = times.iter().sum::<f64>() / times.len() as f64;
-        if mean == 0.0 {
-            return 0.0;
+        let mean = safe_ratio(times.iter().sum::<f64>(), times.len() as f64);
+        safe_ratio(times.iter().cloned().fold(0.0f64, f64::max), mean)
+    }
+
+    /// This outcome as the unified report tree — the canonical shape
+    /// every bench bin serialises (schema `benu/report-v1`, see
+    /// DESIGN.md "Observability"). [`ReportMode::Deterministic`] drops
+    /// every wall-clock-derived field (elapsed, makespan, busy times,
+    /// imbalance ratios, task times); the remaining tree is
+    /// byte-identical across two executions of the same seeded run on a
+    /// 1-worker × 1-thread static-scheduler cluster.
+    pub fn report(&self, mode: ReportMode) -> Report {
+        let mut r = Report::new();
+        r.set("total_matches", self.total_matches);
+        r.set("total_codes", self.total_codes);
+        r.set("total_tasks", self.total_tasks);
+        r.set("scheduler", self.scheduler.to_string());
+        r.set("total_steals", self.total_steals());
+        r.set("communication_bytes", self.communication_bytes());
+        r.set("cache_hit_rate", self.cache_hit_rate());
+
+        let m = &self.metrics;
+        let mut engine = Report::new();
+        engine.set("matches", m.matches);
+        engine.set("codes", m.codes);
+        engine.set("code_bytes", m.code_bytes);
+        engine.set("dbq_executions", m.dbq_executions);
+        engine.set("int_executions", m.int_executions);
+        engine.set("trc_executions", m.trc_executions);
+        engine.set("enu_candidates", m.enu_candidates);
+        r.set_tree("engine", engine);
+
+        let mut store = Report::new();
+        store.set("requests", self.kv.requests);
+        store.set("keys", self.kv.keys);
+        store.set("bytes", self.kv.bytes);
+        r.set_tree("store", store);
+
+        r.set(
+            "workers",
+            Value::List(
+                self.workers
+                    .iter()
+                    .map(|w| Value::Tree(w.report(mode)))
+                    .collect(),
+            ),
+        );
+        r.set_tree("recovery", self.recovery.report());
+
+        if mode == ReportMode::Full {
+            r.set("elapsed_seconds", self.elapsed.as_secs_f64());
+            r.set("makespan_seconds", self.makespan().as_secs_f64());
+            r.set("load_imbalance", self.load_imbalance());
+            if let Some(times) = &self.task_times {
+                r.set(
+                    "task_times_seconds",
+                    Value::List(
+                        times
+                            .iter()
+                            .map(|d| Value::Float(d.as_secs_f64()))
+                            .collect(),
+                    ),
+                );
+            }
         }
-        times.iter().cloned().fold(0.0f64, f64::max) / mean
+        r
     }
 }
 
@@ -320,6 +454,79 @@ mod tests {
         assert!(all_idle.load_imbalance().is_finite());
         // A floored ratio over idle workers stays the benign 1.0.
         assert!((all_idle.busy_ratio(Duration::from_millis(1)) - 1.0).abs() < 1e-9);
+    }
+
+    // Regression per call site: every ratio helper shares safe_ratio's
+    // zero-work semantics and never emits NaN/∞.
+    #[test]
+    fn ratio_helpers_share_safe_ratio_semantics() {
+        let empty = RunOutcome::default();
+        for v in [
+            empty.cache_hit_rate(),
+            empty.busy_ratio(Duration::ZERO),
+            empty.load_imbalance(),
+        ] {
+            assert_eq!(v, 0.0);
+            assert!(v.is_finite());
+        }
+        // Non-degenerate values are unchanged by the rerouting.
+        let o = RunOutcome {
+            workers: vec![worker(200, 9, 1, 0), worker(100, 0, 0, 0)],
+            ..RunOutcome::default()
+        };
+        assert!((o.cache_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((o.busy_ratio(Duration::from_millis(1)) - 2.0).abs() < 1e-9);
+        assert!((o.load_imbalance() - 200.0 / 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unified_report_modes_split_wall_fields() {
+        let o = RunOutcome {
+            total_matches: 7,
+            elapsed: Duration::from_millis(5),
+            workers: vec![worker(10, 1, 1, 64)],
+            ..RunOutcome::default()
+        };
+        let full = o.report(ReportMode::Full);
+        assert_eq!(full.get_u64("total_matches"), Some(7));
+        assert!(full.get_f64("elapsed_seconds").is_some());
+        assert!(full.get_f64("load_imbalance").is_some());
+        let det = o.report(ReportMode::Deterministic);
+        assert_eq!(det.get_u64("total_matches"), Some(7));
+        assert!(det.get_path("elapsed_seconds").is_none());
+        assert!(det.get_path("makespan_seconds").is_none());
+        assert!(det.get_path("load_imbalance").is_none());
+        // Deterministic worker subtrees carry no busy times.
+        match det.get_path("workers") {
+            Some(Value::List(ws)) => match &ws[0] {
+                Value::Tree(w) => {
+                    assert!(w.get_path("busy_seconds").is_none());
+                    assert_eq!(w.get_u64("comm_bytes"), Some(64));
+                }
+                other => panic!("expected tree, got {other:?}"),
+            },
+            other => panic!("expected workers list, got {other:?}"),
+        }
+        // Derived ratios route through the typed helpers.
+        assert_eq!(
+            det.get_f64("cache_hit_rate"),
+            Some(o.cache_hit_rate()),
+            "report and typed view must agree"
+        );
+    }
+
+    #[test]
+    fn recovery_report_subtree_is_deterministic_fields_only() {
+        let rec = RecoveryReport {
+            transient_faults: 3,
+            retries: 3,
+            backoff_virtual: Duration::from_micros(70),
+            ..RecoveryReport::default()
+        };
+        let r = rec.report();
+        assert_eq!(r.get_u64("transient_faults"), Some(3));
+        assert_eq!(r.get_u64("backoff_virtual_nanos"), Some(70_000));
+        assert_eq!(r.get_u64("faults_injected"), Some(3));
     }
 
     #[test]

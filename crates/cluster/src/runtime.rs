@@ -25,11 +25,12 @@ use crate::report::{RecoveryReport, RunOutcome, WorkerReport};
 use crate::schedule::StaticScheduler;
 use crate::transport::Transport;
 use crate::worker::{ErrorSlot, ThreadResult, Worker, WorkerError};
-use benu_cache::{CacheStats, DbCache};
+use benu_cache::{CacheObs, CacheStats, DbCache};
 use benu_engine::{SearchTask, SplitSpec};
 use benu_fault::FaultPlan;
 use benu_graph::{Graph, TotalOrder, VertexId};
 use benu_kvstore::KvStore;
+use benu_obs::ObsHub;
 use benu_plan::ExecutionPlan;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -48,6 +49,7 @@ pub struct Cluster {
     caches: Vec<Arc<DbCache>>,
     config: ClusterConfig,
     fault_plan: Option<Arc<FaultPlan>>,
+    obs: Option<Arc<ObsHub>>,
 }
 
 impl Cluster {
@@ -55,26 +57,57 @@ impl Cluster {
     /// (Algorithm 2 line 1 — the pattern-independent preprocessing) and
     /// creates the per-machine caches.
     pub fn new(g: &Graph, config: ClusterConfig) -> Self {
+        Self::build(g, config, None)
+    }
+
+    /// Like [`Cluster::new`], with an observability hub every layer
+    /// records into: the store's per-shard counters and latency
+    /// histograms, the db cache tier, the engine's instruction counters,
+    /// per-worker busy/steal/retry/crash events, and phase spans (store
+    /// load, plan compile, task generation, passes, speculation) on the
+    /// hub's virtual clock. Registry counters are monotonic for the
+    /// hub's lifetime — pass a fresh hub for per-run numbers.
+    pub fn new_observed(g: &Graph, config: ClusterConfig, hub: Arc<ObsHub>) -> Self {
+        Self::build(g, config, Some(hub))
+    }
+
+    fn build(g: &Graph, config: ClusterConfig, obs: Option<Arc<ObsHub>>) -> Self {
         config.validate();
+        let store = {
+            let _span = obs.as_ref().map(|h| h.tracer.span("store_load"));
+            let mut store = KvStore::from_graph(g, config.workers);
+            if let Some(hub) = &obs {
+                store.attach_obs(&hub.registry);
+            }
+            Arc::new(store)
+        };
         Cluster {
-            store: Arc::new(KvStore::from_graph(g, config.workers)),
+            store,
             order: Arc::new(TotalOrder::new(g)),
             degrees: g.vertices().map(|v| g.degree(v) as u32).collect(),
-            caches: Self::build_caches(&config),
+            caches: Self::build_caches(&config, obs.as_deref()),
             config,
             fault_plan: None,
+            obs,
         }
     }
 
-    fn build_caches(config: &ClusterConfig) -> Vec<Arc<DbCache>> {
+    fn build_caches(config: &ClusterConfig, obs: Option<&ObsHub>) -> Vec<Arc<DbCache>> {
         (0..config.workers)
             .map(|_| {
-                Arc::new(DbCache::new(
-                    config.cache_capacity_bytes,
-                    config.cache_shards,
-                ))
+                let mut cache = DbCache::new(config.cache_capacity_bytes, config.cache_shards);
+                if let Some(hub) = obs {
+                    cache.attach_obs(CacheObs::register(&hub.registry, "db"));
+                }
+                Arc::new(cache)
             })
             .collect()
+    }
+
+    /// The observability hub, when this cluster was built with
+    /// [`Cluster::new_observed`].
+    pub fn obs(&self) -> Option<&Arc<ObsHub>> {
+        self.obs.as_ref()
     }
 
     /// The active configuration.
@@ -124,7 +157,7 @@ impl Cluster {
             || config.cache_capacity_bytes != self.config.cache_capacity_bytes
             || config.cache_shards != self.config.cache_shards;
         if reshape {
-            self.caches = Self::build_caches(&config);
+            self.caches = Self::build_caches(&config, self.obs.as_deref());
         }
         self.config = config;
     }
@@ -185,8 +218,14 @@ impl Cluster {
         plan: &ExecutionPlan,
         collect: bool,
     ) -> Result<(RunOutcome, Option<Matches>), WorkerError> {
-        let compiled = benu_engine::CompiledPlan::compile(plan);
-        let tasks = self.generate_tasks(compiled.second_adjacent, compiled.second_vertex.is_some());
+        let compiled = {
+            let _span = self.obs.as_ref().map(|h| h.tracer.span("plan_compile"));
+            benu_engine::CompiledPlan::compile(plan)
+        };
+        let tasks = {
+            let _span = self.obs.as_ref().map(|h| h.tracer.span("task_generation"));
+            self.generate_tasks(compiled.second_adjacent, compiled.second_vertex.is_some())
+        };
         let total_tasks = tasks.len();
         let p = self.config.workers;
 
@@ -222,11 +261,29 @@ impl Cluster {
         let mut steals = vec![0u64; p];
         let mut recovery_passes = 0u64;
         let mut attempt: u32 = 1;
+        // Virtual fault latency already charged into the tracer's clock;
+        // spans advance by per-pass deltas, so trace timestamps are a
+        // deterministic function of the fault seed, never the wall clock.
+        let mut virtual_charged = Duration::ZERO;
+        let virtual_total = |transports: &[Transport]| -> Duration {
+            transports
+                .iter()
+                .map(|t| t.backoff_virtual() + t.timeout_virtual() + t.slow_virtual())
+                .sum()
+        };
 
         // Pass loop: run every queued task; if a worker crashed, its
         // lost tasks come back via the requeue and run in another pass
         // on the survivors (BENU's regenerate-and-re-execute recovery).
         loop {
+            let pass_span = self.obs.as_ref().map(|h| {
+                let name = if attempt == 1 {
+                    "pass.0".to_string()
+                } else {
+                    format!("recovery_pass.{}", attempt - 1)
+                };
+                h.tracer.span(&name)
+            });
             let alive_before: Vec<bool> = (0..p)
                 .map(|w| recovery_ctx.as_ref().is_none_or(|rc| !rc.is_dead(w)))
                 .collect();
@@ -303,6 +360,17 @@ impl Cluster {
                 // them on that later crash.
                 rc.commit_merged();
             }
+
+            if let Some(hub) = &self.obs {
+                // Charge this pass's injected virtual latency into the
+                // trace clock before the pass span closes.
+                let now = virtual_total(&transports);
+                hub.tracer
+                    .clock()
+                    .advance((now - virtual_charged).as_nanos() as u64);
+                virtual_charged = now;
+            }
+            drop(pass_span);
 
             let requeued = recovery_ctx
                 .as_ref()
@@ -408,6 +476,10 @@ impl Cluster {
         // of the run, so it is excluded from `elapsed` and from every
         // counter snapshotted above; only the launch/win tallies enter
         // the report.
+        let spec_span = self
+            .config
+            .speculate_quantile
+            .and_then(|_| self.obs.as_ref().map(|h| h.tracer.span("speculation")));
         if let Some(q) = self.config.speculate_quantile {
             let alive: Vec<usize> = (0..p)
                 .filter(|&w| recovery_ctx.as_ref().is_none_or(|rc| !rc.is_dead(w)))
@@ -446,9 +518,44 @@ impl Cluster {
             }
         }
 
+        drop(spec_span);
+
         let mut metrics = benu_engine::TaskMetrics::default();
         for r in &reports {
             metrics += r.metrics;
+        }
+        if let Some(hub) = &self.obs {
+            let reg = &hub.registry;
+            // Engine instruction counters, summed across the run.
+            metrics.record_into(reg);
+            // Per-thread triangle caches, merged per worker.
+            let tri_obs = CacheObs::register(reg, "triangle");
+            for report in &reports {
+                tri_obs.record_stats(&report.triangle_cache);
+                let w = report.worker;
+                reg.counter(&format!("worker.{w}.tasks_executed"))
+                    .add(report.tasks_executed as u64);
+                reg.counter(&format!("worker.{w}.steals"))
+                    .add(report.steals);
+                reg.counter_wall(&format!("worker.{w}.busy_nanos"))
+                    .add(report.busy_time.as_nanos() as u64);
+            }
+            for (w, t) in transports.iter().enumerate() {
+                reg.counter(&format!("worker.{w}.retries")).add(t.retries());
+                if recovery_ctx.as_ref().is_some_and(|rc| rc.is_dead(w)) {
+                    reg.counter(&format!("worker.{w}.crashes")).inc();
+                }
+            }
+            reg.counter("fault.transient_faults")
+                .add(recovery.transient_faults);
+            reg.counter("fault.timeouts").add(recovery.timeouts);
+            reg.counter("fault.retries").add(recovery.retries);
+            reg.counter("fault.worker_crashes")
+                .add(recovery.worker_crashes);
+            reg.counter("fault.tasks_requeued")
+                .add(recovery.tasks_requeued);
+            reg.counter("fault.recovery_passes")
+                .add(recovery.recovery_passes);
         }
         let outcome = RunOutcome {
             total_matches: metrics.matches,
@@ -1066,6 +1173,93 @@ mod tests {
             }
             other => panic!("rate 0.9 with 2 attempts must exhaust, got {other:?}"),
         }
+    }
+
+    // ---- observability ----
+
+    #[test]
+    fn observed_cluster_records_into_every_layer() {
+        let g = gen::barabasi_albert(100, 4, 19);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let hub = Arc::new(benu_obs::ObsHub::new());
+        let cluster = Cluster::new_observed(
+            &g,
+            ClusterConfig::builder()
+                .workers(2)
+                .threads_per_worker(1)
+                .cache_capacity_bytes(1 << 20)
+                .build(),
+            Arc::clone(&hub),
+        );
+        let outcome = cluster.run(&plan).unwrap();
+        let reg = &hub.registry;
+        // Engine counters mirror the typed outcome.
+        assert_eq!(reg.counter("engine.matches").get(), outcome.total_matches);
+        assert_eq!(
+            reg.counter("engine.dbq_executions").get(),
+            outcome.metrics.dbq_executions
+        );
+        // Store shard counters sum to the store totals.
+        let shard_requests: u64 = (0..2)
+            .map(|i| reg.counter(&format!("store.shard.{i}.requests")).get())
+            .sum();
+        assert_eq!(shard_requests, outcome.kv.requests);
+        // Cache tier counters match the per-run deltas (fresh hub).
+        let hits: u64 = outcome.workers.iter().map(|w| w.cache.hits).sum();
+        assert_eq!(reg.counter("cache.db.hits").get(), hits);
+        // Per-worker counters.
+        let executed: u64 = (0..2)
+            .map(|w| reg.counter(&format!("worker.{w}.tasks_executed")).get())
+            .sum();
+        assert_eq!(executed, outcome.total_tasks as u64);
+        // Phase spans cover the run.
+        let spans: Vec<String> = hub
+            .tracer
+            .events()
+            .into_iter()
+            .filter(|e| e.enter)
+            .map(|e| e.span)
+            .collect();
+        for expected in ["store_load", "plan_compile", "task_generation", "pass.0"] {
+            assert!(spans.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn faulted_observed_runs_are_byte_identical_across_executions() {
+        // The acceptance configuration: 1 worker × 1 thread, static
+        // scheduler, fixed fault seed. The deterministic report — metric
+        // snapshot plus trace — must not differ between two executions.
+        let g = gen::barabasi_albert(80, 3, 17);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let run = || {
+            let hub = Arc::new(benu_obs::ObsHub::new());
+            let mut cluster = Cluster::new_observed(
+                &g,
+                ClusterConfig::builder()
+                    .workers(1)
+                    .threads_per_worker(1)
+                    .cache_capacity_bytes(0)
+                    .tau(20)
+                    .build(),
+                Arc::clone(&hub),
+            );
+            cluster.set_fault_plan(Some(FaultPlan::builder(42).transient_rate(0.03).build()));
+            let outcome = cluster.run(&plan).unwrap();
+            let mut report = hub.report(benu_obs::ReportMode::Deterministic);
+            report.merge(outcome.report(benu_obs::ReportMode::Deterministic));
+            report
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "deterministic reports must replay identically");
+        assert!(
+            a.get_u64("metrics/fault.transient_faults").unwrap_or(0) > 0,
+            "the fault plan must actually inject"
+        );
+        // The trace clock advanced by the virtual backoff the faults cost.
+        let backoff = a.get_u64("recovery/backoff_virtual_nanos").unwrap();
+        assert!(backoff > 0);
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub struct TaskMetrics {
     pub int_executions: u64,
     /// TRC instruction executions.
     pub trc_executions: u64,
+    /// Candidate vertices iterated by ENU (`Foreach`) loops — the raw
+    /// backtracking branch count before label filtering.
+    pub enu_candidates: u64,
 }
 
 impl std::ops::AddAssign for TaskMetrics {
@@ -53,6 +56,30 @@ impl std::ops::AddAssign for TaskMetrics {
         self.dbq_executions += rhs.dbq_executions;
         self.int_executions += rhs.int_executions;
         self.trc_executions += rhs.trc_executions;
+        self.enu_candidates += rhs.enu_candidates;
+    }
+}
+
+impl TaskMetrics {
+    /// Adds this accumulator into the registry's per-instruction-type
+    /// counters (`engine.*`). Called once per merged batch — per worker
+    /// thread or per run — never on the per-instruction hot path.
+    pub fn record_into(&self, registry: &benu_obs::Registry) {
+        registry.counter("engine.matches").add(self.matches);
+        registry.counter("engine.codes").add(self.codes);
+        registry.counter("engine.code_bytes").add(self.code_bytes);
+        registry
+            .counter("engine.dbq_executions")
+            .add(self.dbq_executions);
+        registry
+            .counter("engine.int_executions")
+            .add(self.int_executions);
+        registry
+            .counter("engine.trc_executions")
+            .add(self.trc_executions);
+        registry
+            .counter("engine.enu_candidates")
+            .add(self.enu_candidates);
     }
 }
 
@@ -351,6 +378,7 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                         _ => 0..items.len(),
                     };
                     // Iterate by index to keep `self` free for recursion.
+                    metrics.enu_candidates += (range.end - range.start) as u64;
                     for i in range {
                         let x = match &slot {
                             Slot::Buf(v) => v[i],
@@ -603,6 +631,34 @@ mod tests {
         assert_eq!(m.matches, 4); // 4 triangles in K4
         assert!(m.dbq_executions > 0);
         assert!(m.int_executions > 0);
+        assert!(
+            m.enu_candidates >= m.matches,
+            "every match consumed at least one ENU candidate"
+        );
+    }
+
+    #[test]
+    fn metrics_record_into_registry_counters() {
+        let g = gen::complete(5);
+        let p = queries::triangle();
+        let plan = PlanBuilder::new(&p).best_plan();
+        let compiled = CompiledPlan::compile(&plan);
+        let source = InMemorySource::from_graph(&g);
+        let order = benu_graph::TotalOrder::new(&g);
+        let mut engine = LocalEngine::new(&compiled, &source, &order);
+        let mut c = CountingConsumer::default();
+        let m = engine.run_all_vertices(&mut c);
+        let registry = benu_obs::Registry::new();
+        m.record_into(&registry);
+        assert_eq!(registry.counter("engine.matches").get(), m.matches);
+        assert_eq!(
+            registry.counter("engine.dbq_executions").get(),
+            m.dbq_executions
+        );
+        assert_eq!(
+            registry.counter("engine.enu_candidates").get(),
+            m.enu_candidates
+        );
     }
 
     #[test]

@@ -13,10 +13,12 @@
 pub mod codec;
 
 use benu_graph::{AdjSet, Graph, VertexId};
+use benu_obs::{Counter, Histogram, Registry};
 use bytes::Bytes;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Per-shard request/byte counters.
 #[derive(Debug, Default)]
@@ -33,12 +35,32 @@ struct Shard {
     stats: ShardStats,
 }
 
+/// Registry handles one shard records into (mirrors [`ShardStats`] under
+/// `store.shard.{i}.*` names).
+#[derive(Debug)]
+struct ShardObs {
+    requests: Arc<Counter>,
+    keys: Arc<Counter>,
+    bytes: Arc<Counter>,
+}
+
+/// Registry handles for the whole store: per-shard counters plus a
+/// deterministic value-size histogram and a wall-clock request-latency
+/// histogram (wall-flagged, so it never enters deterministic snapshots).
+#[derive(Debug)]
+struct StoreObs {
+    shards: Vec<ShardObs>,
+    value_bytes: Arc<Histogram>,
+    latency_nanos: Arc<Histogram>,
+}
+
 /// A sharded, read-only key-value store mapping each data vertex to its
 /// encoded adjacency set.
 #[derive(Debug)]
 pub struct KvStore {
     shards: Vec<Shard>,
     num_vertices: usize,
+    obs: Option<StoreObs>,
 }
 
 /// Snapshot of the store's access statistics.
@@ -92,7 +114,27 @@ impl KvStore {
         KvStore {
             shards,
             num_vertices: g.num_vertices(),
+            obs: None,
         }
+    }
+
+    /// Attaches observability handles: per-shard `store.shard.{i}.*`
+    /// request/key/byte counters, a `store.value_bytes` size histogram,
+    /// and a wall-flagged `store.latency_nanos` request-latency
+    /// histogram. Must be called before the store is shared (the handles
+    /// are registered once; recording afterwards is lock-free).
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = Some(StoreObs {
+            shards: (0..self.shards.len())
+                .map(|i| ShardObs {
+                    requests: registry.counter(&format!("store.shard.{i}.requests")),
+                    keys: registry.counter(&format!("store.shard.{i}.keys")),
+                    bytes: registry.counter(&format!("store.shard.{i}.bytes")),
+                })
+                .collect(),
+            value_bytes: registry.histogram("store.value_bytes"),
+            latency_nanos: registry.histogram_wall("store.latency_nanos"),
+        });
     }
 
     /// Number of shards.
@@ -113,7 +155,9 @@ impl KvStore {
     /// Fetches and decodes the adjacency set of `v`, counting the request
     /// and transferred bytes. Returns `None` for unknown vertices.
     pub fn get(&self, v: VertexId) -> Option<Arc<AdjSet>> {
-        let shard = &self.shards[self.shard_of(v)];
+        let started = self.obs.as_ref().map(|_| Instant::now());
+        let s = self.shard_of(v);
+        let shard = &self.shards[s];
         let value = shard.values.get(&v)?;
         shard.stats.requests.fetch_add(1, Ordering::Relaxed);
         shard.stats.keys.fetch_add(1, Ordering::Relaxed);
@@ -121,7 +165,17 @@ impl KvStore {
             .stats
             .bytes
             .fetch_add(value.len() as u64, Ordering::Relaxed);
-        Some(Arc::new(codec::decode_adj(value)))
+        let decoded = Arc::new(codec::decode_adj(value));
+        if let Some(obs) = &self.obs {
+            obs.shards[s].requests.inc();
+            obs.shards[s].keys.inc();
+            obs.shards[s].bytes.add(value.len() as u64);
+            obs.value_bytes.record(value.len() as u64);
+            if let Some(t0) = started {
+                obs.latency_nanos.record(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        Some(decoded)
     }
 
     /// Fetches a batch of adjacency sets, grouping the keys by shard so
@@ -129,6 +183,7 @@ impl KvStore {
     /// how many of its keys appear in `keys` (the HBase `multi-get`
     /// analogue). Returns the values in request order.
     pub fn get_many(&self, keys: &[VertexId]) -> BatchOutcome {
+        let started = self.obs.as_ref().map(|_| Instant::now());
         let mut values: Vec<Option<Arc<AdjSet>>> = vec![None; keys.len()];
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, &v) in keys.iter().enumerate() {
@@ -149,12 +204,23 @@ impl KvStore {
                 if let Some(value) = shard.values.get(&keys[i]) {
                     shard_keys += 1;
                     shard_bytes += value.len() as u64;
+                    if let Some(obs) = &self.obs {
+                        obs.value_bytes.record(value.len() as u64);
+                    }
                     values[i] = Some(Arc::new(codec::decode_adj(value)));
                 }
             }
             shard.stats.keys.fetch_add(shard_keys, Ordering::Relaxed);
             shard.stats.bytes.fetch_add(shard_bytes, Ordering::Relaxed);
+            if let Some(obs) = &self.obs {
+                obs.shards[s].requests.inc();
+                obs.shards[s].keys.add(shard_keys);
+                obs.shards[s].bytes.add(shard_bytes);
+            }
             total_bytes += shard_bytes;
+        }
+        if let (Some(obs), Some(t0)) = (&self.obs, started) {
+            obs.latency_nanos.record(t0.elapsed().as_nanos() as u64);
         }
         BatchOutcome {
             values,
@@ -358,6 +424,35 @@ mod tests {
         let g = gen::complete(6);
         let store = KvStore::from_graph(&g, 3);
         assert_eq!(store.total_value_bytes(), g.adjacency_bytes());
+    }
+
+    #[test]
+    fn attached_obs_mirrors_shard_stats() {
+        let g = gen::path(6);
+        let registry = Registry::new();
+        let mut store = KvStore::from_graph(&g, 2);
+        store.attach_obs(&registry);
+        store.get(0); // shard 0
+        store.get(1); // shard 1
+        store.get_many(&[2, 4, 3]); // shards 0 and 1
+        assert_eq!(
+            registry.counter("store.shard.0.requests").get(),
+            store.shard_stats(0).requests
+        );
+        assert_eq!(
+            registry.counter("store.shard.1.bytes").get(),
+            store.shard_stats(1).bytes
+        );
+        assert_eq!(
+            registry.histogram("store.value_bytes").count(),
+            store.stats().keys
+        );
+        // Latency is wall-derived: recorded, but deterministic snapshots
+        // must exclude it.
+        assert!(registry.histogram("store.latency_nanos").count() > 0);
+        assert!(!registry
+            .snapshot_deterministic()
+            .contains_key("store.latency_nanos"));
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Structured observability for the BENU runtime.
+//!
+//! The paper's evaluation (§VII) is entirely metric-driven — communication
+//! cost, cache hit rates, task and straggler behaviour, per-phase timing —
+//! and adaptive-runtime systems in the same space (HUGE, arXiv:2103.14294;
+//! GNN-PE, arXiv:2511.09052) *drive* scheduling and memory decisions from
+//! live metrics. This crate is the telemetry substrate those decisions
+//! will read: every other workspace crate records into it, and one unified
+//! [`report::Report`] tree is the single serialisation surface for
+//! everything a run measured.
+//!
+//! Three pieces:
+//!
+//! * [`metrics`] — a lock-light registry of named [`metrics::Counter`]s
+//!   (per-thread sharded; a hot-path increment is one relaxed atomic add
+//!   on a cache-padded cell), [`metrics::Gauge`]s and fixed-bucket
+//!   [`metrics::Histogram`]s. Metrics registered as *wall* (timing-
+//!   derived) are excluded from deterministic snapshots.
+//! * [`trace`] — span-based phase tracing (store load, plan compile, task
+//!   generation, enumeration and recovery passes) stamped with a
+//!   [`trace::VirtualClock`] instead of the wall clock, so a faulted run
+//!   replayed from the same `benu-fault` seed produces a byte-identical
+//!   trace.
+//! * [`report`] — the insertion-ordered key/value tree every layer's
+//!   measurements are merged into; `benu-bench` renders it with one
+//!   canonical JSON encoding.
+//!
+//! The `noop` cargo feature compiles every recording call into an empty
+//! inline function, giving a compiled-out baseline for overhead A/B runs
+//! (`obs_overhead` bench bin); without the feature, recording is cheap
+//! enough to stay on in production (< 3% on the fig9 enumeration
+//! workload).
+
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsSnapshot, Registry};
+pub use report::{Report, Value};
+pub use trace::{SpanGuard, TraceEvent, Tracer, VirtualClock};
+
+/// One observability hub for a run: the metrics registry every layer
+/// records into plus the phase tracer. Shared by `Arc` between the
+/// cluster, its store, its caches and the bench harness.
+#[derive(Debug, Default)]
+pub struct ObsHub {
+    /// Named counters, gauges and histograms.
+    pub registry: Registry,
+    /// Phase spans on the virtual clock.
+    pub tracer: Tracer,
+}
+
+/// Which metrics a report includes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReportMode {
+    /// Everything, including wall-clock-derived metrics (latencies,
+    /// busy times, elapsed). The default for human-facing output.
+    #[default]
+    Full,
+    /// Only metrics that are pure functions of (input, seed, config) —
+    /// the view that must be byte-identical across two executions of
+    /// the same seeded run. Wall-flagged metrics and wall durations are
+    /// excluded; *virtual* durations (fault penalties) stay, because
+    /// they are deterministic.
+    Deterministic,
+}
+
+impl ObsHub {
+    /// A fresh hub with an empty registry and an empty trace.
+    pub fn new() -> Self {
+        ObsHub::default()
+    }
+
+    /// The hub's measurements as one report: a `metrics` subtree
+    /// (name-sorted registry snapshot, wall metrics filtered per `mode`)
+    /// and a `trace` subtree (the span events, always deterministic).
+    pub fn report(&self, mode: ReportMode) -> Report {
+        let snapshot = match mode {
+            ReportMode::Full => self.registry.snapshot(),
+            ReportMode::Deterministic => self.registry.snapshot_deterministic(),
+        };
+        let mut report = Report::new();
+        report.set_tree("metrics", metrics::snapshot_report(&snapshot));
+        report.set_tree("trace", self.tracer.to_report());
+        report
+    }
+}
+
+/// Whether this build actually records (`false` under the `noop`
+/// feature). Bench binaries stamp this into their output so an A/B pair
+/// of runs is self-describing.
+#[inline]
+pub const fn recording_enabled() -> bool {
+    !cfg!(feature = "noop")
+}
+
+/// The one ratio convention of the whole workspace: `num / den` with the
+/// zero-work guard every report helper shares — returns `0.0` (never NaN
+/// or ∞) when the denominator is zero or the quotient is non-finite.
+/// Downstream JSON and table writers rely on every reported ratio being
+/// finite.
+#[inline]
+pub fn safe_ratio(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        return 0.0;
+    }
+    let ratio = num / den;
+    if ratio.is_finite() {
+        ratio
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safe_ratio_guards_zero_and_nonfinite() {
+        assert_eq!(safe_ratio(1.0, 2.0), 0.5);
+        assert_eq!(safe_ratio(0.0, 0.0), 0.0);
+        assert_eq!(safe_ratio(5.0, 0.0), 0.0);
+        assert_eq!(safe_ratio(f64::INFINITY, 2.0), 0.0);
+        assert_eq!(safe_ratio(1.0, f64::NAN), 0.0);
+        assert!(safe_ratio(f64::MAX, f64::MIN_POSITIVE).is_finite());
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn hub_is_shareable() {
+        let hub = std::sync::Arc::new(ObsHub::new());
+        let c = hub.registry.counter("x");
+        c.add(3);
+        assert_eq!(hub.registry.counter("x").get(), 3);
+    }
+
+    #[test]
+    #[cfg(feature = "noop")]
+    fn noop_recording_is_compiled_out() {
+        let hub = ObsHub::new();
+        hub.registry.counter("x").add(3);
+        hub.registry.histogram("h").record(7);
+        assert_eq!(hub.registry.counter("x").get(), 0);
+        assert_eq!(hub.registry.histogram("h").count(), 0);
+    }
+}

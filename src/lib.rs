@@ -22,6 +22,9 @@
 //!   the retry policy the cluster recovers with.
 //! * [`cluster`] — the simulated shared-nothing cluster: task generation,
 //!   task splitting, workers, fault recovery and metrics.
+//! * [`obs`] — structured observability: the lock-light metrics registry,
+//!   virtual-time span tracing, and the unified [`obs::Report`] tree
+//!   every run serialises to.
 //! * [`baselines`] — join-based (CBF-style) and worst-case-optimal
 //!   (BiGJoin-style) competitors.
 //!
@@ -48,6 +51,7 @@ pub use benu_engine as engine;
 pub use benu_fault as fault;
 pub use benu_graph as graph;
 pub use benu_kvstore as kvstore;
+pub use benu_obs as obs;
 pub use benu_pattern as pattern;
 pub use benu_plan as plan;
 
@@ -58,6 +62,7 @@ pub mod prelude {
     pub use benu_fault::{FaultPlan, RetryPolicy};
     pub use benu_graph::{AdjSet, Graph, GraphBuilder, TotalOrder, VertexId};
     pub use benu_kvstore::KvStore;
+    pub use benu_obs::{ObsHub, Report, ReportMode};
     pub use benu_pattern::{Pattern, PatternVertex};
     pub use benu_plan::{ExecutionPlan, PlanBuilder};
 }
