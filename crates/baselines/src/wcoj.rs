@@ -1,4 +1,4 @@
-//! A BiGJoin-style worst-case-optimal join (Ammar et al. [13]).
+//! A BiGJoin-style worst-case-optimal join (Ammar et al. \[13\]).
 //!
 //! Embeddings are extended one pattern vertex at a time along a connected
 //! order. The candidate set of each extension is the intersection of the

@@ -19,6 +19,10 @@ impl Args {
     }
 
     /// Parses from an explicit iterator (testable).
+    // Deliberately not the `FromIterator` trait: parsing can't be
+    // expressed through `collect()` and the inherent name reads better
+    // at call sites.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Self {
         let mut args = Args::default();
         let mut it = iter.into_iter().peekable();
@@ -76,13 +80,14 @@ impl Args {
     }
 
     /// Builds the fault plan for one point of a fault sweep: the shared
-    /// `--fault-seed` and optional `--crash worker:tasks` flags combined
+    /// `--fault-seed`, optional `--crash worker:tasks` and optional
+    /// `--outage shard:from_pass[,shard:from_pass...]` flags combined
     /// with the point's transient fault rate. Returns `None` — run
-    /// faults-off — for a zero rate with no crash configured.
+    /// faults-off — for a zero rate with no crash or outage configured.
     ///
     /// # Panics
     ///
-    /// Panics on a malformed `--crash` spec.
+    /// Panics on a malformed `--crash` or `--outage` spec.
     pub fn fault_plan(&self, transient_rate: f64) -> Option<FaultPlan> {
         let crash = self.get_str("crash").map(|spec| {
             let parsed = spec
@@ -90,7 +95,8 @@ impl Args {
                 .and_then(|(w, n)| Some((w.parse::<usize>().ok()?, n.parse::<u64>().ok()?)));
             parsed.unwrap_or_else(|| panic!("--crash expects worker:tasks, got {spec:?}"))
         });
-        if transient_rate == 0.0 && crash.is_none() {
+        let outages = self.outages();
+        if transient_rate == 0.0 && crash.is_none() && outages.is_empty() {
             return None;
         }
         let mut builder =
@@ -98,7 +104,35 @@ impl Args {
         if let Some((worker, after)) = crash {
             builder = builder.crash(worker, after);
         }
+        for (shard, from_pass) in outages {
+            builder = builder.shard_outage(shard, from_pass);
+        }
         Some(builder.build())
+    }
+
+    /// The `--outage` flag parsed into `(shard, from_pass)` pairs
+    /// (comma-separated `shard:from_pass` entries), empty when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec.
+    pub fn outages(&self) -> Vec<(usize, u32)> {
+        self.get_str("outage")
+            .map(|spec| {
+                spec.split(',')
+                    .map(|entry| {
+                        entry
+                            .split_once(':')
+                            .and_then(|(s, p)| {
+                                Some((s.parse::<usize>().ok()?, p.parse::<u32>().ok()?))
+                            })
+                            .unwrap_or_else(|| {
+                                panic!("--outage expects shard:from_pass[,...], got {entry:?}")
+                            })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 }
 
@@ -153,6 +187,22 @@ mod tests {
     #[should_panic(expected = "--crash expects worker:tasks")]
     fn malformed_crash_spec_is_rejected() {
         parse("--crash five").fault_plan(0.0);
+    }
+
+    #[test]
+    fn outage_flags_build_a_plan() {
+        assert_eq!(parse("").outages(), vec![]);
+        let plan = parse("--outage 1:2").fault_plan(0.0).unwrap();
+        assert!(plan.outage_at(1, 2) && !plan.outage_at(1, 1));
+        let multi = parse("--outage 0:1,2:3").fault_plan(0.0).unwrap();
+        assert_eq!(multi.outage_shards(), vec![0, 2]);
+        assert!(multi.outage_at(0, 1) && multi.outage_at(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "--outage expects shard:from_pass")]
+    fn malformed_outage_spec_is_rejected() {
+        parse("--outage zero").fault_plan(0.0);
     }
 
     #[test]

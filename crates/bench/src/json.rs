@@ -2,7 +2,8 @@
 //!
 //! The build environment is offline, so instead of `serde`/`serde_json`
 //! the harness uses this hand-rolled value tree plus the
-//! [`impl_to_json!`] macro, which derives [`ToJson`] for the flat record
+//! [`impl_to_json!`](crate::impl_to_json) macro, which derives
+//! [`ToJson`] for the flat record
 //! structs each binary defines. Output is pretty-printed,
 //! deterministic-order JSON — exactly what the plotting scripts consume.
 

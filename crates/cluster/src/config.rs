@@ -41,6 +41,13 @@ pub struct ClusterConfig {
     /// attempt's timing. `None` disables speculation. Speculative
     /// attempts never contribute matches, so counts stay exact.
     pub speculate_quantile: Option<f64>,
+    /// Store replication factor `R`: every vertex's value lives on its
+    /// primary shard plus the next `R − 1` shards in ring order, and
+    /// reads fail over along that ring. `1` (the default) is the
+    /// single-copy store; `R ≥ 2` survives whole-shard outages as long
+    /// as one replica of every placement group remains. Fixed at graph
+    /// load, like the shard count.
+    pub replication: usize,
 }
 
 impl Default for ClusterConfig {
@@ -57,6 +64,7 @@ impl Default for ClusterConfig {
             prefetch_frontier: false,
             retry: RetryPolicy::default(),
             speculate_quantile: None,
+            replication: 1,
         }
     }
 }
@@ -77,6 +85,10 @@ impl ClusterConfig {
         assert!(self.threads_per_worker >= 1, "need at least one thread");
         assert!(self.cache_shards >= 1, "need at least one cache shard");
         self.retry.validate();
+        assert!(
+            (1..=self.workers).contains(&self.replication),
+            "replication factor must be within 1..=workers (one shard per worker)"
+        );
         if let Some(q) = self.speculate_quantile {
             assert!(
                 (0.0..1.0).contains(&q),
@@ -158,6 +170,12 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Store replication factor `R` (ring placement; `1` = single copy).
+    pub fn replication(mut self, r: usize) -> Self {
+        self.0.replication = r;
+        self
+    }
+
     /// Finalises the configuration.
     ///
     /// # Panics
@@ -208,6 +226,7 @@ mod tests {
             .prefetch_frontier(true)
             .retry(retry)
             .speculate_quantile(Some(0.9))
+            .replication(2)
             .build();
         let literal = ClusterConfig {
             workers: 5,
@@ -221,6 +240,7 @@ mod tests {
             prefetch_frontier: true,
             retry,
             speculate_quantile: Some(0.9),
+            replication: 2,
         };
         assert_eq!(built, literal);
         // Every field above differs from its default, so a builder
@@ -237,6 +257,19 @@ mod tests {
         assert_ne!(built.prefetch_frontier, d.prefetch_frontier);
         assert_ne!(built.retry, d.retry);
         assert_ne!(built.speculate_quantile, d.speculate_quantile);
+        assert_ne!(built.replication, d.replication);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn replication_beyond_worker_count_rejected() {
+        ClusterConfig::builder().workers(2).replication(3).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn zero_replication_rejected() {
+        ClusterConfig::builder().replication(0).build();
     }
 
     #[test]

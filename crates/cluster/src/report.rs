@@ -77,6 +77,15 @@ pub struct RecoveryReport {
     pub speculative_launches: u64,
     /// Speculative attempts that beat the original duration.
     pub speculative_wins: u64,
+    /// Times a store read stepped past a dead or faulted replica to try
+    /// the next one in ring order (failover happens *before* any retry
+    /// budget is spent).
+    pub failovers: u64,
+    /// Round trips served by a non-primary replica — the reads that a
+    /// single-copy store would have lost to an outage.
+    pub failover_reads: u64,
+    /// Distinct shards the fault plan held in outage during the run.
+    pub shard_outages: u64,
     /// Total virtual retry backoff charged into busy time (never slept).
     pub backoff_virtual: Duration,
     /// Total virtual timeout wait charged into busy time — every
@@ -113,6 +122,9 @@ impl RecoveryReport {
         r.set("recovery_passes", self.recovery_passes);
         r.set("speculative_launches", self.speculative_launches);
         r.set("speculative_wins", self.speculative_wins);
+        r.set("failovers", self.failovers);
+        r.set("failover_reads", self.failover_reads);
+        r.set("shard_outages", self.shard_outages);
         r.set(
             "backoff_virtual_nanos",
             self.backoff_virtual.as_nanos() as u64,
@@ -527,6 +539,24 @@ mod tests {
         assert_eq!(r.get_u64("transient_faults"), Some(3));
         assert_eq!(r.get_u64("backoff_virtual_nanos"), Some(70_000));
         assert_eq!(r.get_u64("faults_injected"), Some(3));
+    }
+
+    #[test]
+    fn recovery_report_carries_failover_fields() {
+        let rec = RecoveryReport {
+            failovers: 4,
+            failover_reads: 3,
+            shard_outages: 1,
+            ..RecoveryReport::default()
+        };
+        let r = rec.report();
+        assert_eq!(r.get_u64("failovers"), Some(4));
+        assert_eq!(r.get_u64("failover_reads"), Some(3));
+        assert_eq!(r.get_u64("shard_outages"), Some(1));
+        // Masked faults never surface, so they are not "injected" — but
+        // a run that failed over is not clean either.
+        assert_eq!(rec.faults_injected(), 0);
+        assert!(!rec.is_clean());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The cluster executor.
 //!
-//! `Cluster` wires the runtime layers together: a [`Scheduler`] hands
+//! `Cluster` wires the runtime layers together: a [`Scheduler`](crate::Scheduler) hands
 //! tasks to worker threads, each worker's [`Transport`] carries its store
 //! traffic (with byte/round-trip accounting), and each worker machine
 //! owns a persistent [`DbCache`] that survives across `run` calls — the
@@ -75,7 +75,7 @@ impl Cluster {
         config.validate();
         let store = {
             let _span = obs.as_ref().map(|h| h.tracer.span("store_load"));
-            let mut store = KvStore::from_graph(g, config.workers);
+            let mut store = KvStore::from_graph_replicated(g, config.workers, config.replication);
             if let Some(hub) = &obs {
                 store.attach_obs(&hub.registry);
             }
@@ -284,6 +284,11 @@ impl Cluster {
                 };
                 h.tracer.span(&name)
             });
+            // Shard-outage decisions are pass-scoped: advance every
+            // transport's view at the barrier, before any thread runs.
+            for t in &transports {
+                t.set_pass(attempt);
+            }
             let alive_before: Vec<bool> = (0..p)
                 .map(|w| recovery_ctx.as_ref().is_none_or(|rc| !rc.is_dead(w)))
                 .collect();
@@ -460,10 +465,20 @@ impl Cluster {
             recovery.backoff_virtual += t.backoff_virtual();
             recovery.timeout_wait_virtual += t.timeout_virtual();
             recovery.slow_penalty_virtual += t.slow_virtual();
+            recovery.failovers += t.failovers();
+            recovery.failover_reads += t.failover_reads();
         }
         if let Some(rc) = &recovery_ctx {
             recovery.worker_crashes = rc.crashes();
             recovery.tasks_requeued = rc.total_requeued();
+        }
+        if let Some(plan) = &self.fault_plan {
+            // Distinct shards the plan held dark during any pass this
+            // run actually executed — a pure function of (plan, passes),
+            // so replays agree on it.
+            recovery.shard_outages = (0..self.store.num_shards())
+                .filter(|&s| (1..=attempt).any(|pass| plan.outage_at(s, pass)))
+                .count() as u64;
         }
         // Store-level totals, also read before speculation runs.
         let kv = self.store.stats();
@@ -556,6 +571,12 @@ impl Cluster {
                 .add(recovery.tasks_requeued);
             reg.counter("fault.recovery_passes")
                 .add(recovery.recovery_passes);
+            reg.counter("fault.shard_outages")
+                .add(recovery.shard_outages);
+            reg.counter("store.failover.attempts")
+                .add(recovery.failovers);
+            reg.counter("store.failover.reads")
+                .add(recovery.failover_reads);
         }
         let outcome = RunOutcome {
             total_matches: metrics.matches,
@@ -1173,6 +1194,115 @@ mod tests {
             }
             other => panic!("rate 0.9 with 2 attempts must exhaust, got {other:?}"),
         }
+    }
+
+    // ---- replication & failover ----
+
+    fn replicated_cluster(g: &Graph, replication: usize, plan: Option<FaultPlan>) -> Cluster {
+        let mut cluster = Cluster::new(
+            g,
+            ClusterConfig::builder()
+                .workers(3)
+                .threads_per_worker(1)
+                .cache_capacity_bytes(0) // every fetch hits the store
+                .tau(20)
+                .replication(replication)
+                .build(),
+        );
+        cluster.set_fault_plan(plan);
+        cluster
+    }
+
+    #[test]
+    fn replicated_cluster_survives_a_whole_shard_outage() {
+        let g = gen::barabasi_albert(120, 4, 31);
+        let query = PlanBuilder::new(&queries::triangle()).best_plan();
+        let (clean, clean_matches) = replicated_cluster(&g, 2, None).run_collect(&query).unwrap();
+        let dark = replicated_cluster(
+            &g,
+            2,
+            Some(FaultPlan::builder(0).shard_outage(0, 1).build()),
+        );
+        let (outcome, matches) = dark.run_collect(&query).unwrap();
+        assert_eq!(
+            outcome.total_matches, clean.total_matches,
+            "a survivable outage must not change the count"
+        );
+        assert_eq!(matches, clean_matches, "matches must be byte-identical");
+        assert!(outcome.recovery.failovers > 0);
+        assert!(outcome.recovery.failover_reads > 0);
+        assert_eq!(outcome.recovery.shard_outages, 1);
+        assert_eq!(
+            outcome.recovery.retries, 0,
+            "failover happens before the retry budget"
+        );
+        // Accounting still reconciles: the dark shard served nothing.
+        assert_eq!(outcome.communication_bytes(), outcome.kv.bytes);
+    }
+
+    #[test]
+    fn unreplicated_shard_outage_fails_fast() {
+        let g = gen::barabasi_albert(120, 4, 31);
+        let query = PlanBuilder::new(&queries::triangle()).best_plan();
+        let cluster = replicated_cluster(
+            &g,
+            1,
+            Some(FaultPlan::builder(0).shard_outage(0, 1).build()),
+        );
+        match cluster.run(&query) {
+            Err(WorkerError::StoreUnavailable { error, .. }) => {
+                assert_eq!(error.attempts, 1, "outages must not burn the retry budget");
+            }
+            other => panic!("single-copy store under outage must abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn losing_every_replica_of_a_group_still_aborts() {
+        // R = 2 with two ring-adjacent shards dark destroys a whole
+        // placement group: total data loss must surface, not undercount.
+        let g = gen::barabasi_albert(120, 4, 31);
+        let query = PlanBuilder::new(&queries::triangle()).best_plan();
+        let cluster = replicated_cluster(
+            &g,
+            2,
+            Some(
+                FaultPlan::builder(0)
+                    .shard_outage(0, 1)
+                    .shard_outage(1, 1)
+                    .build(),
+            ),
+        );
+        match cluster.run(&query) {
+            Err(WorkerError::StoreUnavailable { error, .. }) => {
+                assert_eq!(error.attempts, 1);
+            }
+            other => panic!("total placement-group loss must abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outage_survival_replays_identically() {
+        let g = gen::erdos_renyi_gnm(80, 260, 5);
+        let query = PlanBuilder::new(&queries::triangle()).best_plan();
+        let run = || {
+            let cluster = replicated_cluster(
+                &g,
+                2,
+                Some(
+                    FaultPlan::builder(13)
+                        .shard_outage(2, 1)
+                        .transient_rate(0.02)
+                        .build(),
+                ),
+            );
+            cluster.run(&query).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_matches, b.total_matches);
+        assert_eq!(a.recovery, b.recovery, "failover fields must replay");
+        assert!(a.recovery.failover_reads > 0);
     }
 
     // ---- observability ----

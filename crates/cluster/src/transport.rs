@@ -78,6 +78,10 @@ impl FaultState {
             FaultKind::Transient => {
                 self.transient.fetch_add(1, Ordering::Relaxed);
             }
+            // Outages are intercepted by the fetch paths before any
+            // booking: they are not retryable, so they never consume
+            // retry budget or charge backoff.
+            FaultKind::Outage => unreachable!("outages fail fast, not through the retry path"),
             FaultKind::Timeout => {
                 // A timed-out round trip blocks for the plan's full
                 // (virtual) timeout before the loss is detected, so the
@@ -193,9 +197,18 @@ impl Transport {
                 Ok(adj) => {
                     if let Some(adj) = &adj {
                         self.account_single(adj);
-                        faults.book_penalty(faults.store.latency_penalty(self.store.shard_of(v)));
+                        faults.book_penalty(faults.store.latency_penalty_routed(v, attempt));
                     }
                     return Ok(adj);
+                }
+                // Every replica persistently dark: retrying cannot help,
+                // so fail fast without touching the retry budget.
+                Err(fault) if fault.kind == FaultKind::Outage => {
+                    return Err(TransportError {
+                        shard: fault.shard,
+                        vertex: v,
+                        attempts: attempt + 1,
+                    });
                 }
                 Err(fault) => {
                     if !faults.book_fault(fault.kind, v as u64, attempt) {
@@ -229,19 +242,23 @@ impl Transport {
         for attempt in 0..faults.retry.max_attempts {
             match faults.store.get_many(vs, attempt) {
                 Ok(batch) => {
-                    faults.book_penalty(faults.store.batch_latency_penalty(vs));
+                    faults.book_penalty(faults.store.batch_latency_penalty_routed(vs, attempt));
                     return Ok(self.account_batch(batch));
+                }
+                // A whole placement group is dark: hopeless this pass,
+                // fail the batch fast.
+                Err(fault) if fault.kind == FaultKind::Outage => {
+                    return Err(TransportError {
+                        shard: fault.shard,
+                        vertex: Self::batch_error_vertex(&self.store, vs, fault.shard),
+                        attempts: attempt + 1,
+                    });
                 }
                 Err(fault) => {
                     if !faults.book_fault(fault.kind, key, attempt) {
-                        let vertex = vs
-                            .iter()
-                            .copied()
-                            .find(|&v| self.store.shard_of(v) == fault.shard)
-                            .unwrap_or_default();
                         return Err(TransportError {
                             shard: fault.shard,
-                            vertex,
+                            vertex: Self::batch_error_vertex(&self.store, vs, fault.shard),
                             attempts: faults.retry.max_attempts,
                         });
                     }
@@ -249,6 +266,15 @@ impl Transport {
             }
         }
         unreachable!("retry loop returns on success or exhausted attempts")
+    }
+
+    /// The first vertex of `vs` whose placement involves `shard` — the
+    /// representative named in a batch's [`TransportError`].
+    fn batch_error_vertex(store: &KvStore, vs: &[VertexId], shard: usize) -> VertexId {
+        vs.iter()
+            .copied()
+            .find(|&v| store.placement(v).any(|s| s == shard))
+            .unwrap_or_default()
     }
 
     fn account_batch(&self, batch: benu_kvstore::BatchOutcome) -> Vec<Option<Arc<AdjSet>>> {
@@ -313,6 +339,28 @@ impl Transport {
     /// Total virtual slow-shard latency charged into busy time.
     pub fn slow_virtual(&self) -> Duration {
         Duration::from_nanos(self.fault_counter(|f| &f.slow_nanos))
+    }
+
+    /// Advances the execution pass shard-outage decisions are evaluated
+    /// against (1-based). Called by the runtime at pass barriers; a
+    /// no-op on fault-free transports.
+    pub fn set_pass(&self, pass: u32) {
+        if let Some(faults) = &self.faults {
+            faults.store.set_pass(pass);
+        }
+    }
+
+    /// Times this worker's router stepped past a dead or faulted replica
+    /// to try the next one in ring order.
+    pub fn failovers(&self) -> u64 {
+        self.faults
+            .as_ref()
+            .map_or(0, |f| f.store.failover_attempts())
+    }
+
+    /// Round trips this worker had served by a non-primary replica.
+    pub fn failover_reads(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.store.failover_reads())
     }
 }
 
@@ -456,6 +504,66 @@ mod tests {
             wall.elapsed() < Duration::from_millis(40),
             "penalties must be charged, not slept"
         );
+    }
+
+    #[test]
+    fn replicated_transport_rides_out_a_shard_outage() {
+        let g = gen::complete(16);
+        let store = Arc::new(KvStore::from_graph_replicated(&g, 4, 2));
+        let plan = Arc::new(FaultPlan::builder(0).shard_outage(0, 1).build());
+        let t = Transport::with_faults(Arc::clone(&store), plan, RetryPolicy::default());
+        let _ = Transport::take_task_penalty();
+        for v in 0..16u32 {
+            assert_eq!(t.fetch(v).unwrap().unwrap().len(), 15);
+        }
+        assert_eq!(t.retries(), 0, "failover happens before the retry budget");
+        assert_eq!(t.transient_faults(), 0);
+        assert!(t.failovers() > 0);
+        assert_eq!(
+            t.failover_reads(),
+            4,
+            "the four shard-0 vertices are served by the mirror"
+        );
+        // Accounting reconciles: every serving round trip is real.
+        assert_eq!(t.bytes(), store.stats().bytes);
+        assert_eq!(t.requests(), store.stats().requests);
+        assert_eq!(store.shard_stats(0).requests, 0, "the dark shard is silent");
+    }
+
+    #[test]
+    fn unreplicated_outage_fails_fast_without_retries() {
+        let g = gen::complete(8);
+        let store = Arc::new(KvStore::from_graph(&g, 4));
+        let plan = Arc::new(FaultPlan::builder(0).shard_outage(1, 1).build());
+        let t = Transport::with_faults(store, plan, RetryPolicy::default());
+        let err = t.fetch(1).unwrap_err();
+        assert_eq!(err.shard, 1);
+        assert_eq!(
+            err.attempts, 1,
+            "outages are hopeless — no retry budget spent"
+        );
+        assert_eq!(t.retries(), 0);
+        assert_eq!(t.backoff_virtual(), Duration::ZERO);
+        // Batches over the dark shard fail fast too, naming a vertex
+        // placed on it.
+        let err = t.fetch_many(&[0, 1, 2]).unwrap_err();
+        assert_eq!(err.shard, 1);
+        assert_eq!(err.vertex, 1);
+        let _ = Transport::take_task_penalty();
+    }
+
+    #[test]
+    fn outage_onset_follows_set_pass() {
+        let g = gen::complete(8);
+        let store = Arc::new(KvStore::from_graph(&g, 4));
+        let plan = Arc::new(FaultPlan::builder(0).shard_outage(2, 2).build());
+        let t = Transport::with_faults(store, plan, RetryPolicy::default());
+        assert!(t.fetch(2).is_ok(), "pass 1 predates the outage");
+        t.set_pass(2);
+        assert!(t.fetch(2).is_err());
+        t.set_pass(1);
+        assert!(t.fetch(2).is_ok(), "windowing is driven purely by the pass");
+        let _ = Transport::take_task_penalty();
     }
 
     #[test]

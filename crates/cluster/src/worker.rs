@@ -8,7 +8,7 @@
 //! retry policy, or a panicking task aborts the whole run with a
 //! [`WorkerError`] carrying the task, shard and attempt context instead
 //! of poisoning a thread join. Injected worker crashes are *not* errors:
-//! the thread books them with the run's [`RecoveryCtx`] and stops, and
+//! the thread books them with the run's `RecoveryCtx` and stops, and
 //! the runtime re-executes the lost tasks in a recovery pass.
 
 use crate::config::ClusterConfig;
@@ -66,8 +66,12 @@ pub enum WorkerError {
         /// The execution attempt (1-based; >1 means a recovery pass).
         attempt: u32,
     },
-    /// A store shard kept failing past the retry policy's attempts — an
-    /// injected outage the configured recovery could not absorb.
+    /// A store request failed past every recovery the configuration
+    /// offers: transient faults outlasted the retry policy, or a
+    /// persistent shard outage darkened *every* replica of a placement
+    /// group. With `replication >= 2` a whole-shard outage is absorbed
+    /// by ring failover and never reaches this error — only total data
+    /// loss (all `R` copies dark) aborts the run.
     StoreUnavailable {
         /// The worker that gave up.
         worker: usize,

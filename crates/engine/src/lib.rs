@@ -20,7 +20,7 @@
 //! * [`expand`] — VCBC code expansion and embedding counting.
 //! * [`task`] — local search tasks and the task-splitting arithmetic
 //!   (§V-B).
-//! * [`reference`] — an independent brute-force enumerator used to verify
+//! * [`mod@reference`] — an independent brute-force enumerator used to verify
 //!   every other component.
 
 pub mod compile;

@@ -9,13 +9,17 @@
 //!
 //! * [`FaultPlan`] — a seeded, deterministic description of every fault a
 //!   run will see: transient store errors, simulated timeouts, slow-shard
-//!   latency multipliers (virtual time) and worker crashes at task
-//!   boundaries. Decisions are pure functions of request identity, so any
+//!   latency multipliers (virtual time), worker crashes at task
+//!   boundaries, and persistent whole-shard outages scoped to execution
+//!   passes. Decisions are pure functions of request identity, so any
 //!   failure scenario replays exactly from its seed — no wall clock, no
 //!   global ordering dependence.
 //! * [`FaultingStore`] — wraps a [`benu_kvstore::KvStore`] with the plan;
 //!   faulted round trips fail *before* reaching the store, keeping byte
-//!   accounting exact.
+//!   accounting exact. On replicated stores it also routes around dead
+//!   or faulted replicas (ring-order failover), so a whole-shard outage
+//!   is invisible to callers as long as one copy of every value
+//!   survives.
 //! * [`FaultingDataSource`] — wraps any [`benu_engine::DataSource`] with
 //!   the plan plus internal retry, so a bare engine can be chaos-tested
 //!   unmodified.

@@ -18,7 +18,12 @@
 //!   extra latency is virtual time charged into busy-time accounting;
 //! * **worker crashes** — a worker machine dies at a task boundary after
 //!   completing a fixed number of tasks; its in-flight work is discarded
-//!   and re-executed elsewhere (BENU's idempotent-task recovery).
+//!   and re-executed elsewhere (BENU's idempotent-task recovery);
+//! * **shard outages** — a shard goes *persistently* dark from a given
+//!   pass onwards (optionally coming back at a later pass): unlike a
+//!   transient error, every request to it fails for as long as the
+//!   outage holds, so only replica failover — never a retry — can serve
+//!   the data.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -29,6 +34,8 @@ use std::time::Duration;
 const SALT_STORE: u64 = 0x51;
 /// Salt for the slow-shard sampler in [`FaultPlanBuilder::random_slow_shards`].
 const SALT_SLOW: u64 = 0x5C;
+/// Salt for the outage sampler in [`FaultPlanBuilder::random_shard_outages`].
+const SALT_OUTAGE: u64 = 0x07;
 
 /// SplitMix64-style combination of the seed with a decision key, giving
 /// an independent, well-mixed stream per (salt, a, b) triple.
@@ -61,6 +68,12 @@ pub enum FaultKind {
     /// [`FaultPlan::timeout_wait`] in virtual time before the loss is
     /// detected.
     Timeout,
+    /// The shard is in a persistent outage: every request to it fails
+    /// until the outage (optionally) lifts at a later pass. *Not*
+    /// retryable — retrying cannot help while the outage holds, so this
+    /// kind only surfaces once replica failover is exhausted too, and
+    /// the transport fails fast on it.
+    Outage,
 }
 
 /// An injected store fault, surfaced to the retry layer.
@@ -77,6 +90,7 @@ impl std::fmt::Display for FaultError {
         match self.kind {
             FaultKind::Transient => write!(f, "transient fault on shard {}", self.shard),
             FaultKind::Timeout => write!(f, "timeout on shard {}", self.shard),
+            FaultKind::Outage => write!(f, "shard {} is down (persistent outage)", self.shard),
         }
     }
 }
@@ -96,6 +110,16 @@ pub struct FaultPlan {
     base_latency: Duration,
     timeout_wait: Duration,
     crashes: HashMap<usize, u64>,
+    outages: HashMap<usize, Outage>,
+}
+
+/// The pass window during which a shard is dark. Passes are 1-based (the
+/// first execution pass is pass 1); `until_pass` is exclusive and `None`
+/// means the shard never comes back within the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Outage {
+    from_pass: u32,
+    until_pass: Option<u32>,
 }
 
 impl FaultPlan {
@@ -109,6 +133,7 @@ impl FaultPlan {
             base_latency: Duration::from_micros(200),
             timeout_wait: Duration::from_millis(10),
             crashes: HashMap::new(),
+            outages: HashMap::new(),
         })
     }
 
@@ -129,7 +154,10 @@ impl FaultPlan {
 
     /// True if the plan can inject anything at all.
     pub fn has_faults(&self) -> bool {
-        self.fault_rate() > 0.0 || !self.slow.is_empty() || !self.crashes.is_empty()
+        self.fault_rate() > 0.0
+            || !self.slow.is_empty()
+            || !self.crashes.is_empty()
+            || !self.outages.is_empty()
     }
 
     /// The fault (if any) injected into the `attempt`-th round trip for
@@ -184,6 +212,28 @@ impl FaultPlan {
     /// Number of worker crashes the plan describes.
     pub fn planned_crashes(&self) -> usize {
         self.crashes.len()
+    }
+
+    /// True if `shard` is dark during `pass` (1-based). Pure plan state —
+    /// no clock, no counters — so every thread agrees on a shard's
+    /// status for the whole pass.
+    pub fn outage_at(&self, shard: usize, pass: u32) -> bool {
+        match self.outages.get(&shard) {
+            Some(o) => pass >= o.from_pass && o.until_pass.is_none_or(|until| pass < until),
+            None => false,
+        }
+    }
+
+    /// Number of shard outages the plan describes.
+    pub fn planned_outages(&self) -> usize {
+        self.outages.len()
+    }
+
+    /// The shards the plan darkens at some point, in ascending order.
+    pub fn outage_shards(&self) -> Vec<usize> {
+        let mut shards: Vec<usize> = self.outages.keys().copied().collect();
+        shards.sort_unstable();
+        shards
     }
 }
 
@@ -280,8 +330,98 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// Takes `shard` down persistently from pass `from_pass` (1-based)
+    /// onwards — every request to it fails until the end of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from_pass` is zero (passes are 1-based; there is no
+    /// pass 0 to darken).
+    pub fn shard_outage(mut self, shard: usize, from_pass: u32) -> Self {
+        assert!(
+            from_pass >= 1,
+            "outage passes are 1-based (pass 0 does not exist)"
+        );
+        self.0.outages.insert(
+            shard,
+            Outage {
+                from_pass,
+                until_pass: None,
+            },
+        );
+        self
+    }
+
+    /// Takes `shard` down for the half-open pass window
+    /// `[from_pass, until_pass)`: dark from `from_pass`, healthy again
+    /// once `until_pass` starts — the deterministic "recovery pass".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from_pass` is zero or the window is empty
+    /// (`until_pass <= from_pass`).
+    pub fn shard_outage_window(mut self, shard: usize, from_pass: u32, until_pass: u32) -> Self {
+        assert!(
+            from_pass >= 1,
+            "outage passes are 1-based (pass 0 does not exist)"
+        );
+        assert!(
+            until_pass > from_pass,
+            "outage window [{from_pass}, {until_pass}) is empty"
+        );
+        self.0.outages.insert(
+            shard,
+            Outage {
+                from_pass,
+                until_pass: Some(until_pass),
+            },
+        );
+        self
+    }
+
+    /// Samples `count` distinct shards out of `num_shards` with the
+    /// plan's seeded RNG (deterministic per seed) and takes each down
+    /// persistently from pass `from_pass`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > num_shards` or `from_pass` is zero.
+    pub fn random_shard_outages(mut self, count: usize, num_shards: usize, from_pass: u32) -> Self {
+        assert!(count <= num_shards, "cannot darken more shards than exist");
+        assert!(
+            from_pass >= 1,
+            "outage passes are 1-based (pass 0 does not exist)"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(self.0.seed, SALT_OUTAGE, 0, 0));
+        let mut remaining: Vec<usize> = (0..num_shards).collect();
+        for _ in 0..count {
+            let i = rng.gen_range(0..remaining.len());
+            self.0.outages.insert(
+                remaining.swap_remove(i),
+                Outage {
+                    from_pass,
+                    until_pass: None,
+                },
+            );
+        }
+        self
+    }
+
     /// Finalises the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if timeouts are enabled with a zero `timeout_wait`: a
+    /// timeout that waits for nothing is indistinguishable from a
+    /// transient error and would silently corrupt the virtual-time
+    /// accounting. Checked here rather than in the setters because the
+    /// two can be configured in either order.
     pub fn build(self) -> FaultPlan {
+        assert!(
+            self.0.timeout_rate <= 0.0 || !self.0.timeout_wait.is_zero(),
+            "timeout_wait must be positive when timeouts are enabled \
+             (a timeout that waits for nothing is just a transient error)"
+        );
         self.0
     }
 }
@@ -314,6 +454,9 @@ mod tests {
             match plan.fault_for(0, v, 0) {
                 Some(FaultKind::Transient) => transients += 1,
                 Some(FaultKind::Timeout) => timeouts += 1,
+                // `fault_for` draws only transients and timeouts;
+                // outages are pass-scoped, not sampled.
+                Some(FaultKind::Outage) => unreachable!(),
                 None => {}
             }
         }
@@ -397,14 +540,90 @@ mod tests {
     }
 
     #[test]
+    fn outages_cover_their_pass_window() {
+        let plan = FaultPlan::builder(0)
+            .shard_outage(2, 2)
+            .shard_outage_window(0, 1, 3)
+            .build();
+        // Persistent outage: dark from pass 2 to the end of time.
+        assert!(!plan.outage_at(2, 1));
+        assert!(plan.outage_at(2, 2));
+        assert!(plan.outage_at(2, 100));
+        // Windowed outage: dark in passes 1 and 2, back for pass 3.
+        assert!(plan.outage_at(0, 1));
+        assert!(plan.outage_at(0, 2));
+        assert!(!plan.outage_at(0, 3));
+        // Untouched shards are always healthy.
+        assert!(!plan.outage_at(1, 1));
+        assert_eq!(plan.planned_outages(), 2);
+        assert_eq!(plan.outage_shards(), vec![0, 2]);
+        assert!(plan.has_faults());
+    }
+
+    #[test]
+    fn random_outages_are_seed_deterministic() {
+        let pick = |seed| {
+            let plan = FaultPlan::builder(seed)
+                .random_shard_outages(2, 8, 1)
+                .build();
+            plan.outage_shards()
+        };
+        assert_eq!(pick(9), pick(9));
+        assert_eq!(pick(9).len(), 2);
+        // A different seed eventually picks a different set.
+        assert!((0..32).any(|s| pick(s) != pick(9)));
+    }
+
+    #[test]
     #[should_panic(expected = "sum below 1")]
     fn rates_above_one_are_rejected() {
         FaultPlan::builder(0).transient_rate(0.7).timeout_rate(0.4);
     }
 
     #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rates_are_rejected() {
+        FaultPlan::builder(0).transient_rate(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum below 1")]
+    fn single_rate_above_one_is_rejected() {
+        FaultPlan::builder(0).timeout_rate(1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout_wait must be positive")]
+    fn zero_timeout_wait_with_timeouts_is_rejected() {
+        FaultPlan::builder(0)
+            .timeout_wait(Duration::ZERO)
+            .timeout_rate(0.1)
+            .build();
+    }
+
+    #[test]
+    fn zero_timeout_wait_without_timeouts_is_fine() {
+        // Only the combination is contradictory; a plan that never times
+        // out may zero the wait freely.
+        let plan = FaultPlan::builder(0).timeout_wait(Duration::ZERO).build();
+        assert_eq!(plan.timeout_wait(), Duration::ZERO);
+    }
+
+    #[test]
     #[should_panic(expected = "boundary must be ≥ 1")]
     fn zero_task_crash_is_rejected() {
         FaultPlan::builder(0).crash(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "passes are 1-based")]
+    fn outage_at_pass_zero_is_rejected() {
+        FaultPlan::builder(0).shard_outage(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn empty_outage_window_is_rejected() {
+        FaultPlan::builder(0).shard_outage_window(0, 2, 2);
     }
 }

@@ -6,11 +6,24 @@
 //! the transport's (failed attempts transfer nothing). The wrapped API is
 //! attempt-aware — callers pass the attempt number so the plan can make
 //! independent decisions per retry.
+//!
+//! # Failover routing
+//!
+//! When the wrapped store is replicated, every request is *routed*: the
+//! decorator walks the key's placement ring (primary first, mirrors in
+//! order) and serves from the first replica the plan lets answer. A
+//! faulted or dark primary is therefore masked by a healthy mirror
+//! without the caller ever seeing an error — only when *every* replica
+//! refuses does the request fail, and the error kind then tells the
+//! retry layer whether waiting can help ([`FaultKind::Outage`] means all
+//! copies are persistently dark, so it cannot). The routing decision is
+//! a pure function of `(plan, key, attempt, pass)`, keeping failover as
+//! replayable as every other fault decision.
 
-use crate::plan::{FaultError, FaultPlan};
+use crate::plan::{FaultError, FaultKind, FaultPlan};
 use benu_graph::{AdjSet, VertexId};
 use benu_kvstore::{BatchOutcome, KvStore};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -19,6 +32,19 @@ pub struct FaultingStore {
     store: Arc<KvStore>,
     plan: Arc<FaultPlan>,
     injected: AtomicU64,
+    /// The execution pass requests are currently attributed to (1-based;
+    /// advanced by the runtime at pass barriers, so no request is ever
+    /// in flight across a change).
+    pass: AtomicU32,
+    failover_attempts: AtomicU64,
+    failover_reads: AtomicU64,
+}
+
+/// What one placement scan decided: which replica serves (or why none
+/// can), plus how many dead/faulted replicas the scan stepped past.
+struct Scan {
+    outcome: Result<usize, FaultError>,
+    skipped: u64,
 }
 
 impl FaultingStore {
@@ -28,6 +54,9 @@ impl FaultingStore {
             store,
             plan,
             injected: AtomicU64::new(0),
+            pass: AtomicU32::new(1),
+            failover_attempts: AtomicU64::new(0),
+            failover_reads: AtomicU64::new(0),
         }
     }
 
@@ -41,41 +70,184 @@ impl FaultingStore {
         &self.plan
     }
 
-    /// Faults injected through this decorator so far.
+    /// Faults injected through this decorator so far. Counts errors that
+    /// actually surfaced to the caller — a primary fault masked by a
+    /// replica read shows up in [`FaultingStore::failover_attempts`]
+    /// instead, keeping this counter reconciled with the retry layer's.
     pub fn injected(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
     }
 
-    /// The `attempt`-th try at fetching `v`. `Ok(None)` means the vertex
-    /// genuinely does not exist (a permanent condition — retrying cannot
-    /// help); `Err` is an injected, retryable fault.
-    pub fn get(&self, v: VertexId, attempt: u32) -> Result<Option<Arc<AdjSet>>, FaultError> {
-        let shard = self.store.shard_of(v);
-        if let Some(kind) = self.plan.fault_for(shard, v as u64, attempt) {
-            self.injected.fetch_add(1, Ordering::Relaxed);
-            return Err(FaultError { kind, shard });
-        }
-        Ok(self.store.get(v))
+    /// Times the router stepped past a dead or faulted replica to try
+    /// the next one in ring order.
+    pub fn failover_attempts(&self) -> u64 {
+        self.failover_attempts.load(Ordering::Relaxed)
     }
 
-    /// The `attempt`-th try at a batched multi-get. The fault decision is
-    /// per touched shard (keyed by the smallest vertex routed to it); if
-    /// any touched shard faults, the whole batch fails and the caller
-    /// retries it — matching a multi-get RPC that fails as a unit.
-    pub fn get_many(&self, keys: &[VertexId], attempt: u32) -> Result<BatchOutcome, FaultError> {
-        for (shard, key) in touched_shards(&self.store, keys) {
-            if let Some(kind) = self.plan.fault_for(shard, key, attempt) {
-                self.injected.fetch_add(1, Ordering::Relaxed);
-                return Err(FaultError { kind, shard });
+    /// Round trips served by a non-primary replica.
+    pub fn failover_reads(&self) -> u64 {
+        self.failover_reads.load(Ordering::Relaxed)
+    }
+
+    /// Advances the pass outage decisions are evaluated against. Called
+    /// by the runtime at pass barriers (no request is in flight), so a
+    /// relaxed store is enough.
+    pub fn set_pass(&self, pass: u32) {
+        self.pass.store(pass, Ordering::Relaxed);
+    }
+
+    /// The pass requests are currently attributed to (1-based).
+    pub fn pass(&self) -> u32 {
+        self.pass.load(Ordering::Relaxed)
+    }
+
+    /// Walks `primary`'s placement ring and decides which replica (if
+    /// any) serves the request keyed by `key` at `(attempt, pass)`.
+    /// Pure: no counters are touched, so the latency-penalty paths can
+    /// re-run the same scan without double counting.
+    ///
+    /// The error carried home when every replica refuses is retryable
+    /// (transient/timeout) if *any* replica merely faulted this attempt,
+    /// and [`FaultKind::Outage`] only when every copy is persistently
+    /// dark — the one case where retrying cannot help.
+    fn scan(&self, primary: usize, key: u64, attempt: u32, pass: u32) -> Scan {
+        let num_shards = self.store.num_shards();
+        let mut skipped = 0u64;
+        let mut retryable: Option<FaultError> = None;
+        let mut last: Option<FaultError> = None;
+        for offset in 0..self.store.replication() {
+            let shard = (primary + offset) % num_shards;
+            let fault = if self.plan.outage_at(shard, pass) {
+                Some(FaultKind::Outage)
+            } else {
+                self.plan.fault_for(shard, key, attempt)
+            };
+            match fault {
+                None => {
+                    return Scan {
+                        outcome: Ok(offset),
+                        skipped,
+                    }
+                }
+                Some(kind) => {
+                    let err = FaultError { kind, shard };
+                    if kind != FaultKind::Outage && retryable.is_none() {
+                        retryable = Some(err);
+                    }
+                    last = Some(err);
+                    skipped += 1;
+                }
             }
         }
-        Ok(self.store.get_many(keys))
+        Scan {
+            outcome: Err(retryable
+                .or(last)
+                .expect("replication >= 1 guarantees at least one probe")),
+            skipped,
+        }
+    }
+
+    /// Scan plus accounting: failover counters reflect served requests,
+    /// `injected` reflects surfaced errors.
+    fn route(
+        &self,
+        primary: usize,
+        key: u64,
+        attempt: u32,
+        pass: u32,
+    ) -> Result<usize, FaultError> {
+        let scan = self.scan(primary, key, attempt, pass);
+        match scan.outcome {
+            Ok(offset) => {
+                if scan.skipped > 0 {
+                    self.failover_attempts
+                        .fetch_add(scan.skipped, Ordering::Relaxed);
+                }
+                if offset > 0 {
+                    self.failover_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(offset)
+            }
+            Err(err) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                Err(err)
+            }
+        }
+    }
+
+    /// The `attempt`-th try at fetching `v`. `Ok(None)` means the vertex
+    /// genuinely does not exist (a permanent condition — retrying cannot
+    /// help); `Err` is an injected fault, retryable unless its kind is
+    /// [`FaultKind::Outage`] (every replica persistently dark).
+    pub fn get(&self, v: VertexId, attempt: u32) -> Result<Option<Arc<AdjSet>>, FaultError> {
+        let primary = self.store.shard_of(v);
+        let offset = self.route(primary, v as u64, attempt, self.pass())?;
+        Ok(self.store.get_replica(v, offset))
+    }
+
+    /// The `attempt`-th try at a batched multi-get. The routing decision
+    /// is per primary-shard group (keyed by the smallest vertex primarily
+    /// owned by it); if any group cannot be served from any replica, the
+    /// whole batch fails and the caller retries it — matching a
+    /// multi-get RPC that fails as a unit. Groups that *can* be served
+    /// are regrouped by serving shard, so a failed-over batch still
+    /// costs one round trip per surviving shard touched.
+    pub fn get_many(&self, keys: &[VertexId], attempt: u32) -> Result<BatchOutcome, FaultError> {
+        let pass = self.pass();
+        let mut route: Vec<usize> = vec![0; self.store.num_shards()];
+        let mut skipped = 0u64;
+        let mut failover_groups = 0u64;
+        let mut retryable: Option<FaultError> = None;
+        let mut hopeless: Option<FaultError> = None;
+        for (primary, key) in touched_shards(&self.store, keys) {
+            let scan = self.scan(primary, key, attempt, pass);
+            match scan.outcome {
+                Ok(offset) => {
+                    skipped += scan.skipped;
+                    if offset > 0 {
+                        failover_groups += 1;
+                    }
+                    route[primary] = offset;
+                }
+                // An all-dark group makes the whole batch hopeless this
+                // pass; otherwise keep the first retryable error.
+                Err(err) if err.kind == FaultKind::Outage => hopeless = hopeless.or(Some(err)),
+                Err(err) => retryable = retryable.or(Some(err)),
+            }
+        }
+        if let Some(err) = hopeless.or(retryable) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(err);
+        }
+        if skipped > 0 {
+            self.failover_attempts.fetch_add(skipped, Ordering::Relaxed);
+        }
+        if failover_groups > 0 {
+            self.failover_reads
+                .fetch_add(failover_groups, Ordering::Relaxed);
+        }
+        Ok(self.store.get_many_routed(keys, |primary| route[primary]))
     }
 
     /// The extra virtual latency a successful round trip to `shard` pays
     /// (zero for healthy shards).
     pub fn latency_penalty(&self, shard: usize) -> Duration {
         self.plan.latency_penalty(shard)
+    }
+
+    /// The slow-shard penalty of the successful fetch of `v` at
+    /// `attempt`, charged against the replica that actually served it —
+    /// failing over away from a slow-and-faulty primary also escapes its
+    /// latency. Re-runs the (pure) routing scan, so it must be called
+    /// with the same `attempt` as the fetch it prices.
+    pub fn latency_penalty_routed(&self, v: VertexId, attempt: u32) -> Duration {
+        let primary = self.store.shard_of(v);
+        match self.scan(primary, v as u64, attempt, self.pass()).outcome {
+            Ok(offset) => self
+                .plan
+                .latency_penalty(self.store.replica_shard(v, offset)),
+            Err(_) => Duration::ZERO,
+        }
     }
 
     /// The total slow-shard penalty of a successful batch over `keys`
@@ -86,10 +258,28 @@ impl FaultingStore {
             .map(|(shard, _)| self.plan.latency_penalty(shard))
             .sum()
     }
+
+    /// Routed variant of [`FaultingStore::batch_latency_penalty`]: each
+    /// primary-shard group pays the penalty of the replica that served
+    /// it at `attempt`.
+    pub fn batch_latency_penalty_routed(&self, keys: &[VertexId], attempt: u32) -> Duration {
+        let pass = self.pass();
+        let num_shards = self.store.num_shards();
+        touched_shards(&self.store, keys)
+            .into_iter()
+            .map(
+                |(primary, key)| match self.scan(primary, key, attempt, pass).outcome {
+                    Ok(offset) => self.plan.latency_penalty((primary + offset) % num_shards),
+                    Err(_) => Duration::ZERO,
+                },
+            )
+            .sum()
+    }
 }
 
-/// The distinct shards a batch touches, each paired with the smallest
-/// vertex routed to it (the batch's deterministic per-shard decision key).
+/// The distinct *primary* shards a batch touches, each paired with the
+/// smallest vertex primarily owned by it (the batch's deterministic
+/// per-group decision key; failover may serve a group elsewhere).
 fn touched_shards(store: &KvStore, keys: &[VertexId]) -> Vec<(usize, u64)> {
     let mut min_key: Vec<Option<u64>> = vec![None; store.num_shards()];
     for &v in keys {
@@ -158,6 +348,155 @@ mod tests {
         assert_eq!(
             f.get_many(&keys, 1).is_err(),
             replay.get_many(&keys, 1).is_err()
+        );
+    }
+
+    fn replicated_store(shards: usize, replication: usize) -> Arc<KvStore> {
+        Arc::new(KvStore::from_graph_replicated(
+            &gen::complete(8),
+            shards,
+            replication,
+        ))
+    }
+
+    #[test]
+    fn primary_outage_fails_over_to_the_mirror() {
+        let s = replicated_store(4, 2);
+        let plan = Arc::new(FaultPlan::builder(0).shard_outage(0, 1).build());
+        let f = FaultingStore::new(Arc::clone(&s), plan);
+        // Vertex 0's primary (shard 0) is dark; its mirror on shard 1
+        // serves without surfacing an error.
+        let adj = f.get(0, 0).unwrap().unwrap();
+        assert_eq!(adj.len(), 7);
+        assert_eq!(f.injected(), 0, "masked faults never surface");
+        assert_eq!(f.failover_attempts(), 1);
+        assert_eq!(f.failover_reads(), 1);
+        assert_eq!(s.shard_stats(0).requests, 0, "dark shard untouched");
+        assert_eq!(s.shard_stats(1).requests, 1);
+        // A vertex primarily off the dark shard reads straight through.
+        f.get(1, 0).unwrap().unwrap();
+        assert_eq!(f.failover_reads(), 1);
+    }
+
+    #[test]
+    fn all_replicas_dark_surfaces_an_outage() {
+        let s = replicated_store(4, 2);
+        // Vertex 0's whole placement group {0, 1} is dark.
+        let plan = Arc::new(
+            FaultPlan::builder(0)
+                .shard_outage(0, 1)
+                .shard_outage(1, 1)
+                .build(),
+        );
+        let f = FaultingStore::new(Arc::clone(&s), plan);
+        let err = f.get(0, 0).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Outage);
+        assert_eq!(f.injected(), 1);
+        assert_eq!(f.failover_reads(), 0, "nothing was served");
+        // Vertex 2's placement {2, 3} survives untouched.
+        assert!(f.get(2, 0).is_ok());
+    }
+
+    #[test]
+    fn outage_onset_respects_the_pass() {
+        let s = replicated_store(2, 1);
+        let plan = Arc::new(FaultPlan::builder(0).shard_outage(0, 2).build());
+        let f = FaultingStore::new(Arc::clone(&s), plan);
+        assert!(f.get(0, 0).is_ok(), "pass 1 predates the outage");
+        f.set_pass(2);
+        assert_eq!(f.get(0, 5).unwrap_err().kind, FaultKind::Outage);
+        assert_eq!(
+            f.failover_attempts(),
+            0,
+            "unreplicated stores have nowhere to fail over to"
+        );
+    }
+
+    #[test]
+    fn mixed_outage_and_transient_errors_stay_retryable() {
+        let s = replicated_store(4, 2);
+        // Primary dark; mirror healthy but heavily fault-injected. The
+        // surfaced error must be retryable (the mirror can recover), and
+        // some attempt must eventually be served by it.
+        let plan = Arc::new(
+            FaultPlan::builder(3)
+                .shard_outage(0, 1)
+                .transient_rate(0.5)
+                .build(),
+        );
+        let f = FaultingStore::new(Arc::clone(&s), plan);
+        let mut served = false;
+        for attempt in 0..64 {
+            match f.get(0, attempt) {
+                Ok(_) => {
+                    served = true;
+                    break;
+                }
+                Err(err) => assert_ne!(
+                    err.kind,
+                    FaultKind::Outage,
+                    "a live mirror keeps the error retryable"
+                ),
+            }
+        }
+        assert!(served, "independent attempts must reach the mirror");
+        assert!(f.failover_reads() >= 1);
+    }
+
+    #[test]
+    fn batches_fail_over_per_primary_group() {
+        let s = replicated_store(4, 2);
+        let plan = Arc::new(FaultPlan::builder(0).shard_outage(0, 1).build());
+        let f = FaultingStore::new(Arc::clone(&s), plan);
+        // Primaries: 0, 4 on shard 0 (dark, fails over to 1); 1, 5 on
+        // shard 1; 2 on shard 2. Serving shards: {1, 2} = 2 round trips.
+        let batch = f.get_many(&[0, 4, 1, 5, 2], 0).unwrap();
+        assert_eq!(batch.round_trips, 2);
+        assert_eq!(batch.values.iter().filter(|v| v.is_some()).count(), 5);
+        assert_eq!(f.failover_reads(), 1, "one group failed over");
+        assert_eq!(s.shard_stats(0).requests, 0);
+    }
+
+    #[test]
+    fn batch_with_a_hopeless_group_fails_fast_as_outage() {
+        let s = replicated_store(4, 2);
+        let plan = Arc::new(
+            FaultPlan::builder(0)
+                .shard_outage(0, 1)
+                .shard_outage(1, 1)
+                .build(),
+        );
+        let f = FaultingStore::new(Arc::clone(&s), plan);
+        // Vertex 0's group {0, 1} is all dark; vertex 2's group is fine.
+        let err = f.get_many(&[0, 2], 0).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Outage);
+        assert_eq!(s.stats().requests, 0, "the batch fails as a unit");
+    }
+
+    #[test]
+    fn routed_latency_penalty_prices_the_serving_replica() {
+        let s = replicated_store(4, 2);
+        // Shard 0 is dark *and* slow; its mirror (shard 1) is healthy.
+        let plan = Arc::new(
+            FaultPlan::builder(0)
+                .base_latency(Duration::from_micros(100))
+                .shard_outage(0, 1)
+                .slow_shard(0, 5.0)
+                .slow_shard(1, 2.0)
+                .build(),
+        );
+        let f = FaultingStore::new(s, plan);
+        // Vertex 0 is served by shard 1: it pays shard 1's penalty, not
+        // the dark primary's.
+        assert_eq!(
+            f.latency_penalty_routed(0, 0),
+            Duration::from_micros(100),
+            "the failover read pays the mirror's penalty"
+        );
+        // Batch over vertices 0 (served by 1) and 2 (healthy shard 2).
+        assert_eq!(
+            f.batch_latency_penalty_routed(&[0, 2], 0),
+            Duration::from_micros(100)
         );
     }
 

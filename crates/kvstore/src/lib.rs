@@ -9,6 +9,16 @@
 //!
 //! The store is immutable after loading (BENU's preprocessing step,
 //! Algorithm 2 line 1, is pattern-independent), so reads are lock-free.
+//!
+//! # Replication
+//!
+//! A store loaded with [`KvStore::from_graph_replicated`] keeps `R`
+//! copies of every value: the primary shard `v % num_shards` plus the
+//! next `R - 1` shards in ring order (the HDFS-style placement backing
+//! HBase regions). [`KvStore::placement`] enumerates that ring, and the
+//! replica-aware accessors ([`KvStore::get_replica`],
+//! [`KvStore::get_many_routed`]) let a caller read from any copy while
+//! the request/byte accounting charges the shard that actually served.
 
 pub mod codec;
 
@@ -60,7 +70,16 @@ struct StoreObs {
 pub struct KvStore {
     shards: Vec<Shard>,
     num_vertices: usize,
+    replication: usize,
     obs: Option<StoreObs>,
+}
+
+/// The single source of truth for value placement: replica `offset` of
+/// vertex `v` lives on shard `(v % num_shards) + offset` in ring order.
+/// Both loading and every read path go through this helper, so primary
+/// and replica assignment can never diverge.
+fn ring_shard(v: VertexId, num_shards: usize, offset: usize) -> usize {
+    (v as usize % num_shards + offset) % num_shards
 }
 
 /// Snapshot of the store's access statistics.
@@ -100,7 +119,25 @@ impl KvStore {
     ///
     /// Panics if `num_shards` is zero.
     pub fn from_graph(g: &Graph, num_shards: usize) -> Self {
+        Self::from_graph_replicated(g, num_shards, 1)
+    }
+
+    /// Loads the data graph with `replication` copies of every value:
+    /// the primary shard plus the next `replication - 1` shards in ring
+    /// order. Values are cheap to mirror ([`Bytes`] is reference
+    /// counted), so memory grows only by the shared-pointer overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero or `replication` is outside
+    /// `1..=num_shards` (more copies than shards would place two
+    /// replicas on the same shard, defeating the point).
+    pub fn from_graph_replicated(g: &Graph, num_shards: usize, replication: usize) -> Self {
         assert!(num_shards >= 1, "need at least one shard");
+        assert!(
+            (1..=num_shards).contains(&replication),
+            "replication factor {replication} must be within 1..={num_shards} (the shard count)"
+        );
         let mut shards: Vec<Shard> = (0..num_shards)
             .map(|_| Shard {
                 values: HashMap::new(),
@@ -109,11 +146,16 @@ impl KvStore {
             .collect();
         for v in g.vertices() {
             let value = codec::encode_adj(g.neighbors(v));
-            shards[v as usize % num_shards].values.insert(v, value);
+            for offset in 0..replication {
+                shards[ring_shard(v, num_shards, offset)]
+                    .values
+                    .insert(v, value.clone());
+            }
         }
         KvStore {
             shards,
             num_vertices: g.num_vertices(),
+            replication,
             obs: None,
         }
     }
@@ -147,16 +189,51 @@ impl KvStore {
         self.num_vertices
     }
 
-    /// The shard holding vertex `v`.
+    /// The replication factor the store was loaded with.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The primary shard of vertex `v` (replica offset 0).
     pub fn shard_of(&self, v: VertexId) -> usize {
-        v as usize % self.shards.len()
+        self.replica_shard(v, 0)
+    }
+
+    /// The shard holding replica `offset` of vertex `v` (offset 0 is the
+    /// primary; offsets wrap around the ring).
+    pub fn replica_shard(&self, v: VertexId, offset: usize) -> usize {
+        ring_shard(v, self.shards.len(), offset)
+    }
+
+    /// The full placement of vertex `v`: its primary shard followed by
+    /// the `replication - 1` mirror shards, in failover order.
+    pub fn placement(&self, v: VertexId) -> impl Iterator<Item = usize> + '_ {
+        (0..self.replication).map(move |offset| self.replica_shard(v, offset))
     }
 
     /// Fetches and decodes the adjacency set of `v`, counting the request
     /// and transferred bytes. Returns `None` for unknown vertices.
     pub fn get(&self, v: VertexId) -> Option<Arc<AdjSet>> {
+        self.get_replica(v, 0)
+    }
+
+    /// Fetches the adjacency set of `v` from replica `offset` of its
+    /// placement, charging the request to the shard that served it (the
+    /// failover read path). Offset 0 is the primary, making
+    /// [`KvStore::get`] a thin alias.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `offset` is not below the replication
+    /// factor — such a shard holds no copy of `v`.
+    pub fn get_replica(&self, v: VertexId, offset: usize) -> Option<Arc<AdjSet>> {
+        debug_assert!(
+            offset < self.replication,
+            "replica offset {offset} outside replication factor {}",
+            self.replication
+        );
         let started = self.obs.as_ref().map(|_| Instant::now());
-        let s = self.shard_of(v);
+        let s = self.replica_shard(v, offset);
         let shard = &self.shards[s];
         let value = shard.values.get(&v)?;
         shard.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -183,11 +260,36 @@ impl KvStore {
     /// how many of its keys appear in `keys` (the HBase `multi-get`
     /// analogue). Returns the values in request order.
     pub fn get_many(&self, keys: &[VertexId]) -> BatchOutcome {
+        self.get_many_routed(keys, |_| 0)
+    }
+
+    /// Batched fetch with per-primary replica routing: `route(primary)`
+    /// names the replica offset every key primarily owned by `primary`
+    /// should be served from (0 = no failover). Keys are regrouped by
+    /// *serving* shard, so two primaries routed onto the same survivor
+    /// still cost one round trip, and accounting charges the shards that
+    /// actually answered.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `route` returns an offset at or above
+    /// the replication factor.
+    pub fn get_many_routed(
+        &self,
+        keys: &[VertexId],
+        route: impl Fn(usize) -> usize,
+    ) -> BatchOutcome {
         let started = self.obs.as_ref().map(|_| Instant::now());
         let mut values: Vec<Option<Arc<AdjSet>>> = vec![None; keys.len()];
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, &v) in keys.iter().enumerate() {
-            by_shard[self.shard_of(v)].push(i);
+            let offset = route(self.shard_of(v));
+            debug_assert!(
+                offset < self.replication,
+                "replica offset {offset} outside replication factor {}",
+                self.replication
+            );
+            by_shard[self.replica_shard(v, offset)].push(i);
         }
         let mut round_trips = 0u64;
         let mut total_bytes = 0u64;
@@ -269,13 +371,18 @@ impl KvStore {
         }
     }
 
-    /// Total stored value bytes — the "size of the data graph" that
-    /// Exp-3's relative cache capacities are measured against.
+    /// Total *primary-copy* value bytes — the "size of the data graph"
+    /// that Exp-3's relative cache capacities are measured against.
+    /// Every value appears exactly `replication` times across the
+    /// shards, so the per-copy total is the raw sum divided by the
+    /// replication factor (mirrors are redundancy, not extra data).
     pub fn total_value_bytes(&self) -> usize {
-        self.shards
+        let raw: usize = self
+            .shards
             .iter()
             .map(|s| s.values.values().map(Bytes::len).sum::<usize>())
-            .sum()
+            .sum();
+        raw / self.replication
     }
 }
 
@@ -453,6 +560,95 @@ mod tests {
         assert!(!registry
             .snapshot_deterministic()
             .contains_key("store.latency_nanos"));
+    }
+
+    #[test]
+    fn placement_walks_the_ring_from_the_primary() {
+        let g = gen::cycle(10);
+        let store = KvStore::from_graph_replicated(&g, 4, 3);
+        assert_eq!(store.placement(6).collect::<Vec<_>>(), vec![2, 3, 0]);
+        // The ring wraps: vertex 3's mirrors spill past the last shard.
+        assert_eq!(store.placement(3).collect::<Vec<_>>(), vec![3, 0, 1]);
+        assert_eq!(store.shard_of(6), 2, "shard_of is the placement head");
+        assert_eq!(store.replica_shard(6, 2), 0);
+    }
+
+    #[test]
+    fn replicas_mirror_every_value() {
+        let g = gen::barabasi_albert(40, 3, 11);
+        let store = KvStore::from_graph_replicated(&g, 5, 2);
+        for v in g.vertices() {
+            for offset in 0..2 {
+                let adj = store.get_replica(v, offset).unwrap();
+                assert_eq!(adj.as_slice(), g.neighbors(v), "replica {offset} of {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn replica_reads_charge_the_serving_shard() {
+        let g = gen::path(8);
+        let store = KvStore::from_graph_replicated(&g, 4, 2);
+        // Vertex 1's primary is shard 1; its mirror lives on shard 2.
+        store.get_replica(1, 1).unwrap();
+        assert_eq!(store.shard_stats(1).requests, 0, "primary was bypassed");
+        assert_eq!(store.shard_stats(2).requests, 1);
+        assert_eq!(store.shard_stats(2).keys, 1);
+    }
+
+    #[test]
+    fn routed_batches_regroup_by_serving_shard() {
+        let g = gen::cycle(8);
+        let store = KvStore::from_graph_replicated(&g, 4, 2);
+        // Vertices 0 and 4 are primary on shard 0; 1 and 5 on shard 1.
+        // Failing shard 0 over to its mirror (shard 1) collapses the
+        // whole batch onto one serving shard: one round trip.
+        let batch = store.get_many_routed(&[0, 4, 1, 5], |primary| usize::from(primary == 0));
+        assert_eq!(batch.round_trips, 1);
+        assert_eq!(batch.values.iter().filter(|v| v.is_some()).count(), 4);
+        assert_eq!(store.shard_stats(0).requests, 0);
+        assert_eq!(store.shard_stats(1).requests, 1);
+        assert_eq!(store.shard_stats(1).keys, 4);
+    }
+
+    #[test]
+    fn unreplicated_store_matches_legacy_behaviour() {
+        let g = gen::erdos_renyi_gnm(60, 150, 3);
+        let legacy = KvStore::from_graph(&g, 4);
+        let explicit = KvStore::from_graph_replicated(&g, 4, 1);
+        assert_eq!(legacy.replication(), 1);
+        for v in g.vertices() {
+            assert_eq!(legacy.shard_of(v), explicit.shard_of(v));
+            assert_eq!(legacy.placement(v).count(), 1);
+        }
+        assert_eq!(legacy.total_value_bytes(), explicit.total_value_bytes());
+    }
+
+    #[test]
+    fn total_value_bytes_counts_primary_copies_only() {
+        let g = gen::complete(6);
+        let single = KvStore::from_graph(&g, 3);
+        let mirrored = KvStore::from_graph_replicated(&g, 3, 3);
+        assert_eq!(single.total_value_bytes(), g.adjacency_bytes());
+        assert_eq!(
+            mirrored.total_value_bytes(),
+            g.adjacency_bytes(),
+            "mirrors are redundancy, not extra data"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor 0")]
+    fn zero_replication_is_rejected() {
+        let g = gen::path(3);
+        KvStore::from_graph_replicated(&g, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be within 1..=2")]
+    fn replication_beyond_shard_count_is_rejected() {
+        let g = gen::path(3);
+        KvStore::from_graph_replicated(&g, 2, 3);
     }
 
     #[test]

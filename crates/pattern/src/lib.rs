@@ -7,8 +7,8 @@
 //!   plan compiler needs (induced subgraphs, connectivity, components).
 //! * [`automorphism`] — exact enumeration of `Aut(P)`.
 //! * [`symmetry`] — the symmetry-breaking partial order of Grochow–Kellis
-//!   [15], which makes match enumeration report each subgraph exactly once.
-//! * [`se`] — the syntactic-equivalence relation of Ren & Wang [17] used by
+//!   \[15\], which makes match enumeration report each subgraph exactly once.
+//! * [`se`] — the syntactic-equivalence relation of Ren & Wang \[17\] used by
 //!   the dual pruning in the best-plan search.
 //! * [`cover`] — vertex-cover utilities used by VCBC compression.
 //! * [`queries`] — the paper's pattern catalogue: the running example of

@@ -1,4 +1,4 @@
-//! Syntactic equivalence (Ren & Wang [17]).
+//! Syntactic equivalence (Ren & Wang \[17\]).
 //!
 //! Two pattern vertices are syntactically equivalent (`u_i ≃ u_j`) iff
 //! `Γ_P(u_i) − {u_j} = Γ_P(u_j) − {u_i}` — they can be swapped in any

@@ -1,4 +1,4 @@
-//! Symmetry breaking (Grochow–Kellis [15]).
+//! Symmetry breaking (Grochow–Kellis \[15\]).
 //!
 //! Enumerating all matches of `P` reports each isomorphic subgraph
 //! `|Aut(P)|` times. Symmetry breaking computes a partial order `<` on

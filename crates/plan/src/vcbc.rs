@@ -1,6 +1,6 @@
 //! VCBC output compression (paper §IV-B, "Support VCBC Compression").
 //!
-//! VCBC (vertex-cover based compression, Qiao et al. [6]) represents the
+//! VCBC (vertex-cover based compression, Qiao et al. \[6\]) represents the
 //! matches of `P` by the matches of its vertex-cover core (*helves*) plus a
 //! *conditional image set* per non-cover vertex. A BENU plan is compressed
 //! by: finding the shortest matching-order prefix that covers every pattern

@@ -136,6 +136,185 @@ fn same_seed_replay_is_deterministic() {
     );
 }
 
+// ---- shard outages & replica failover ----
+
+fn replicated_config(kind: SchedulerKind) -> ClusterConfig {
+    ClusterConfig::builder()
+        .workers(3)
+        .threads_per_worker(2)
+        .cache_capacity_bytes(1 << 12)
+        .tau(16)
+        .scheduler(kind)
+        .replication(2)
+        .build()
+}
+
+/// Runs `plan` clean and under `fault_plan` on an `R = 2` cluster and
+/// asserts counts and collected matches are byte-identical.
+fn assert_outage_exactness(
+    g: &Graph,
+    plan: &ExecutionPlan,
+    kind: SchedulerKind,
+    fault_plan: FaultPlan,
+    label: &str,
+) -> benu::cluster::RecoveryReport {
+    let clean_cluster = Cluster::new(g, replicated_config(kind));
+    let (clean, clean_matches) = clean_cluster.run_collect(plan).expect("fault-free run");
+    let mut dark_cluster = Cluster::new(g, replicated_config(kind));
+    dark_cluster.set_fault_plan(Some(fault_plan));
+    let (dark, dark_matches) = dark_cluster
+        .run_collect(plan)
+        .expect("replication must absorb the outage");
+    assert_eq!(
+        clean.total_matches, dark.total_matches,
+        "{label}: count diverged"
+    );
+    assert_eq!(clean_matches, dark_matches, "{label}: match set diverged");
+    dark.recovery
+}
+
+#[test]
+fn single_shard_outages_are_invisible_with_replication() {
+    let query = PlanBuilder::new(&queries::triangle()).best_plan();
+    for (family, g) in graph_families() {
+        for kind in [SchedulerKind::Static, SchedulerKind::WorkStealing] {
+            let recovery = assert_outage_exactness(
+                &g,
+                &query,
+                kind,
+                FaultPlan::builder(0).shard_outage(0, 1).build(),
+                &format!("{family}/{kind}"),
+            );
+            assert_eq!(recovery.shard_outages, 1);
+            assert!(
+                recovery.failover_reads > 0,
+                "{family}/{kind}: the mirror must have served reads"
+            );
+            assert_eq!(
+                recovery.retries, 0,
+                "{family}/{kind}: failover must not consume retry budget"
+            );
+        }
+    }
+}
+
+#[test]
+fn staggered_multi_shard_outages_keep_counts_exact() {
+    // Shard 0 dark only during pass 1, shard 1 dark from pass 2 on; a
+    // worker crash forces the recovery pass, so both windows are
+    // actually exercised. The two outages never overlap, so every
+    // placement group always has a live copy. Worker 0 is the crash
+    // victim because it provably completes three tasks under both
+    // schedulers (work stealing can drain the whole queue through it).
+    let query = PlanBuilder::new(&queries::triangle()).best_plan();
+    for (family, g) in graph_families() {
+        for kind in [SchedulerKind::Static, SchedulerKind::WorkStealing] {
+            let fault_plan = FaultPlan::builder(5)
+                .shard_outage_window(0, 1, 2)
+                .shard_outage(1, 2)
+                .crash(0, 3)
+                .build();
+            let recovery = assert_outage_exactness(
+                &g,
+                &query,
+                kind,
+                fault_plan,
+                &format!("{family}/{kind}/staggered"),
+            );
+            assert_eq!(recovery.worker_crashes, 1);
+            assert!(recovery.recovery_passes >= 1, "the crash must force a pass");
+            assert_eq!(
+                recovery.shard_outages, 2,
+                "both outage windows overlap executed passes"
+            );
+        }
+    }
+}
+
+#[test]
+fn outage_with_worker_crash_and_store_faults_combined() {
+    // The full chaos menu at once: a dark shard (masked by failover), a
+    // mid-run worker crash (absorbed by requeue) and background
+    // transient faults (absorbed by retries) — counts must still be
+    // byte-identical to the clean run.
+    let query = PlanBuilder::new(&queries::triangle()).best_plan();
+    for (family, g) in graph_families() {
+        for kind in [SchedulerKind::Static, SchedulerKind::WorkStealing] {
+            let fault_plan = FaultPlan::builder(21)
+                .shard_outage(2, 1)
+                .crash(0, 3)
+                .transient_rate(0.01)
+                .build();
+            let recovery = assert_outage_exactness(
+                &g,
+                &query,
+                kind,
+                fault_plan,
+                &format!("{family}/{kind}/combined"),
+            );
+            assert_eq!(recovery.worker_crashes, 1);
+            assert!(recovery.failover_reads > 0);
+        }
+    }
+}
+
+#[test]
+fn outage_replay_reproduces_the_failover_report() {
+    // Determinism scope: static scheduler, one thread per worker.
+    let g = gen::erdos_renyi_gnm(50, 180, 13);
+    let query = PlanBuilder::new(&queries::triangle()).best_plan();
+    let run = || {
+        let mut cluster = Cluster::new(
+            &g,
+            ClusterConfig::builder()
+                .workers(3)
+                .threads_per_worker(1)
+                .cache_capacity_bytes(0)
+                .replication(2)
+                .build(),
+        );
+        cluster.set_fault_plan(Some(
+            FaultPlan::builder(4)
+                .shard_outage(1, 1)
+                .transient_rate(0.01)
+                .crash(1, 3)
+                .build(),
+        ));
+        cluster.run(&query).expect("survivable plan")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.recovery, b.recovery, "replay must reproduce the report");
+    assert_eq!(a.total_matches, b.total_matches);
+    assert!(a.recovery.failovers > 0, "the replay test must fail over");
+    assert!(a.recovery.failover_reads > 0);
+    assert_eq!(a.recovery.shard_outages, 1);
+}
+
+#[test]
+fn unreplicated_outage_fails_fast_with_a_structured_error() {
+    // The same outage that R = 2 shrugs off must abort a single-copy
+    // cluster — fast (no retry budget burned) and typed, never an Ok
+    // with a short count.
+    let g = gen::erdos_renyi_gnm(40, 120, 1);
+    let query = PlanBuilder::new(&queries::triangle()).best_plan();
+    let mut cluster = Cluster::new(
+        &g,
+        ClusterConfig::builder()
+            .workers(3)
+            .threads_per_worker(1)
+            .cache_capacity_bytes(0)
+            .build(),
+    );
+    cluster.set_fault_plan(Some(FaultPlan::builder(0).shard_outage(0, 1).build()));
+    match cluster.run(&query) {
+        Err(WorkerError::StoreUnavailable { error, .. }) => {
+            assert_eq!(error.attempts, 1, "outages must fail fast, not retry");
+        }
+        other => panic!("expected StoreUnavailable, got {other:?}"),
+    }
+}
+
 #[test]
 fn hopeless_outages_fail_instead_of_undercounting() {
     // When a fault plan outruns the retry policy, the run must error —
