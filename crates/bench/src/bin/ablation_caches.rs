@@ -23,13 +23,15 @@ struct Row {
     strategy: String,
     time_s: f64,
     trc_executions: u64,
+    kcache_executions: u64,
 }
 
 impl_to_json!(Row {
     query,
     strategy,
     time_s,
-    trc_executions
+    trc_executions,
+    kcache_executions
 });
 
 fn main() {
@@ -95,6 +97,7 @@ fn main() {
                 strategy: sname.to_string(),
                 time_s: outcome.makespan().as_secs_f64(),
                 trc_executions: outcome.metrics.trc_executions,
+                kcache_executions: outcome.metrics.kcache_executions,
             });
             row.push(secs(outcome.makespan()));
         }

@@ -260,6 +260,30 @@ impl TriangleCache {
         value
     }
 
+    /// Like [`TriangleCache::get_or_compute`] but hands the triangle set
+    /// to `use_set` by borrow instead of returning an `Arc` clone — the
+    /// zero-refcount-traffic path for callers that only read the set
+    /// (e.g. the engine's filtered TRC arm). Works at capacity 0 too:
+    /// the computed set is used before the (rejected) insert.
+    pub fn with_or_compute<R>(
+        &mut self,
+        a: VertexId,
+        b: VertexId,
+        compute: impl FnOnce() -> Vec<VertexId>,
+        use_set: impl FnOnce(&[VertexId]) -> R,
+    ) -> R {
+        let key = (a.min(b), a.max(b));
+        if let Some(v) = self.lru.get(&key) {
+            self.hits += 1;
+            return use_set(v);
+        }
+        self.misses += 1;
+        let value = compute();
+        let r = use_set(&value);
+        self.lru.insert(key, Arc::new(value), 1);
+        r
+    }
+
     /// Effectiveness counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -324,7 +348,10 @@ impl CliqueCache {
             key.windows(2).all(|w| w[0] < w[1]),
             "clique key must be sorted"
         );
-        if let Some(v) = self.lru.get(&key.to_vec()) {
+        // Borrow-generic LRU lookup: probing with the slice key directly
+        // avoids allocating an owned `Vec` per lookup (the owned key is
+        // only materialised on the miss path, where it must be stored).
+        if let Some(v) = self.lru.get(key) {
             self.hits += 1;
             return Arc::clone(v);
         }
@@ -332,6 +359,35 @@ impl CliqueCache {
         let value = Arc::new(compute());
         self.lru.insert(key.to_vec(), Arc::clone(&value), 1);
         value
+    }
+
+    /// Like [`CliqueCache::get_or_compute`] but hands the clique set to
+    /// `use_set` by borrow instead of returning an `Arc` clone. The hit
+    /// path performs no allocation at all (slice-keyed lookup, no
+    /// refcount traffic); the owned key is cloned only on a miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `key` is not sorted.
+    pub fn with_or_compute<R>(
+        &mut self,
+        key: &[VertexId],
+        compute: impl FnOnce() -> Vec<VertexId>,
+        use_set: impl FnOnce(&[VertexId]) -> R,
+    ) -> R {
+        debug_assert!(
+            key.windows(2).all(|w| w[0] < w[1]),
+            "clique key must be sorted"
+        );
+        if let Some(v) = self.lru.get(key) {
+            self.hits += 1;
+            return use_set(v);
+        }
+        self.misses += 1;
+        let value = compute();
+        let r = use_set(&value);
+        self.lru.insert(key.to_vec(), Arc::new(value), 1);
+        r
     }
 
     /// Effectiveness counters.
@@ -488,6 +544,51 @@ mod tests {
             vec![9]
         });
         assert!(recomputed);
+    }
+
+    #[test]
+    fn triangle_with_or_compute_borrows_without_arc_clone() {
+        let mut tc = TriangleCache::new(4);
+        let arc = tc.get_or_compute(1, 2, || vec![7, 8]);
+        assert_eq!(Arc::strong_count(&arc), 2); // caller + cache
+        let sum: u32 = tc.with_or_compute(2, 1, || panic!("must hit"), |s| s.iter().sum());
+        assert_eq!(sum, 15);
+        assert_eq!(Arc::strong_count(&arc), 2, "borrow path clones no Arc");
+        assert_eq!(tc.stats().hits, 1);
+    }
+
+    #[test]
+    fn triangle_with_or_compute_works_at_zero_capacity() {
+        let mut tc = TriangleCache::new(0);
+        let len = tc.with_or_compute(3, 4, || vec![1, 2, 3], |s| s.len());
+        assert_eq!(len, 3);
+        assert!(tc.is_empty(), "oversized entry is not retained");
+        // Second call recomputes (nothing was cached).
+        let mut recomputed = false;
+        tc.with_or_compute(
+            3,
+            4,
+            || {
+                recomputed = true;
+                vec![1, 2, 3]
+            },
+            |_| (),
+        );
+        assert!(recomputed);
+    }
+
+    #[test]
+    fn clique_with_or_compute_hits_via_slice_key() {
+        let mut cc = CliqueCache::new(8);
+        cc.get_or_compute(&[2, 4, 6], || vec![9, 10]);
+        let n = cc.with_or_compute(&[2, 4, 6], || panic!("must hit"), |s| s.len());
+        assert_eq!(n, 2);
+        assert_eq!(cc.stats().hits, 1);
+        // A miss through the borrow API still populates the cache.
+        let n = cc.with_or_compute(&[1, 3], || vec![5], |s| s.len());
+        assert_eq!(n, 1);
+        assert_eq!(cc.len(), 2);
+        cc.get_or_compute(&[1, 3], || panic!("cached by with_or_compute"));
     }
 
     #[test]

@@ -18,8 +18,19 @@ pub struct ClusterConfig {
     /// only).
     pub cache_shards: usize,
     /// Task-splitting degree threshold τ (paper: 500); 0 disables
-    /// splitting.
+    /// splitting. Ignored when [`ClusterConfig::tau_auto`] is set.
     pub tau: usize,
+    /// Pick τ adaptively from the start-vertex degree distribution
+    /// instead of using the static [`ClusterConfig::tau`]: the smallest
+    /// threshold whose extra subtasks stay within a per-lane budget
+    /// (journal refinement of paper §V-B), so hub-vertex skew stops
+    /// serializing behind one worker without flooding the scheduler.
+    /// The chosen value is reported as `RunOutcome::effective_tau`.
+    pub tau_auto: bool,
+    /// Run engines with pooled execution buffers (steady-state
+    /// allocation-free hot loop). On by default; turning it off restores
+    /// the allocate-per-instruction baseline for A/B measurement.
+    pub pooled_buffers: bool,
     /// Per-thread triangle-cache capacity in entries.
     pub triangle_cache_entries: usize,
     /// Record per-task wall-clock durations (needed by the Fig. 9
@@ -58,6 +69,8 @@ impl Default for ClusterConfig {
             cache_capacity_bytes: 64 << 20,
             cache_shards: 8,
             tau: 500,
+            tau_auto: false,
+            pooled_buffers: true,
             triangle_cache_entries: 1 << 14,
             collect_task_times: false,
             scheduler: SchedulerKind::Static,
@@ -130,6 +143,19 @@ impl ClusterConfigBuilder {
     /// Task-splitting threshold τ (0 disables splitting).
     pub fn tau(mut self, tau: usize) -> Self {
         self.0.tau = tau;
+        self
+    }
+
+    /// Pick τ adaptively from the degree distribution (overrides
+    /// [`ClusterConfigBuilder::tau`]).
+    pub fn tau_auto(mut self, yes: bool) -> Self {
+        self.0.tau_auto = yes;
+        self
+    }
+
+    /// Run engines with pooled execution buffers (on by default).
+    pub fn pooled_buffers(mut self, yes: bool) -> Self {
+        self.0.pooled_buffers = yes;
         self
     }
 
@@ -220,6 +246,8 @@ mod tests {
             .cache_capacity_bytes(1 << 22)
             .cache_shards(2)
             .tau(123)
+            .tau_auto(true)
+            .pooled_buffers(false)
             .triangle_cache_entries(64)
             .collect_task_times(true)
             .scheduler(SchedulerKind::WorkStealing)
@@ -234,6 +262,8 @@ mod tests {
             cache_capacity_bytes: 1 << 22,
             cache_shards: 2,
             tau: 123,
+            tau_auto: true,
+            pooled_buffers: false,
             triangle_cache_entries: 64,
             collect_task_times: true,
             scheduler: SchedulerKind::WorkStealing,
@@ -251,6 +281,8 @@ mod tests {
         assert_ne!(built.cache_capacity_bytes, d.cache_capacity_bytes);
         assert_ne!(built.cache_shards, d.cache_shards);
         assert_ne!(built.tau, d.tau);
+        assert_ne!(built.tau_auto, d.tau_auto);
+        assert_ne!(built.pooled_buffers, d.pooled_buffers);
         assert_ne!(built.triangle_cache_entries, d.triangle_cache_entries);
         assert_ne!(built.collect_task_times, d.collect_task_times);
         assert_ne!(built.scheduler, d.scheduler);

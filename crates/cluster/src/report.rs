@@ -207,6 +207,10 @@ pub struct RunOutcome {
     pub kv: KvStats,
     /// Total tasks executed (after splitting).
     pub total_tasks: usize,
+    /// The split threshold τ the run actually used: the static
+    /// configuration value, or the adaptive choice when
+    /// `ClusterConfig::tau_auto` is set (0 = splitting disabled).
+    pub effective_tau: usize,
     /// The scheduling policy this run used.
     pub scheduler: SchedulerKind,
     /// Per-task durations, when requested in the configuration.
@@ -309,6 +313,7 @@ impl RunOutcome {
         r.set("total_matches", self.total_matches);
         r.set("total_codes", self.total_codes);
         r.set("total_tasks", self.total_tasks);
+        r.set("effective_tau", self.effective_tau);
         r.set("scheduler", self.scheduler.to_string());
         r.set("total_steals", self.total_steals());
         r.set("communication_bytes", self.communication_bytes());
@@ -322,6 +327,7 @@ impl RunOutcome {
         engine.set("dbq_executions", m.dbq_executions);
         engine.set("int_executions", m.int_executions);
         engine.set("trc_executions", m.trc_executions);
+        engine.set("kcache_executions", m.kcache_executions);
         engine.set("enu_candidates", m.enu_candidates);
         r.set_tree("engine", engine);
 

@@ -26,7 +26,7 @@ use crate::schedule::StaticScheduler;
 use crate::transport::Transport;
 use crate::worker::{ErrorSlot, ThreadResult, Worker, WorkerError};
 use benu_cache::{CacheObs, CacheStats, DbCache};
-use benu_engine::{SearchTask, SplitSpec};
+use benu_engine::SearchTask;
 use benu_fault::FaultPlan;
 use benu_graph::{Graph, TotalOrder, VertexId};
 use benu_kvstore::KvStore;
@@ -162,27 +162,34 @@ impl Cluster {
         self.config = config;
     }
 
-    /// Generates the (split) task list for a compiled plan.
-    fn generate_tasks(&self, second_adjacent: bool, has_second: bool) -> Vec<SearchTask> {
-        let n = self.degrees.len();
-        let tau = if has_second { self.config.tau } else { 0 };
-        let mut tasks = Vec::with_capacity(n);
-        for v in 0..n {
-            let degree = self.degrees[v] as usize;
-            let bound = if second_adjacent { degree } else { n };
-            if tau > 0 && degree >= tau && bound > tau {
-                let total = bound.div_ceil(tau) as u32;
-                for index in 0..total {
-                    tasks.push(SearchTask {
-                        start: v as VertexId,
-                        split: Some(SplitSpec { index, total }),
-                    });
-                }
-            } else {
-                tasks.push(SearchTask::whole(v as VertexId));
-            }
-        }
-        tasks
+    /// Generates the (split) task list for a compiled plan through the
+    /// engine's single §V-B implementation, returning the tasks and the
+    /// split threshold actually used (static `tau`, or the adaptive
+    /// choice under `tau_auto`).
+    fn generate_tasks(&self, second_adjacent: bool, has_second: bool) -> (Vec<SearchTask>, usize) {
+        let tau = if !has_second {
+            0
+        } else if self.config.tau_auto {
+            let lanes = self.config.workers * self.config.threads_per_worker;
+            benu_engine::task::auto_tau(&self.degrees, lanes, second_adjacent)
+        } else {
+            self.config.tau
+        };
+        let tasks =
+            benu_engine::task::generate_tasks_from_degrees(&self.degrees, tau, second_adjacent);
+        (tasks, tau)
+    }
+
+    /// Chaos hook: drops vertex `v` from every replica shard of the
+    /// loaded store while the degree array (and thus the task list)
+    /// still names it — the store-vs-graph disagreement the structured
+    /// `MissingVertex` error path exists to surface. Only callable
+    /// between runs (the store must not be shared with a running pass).
+    /// Returns true if the vertex was present.
+    pub fn corrupt_remove_vertex(&mut self, v: VertexId) -> bool {
+        Arc::get_mut(&mut self.store)
+            .expect("corrupt_remove_vertex requires exclusive store access (no run in flight)")
+            .remove_vertex(v)
     }
 
     /// Runs `plan`, counting matches (Algorithm 2 lines 3–8). Store
@@ -222,7 +229,7 @@ impl Cluster {
             let _span = self.obs.as_ref().map(|h| h.tracer.span("plan_compile"));
             benu_engine::CompiledPlan::compile(plan)
         };
-        let tasks = {
+        let (tasks, effective_tau) = {
             let _span = self.obs.as_ref().map(|h| h.tracer.span("task_generation"));
             self.generate_tasks(compiled.second_adjacent, compiled.second_vertex.is_some())
         };
@@ -586,6 +593,7 @@ impl Cluster {
             workers: reports,
             kv,
             total_tasks,
+            effective_tau,
             scheduler: self.config.scheduler,
             task_times: all_task_times,
             recovery,
@@ -916,6 +924,130 @@ mod tests {
         );
         // Bytes still reconcile between worker and store accounting.
         assert_eq!(prefetched.communication_bytes(), prefetched.kv.bytes);
+    }
+
+    /// The missing-vertex chaos matrix: a vertex dropped from the store
+    /// (while the task list still names it) must surface the structured
+    /// `MissingVertex` error — never a panic, never a silent undercount —
+    /// identically across single-get and batched-prefetch fetch paths
+    /// and across both schedulers.
+    #[test]
+    fn missing_vertex_is_structured_across_prefetch_and_schedulers() {
+        let g = gen::barabasi_albert(80, 3, 13);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let corrupted: VertexId = 7;
+        for kind in [SchedulerKind::Static, SchedulerKind::WorkStealing] {
+            for prefetch in [false, true] {
+                let mut cluster = Cluster::new(
+                    &g,
+                    ClusterConfig::builder()
+                        .workers(2)
+                        .threads_per_worker(1)
+                        .cache_capacity_bytes(1 << 20)
+                        .prefetch_frontier(prefetch)
+                        .scheduler(kind)
+                        .build(),
+                );
+                assert!(cluster.corrupt_remove_vertex(corrupted));
+                match cluster.run(&plan) {
+                    Err(WorkerError::MissingVertex { vertex, .. }) => {
+                        assert_eq!(
+                            vertex, corrupted,
+                            "{kind} prefetch={prefetch}: wrong vertex blamed"
+                        );
+                    }
+                    other => {
+                        panic!("{kind} prefetch={prefetch}: expected MissingVertex, got {other:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_requires_exclusive_store_and_reports_absence() {
+        let g = gen::complete(5);
+        let mut cluster = small_cluster(&g, 2, 1);
+        assert!(cluster.corrupt_remove_vertex(3));
+        assert!(!cluster.corrupt_remove_vertex(3), "already gone");
+        assert_eq!(cluster.store().num_vertices(), 5, "task list unchanged");
+    }
+
+    #[test]
+    fn pooled_and_unpooled_clusters_are_byte_identical() {
+        let g = gen::barabasi_albert(120, 4, 21);
+        let plan = PlanBuilder::new(&queries::q1()).best_plan();
+        for kind in [SchedulerKind::Static, SchedulerKind::WorkStealing] {
+            let run = |pooled: bool| {
+                let cluster = Cluster::new(
+                    &g,
+                    ClusterConfig::builder()
+                        .workers(3)
+                        .threads_per_worker(2)
+                        .scheduler(kind)
+                        .tau(20)
+                        .pooled_buffers(pooled)
+                        .build(),
+                );
+                cluster.run_collect(&plan).unwrap()
+            };
+            let (po, pm) = run(true);
+            let (uo, um) = run(false);
+            assert_eq!(po.total_matches, uo.total_matches, "{kind}: count diverged");
+            assert_eq!(pm, um, "{kind}: matches must be byte-identical");
+            assert_eq!(
+                po.metrics, uo.metrics,
+                "{kind}: instruction metrics must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_tau_splits_hubs_and_keeps_counts_exact() {
+        // A star hub serializes behind one worker under static τ = 0;
+        // tau_auto must split it, report the chosen threshold, and leave
+        // the count untouched.
+        let g = gen::star(300);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let static_run = Cluster::new(&g, ClusterConfig::builder().workers(4).tau(0).build())
+            .run(&plan)
+            .unwrap();
+        let auto_run = Cluster::new(
+            &g,
+            ClusterConfig::builder().workers(4).tau_auto(true).build(),
+        )
+        .run(&plan)
+        .unwrap();
+        assert_eq!(auto_run.total_matches, static_run.total_matches);
+        assert_eq!(static_run.effective_tau, 0);
+        assert!(
+            auto_run.effective_tau > 0,
+            "tau_auto must report its choice"
+        );
+        assert!(
+            auto_run.total_tasks > static_run.total_tasks,
+            "the hub must split ({} vs {} tasks)",
+            auto_run.total_tasks,
+            static_run.total_tasks
+        );
+        // Same-shape reruns choose the same threshold (pure function of
+        // the degree distribution and the lane count).
+        let replay = Cluster::new(
+            &g,
+            ClusterConfig::builder().workers(4).tau_auto(true).build(),
+        )
+        .run(&plan)
+        .unwrap();
+        assert_eq!(replay.effective_tau, auto_run.effective_tau);
+    }
+
+    #[test]
+    fn static_tau_is_reported_as_effective() {
+        let g = gen::complete(6);
+        let cluster = small_cluster(&g, 2, 2);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let outcome = cluster.run(&plan).unwrap();
+        assert_eq!(outcome.effective_tau, cluster.config().tau);
     }
 
     // ---- fault injection & recovery ----

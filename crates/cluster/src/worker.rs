@@ -404,7 +404,8 @@ impl Worker<'_> {
             &source,
             self.order,
             self.config.triangle_cache_entries,
-        );
+        )
+        .with_pooling(self.config.pooled_buffers);
         let mut counting = CountingConsumer::default();
         let mut collecting = CollectingConsumer::default();
         let mut result = ThreadResult {
@@ -507,7 +508,8 @@ impl Worker<'_> {
             &source,
             self.order,
             self.config.triangle_cache_entries,
-        );
+        )
+        .with_pooling(self.config.pooled_buffers);
         let mut consumer = CountingConsumer::default();
         let _ = Transport::take_task_penalty();
         let t0 = Instant::now();

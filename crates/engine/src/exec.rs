@@ -16,7 +16,7 @@ use crate::expand;
 use crate::source::DataSource;
 use crate::task::SearchTask;
 use benu_cache::{CliqueCache, TriangleCache};
-use benu_graph::ops::{intersect_into, intersect_many_into};
+use benu_graph::ops::{intersect_into, intersect_many_by, intersect_many_into};
 use benu_graph::{AdjSet, TotalOrder, VertexId};
 use benu_plan::FilterOp;
 use std::sync::Arc;
@@ -43,6 +43,10 @@ pub struct TaskMetrics {
     pub int_executions: u64,
     /// TRC instruction executions.
     pub trc_executions: u64,
+    /// KCache (clique-cache, §IV-B extension) instruction executions.
+    /// Counted separately from `trc_executions` so clique-cached plans do
+    /// not inflate the triangle-cache numbers.
+    pub kcache_executions: u64,
     /// Candidate vertices iterated by ENU (`Foreach`) loops — the raw
     /// backtracking branch count before label filtering.
     pub enu_candidates: u64,
@@ -56,6 +60,7 @@ impl std::ops::AddAssign for TaskMetrics {
         self.dbq_executions += rhs.dbq_executions;
         self.int_executions += rhs.int_executions;
         self.trc_executions += rhs.trc_executions;
+        self.kcache_executions += rhs.kcache_executions;
         self.enu_candidates += rhs.enu_candidates;
     }
 }
@@ -78,9 +83,90 @@ impl TaskMetrics {
             .counter("engine.trc_executions")
             .add(self.trc_executions);
         registry
+            .counter("engine.kcache_executions")
+            .add(self.kcache_executions);
+        registry
             .counter("engine.enu_candidates")
             .add(self.enu_candidates);
     }
+}
+
+/// Effectiveness counters of the per-engine execution buffer pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `take` calls served by a recycled buffer (no allocation).
+    pub hits: u64,
+    /// `take` calls that allocated a fresh buffer (pool empty or
+    /// pooling disabled).
+    pub misses: u64,
+    /// Buffers handed back for reuse.
+    pub returns: u64,
+}
+
+/// A free-list of `Vec<VertexId>` buffers recycled across instructions
+/// and tasks, so the steady-state hot loop performs no allocation: every
+/// displaced `Slot::Buf` returns here instead of being dropped, and
+/// every take reuses a previous buffer's capacity. Disabled, it hands
+/// out fresh `Vec::new()`s and drops returns — the pre-pool baseline
+/// the `hotpath` bench A/Bs against.
+#[derive(Debug)]
+struct BufferPool {
+    free: Vec<Vec<VertexId>>,
+    enabled: bool,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    fn new(enabled: bool) -> Self {
+        BufferPool {
+            free: Vec::new(),
+            enabled,
+            stats: PoolStats::default(),
+        }
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn take(&mut self) -> Vec<VertexId> {
+        if !self.enabled {
+            // Disabled pools are fully inert: no stats, always a fresh
+            // allocation, so the unpooled A/B arm reports all-zero stats.
+            return Vec::new();
+        }
+        if let Some(mut buf) = self.free.pop() {
+            self.stats.hits += 1;
+            buf.clear();
+            return buf;
+        }
+        self.stats.misses += 1;
+        Vec::new()
+    }
+
+    fn put(&mut self, buf: Vec<VertexId>) {
+        if self.enabled && buf.capacity() > 0 {
+            self.stats.returns += 1;
+            self.free.push(buf);
+        }
+    }
+}
+
+/// Filter check as a free function over the borrowed pieces it actually
+/// reads (`order`, the partial mapping `f`), so callers can run it while
+/// other engine fields — a cache, the slot file — are mutably borrowed.
+#[inline]
+fn passes_filters(order: &TotalOrder, f: &[VertexId], x: VertexId, filters: &[CFilter]) -> bool {
+    filters.iter().all(|fc| {
+        let fv = f[fc.vertex];
+        debug_assert_ne!(fv, UNSET, "filter references unmapped vertex");
+        match fc.op {
+            FilterOp::Less => order.less(x, fv),
+            FilterOp::Greater => order.less(fv, x),
+            FilterOp::NotEqual => x != fv,
+        }
+    })
 }
 
 /// A register slot holding a set value.
@@ -125,6 +211,11 @@ pub struct LocalEngine<'a, S: DataSource + ?Sized> {
     scratch: Vec<VertexId>,
     scratch2: Vec<VertexId>,
     expand_f: Vec<VertexId>,
+    pool: BufferPool,
+    /// Reusable operand-register index buffer (`Intersect`).
+    operand_regs: Vec<usize>,
+    /// Reusable smallest-first ordering buffer for `intersect_many_by`.
+    order_buf: Vec<usize>,
 }
 
 impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
@@ -141,13 +232,27 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
         order: &'a TotalOrder,
         tcache_entries: usize,
     ) -> Self {
+        // Pre-size the small index/key buffers from plan metadata so
+        // even their first use allocates nothing mid-task.
+        let mut max_key = 0usize;
+        let mut max_arity = 0usize;
+        for instr in &plan.instrs {
+            match instr {
+                CInstr::Intersect { operands, .. } => max_arity = max_arity.max(operands.len()),
+                CInstr::KCache { verts, regs, .. } => {
+                    max_key = max_key.max(verts.len());
+                    max_arity = max_arity.max(regs.len());
+                }
+                _ => {}
+            }
+        }
         LocalEngine {
             plan,
             source,
             order,
             tcache: TriangleCache::new(tcache_entries),
             ccache: CliqueCache::new(tcache_entries),
-            key_buf: Vec::new(),
+            key_buf: Vec::with_capacity(max_key),
             data_labels: None,
             label_scratch: Vec::new(),
             f: vec![UNSET; plan.num_pattern_vertices],
@@ -155,7 +260,24 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
             scratch: Vec::new(),
             scratch2: Vec::new(),
             expand_f: vec![UNSET; plan.num_pattern_vertices],
+            pool: BufferPool::new(true),
+            operand_regs: Vec::with_capacity(max_arity),
+            order_buf: Vec::with_capacity(max_arity),
         }
+    }
+
+    /// Enables or disables the execution buffer pool (default: enabled).
+    /// Disabled, every buffer fallback allocates and displaced buffers
+    /// are dropped — the pre-pool baseline arm of the `hotpath` bench.
+    /// The produced matches are byte-identical either way.
+    pub fn with_pooling(mut self, enabled: bool) -> Self {
+        self.pool = BufferPool::new(enabled);
+        self
+    }
+
+    /// Buffer-pool effectiveness counters for this engine.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats
     }
 
     /// Attaches per-data-vertex labels (property-graph extension): a
@@ -190,8 +312,25 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
     pub fn run_task(&mut self, task: SearchTask, consumer: &mut dyn MatchConsumer) -> TaskMetrics {
         let mut metrics = TaskMetrics::default();
         self.f.fill(UNSET);
+        if self.pool.enabled() {
+            // Return the previous task's owned buffers to the pool: every
+            // plan writes a register before reading it, so the slot file
+            // carries no live state across tasks — only reusable capacity,
+            // which the pool hands back to this task's first takes.
+            self.recycle_slots();
+        }
         self.step(0, &task, consumer, &mut metrics);
         metrics
+    }
+
+    fn recycle_slots(&mut self) {
+        for slot in &mut self.slots {
+            if matches!(slot, Slot::Buf(_)) {
+                if let Slot::Buf(b) = std::mem::take(slot) {
+                    self.pool.put(b);
+                }
+            }
+        }
     }
 
     /// Runs an unsplit task for every data vertex (the sequential version
@@ -216,15 +355,16 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
     }
 
     fn passes_filters(&self, x: VertexId, filters: &[CFilter]) -> bool {
-        filters.iter().all(|fc| {
-            let fv = self.f[fc.vertex];
-            debug_assert_ne!(fv, UNSET, "filter references unmapped vertex");
-            match fc.op {
-                FilterOp::Less => self.order.less(x, fv),
-                FilterOp::Greater => self.order.less(fv, x),
-                FilterOp::NotEqual => x != fv,
-            }
-        })
+        passes_filters(self.order, &self.f, x, filters)
+    }
+
+    /// Stores `value` into the slot file, recycling any displaced owned
+    /// buffer through the pool instead of dropping it.
+    #[inline]
+    fn set_slot(&mut self, target: usize, value: Slot) {
+        if let Slot::Buf(b) = std::mem::replace(&mut self.slots[target], value) {
+            self.pool.put(b);
+        }
     }
 
     /// Executes instructions from `pc` to the end (recursing at each
@@ -251,7 +391,8 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                     metrics.dbq_executions += 1;
                     let v = self.f[*vertex];
                     debug_assert_ne!(v, UNSET);
-                    self.slots[*target] = Slot::Adj(self.source.get_adj(v));
+                    let adj = self.source.get_adj(v);
+                    self.set_slot(*target, Slot::Adj(adj));
                 }
                 CInstr::Intersect {
                     target,
@@ -262,7 +403,7 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                     let target = *target;
                     let mut buf = match std::mem::take(&mut self.slots[target]) {
                         Slot::Buf(b) => b,
-                        _ => Vec::new(),
+                        _ => self.pool.take(),
                     };
                     self.compute_intersection(operands, filters, &mut buf);
                     let empty = buf.is_empty();
@@ -281,33 +422,54 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                 } => {
                     metrics.trc_executions += 1;
                     let (va, vb) = (self.f[*a], self.f[*b]);
-                    let (a_slice, b_slice) =
-                        (self.slots[*a_reg].as_slice(), self.slots[*b_reg].as_slice());
+                    let target = *target;
                     // The cache stores the raw triangle set; filters are
                     // applied per use because they depend on other
                     // mappings.
-                    let tri = self.tcache.get_or_compute(va, vb, || {
-                        let mut out = Vec::new();
-                        intersect_into(a_slice, b_slice, &mut out);
-                        out
-                    });
-                    let target = *target;
                     let empty = if filters.is_empty() {
+                        let (a_slice, b_slice) =
+                            (self.slots[*a_reg].as_slice(), self.slots[*b_reg].as_slice());
+                        let tri = self.tcache.get_or_compute(va, vb, || {
+                            let mut out = Vec::new();
+                            intersect_into(a_slice, b_slice, &mut out);
+                            out
+                        });
                         let empty = tri.is_empty();
-                        self.slots[target] = Slot::Tri(tri);
+                        self.set_slot(target, Slot::Tri(tri));
                         empty
                     } else {
+                        // The filtered copy only reads the triangle set,
+                        // so borrow it from the cache instead of cloning
+                        // the Arc. Target never aliases an operand
+                        // register (the Intersect arm relies on the same
+                        // compile invariant), so the buffer can be taken
+                        // up front.
                         let mut buf = match std::mem::take(&mut self.slots[target]) {
                             Slot::Buf(b) => b,
-                            _ => Vec::new(),
+                            _ => self.pool.take(),
                         };
-                        buf.clear();
-                        for &x in tri.iter() {
-                            if self.passes_filters(x, filters) {
-                                buf.push(x);
-                            }
-                        }
-                        let empty = buf.is_empty();
+                        let (a_slice, b_slice) =
+                            (self.slots[*a_reg].as_slice(), self.slots[*b_reg].as_slice());
+                        let order = self.order;
+                        let f = &self.f;
+                        let empty = self.tcache.with_or_compute(
+                            va,
+                            vb,
+                            || {
+                                let mut out = Vec::new();
+                                intersect_into(a_slice, b_slice, &mut out);
+                                out
+                            },
+                            |tri| {
+                                buf.clear();
+                                for &x in tri {
+                                    if passes_filters(order, f, x, filters) {
+                                        buf.push(x);
+                                    }
+                                }
+                                buf.is_empty()
+                            },
+                        );
                         self.slots[target] = Slot::Buf(buf);
                         empty
                     };
@@ -321,41 +483,107 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                     target,
                     filters,
                 } => {
-                    metrics.trc_executions += 1;
+                    metrics.kcache_executions += 1;
                     // The cache key is the sorted tuple of mapped data
                     // vertices — the clique instance's identity.
                     self.key_buf.clear();
                     self.key_buf.extend(verts.iter().map(|&v| self.f[v]));
                     self.key_buf.sort_unstable();
-                    let slices: Vec<&[VertexId]> =
-                        regs.iter().map(|&r| self.slots[r].as_slice()).collect();
-                    let key = std::mem::take(&mut self.key_buf);
-                    let clique_set = self.ccache.get_or_compute(&key, || {
-                        let mut out = Vec::new();
-                        let mut scratch = Vec::new();
-                        intersect_many_into(&slices, &mut out, &mut scratch);
-                        out
-                    });
-                    self.key_buf = key;
                     let target = *target;
-                    let empty = if filters.is_empty() {
-                        let empty = clique_set.is_empty();
-                        self.slots[target] = Slot::Tri(clique_set);
+                    let empty = if self.pool.enabled() {
+                        // Pooled path: operands are addressed through the
+                        // slot file by index (`intersect_many_by`), so no
+                        // per-execution slice vector is materialised, and
+                        // the miss closure reuses the engine's scratch
+                        // and ordering buffers.
+                        let mut scratch = std::mem::take(&mut self.scratch);
+                        let mut order_buf = std::mem::take(&mut self.order_buf);
+                        let empty = if filters.is_empty() {
+                            let slots = &self.slots;
+                            let clique_set = self.ccache.get_or_compute(&self.key_buf, || {
+                                let mut out = Vec::new();
+                                intersect_many_by(
+                                    regs.len(),
+                                    |i| slots[regs[i]].as_slice(),
+                                    &mut order_buf,
+                                    &mut out,
+                                    &mut scratch,
+                                );
+                                out
+                            });
+                            let empty = clique_set.is_empty();
+                            self.set_slot(target, Slot::Tri(clique_set));
+                            empty
+                        } else {
+                            let mut buf = match std::mem::take(&mut self.slots[target]) {
+                                Slot::Buf(b) => b,
+                                _ => self.pool.take(),
+                            };
+                            let slots = &self.slots;
+                            let order = self.order;
+                            let f = &self.f;
+                            let empty = self.ccache.with_or_compute(
+                                &self.key_buf,
+                                || {
+                                    let mut out = Vec::new();
+                                    intersect_many_by(
+                                        regs.len(),
+                                        |i| slots[regs[i]].as_slice(),
+                                        &mut order_buf,
+                                        &mut out,
+                                        &mut scratch,
+                                    );
+                                    out
+                                },
+                                |set| {
+                                    buf.clear();
+                                    for &x in set {
+                                        if passes_filters(order, f, x, filters) {
+                                            buf.push(x);
+                                        }
+                                    }
+                                    buf.is_empty()
+                                },
+                            );
+                            self.slots[target] = Slot::Buf(buf);
+                            empty
+                        };
+                        self.scratch = scratch;
+                        self.order_buf = order_buf;
                         empty
                     } else {
-                        let mut buf = match std::mem::take(&mut self.slots[target]) {
-                            Slot::Buf(b) => b,
-                            _ => Vec::new(),
-                        };
-                        buf.clear();
-                        for &x in clique_set.iter() {
-                            if self.passes_filters(x, filters) {
-                                buf.push(x);
+                        // Baseline (pre-pool) path: a fresh operand slice
+                        // vector and fresh intersection buffers per
+                        // execution — kept verbatim as the A/B baseline.
+                        let slices: Vec<&[VertexId]> =
+                            regs.iter().map(|&r| self.slots[r].as_slice()).collect();
+                        let key = std::mem::take(&mut self.key_buf);
+                        let clique_set = self.ccache.get_or_compute(&key, || {
+                            let mut out = Vec::new();
+                            let mut scratch = Vec::new();
+                            intersect_many_into(&slices, &mut out, &mut scratch);
+                            out
+                        });
+                        self.key_buf = key;
+                        if filters.is_empty() {
+                            let empty = clique_set.is_empty();
+                            self.slots[target] = Slot::Tri(clique_set);
+                            empty
+                        } else {
+                            let mut buf = match std::mem::take(&mut self.slots[target]) {
+                                Slot::Buf(b) => b,
+                                _ => Vec::new(),
+                            };
+                            buf.clear();
+                            for &x in clique_set.iter() {
+                                if self.passes_filters(x, filters) {
+                                    buf.push(x);
+                                }
                             }
+                            let empty = buf.is_empty();
+                            self.slots[target] = Slot::Buf(buf);
+                            empty
                         }
-                        let empty = buf.is_empty();
-                        self.slots[target] = Slot::Buf(buf);
-                        empty
                     };
                     if empty {
                         return;
@@ -411,46 +639,120 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
         buf: &mut Vec<VertexId>,
     ) {
         buf.clear();
-        let regs: Vec<&[VertexId]> = operands
-            .iter()
-            .filter_map(|op| match op {
-                COperand::Reg(r) => Some(self.slots[*r].as_slice()),
-                COperand::All => None,
-            })
-            .collect();
-        match regs.len() {
+        if !self.pool.enabled() {
+            // Baseline (pre-pool) path: materialise the operand slice
+            // vector per execution — kept verbatim as the A/B baseline.
+            let regs: Vec<&[VertexId]> = operands
+                .iter()
+                .filter_map(|op| match op {
+                    COperand::Reg(r) => Some(self.slots[*r].as_slice()),
+                    COperand::All => None,
+                })
+                .collect();
+            match regs.len() {
+                0 => {
+                    // Pure V(G) scan with filters.
+                    for x in 0..self.source.num_vertices() as VertexId {
+                        if self.passes_filters(x, filters) {
+                            buf.push(x);
+                        }
+                    }
+                }
+                1 => {
+                    for &x in regs[0] {
+                        if self.passes_filters(x, filters) {
+                            buf.push(x);
+                        }
+                    }
+                }
+                _ => {
+                    if filters.is_empty() {
+                        let mut scratch = std::mem::take(&mut self.scratch);
+                        intersect_many_into(&regs, buf, &mut scratch);
+                        self.scratch = scratch;
+                    } else {
+                        let mut scratch = std::mem::take(&mut self.scratch);
+                        let mut scratch2 = std::mem::take(&mut self.scratch2);
+                        intersect_many_into(&regs, &mut scratch, &mut scratch2);
+                        for &x in &scratch {
+                            if self.passes_filters(x, filters) {
+                                buf.push(x);
+                            }
+                        }
+                        self.scratch = scratch;
+                        self.scratch2 = scratch2;
+                    }
+                }
+            }
+            return;
+        }
+        // Pooled path: operand registers go into a reusable index buffer
+        // and the kernels address the slot file through it, so no
+        // per-execution `Vec<&[VertexId]>` exists.
+        self.operand_regs.clear();
+        for op in operands {
+            if let COperand::Reg(r) = op {
+                self.operand_regs.push(*r);
+            }
+        }
+        match self.operand_regs.len() {
             0 => {
                 // Pure V(G) scan with filters.
+                let order = self.order;
+                let f = &self.f;
                 for x in 0..self.source.num_vertices() as VertexId {
-                    if self.passes_filters(x, filters) {
+                    if passes_filters(order, f, x, filters) {
                         buf.push(x);
                     }
                 }
             }
             1 => {
-                for &x in regs[0] {
-                    if self.passes_filters(x, filters) {
+                let slice = self.slots[self.operand_regs[0]].as_slice();
+                let order = self.order;
+                let f = &self.f;
+                for &x in slice {
+                    if passes_filters(order, f, x, filters) {
                         buf.push(x);
                     }
                 }
             }
-            _ => {
+            k => {
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let mut order_buf = std::mem::take(&mut self.order_buf);
                 if filters.is_empty() {
-                    let mut scratch = std::mem::take(&mut self.scratch);
-                    intersect_many_into(&regs, buf, &mut scratch);
-                    self.scratch = scratch;
+                    let slots = &self.slots;
+                    let oregs = &self.operand_regs;
+                    intersect_many_by(
+                        k,
+                        |i| slots[oregs[i]].as_slice(),
+                        &mut order_buf,
+                        buf,
+                        &mut scratch,
+                    );
                 } else {
-                    let mut scratch = std::mem::take(&mut self.scratch);
                     let mut scratch2 = std::mem::take(&mut self.scratch2);
-                    intersect_many_into(&regs, &mut scratch, &mut scratch2);
+                    {
+                        let slots = &self.slots;
+                        let oregs = &self.operand_regs;
+                        intersect_many_by(
+                            k,
+                            |i| slots[oregs[i]].as_slice(),
+                            &mut order_buf,
+                            &mut scratch,
+                            &mut scratch2,
+                        );
+                    }
+                    let order = self.order;
+                    let f = &self.f;
                     for &x in &scratch {
-                        if self.passes_filters(x, filters) {
+                        if passes_filters(order, f, x, filters) {
                             buf.push(x);
                         }
                     }
-                    self.scratch = scratch;
                     self.scratch2 = scratch2;
                 }
+                self.scratch = scratch;
+                self.order_buf = order_buf;
             }
         }
     }
@@ -757,5 +1059,130 @@ mod tests {
             assert!(g.has_edge(matched[1], matched[2]));
             assert!(g.has_edge(matched[0], matched[2]));
         }
+    }
+
+    #[test]
+    fn pooled_buffers_are_reused_across_tasks() {
+        let g = gen::erdos_renyi_gnm(60, 250, 3);
+        let p = queries::q5();
+        let plan = PlanBuilder::new(&p).best_plan();
+        let compiled = CompiledPlan::compile(&plan);
+        let source = InMemorySource::from_graph(&g);
+        let order = benu_graph::TotalOrder::new(&g);
+        let mut engine = LocalEngine::new(&compiled, &source, &order);
+        let mut c = CountingConsumer::default();
+        engine.run_all_vertices(&mut c);
+        let warm = engine.pool_stats();
+        assert!(
+            warm.hits > 0,
+            "buffers must cycle through the pool: {warm:?}"
+        );
+        assert!(warm.returns > 0, "task boundaries return buffers: {warm:?}");
+        // Steady state: a second pass over the same tasks allocates no new
+        // buffers — every take is a pool hit.
+        engine.run_all_vertices(&mut c);
+        let steady = engine.pool_stats();
+        assert_eq!(
+            steady.misses, warm.misses,
+            "steady-state takes must all be pool hits"
+        );
+        assert!(steady.hits > warm.hits);
+    }
+
+    #[test]
+    fn pooled_and_unpooled_runs_are_byte_identical() {
+        let g = gen::erdos_renyi_gnm(50, 200, 7);
+        let mut plans = vec![
+            ("q5", PlanBuilder::new(&queries::q5()).best_plan()),
+            (
+                "triangle/compressed",
+                PlanBuilder::new(&queries::triangle())
+                    .compressed(true)
+                    .best_plan(),
+            ),
+        ];
+        {
+            use benu_plan::optimize::OptimizeOptions;
+            let p = queries::clique(4);
+            let base = PlanBuilder::new(&p).best_plan();
+            plans.push((
+                "clique4/kcache",
+                PlanBuilder::new(&p)
+                    .matching_order(base.matching_order.clone())
+                    .optimizations(OptimizeOptions::all_with_clique_cache())
+                    .build(),
+            ));
+        }
+        for (name, plan) in plans {
+            let compiled = CompiledPlan::compile(&plan);
+            let source = InMemorySource::from_graph(&g);
+            let order = benu_graph::TotalOrder::new(&g);
+
+            let mut pooled = LocalEngine::new(&compiled, &source, &order).with_pooling(true);
+            let mut cp = CollectingConsumer::default();
+            let mp = pooled.run_all_vertices(&mut cp);
+
+            let mut unpooled = LocalEngine::new(&compiled, &source, &order).with_pooling(false);
+            let mut cu = CollectingConsumer::default();
+            let mu = unpooled.run_all_vertices(&mut cu);
+
+            assert_eq!(mp, mu, "{name}: metrics diverge pooled vs unpooled");
+            let mut ep = cp.into_matches();
+            let mut eu = cu.into_matches();
+            ep.sort_unstable();
+            eu.sort_unstable();
+            assert_eq!(ep, eu, "{name}: embeddings diverge pooled vs unpooled");
+            assert_eq!(
+                unpooled.pool_stats(),
+                PoolStats::default(),
+                "{name}: unpooled engine must never touch the pool"
+            );
+        }
+    }
+
+    #[test]
+    fn kcache_has_its_own_counter() {
+        use benu_plan::optimize::OptimizeOptions;
+        let g = gen::complete(10);
+        let p = queries::clique(5);
+        let plan = PlanBuilder::new(&p)
+            .matching_order(vec![0, 1, 2, 3, 4])
+            .optimizations(OptimizeOptions::all_with_clique_cache())
+            .build();
+        let compiled = CompiledPlan::compile(&plan);
+        let source = InMemorySource::from_graph(&g);
+        let order = benu_graph::TotalOrder::new(&g);
+        let mut engine = LocalEngine::new(&compiled, &source, &order);
+        let mut c = CountingConsumer::default();
+        let m = engine.run_all_vertices(&mut c);
+        assert!(
+            m.kcache_executions > 0,
+            "clique-cached plan must count KCache executions"
+        );
+
+        // A plan with no clique cache must leave the counter at zero even
+        // when the triangle cache is busy (the misattribution this fixes).
+        let plan2 = PlanBuilder::new(&queries::demo_pattern())
+            .matching_order(vec![0, 2, 4, 1, 5, 3])
+            .build();
+        let compiled2 = CompiledPlan::compile(&plan2);
+        let g2 = gen::complete(8);
+        let source2 = InMemorySource::from_graph(&g2);
+        let order2 = benu_graph::TotalOrder::new(&g2);
+        let mut engine2 = LocalEngine::new(&compiled2, &source2, &order2);
+        let m2 = engine2.run_all_vertices(&mut c);
+        assert!(m2.trc_executions > 0);
+        assert_eq!(m2.kcache_executions, 0);
+
+        let registry = benu_obs::Registry::new();
+        m.record_into(&registry);
+        assert_eq!(
+            registry.counter("engine.kcache_executions").get(),
+            m.kcache_executions
+        );
+        assert_eq!(
+            registry.counter("engine.trc_executions").get(),
+            m.trc_executions
+        );
     }
 }

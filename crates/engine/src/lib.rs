@@ -33,7 +33,7 @@ pub mod task;
 
 pub use compile::CompiledPlan;
 pub use consumer::{CollectingConsumer, CountingConsumer, FnConsumer, MatchConsumer};
-pub use exec::{LocalEngine, TaskMetrics};
+pub use exec::{LocalEngine, PoolStats, TaskMetrics};
 pub use source::{DataSource, InMemorySource, KvSource};
 pub use task::{SearchTask, SplitSpec};
 

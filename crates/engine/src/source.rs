@@ -12,6 +12,7 @@
 use benu_cache::DbCache;
 use benu_graph::{AdjSet, Graph, VertexId};
 use benu_kvstore::KvStore;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Resolves adjacency sets for DBQ instructions. Implementations must be
@@ -65,15 +66,30 @@ impl DataSource for InMemorySource {
 
 /// The distributed-database stack: per-machine cache over the sharded
 /// store.
+///
+/// A vertex the store does not hold is *not* a panic: both the single-get
+/// and the batched path record it in a first-missing slot (mirroring the
+/// cluster worker's structured `MissingVertex` error path) and answer
+/// with an empty adjacency set, so a corrupted load degrades into a
+/// checkable error instead of aborting the process mid-batch. Callers
+/// that care must check [`KvSource::first_missing`] after a run.
 pub struct KvSource {
     store: Arc<KvStore>,
     cache: Arc<DbCache>,
+    /// First vertex observed missing (`MISSING_NONE` when clean).
+    first_missing: AtomicU64,
 }
+
+const MISSING_NONE: u64 = u64::MAX;
 
 impl KvSource {
     /// Fronts `store` with `cache`.
     pub fn new(store: Arc<KvStore>, cache: Arc<DbCache>) -> Self {
-        KvSource { store, cache }
+        KvSource {
+            store,
+            cache,
+            first_missing: AtomicU64::new(MISSING_NONE),
+        }
     }
 
     /// The cache (for stats inspection).
@@ -85,6 +101,28 @@ impl KvSource {
     pub fn store(&self) -> &KvStore {
         &self.store
     }
+
+    /// The first vertex any lookup found missing from the store, if any.
+    /// Single-get and batched lookups share this path, so prefetch-style
+    /// batching cannot change how corruption surfaces.
+    pub fn first_missing(&self) -> Option<VertexId> {
+        match self.first_missing.load(Ordering::Acquire) {
+            MISSING_NONE => None,
+            v => Some(v as VertexId),
+        }
+    }
+
+    /// Shared missing-vertex path: record the first offender, answer an
+    /// empty set.
+    fn missing(&self, v: VertexId) -> Arc<AdjSet> {
+        let _ = self.first_missing.compare_exchange(
+            MISSING_NONE,
+            v as u64,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+        Arc::new(AdjSet::new())
+    }
 }
 
 impl DataSource for KvSource {
@@ -94,13 +132,10 @@ impl DataSource for KvSource {
 
     fn get_adj(&self, v: VertexId) -> Arc<AdjSet> {
         let store = &self.store;
-        self.cache
-            .get_or_fetch(v, || {
-                store
-                    .get(v)
-                    .ok_or_else(|| format!("vertex {v} missing from KV store"))
-            })
-            .expect("data graph vertex must exist in the store")
+        match self.cache.get_or_fetch(v, || store.get(v).ok_or(())) {
+            Ok(adj) => adj,
+            Err(()) => self.missing(v),
+        }
     }
 
     fn get_adj_batch(&self, vs: &[VertexId]) -> Vec<Arc<AdjSet>> {
@@ -119,10 +154,13 @@ impl DataSource for KvSource {
         if !missing_keys.is_empty() {
             let batch = self.store.get_many(&missing_keys);
             for (j, value) in batch.values.into_iter().enumerate() {
-                let adj = value
-                    .unwrap_or_else(|| panic!("vertex {} missing from KV store", missing_keys[j]));
-                self.cache.insert(missing_keys[j], Arc::clone(&adj));
-                out[missing_slots[j]] = Some(adj);
+                out[missing_slots[j]] = Some(match value {
+                    Some(adj) => {
+                        self.cache.insert(missing_keys[j], Arc::clone(&adj));
+                        adj
+                    }
+                    None => self.missing(missing_keys[j]),
+                });
             }
         }
         out.into_iter()
@@ -187,6 +225,33 @@ mod tests {
         assert_eq!(sets[0].as_slice(), g.neighbors(4));
         assert_eq!(sets[1].as_slice(), g.neighbors(0));
         assert_eq!(sets[2].as_slice(), g.neighbors(2));
+    }
+
+    #[test]
+    fn missing_vertex_is_structured_not_a_panic_in_both_paths() {
+        let g = gen::complete(6);
+        let mut store = KvStore::from_graph(&g, 3);
+        assert!(store.remove_vertex(4), "corrupt the store");
+        let store = Arc::new(store);
+
+        // Single-get path.
+        let src = KvSource::new(Arc::clone(&store), Arc::new(DbCache::new(1 << 16, 2)));
+        assert!(src.first_missing().is_none());
+        let adj = src.get_adj(4);
+        assert!(adj.is_empty(), "missing vertex answers the empty set");
+        assert_eq!(src.first_missing(), Some(4));
+
+        // Batched path: identical behaviour, same structured surface.
+        let src2 = KvSource::new(Arc::clone(&store), Arc::new(DbCache::new(1 << 16, 2)));
+        let sets = src2.get_adj_batch(&[0, 4, 5]);
+        assert_eq!(sets[0].as_slice(), g.neighbors(0));
+        assert!(sets[1].is_empty());
+        assert_eq!(sets[2].as_slice(), g.neighbors(5));
+        assert_eq!(src2.first_missing(), Some(4));
+
+        // The first offender is kept, later ones don't overwrite it.
+        src2.get_adj(4);
+        assert_eq!(src2.first_missing(), Some(4));
     }
 
     #[test]

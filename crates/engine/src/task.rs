@@ -59,26 +59,100 @@ impl SearchTask {
 ///
 /// Passing `tau = 0` disables splitting.
 pub fn generate_tasks(g: &Graph, tau: usize, second_adjacent: bool) -> Vec<SearchTask> {
-    let mut tasks = Vec::with_capacity(g.num_vertices());
-    for v in g.vertices() {
-        let candidate_bound = if second_adjacent {
-            g.degree(v)
-        } else {
-            g.num_vertices()
-        };
-        if tau > 0 && g.degree(v) >= tau && candidate_bound > tau {
-            let total = candidate_bound.div_ceil(tau) as u32;
+    let degrees: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+    generate_tasks_from_degrees(&degrees, tau, second_adjacent)
+}
+
+/// [`generate_tasks`] over a precomputed degree array (`degrees[v]` is
+/// the degree of vertex `v`); the cluster runtime keeps this array
+/// resident so task generation never re-touches the graph. This is the
+/// single implementation of the §V-B split arithmetic — the `Graph`
+/// entry point above delegates here, so the split predicate cannot
+/// drift between the local and cluster runtimes.
+pub fn generate_tasks_from_degrees(
+    degrees: &[u32],
+    tau: usize,
+    second_adjacent: bool,
+) -> Vec<SearchTask> {
+    let n = degrees.len();
+    let mut tasks = Vec::with_capacity(n);
+    for (v, &d) in degrees.iter().enumerate() {
+        let degree = d as usize;
+        let candidate_bound = if second_adjacent { degree } else { n };
+        if tau > 0 && degree >= tau && candidate_bound > tau {
+            let total = subtask_total(candidate_bound, tau);
             for index in 0..total {
                 tasks.push(SearchTask {
-                    start: v,
+                    start: v as VertexId,
                     split: Some(SplitSpec { index, total }),
                 });
             }
         } else {
-            tasks.push(SearchTask::whole(v));
+            tasks.push(SearchTask::whole(v as VertexId));
         }
     }
     tasks
+}
+
+/// Number of subtasks a candidate bound splits into at threshold `tau`.
+///
+/// # Panics
+///
+/// Panics if the count does not fit `u32` (an `as` cast here would
+/// silently truncate and drop candidate ranges).
+fn subtask_total(candidate_bound: usize, tau: usize) -> u32 {
+    u32::try_from(candidate_bound.div_ceil(tau))
+        .expect("subtask count overflows u32 — raise the split threshold τ")
+}
+
+/// How many extra subtasks per execution lane the adaptive threshold
+/// targets (a lane is one worker thread). Keeping a handful of splits
+/// per lane balances hub-vertex skew without flooding the scheduler.
+pub const AUTO_TAU_EXTRA_PER_LANE: usize = 4;
+
+/// Picks a task-splitting threshold τ from the start-vertex degree
+/// distribution (journal refinement of paper §V-B): the smallest τ whose
+/// total *extra* subtasks — Σ over split vertices of `⌈bound/τ⌉ − 1` —
+/// stays within `lanes × AUTO_TAU_EXTRA_PER_LANE`. Smaller τ splits hub
+/// tasks finer (better balance); the budget caps the scheduling overhead
+/// that buys. The extra-subtask count is monotone non-increasing in τ,
+/// so a binary search finds the frontier exactly; the choice is a pure
+/// function of `(degrees, lanes, second_adjacent)` and therefore
+/// deterministic across runs.
+pub fn auto_tau(degrees: &[u32], lanes: usize, second_adjacent: bool) -> usize {
+    let n = degrees.len();
+    let budget = lanes.max(1) * AUTO_TAU_EXTRA_PER_LANE;
+    let extra = |tau: usize| -> usize {
+        degrees
+            .iter()
+            .map(|&d| {
+                let degree = d as usize;
+                let bound = if second_adjacent { degree } else { n };
+                if degree >= tau && bound > tau {
+                    bound.div_ceil(tau) - 1
+                } else {
+                    0
+                }
+            })
+            .sum()
+    };
+    // At τ = max bound nothing splits (extra = 0 ≤ budget), so the
+    // search interval always contains a feasible point.
+    let max_bound = if second_adjacent {
+        degrees.iter().copied().max().unwrap_or(0) as usize
+    } else {
+        n
+    };
+    let (mut lo, mut hi) = (1usize, max_bound.max(1));
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if extra(mid) <= budget {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
 }
 
 #[cfg(test)]
@@ -141,6 +215,121 @@ mod tests {
         let tasks = generate_tasks(&g, 0, true);
         assert_eq!(tasks.len(), g.num_vertices());
         assert!(tasks.iter().all(|t| t.split.is_none()));
+    }
+
+    /// The §V-B audit: for degrees straddling every τ boundary, the
+    /// generated subtask ranges must exactly partition the unsplit
+    /// candidate range — no gap, no overlap, no truncation — and the
+    /// split predicate must fire exactly when `degree ≥ τ ∧ bound > τ`.
+    #[test]
+    fn split_tasks_partition_the_candidate_range_at_tau_boundaries() {
+        for tau in [2usize, 5, 7, 16, 500] {
+            let boundary_degrees = [
+                tau - 1,
+                tau,
+                tau + 1,
+                2 * tau - 1,
+                2 * tau,
+                2 * tau + 1,
+                7 * tau + 3,
+            ];
+            for &degree in &boundary_degrees {
+                for second_adjacent in [true, false] {
+                    // Vertex 0 carries the probed degree; padding vertices
+                    // set |V(G)| (the non-adjacent bound) above τ.
+                    let mut degrees = vec![0u32; tau + 2];
+                    degrees[0] = degree as u32;
+                    let n = degrees.len();
+                    let bound = if second_adjacent { degree } else { n };
+                    let tasks = generate_tasks_from_degrees(&degrees, tau, second_adjacent);
+                    let mine: Vec<&SearchTask> = tasks.iter().filter(|t| t.start == 0).collect();
+                    let should_split = degree >= tau && bound > tau;
+                    if !should_split {
+                        assert_eq!(mine.len(), 1, "τ={tau} degree={degree}");
+                        assert!(mine[0].split.is_none());
+                        continue;
+                    }
+                    let total = bound.div_ceil(tau) as u32;
+                    assert_eq!(mine.len(), total as usize, "τ={tau} degree={degree}");
+                    let mut covered = 0usize;
+                    for (i, t) in mine.iter().enumerate() {
+                        let split = t.split.expect("split task carries its spec");
+                        assert_eq!(split.index, i as u32);
+                        assert_eq!(split.total, total);
+                        let r = split.range(bound);
+                        assert_eq!(
+                            r.start, covered,
+                            "gap or overlap at τ={tau} degree={degree} index={i}"
+                        );
+                        covered = r.end;
+                    }
+                    assert_eq!(
+                        covered, bound,
+                        "subtasks must cover the whole range (τ={tau} degree={degree})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    fn subtask_total_refuses_silent_truncation() {
+        // (u32::MAX + 1) subtasks cannot be represented; the old `as u32`
+        // cast silently wrapped here and dropped candidate ranges.
+        subtask_total(u32::MAX as usize + 1, 1);
+    }
+
+    #[test]
+    fn auto_tau_is_deterministic_and_respects_the_budget() {
+        let g = gen::barabasi_albert(2000, 4, 9);
+        let degrees: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+        for lanes in [1usize, 4, 16] {
+            let tau = auto_tau(&degrees, lanes, true);
+            assert_eq!(tau, auto_tau(&degrees, lanes, true), "must be pure");
+            assert!(tau >= 1);
+            let base = generate_tasks_from_degrees(&degrees, 0, true).len();
+            let split = generate_tasks_from_degrees(&degrees, tau, true).len();
+            assert!(
+                split - base <= lanes * AUTO_TAU_EXTRA_PER_LANE,
+                "lanes={lanes}: {} extra subtasks exceed the budget",
+                split - base
+            );
+        }
+        // More lanes can only split finer (τ non-increasing in lanes).
+        assert!(auto_tau(&degrees, 16, true) <= auto_tau(&degrees, 1, true));
+    }
+
+    #[test]
+    fn auto_tau_splits_the_hub_of_a_star() {
+        // Star hub: one degree-400 vertex among degree-1 leaves. The
+        // adaptive threshold must split the hub into roughly the budget
+        // of extra subtasks instead of leaving it whole.
+        let g = gen::star(400);
+        let degrees: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+        let lanes = 4;
+        let tau = auto_tau(&degrees, lanes, true);
+        let tasks = generate_tasks_from_degrees(&degrees, tau, true);
+        let hub_tasks = tasks.iter().filter(|t| t.start == 0).count();
+        let budget = lanes * AUTO_TAU_EXTRA_PER_LANE;
+        assert!(hub_tasks > 1, "the hub must split (τ={tau})");
+        assert!(
+            hub_tasks <= budget + 1,
+            "hub split into {hub_tasks} subtasks, budget is {budget} extra"
+        );
+        // Exactness: split and unsplit task lists enumerate the same work.
+        let plan = benu_plan::PlanBuilder::new(&benu_pattern::queries::triangle()).best_plan();
+        let compiled = crate::CompiledPlan::compile(&plan);
+        let source = crate::InMemorySource::from_graph(&g);
+        let order = benu_graph::TotalOrder::new(&g);
+        let mut engine = crate::LocalEngine::new(&compiled, &source, &order);
+        let mut c = crate::CountingConsumer::default();
+        let whole = engine.run_all_vertices(&mut c).matches;
+        let mut split_total = 0u64;
+        for t in generate_tasks_from_degrees(&degrees, tau, compiled.second_adjacent) {
+            split_total += engine.run_task(t, &mut c).matches;
+        }
+        assert_eq!(whole, split_total, "adaptive τ changed the count");
     }
 
     #[test]

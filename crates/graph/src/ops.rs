@@ -110,20 +110,39 @@ pub fn intersect_many_into(
     out: &mut Vec<VertexId>,
     scratch: &mut Vec<VertexId>,
 ) {
+    let mut order = Vec::new();
+    intersect_many_by(sets.len(), |i| sets[i], &mut order, out, scratch);
+}
+
+/// Intersects `k` sorted slices, addressed by index through `get`, into
+/// `out`. The index indirection lets callers keep operands in a slot
+/// file (or any other owner) without materialising a `Vec<&[VertexId]>`
+/// per call, and `order` is a caller-owned index buffer reused across
+/// calls, so a steady-state caller performs no allocation at all.
+/// Operands are visited smallest-first; the loop short-circuits as soon
+/// as the running intermediate is empty.
+pub fn intersect_many_by<'a>(
+    k: usize,
+    get: impl Fn(usize) -> &'a [VertexId],
+    order: &mut Vec<usize>,
+    out: &mut Vec<VertexId>,
+    scratch: &mut Vec<VertexId>,
+) {
     out.clear();
-    match sets.len() {
+    match k {
         0 => {}
-        1 => out.extend_from_slice(sets[0]),
+        1 => out.extend_from_slice(get(0)),
         _ => {
-            let mut order: Vec<usize> = (0..sets.len()).collect();
-            order.sort_unstable_by_key(|&i| sets[i].len());
-            intersect_into(sets[order[0]], sets[order[1]], out);
+            order.clear();
+            order.extend(0..k);
+            order.sort_unstable_by_key(|&i| get(i).len());
+            intersect_into(get(order[0]), get(order[1]), out);
             for &i in &order[2..] {
                 if out.is_empty() {
                     return;
                 }
                 std::mem::swap(out, scratch);
-                intersect_into(scratch, sets[i], out);
+                intersect_into(scratch, get(i), out);
             }
         }
     }
@@ -239,6 +258,89 @@ mod tests {
         let (mut out, mut scratch) = (Vec::new(), Vec::new());
         intersect_many_into(&sets, &mut out, &mut scratch);
         assert!(out.is_empty());
+    }
+
+    /// Deterministic xorshift so the adversarial fan needs no external
+    /// RNG crate.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_sorted_set(seed: &mut u64, len: usize, universe: u64) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..len)
+            .map(|_| (xorshift(seed) % universe.max(1)) as u32)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Property fan: the adaptive dispatch must agree with the naive
+    /// intersection on size ratios that straddle `GALLOP_RATIO` (the
+    /// merge→gallop switchover), where a bug in either kernel or in the
+    /// dispatch predicate would show as a divergence.
+    #[test]
+    fn adaptive_dispatch_matches_naive_across_the_gallop_boundary() {
+        let mut seed = 0x5eed_cafe_u64;
+        let small_lens = [1usize, 2, 3, 7, 16];
+        // Ratios just below, at, and above the switchover, plus extremes.
+        let ratios = [
+            GALLOP_RATIO - 1,
+            GALLOP_RATIO,
+            GALLOP_RATIO + 1,
+            2 * GALLOP_RATIO,
+            1,
+        ];
+        let mut out = Vec::new();
+        for &small_len in &small_lens {
+            for &ratio in &ratios {
+                for universe_scale in [1u64, 4, 64] {
+                    let large_len = small_len * ratio;
+                    let universe = (large_len as u64 * universe_scale).max(2);
+                    let a = random_sorted_set(&mut seed, small_len, universe);
+                    let b = random_sorted_set(&mut seed, large_len, universe);
+                    let expect = naive(&a, &b);
+                    intersect_into(&a, &b, &mut out);
+                    assert_eq!(out, expect, "a={a:?} b={b:?}");
+                    intersect_into(&b, &a, &mut out);
+                    assert_eq!(out, expect, "operand order must not matter");
+                    assert_eq!(intersect_count(&a, &b), expect.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_dispatch_handles_empty_and_disjoint_operands() {
+        let mut out = vec![99];
+        intersect_into(&[], &[1, 2, 3], &mut out);
+        assert!(out.is_empty(), "empty small side");
+        let big: Vec<u32> = (0..1_000).map(|x| x * 2).collect();
+        intersect_into(&[1, 3, 5], &big, &mut out);
+        assert!(out.is_empty(), "disjoint skewed operands");
+    }
+
+    #[test]
+    fn intersect_many_by_matches_slice_api_and_reuses_order_buffer() {
+        let a = vec![1u32, 2, 3, 4, 5, 6];
+        let b = vec![2, 4, 6, 8];
+        let c = vec![4, 5, 6, 7];
+        let slots = [a.clone(), b.clone(), c.clone()];
+        let (mut out, mut scratch, mut order) = (Vec::new(), Vec::new(), Vec::new());
+        intersect_many_by(3, |i| &slots[i], &mut order, &mut out, &mut scratch);
+        assert_eq!(out, vec![4, 6]);
+        let order_cap = order.capacity();
+        // A second call reuses the order buffer's capacity.
+        intersect_many_by(3, |i| &slots[i], &mut order, &mut out, &mut scratch);
+        assert_eq!(out, vec![4, 6]);
+        assert_eq!(order.capacity(), order_cap);
+        // And the slice-based API is a thin wrapper over the same code.
+        let sets: Vec<&[u32]> = vec![&a, &b, &c];
+        intersect_many_into(&sets, &mut out, &mut scratch);
+        assert_eq!(out, vec![4, 6]);
     }
 
     #[test]

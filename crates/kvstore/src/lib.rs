@@ -255,6 +255,20 @@ impl KvStore {
         Some(decoded)
     }
 
+    /// Chaos hook: silently drops vertex `v` from every replica shard,
+    /// leaving `num_vertices` — and thus any task list derived from it —
+    /// unchanged. The store now disagrees with the data graph, which is
+    /// exactly the corruption the missing-vertex error path exists to
+    /// surface. Returns true if the vertex was present.
+    pub fn remove_vertex(&mut self, v: VertexId) -> bool {
+        let mut removed = false;
+        for offset in 0..self.replication {
+            let s = self.replica_shard(v, offset);
+            removed |= self.shards[s].values.remove(&v).is_some();
+        }
+        removed
+    }
+
     /// Fetches a batch of adjacency sets, grouping the keys by shard so
     /// each touched shard is charged exactly one round trip regardless of
     /// how many of its keys appear in `keys` (the HBase `multi-get`

@@ -31,6 +31,7 @@
 //! enough to stay on in production (< 3% on the fig9 enumeration
 //! workload).
 
+pub mod alloc;
 pub mod metrics;
 pub mod report;
 pub mod trace;
