@@ -14,14 +14,19 @@
 //! cargo run --release -p benu-bench --bin degradation_curve -- \
 //!     [--scale 0.05] [--query q3] [--dataset ok] [--workers 4] \
 //!     [--fault-seed 0] [--crash 1:50] [--scheduler ws] [--json out.json] \
-//!     [--shard-outage] [--replication 2]
+//!     [--shard-outage] [--replication 2] \
+//!     [--exec-mode dfs|hybrid] [--memory-budget 256k]
 //! ```
+//!
+//! `--exec-mode`/`--memory-budget` come from the shared parser in
+//! `benu_bench::cli`, so this bin, `hotpath` and `budget_sweep` accept
+//! the exact same spellings.
 
 use benu_bench::cli::Args;
 use benu_bench::impl_to_json;
 use benu_bench::report::BenchReport;
 use benu_bench::{load_dataset, print_table};
-use benu_cluster::{Cluster, ClusterConfig, RunOutcome, SchedulerKind};
+use benu_cluster::{Cluster, ClusterConfig, ExecMode, RunOutcome, SchedulerKind};
 use benu_fault::FaultPlan;
 use benu_graph::datasets::Dataset;
 use benu_graph::Graph;
@@ -122,11 +127,15 @@ fn main() {
         .graph_stats(g.num_vertices(), g.num_edges())
         .compressed(true)
         .best_plan();
+    let exec_mode = args.exec_mode().unwrap_or(ExecMode::Dfs);
+    let memory_budget = args.memory_budget_bytes().unwrap_or(0);
     let config = ClusterConfig::builder()
         .workers(workers)
         .threads_per_worker(threads)
         .scheduler(scheduler)
         .replication(replication)
+        .exec_mode(exec_mode)
+        .memory_budget_bytes(memory_budget)
         .build();
 
     let mut report = BenchReport::new("degradation_curve");
@@ -137,6 +146,8 @@ fn main() {
         .param("workers", workers as u64)
         .param("threads", threads as u64)
         .param("scheduler", scheduler.name())
+        .param("exec_mode", exec_mode.name())
+        .param("memory_budget_bytes", memory_budget as u64)
         .param("replication", replication as u64)
         .param(
             "mode",

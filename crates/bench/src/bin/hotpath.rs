@@ -15,8 +15,14 @@
 //! ```text
 //! cargo run --release -p benu-bench --bin hotpath -- \
 //!     [--dataset uk] [--scale 0.05] [--tau 32] [--iters 3] \
+//!     [--exec-mode dfs|hybrid] [--memory-budget 256k] \
 //!     [--json BENCH_hotpath.json] [--check-against BENCH_hotpath.json]
 //! ```
+//!
+//! `--exec-mode hybrid` drives the same task list through a
+//! [`FrontierEngine`] under `--memory-budget` (shared CLI parser with
+//! `degradation_curve`/`budget_sweep`); the default is the DFS engine,
+//! which is what the committed `--check-against` baseline measures.
 //!
 //! `--check-against` compares this run's pooled throughput per workload
 //! against a previously committed report and exits nonzero on a >20%
@@ -25,7 +31,11 @@
 use benu_bench::cli::Args;
 use benu_bench::impl_to_json;
 use benu_bench::{load_dataset, print_table};
-use benu_engine::{CompiledPlan, CountingConsumer, InMemorySource, LocalEngine};
+use benu_cluster::ExecMode;
+use benu_engine::{
+    CompiledPlan, CountingConsumer, FrontierEngine, InMemorySource, LocalEngine, MemoryBudget,
+    PoolStats,
+};
 use benu_graph::datasets::Dataset;
 use benu_graph::TotalOrder;
 use benu_obs::alloc::{AllocSnapshot, CountingAllocator};
@@ -78,6 +88,46 @@ struct Workload<'a> {
     order: &'a TotalOrder,
     tasks: &'a [benu_engine::SearchTask],
     iters: usize,
+    mode: ExecMode,
+    budget: usize,
+}
+
+/// The measured execution driver: the plain DFS engine, or the hybrid
+/// frontier engine batching `FRONTIER_BATCH` tasks per `run_batch`.
+enum Driver<'a> {
+    Dfs(LocalEngine<'a, InMemorySource>),
+    Hybrid(FrontierEngine<'a, InMemorySource>),
+}
+
+const FRONTIER_BATCH: usize = 64;
+
+impl Driver<'_> {
+    fn run_pass(
+        &mut self,
+        tasks: &[benu_engine::SearchTask],
+        consumer: &mut CountingConsumer,
+    ) -> u64 {
+        match self {
+            Driver::Dfs(engine) => {
+                let mut total = 0;
+                for &task in tasks {
+                    total += engine.run_task(task, consumer).matches;
+                }
+                total
+            }
+            Driver::Hybrid(fe) => tasks
+                .chunks(FRONTIER_BATCH)
+                .map(|chunk| fe.run_batch(chunk, consumer).matches)
+                .sum(),
+        }
+    }
+
+    fn pool_stats(&self) -> PoolStats {
+        match self {
+            Driver::Dfs(engine) => engine.pool_stats(),
+            Driver::Hybrid(fe) => fe.pool_stats(),
+        }
+    }
 }
 
 /// One measured arm: warmup pass, then `iters` timed passes keeping the
@@ -90,18 +140,26 @@ fn measure(w: &Workload<'_>, arm: &str, pooled: bool) -> Row {
         order,
         tasks,
         iters,
+        mode,
+        budget,
     } = *w;
     // Oversize the per-thread caches relative to the workload: the bench
     // measures the interpreter's hot loop, and LRU evictions would
     // re-run cache compute closures (which allocate) every pass.
-    let mut engine =
+    let engine =
         LocalEngine::with_triangle_cache(compiled, source, order, 1 << 18).with_pooling(pooled);
+    let mut driver = match mode {
+        ExecMode::Dfs => Driver::Dfs(engine),
+        ExecMode::Hybrid => {
+            Driver::Hybrid(FrontierEngine::new(engine, MemoryBudget::bytes(budget)))
+        }
+    };
     let mut consumer = CountingConsumer::default();
 
     // Warmup: fills the triangle/clique caches and the buffer pool so the
     // measured passes see the steady state both arms would reach in a
     // long-running worker.
-    let warm = run_pass(&mut engine, tasks, &mut consumer);
+    let warm = driver.run_pass(tasks, &mut consumer);
 
     let mut matches = warm;
     let mut best_wall = f64::INFINITY;
@@ -112,7 +170,7 @@ fn measure(w: &Workload<'_>, arm: &str, pooled: bool) -> Row {
     for _ in 0..iters {
         let before = ALLOC.snapshot();
         let start = Instant::now();
-        matches = run_pass(&mut engine, tasks, &mut consumer);
+        matches = driver.run_pass(tasks, &mut consumer);
         let wall = start.elapsed().as_secs_f64();
         let delta = ALLOC.snapshot().delta_since(&before);
         best_wall = best_wall.min(wall);
@@ -120,7 +178,7 @@ fn measure(w: &Workload<'_>, arm: &str, pooled: bool) -> Row {
         steady.bytes = steady.bytes.min(delta.bytes);
     }
 
-    let stats = engine.pool_stats();
+    let stats = driver.pool_stats();
     let n_tasks = tasks.len() as f64;
     Row {
         workload: workload.to_string(),
@@ -135,18 +193,6 @@ fn measure(w: &Workload<'_>, arm: &str, pooled: bool) -> Row {
         pool_misses: stats.misses,
         pool_returns: stats.returns,
     }
-}
-
-fn run_pass(
-    engine: &mut LocalEngine<'_, InMemorySource>,
-    tasks: &[benu_engine::SearchTask],
-    consumer: &mut CountingConsumer,
-) -> u64 {
-    let mut total = 0;
-    for &task in tasks {
-        total += engine.run_task(task, consumer).matches;
-    }
-    total
 }
 
 /// Pulls `matches_per_sec` for the pooled arm of `workload` out of a
@@ -177,6 +223,8 @@ fn main() {
     let scale: f64 = args.get("scale", 0.05);
     let tau: usize = args.get("tau", 32);
     let iters: usize = args.get("iters", 3);
+    let mode = args.exec_mode().unwrap_or(ExecMode::Dfs);
+    let budget = args.memory_budget_bytes().unwrap_or(0);
     let dataset =
         Dataset::from_abbrev(args.get_str("dataset").unwrap_or("uk")).expect("unknown dataset");
     let g = load_dataset(dataset, scale);
@@ -212,6 +260,8 @@ fn main() {
             order: &order,
             tasks: &tasks,
             iters,
+            mode,
+            budget,
         };
 
         let pooled = measure(&w, "pooled", true);
@@ -225,8 +275,10 @@ fn main() {
             0,
             "{name}: a disabled pool must be inert"
         );
+        // The hybrid driver allocates frontier entries per pass, so the
+        // allocation-free steady-state bar applies to the DFS loop only.
         assert!(
-            pooled.allocs_per_task < 1.0,
+            mode == ExecMode::Hybrid || pooled.allocs_per_task < 1.0,
             "{name}: pooled steady state should be allocation-free, saw {:.2} allocs/task",
             pooled.allocs_per_task
         );
@@ -251,7 +303,7 @@ fn main() {
     }
 
     println!(
-        "\nHot-path throughput on {} (scale {scale}, tau {tau}, best of {iters}):",
+        "\nHot-path throughput on {} (scale {scale}, tau {tau}, {mode}, best of {iters}):",
         dataset.abbrev()
     );
     print_table(
@@ -278,7 +330,9 @@ fn main() {
             .param("dataset", dataset.abbrev())
             .param("scale", scale)
             .param("tau", tau as u64)
-            .param("iters", iters as u64);
+            .param("iters", iters as u64)
+            .param("exec_mode", mode.name())
+            .param("memory_budget_bytes", budget as u64);
         for (name, speedup) in &speedups {
             report.param(&format!("{name}.pooled_speedup"), *speedup);
         }

@@ -1,7 +1,7 @@
 //! Minimal flag parsing shared by the experiment binaries (no external
 //! CLI dependency — the offline crate budget is spent on the substrate).
 
-use benu_cluster::SchedulerKind;
+use benu_cluster::{ExecMode, SchedulerKind};
 use benu_fault::FaultPlan;
 use std::collections::HashMap;
 
@@ -110,6 +110,34 @@ impl Args {
         Some(builder.build())
     }
 
+    /// The `--exec-mode` flag parsed into an [`ExecMode`], or `None`
+    /// when absent (binaries default to DFS or sweep both).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown mode name, listing the accepted ones.
+    pub fn exec_mode(&self) -> Option<ExecMode> {
+        self.get_str("exec-mode").map(|s| {
+            s.parse()
+                .unwrap_or_else(|e: String| panic!("--exec-mode: {e}"))
+        })
+    }
+
+    /// The `--memory-budget` flag parsed into bytes, accepting bare
+    /// numbers or `k`/`m`/`g` suffixes (`64k`, `1m`); `0` means
+    /// unbounded. `None` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed size.
+    pub fn memory_budget_bytes(&self) -> Option<usize> {
+        self.get_str("memory-budget").map(|s| {
+            parse_bytes(s).unwrap_or_else(|| {
+                panic!("--memory-budget expects bytes with optional k/m/g suffix, got {s:?}")
+            })
+        })
+    }
+
     /// The `--outage` flag parsed into `(shard, from_pass)` pairs
     /// (comma-separated `shard:from_pass` entries), empty when absent.
     ///
@@ -134,6 +162,18 @@ impl Args {
             })
             .unwrap_or_default()
     }
+}
+
+/// `"64k"` → 65536; bare numbers are bytes; case-insensitive suffix.
+fn parse_bytes(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, shift) = match s.char_indices().last()? {
+        (i, 'k') | (i, 'K') => (&s[..i], 10),
+        (i, 'm') | (i, 'M') => (&s[..i], 20),
+        (i, 'g') | (i, 'G') => (&s[..i], 30),
+        _ => (s, 0),
+    };
+    digits.parse::<usize>().ok()?.checked_shl(shift)
 }
 
 #[cfg(test)]
@@ -203,6 +243,50 @@ mod tests {
     #[should_panic(expected = "--outage expects shard:from_pass")]
     fn malformed_outage_spec_is_rejected() {
         parse("--outage zero").fault_plan(0.0);
+    }
+
+    #[test]
+    fn exec_mode_flag_parses_into_a_mode() {
+        assert_eq!(parse("").exec_mode(), None);
+        assert_eq!(parse("--exec-mode dfs").exec_mode(), Some(ExecMode::Dfs));
+        assert_eq!(
+            parse("--exec-mode hybrid").exec_mode(),
+            Some(ExecMode::Hybrid)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown exec mode")]
+    fn unknown_exec_mode_is_rejected() {
+        parse("--exec-mode bfs").exec_mode();
+    }
+
+    #[test]
+    fn memory_budget_accepts_suffixes() {
+        assert_eq!(parse("").memory_budget_bytes(), None);
+        assert_eq!(parse("--memory-budget 0").memory_budget_bytes(), Some(0));
+        assert_eq!(
+            parse("--memory-budget 4096").memory_budget_bytes(),
+            Some(4096)
+        );
+        assert_eq!(
+            parse("--memory-budget 64k").memory_budget_bytes(),
+            Some(64 << 10)
+        );
+        assert_eq!(
+            parse("--memory-budget 2M").memory_budget_bytes(),
+            Some(2 << 20)
+        );
+        assert_eq!(
+            parse("--memory-budget 1g").memory_budget_bytes(),
+            Some(1 << 30)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--memory-budget expects")]
+    fn malformed_memory_budget_is_rejected() {
+        parse("--memory-budget lots").memory_budget_bytes();
     }
 
     #[test]

@@ -89,6 +89,10 @@ fn snapshot_carries_every_layers_subtree() {
         "\"metrics\"",
         "\"trace\"",
         "\"cache\"",
+        "\"exec_mode\"",
+        "\"pool\"",
+        "\"frontier\"",
+        "\"deduped_keys\"",
     ] {
         assert!(rendered.contains(needle), "missing {needle}");
     }

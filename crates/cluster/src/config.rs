@@ -3,6 +3,49 @@
 use crate::schedule::SchedulerKind;
 use benu_fault::RetryPolicy;
 
+/// How worker threads drive the execution engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Task-at-a-time depth-first backtracking (the paper's execution
+    /// model; minimal memory, one store lookup per DBQ miss).
+    #[default]
+    Dfs,
+    /// Memory-bounded BFS/DFS hybrid: each thread expands a frontier of
+    /// partial embeddings breadth-first while the byte budget allows
+    /// (batching sibling tasks' adjacency fetches into one deduplicated
+    /// multi-get per level) and spills back to DFS when it doesn't.
+    /// Match counts and sets are byte-identical to [`ExecMode::Dfs`].
+    Hybrid,
+}
+
+impl ExecMode {
+    /// Stable lower-case name (used in reports and CLI flags).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecMode::Dfs => "dfs",
+            ExecMode::Hybrid => "hybrid",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dfs" => Ok(ExecMode::Dfs),
+            "hybrid" => Ok(ExecMode::Hybrid),
+            other => Err(format!("unknown exec mode '{other}' (dfs|hybrid)")),
+        }
+    }
+}
+
 /// Shape and tuning of the simulated cluster. The defaults mirror the
 /// paper's deployment scaled to a single machine.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -59,6 +102,14 @@ pub struct ClusterConfig {
     /// as one replica of every placement group remains. Fixed at graph
     /// load, like the shard count.
     pub replication: usize,
+    /// How worker threads drive the engine: classic task-at-a-time DFS
+    /// (the default) or the memory-bounded BFS/DFS hybrid with
+    /// frontier-batched store reads.
+    pub exec_mode: ExecMode,
+    /// Per-worker frontier byte budget for [`ExecMode::Hybrid`] (split
+    /// evenly across the worker's threads); `0` means unbounded. Ignored
+    /// under [`ExecMode::Dfs`].
+    pub memory_budget_bytes: usize,
 }
 
 impl Default for ClusterConfig {
@@ -78,6 +129,8 @@ impl Default for ClusterConfig {
             retry: RetryPolicy::default(),
             speculate_quantile: None,
             replication: 1,
+            exec_mode: ExecMode::Dfs,
+            memory_budget_bytes: 0,
         }
     }
 }
@@ -202,6 +255,19 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Engine driving mode (DFS or the memory-bounded hybrid).
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.0.exec_mode = mode;
+        self
+    }
+
+    /// Per-worker frontier byte budget for hybrid execution (`0` =
+    /// unbounded).
+    pub fn memory_budget_bytes(mut self, n: usize) -> Self {
+        self.0.memory_budget_bytes = n;
+        self
+    }
+
     /// Finalises the configuration.
     ///
     /// # Panics
@@ -255,6 +321,8 @@ mod tests {
             .retry(retry)
             .speculate_quantile(Some(0.9))
             .replication(2)
+            .exec_mode(ExecMode::Hybrid)
+            .memory_budget_bytes(1 << 20)
             .build();
         let literal = ClusterConfig {
             workers: 5,
@@ -271,6 +339,8 @@ mod tests {
             retry,
             speculate_quantile: Some(0.9),
             replication: 2,
+            exec_mode: ExecMode::Hybrid,
+            memory_budget_bytes: 1 << 20,
         };
         assert_eq!(built, literal);
         // Every field above differs from its default, so a builder
@@ -290,6 +360,18 @@ mod tests {
         assert_ne!(built.retry, d.retry);
         assert_ne!(built.speculate_quantile, d.speculate_quantile);
         assert_ne!(built.replication, d.replication);
+        assert_ne!(built.exec_mode, d.exec_mode);
+        assert_ne!(built.memory_budget_bytes, d.memory_budget_bytes);
+    }
+
+    #[test]
+    fn exec_mode_round_trips_through_names() {
+        assert_eq!(ExecMode::default(), ExecMode::Dfs);
+        for mode in [ExecMode::Dfs, ExecMode::Hybrid] {
+            assert_eq!(mode.name().parse::<ExecMode>().unwrap(), mode);
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        assert!("bfs".parse::<ExecMode>().is_err());
     }
 
     #[test]

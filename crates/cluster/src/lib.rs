@@ -44,7 +44,7 @@ pub mod schedule;
 pub mod transport;
 pub mod worker;
 
-pub use config::{ClusterConfig, ClusterConfigBuilder};
+pub use config::{ClusterConfig, ClusterConfigBuilder, ExecMode};
 pub use report::{RecoveryReport, RunOutcome, WorkerReport};
 pub use runtime::Cluster;
 pub use schedule::{Scheduler, SchedulerKind};

@@ -8,9 +8,10 @@
 //! field, leaving exactly the values that are byte-identical across two
 //! executions of the same seeded run.
 
+use crate::config::ExecMode;
 use crate::schedule::SchedulerKind;
 use benu_cache::CacheStats;
-use benu_engine::TaskMetrics;
+use benu_engine::{FrontierStats, PoolStats, TaskMetrics};
 use benu_kvstore::KvStats;
 use benu_obs::{safe_ratio, Report, ReportMode, Value};
 use std::time::Duration;
@@ -50,6 +51,11 @@ pub struct WorkerReport {
     pub cache: CacheStats,
     /// Aggregated triangle-cache statistics of the worker's threads.
     pub triangle_cache: CacheStats,
+    /// Aggregated execution-buffer-pool counters of the worker's threads.
+    pub pool: PoolStats,
+    /// Aggregated hybrid-frontier counters of the worker's threads (all
+    /// zeros under DFS execution).
+    pub frontier: FrontierStats,
 }
 
 /// What the fault-recovery machinery did during a run. All zeros for a
@@ -213,6 +219,14 @@ pub struct RunOutcome {
     pub effective_tau: usize,
     /// The scheduling policy this run used.
     pub scheduler: SchedulerKind,
+    /// The engine driving mode this run used.
+    pub exec_mode: ExecMode,
+    /// Frontier levels expanded with a batched read (zero under DFS).
+    pub frontier_expansions: u64,
+    /// Task batches that exceeded the byte budget and drained via DFS.
+    pub spill_events: u64,
+    /// Largest charged frontier footprint of any single thread, in bytes.
+    pub peak_frontier_bytes: u64,
     /// Per-task durations, when requested in the configuration.
     pub task_times: Option<Vec<Duration>>,
     /// What fault injection and recovery did (all zeros without a fault
@@ -255,6 +269,15 @@ impl RunOutcome {
     /// scheduler).
     pub fn total_steals(&self) -> u64 {
         self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Cluster-wide execution-buffer-pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        let mut total = PoolStats::default();
+        for w in &self.workers {
+            total += w.pool;
+        }
+        total
     }
 
     /// Ratio of the busiest worker's busy time to the least busy
@@ -315,6 +338,7 @@ impl RunOutcome {
         r.set("total_tasks", self.total_tasks);
         r.set("effective_tau", self.effective_tau);
         r.set("scheduler", self.scheduler.to_string());
+        r.set("exec_mode", self.exec_mode.to_string());
         r.set("total_steals", self.total_steals());
         r.set("communication_bytes", self.communication_bytes());
         r.set("cache_hit_rate", self.cache_hit_rate());
@@ -329,12 +353,24 @@ impl RunOutcome {
         engine.set("trc_executions", m.trc_executions);
         engine.set("kcache_executions", m.kcache_executions);
         engine.set("enu_candidates", m.enu_candidates);
+        let pool = self.pool_stats();
+        let mut pool_tree = Report::new();
+        pool_tree.set("hits", pool.hits);
+        pool_tree.set("misses", pool.misses);
+        pool_tree.set("returns", pool.returns);
+        engine.set_tree("pool", pool_tree);
+        let mut frontier = Report::new();
+        frontier.set("expansions", self.frontier_expansions);
+        frontier.set("spill_events", self.spill_events);
+        frontier.set("peak_bytes", self.peak_frontier_bytes);
+        engine.set_tree("frontier", frontier);
         r.set_tree("engine", engine);
 
         let mut store = Report::new();
         store.set("requests", self.kv.requests);
         store.set("keys", self.kv.keys);
         store.set("bytes", self.kv.bytes);
+        store.set("deduped_keys", self.kv.deduped_keys);
         r.set_tree("store", store);
 
         r.set(

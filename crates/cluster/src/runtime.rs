@@ -439,6 +439,8 @@ impl Cluster {
                 report.thread_busy.push(r.busy);
                 report.triangle_cache.hits += r.tri_stats.hits;
                 report.triangle_cache.misses += r.tri_stats.misses;
+                report.pool += r.pool;
+                report.frontier += r.frontier;
                 if let Some(times) = all_task_times.as_mut() {
                     times.extend(r.task_times);
                 }
@@ -543,8 +545,10 @@ impl Cluster {
         drop(spec_span);
 
         let mut metrics = benu_engine::TaskMetrics::default();
+        let mut frontier = benu_engine::FrontierStats::default();
         for r in &reports {
             metrics += r.metrics;
+            frontier += r.frontier;
         }
         if let Some(hub) = &self.obs {
             let reg = &hub.registry;
@@ -584,6 +588,12 @@ impl Cluster {
                 .add(recovery.failovers);
             reg.counter("store.failover.reads")
                 .add(recovery.failover_reads);
+            reg.counter("engine.frontier.expansions")
+                .add(frontier.expansions);
+            reg.counter("engine.frontier.spill_events")
+                .add(frontier.spill_events);
+            reg.counter("engine.frontier.peak_bytes")
+                .add(frontier.peak_bytes);
         }
         let outcome = RunOutcome {
             total_matches: metrics.matches,
@@ -595,6 +605,10 @@ impl Cluster {
             total_tasks,
             effective_tau,
             scheduler: self.config.scheduler,
+            exec_mode: self.config.exec_mode,
+            frontier_expansions: frontier.expansions,
+            spill_events: frontier.spill_events,
+            peak_frontier_bytes: frontier.peak_bytes,
             task_times: all_task_times,
             recovery,
         };

@@ -11,14 +11,14 @@
 //! the thread books them with the run's `RecoveryCtx` and stops, and
 //! the runtime re-executes the lost tasks in a recovery pass.
 
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, ExecMode};
 use crate::recovery::{RecoveryCtx, TaskFate};
 use crate::schedule::Scheduler;
 use crate::transport::{Transport, TransportError};
 use benu_cache::DbCache;
 use benu_engine::{
-    CollectingConsumer, CompiledPlan, CountingConsumer, DataSource, LocalEngine, MatchConsumer,
-    SearchTask, TaskMetrics,
+    CollectingConsumer, CompiledPlan, CountingConsumer, DataSource, FrontierEngine, FrontierStats,
+    LocalEngine, MatchConsumer, MemoryBudget, PoolStats, SearchTask, TaskMetrics,
 };
 use benu_graph::{AdjSet, TotalOrder, VertexId};
 use parking_lot::Mutex;
@@ -366,8 +366,30 @@ pub struct ThreadResult {
     /// straggler speculation is configured.
     pub(crate) timed_tasks: Vec<(SearchTask, Duration)>,
     pub(crate) tri_stats: benu_cache::CacheStats,
+    pub(crate) pool: PoolStats,
+    pub(crate) frontier: FrontierStats,
     pub(crate) matches: Option<Vec<Vec<VertexId>>>,
 }
+
+impl ThreadResult {
+    fn empty() -> Self {
+        ThreadResult {
+            metrics: TaskMetrics::default(),
+            busy: Duration::ZERO,
+            executed: 0,
+            task_times: Vec::new(),
+            timed_tasks: Vec::new(),
+            tri_stats: benu_cache::CacheStats::default(),
+            pool: PoolStats::default(),
+            frontier: FrontierStats::default(),
+            matches: None,
+        }
+    }
+}
+
+/// Tasks pulled per hybrid batch: enough siblings to share hub fetches,
+/// small enough that a crash loses little booked work.
+const FRONTIER_TASK_BATCH: usize = 64;
 
 /// One worker machine's execution context, shared by its threads.
 pub struct Worker<'a> {
@@ -392,6 +414,14 @@ impl Worker<'_> {
     /// the virtual latency (retry backoff, slow shards) their store
     /// traffic was charged.
     pub fn run_thread(&self, collect: bool) -> Result<ThreadResult, WorkerError> {
+        match self.config.exec_mode {
+            ExecMode::Dfs => self.run_thread_dfs(collect),
+            ExecMode::Hybrid => self.run_thread_hybrid(collect),
+        }
+    }
+
+    /// Classic task-at-a-time DFS (the paper's execution model).
+    fn run_thread_dfs(&self, collect: bool) -> Result<ThreadResult, WorkerError> {
         let source = WorkerSource::new(
             self.id,
             self.transport,
@@ -408,15 +438,7 @@ impl Worker<'_> {
         .with_pooling(self.config.pooled_buffers);
         let mut counting = CountingConsumer::default();
         let mut collecting = CollectingConsumer::default();
-        let mut result = ThreadResult {
-            metrics: TaskMetrics::default(),
-            busy: Duration::ZERO,
-            executed: 0,
-            task_times: Vec::new(),
-            timed_tasks: Vec::new(),
-            tri_stats: benu_cache::CacheStats::default(),
-            matches: None,
-        };
+        let mut result = ThreadResult::empty();
         let prefetch = self.config.prefetch_frontier && self.config.cache_capacity_bytes > 0;
         let record_timed = self.config.speculate_quantile.is_some();
         let _ = Transport::take_task_penalty();
@@ -478,11 +500,127 @@ impl Worker<'_> {
         }
         source.set_current(None);
         result.tri_stats = engine.triangle_cache_stats();
+        result.pool = engine.pool_stats();
         if collect {
             result.matches = Some(collecting.into_matches());
         }
         // Another thread may have failed while this one drained cleanly:
         // surface that error so the run aborts deterministically.
+        match self.errors.first() {
+            Some(err) => Err(err),
+            None => Ok(result),
+        }
+    }
+
+    /// Memory-bounded BFS/DFS hybrid: pulls tasks in batches and expands
+    /// them level-synchronously through a [`FrontierEngine`], so sibling
+    /// tasks share one deduplicated batched store read per expansion
+    /// level. The per-worker byte budget is split evenly across the
+    /// worker's threads; exceeding it makes the frontier spill back to
+    /// DFS at the current batch, which always runs to completion — crash
+    /// recovery requeues whole tasks, and spills land on task boundaries.
+    fn run_thread_hybrid(&self, collect: bool) -> Result<ThreadResult, WorkerError> {
+        let source = WorkerSource::new(
+            self.id,
+            self.transport,
+            self.cache,
+            self.errors,
+            self.attempt,
+        );
+        let engine = LocalEngine::with_triangle_cache(
+            self.compiled,
+            &source,
+            self.order,
+            self.config.triangle_cache_entries,
+        )
+        .with_pooling(self.config.pooled_buffers);
+        let per_thread = self.config.memory_budget_bytes / self.config.threads_per_worker.max(1);
+        let mut fe = FrontierEngine::new(engine, MemoryBudget::bytes(per_thread));
+        let mut counting = CountingConsumer::default();
+        let mut collecting = CollectingConsumer::default();
+        let mut result = ThreadResult::empty();
+        let record_timed = self.config.speculate_quantile.is_some();
+        let _ = Transport::take_task_penalty();
+        'batches: while !self.errors.aborted() {
+            if self.recovery.is_some_and(|rc| rc.is_dead(self.id)) {
+                break;
+            }
+            let mut batch = Vec::new();
+            while batch.len() < FRONTIER_TASK_BATCH {
+                match self.scheduler.next(self.id) {
+                    Some(task) => batch.push(task),
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            // Error context names the batch head; the batch shares its
+            // store traffic, so a finer attribution does not exist.
+            source.set_current(Some(batch[0]));
+            let t0 = Instant::now();
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                let consumer: &mut dyn MatchConsumer = if collect {
+                    &mut collecting
+                } else {
+                    &mut counting
+                };
+                fe.run_batch(&batch, consumer)
+            }));
+            let dt = t0.elapsed() + Transport::take_task_penalty();
+            match run {
+                Ok(metrics) => {
+                    result.metrics += metrics;
+                    result.executed += batch.len();
+                }
+                Err(_) => {
+                    let err = WorkerError::TaskPanicked {
+                        worker: self.id,
+                        task: batch[0],
+                        attempt: self.attempt,
+                    };
+                    self.errors.record(err.clone());
+                    return Err(err);
+                }
+            }
+            result.busy += dt;
+            let share = dt / batch.len() as u32;
+            if self.config.collect_task_times {
+                result.task_times.extend(batch.iter().map(|_| share));
+            }
+            if record_timed {
+                result.timed_tasks.extend(batch.iter().map(|&t| (t, share)));
+            }
+            if let Some(rc) = self.recovery {
+                // Book the whole completed batch in pull order. A crash
+                // boundary inside it kills the machine: `task_done`
+                // requeues everything booked so far, and the rest of the
+                // batch — executed but never booked — must be requeued
+                // here (the dead worker's results are discarded
+                // wholesale, so nothing double-counts).
+                for (i, &task) in batch.iter().enumerate() {
+                    match rc.task_done(self.id, task) {
+                        TaskFate::Counted => {}
+                        TaskFate::Crashed => {
+                            rc.requeue_all(batch[i + 1..].to_vec());
+                            rc.requeue_all(self.scheduler.drain(self.id));
+                            break 'batches;
+                        }
+                        TaskFate::Lost => {
+                            rc.requeue_all(batch[i + 1..].to_vec());
+                            break 'batches;
+                        }
+                    }
+                }
+            }
+        }
+        source.set_current(None);
+        result.tri_stats = fe.triangle_cache_stats();
+        result.pool = fe.pool_stats();
+        result.frontier = fe.stats();
+        if collect {
+            result.matches = Some(collecting.into_matches());
+        }
         match self.errors.first() {
             Some(err) => Err(err),
             None => Ok(result),

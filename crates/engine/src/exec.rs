@@ -22,7 +22,7 @@ use benu_plan::FilterOp;
 use std::sync::Arc;
 
 /// Marker for an unmapped pattern vertex.
-const UNSET: VertexId = VertexId::MAX;
+pub(crate) const UNSET: VertexId = VertexId::MAX;
 
 /// Default capacity of the per-thread triangle cache (entries).
 pub const DEFAULT_TRIANGLE_CACHE_ENTRIES: usize = 1 << 14;
@@ -103,6 +103,14 @@ pub struct PoolStats {
     pub returns: u64,
 }
 
+impl std::ops::AddAssign for PoolStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.returns += rhs.returns;
+    }
+}
+
 /// A free-list of `Vec<VertexId>` buffers recycled across instructions
 /// and tasks, so the steady-state hot loop performs no allocation: every
 /// displaced `Slot::Buf` returns here instead of being dropped, and
@@ -171,7 +179,7 @@ fn passes_filters(order: &TotalOrder, f: &[VertexId], x: VertexId, filters: &[CF
 
 /// A register slot holding a set value.
 #[derive(Debug, Default)]
-enum Slot {
+pub(crate) enum Slot {
     /// Not yet computed on this path.
     #[default]
     Empty,
@@ -184,7 +192,7 @@ enum Slot {
 }
 
 impl Slot {
-    fn as_slice(&self) -> &[VertexId] {
+    pub(crate) fn as_slice(&self) -> &[VertexId] {
         match self {
             Slot::Empty => panic!("read of undefined register (plan validated, so this is a bug)"),
             Slot::Buf(v) => v,
@@ -194,24 +202,51 @@ impl Slot {
     }
 }
 
+/// Batched adjacency answers injected ahead of the data source by the
+/// frontier driver ([`crate::frontier::FrontierEngine`]): while enabled,
+/// a `GetAdj` whose data vertex is present in the map is served from it
+/// instead of issuing a per-vertex source lookup. Disabled (the DFS
+/// default), the hot path pays one predictable branch and nothing else.
+#[derive(Debug, Default)]
+pub(crate) struct AdjOverride {
+    pub(crate) map: std::collections::HashMap<VertexId, Arc<AdjSet>>,
+    pub(crate) enabled: bool,
+}
+
+/// How a straight-line segment of the plan ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum StraightEnd {
+    /// An intersection came up empty or the start vertex failed its
+    /// label: the partial match is doomed, backtrack.
+    Pruned,
+    /// The segment ran to the end of the plan (any `Report` executed).
+    Done,
+    /// Execution stopped *at* a `Foreach` (not executed); the pc of that
+    /// instruction is returned so the caller decides how to iterate it —
+    /// recursively (DFS) or by materialising the candidates into a
+    /// frontier level (BFS).
+    Foreach(usize),
+}
+
 /// A single-threaded executor bound to one compiled plan, one data source
 /// and one total order. One engine per worker thread; the triangle cache
 /// it owns is exactly the paper's per-thread TRC cache.
 pub struct LocalEngine<'a, S: DataSource + ?Sized> {
-    plan: &'a CompiledPlan,
-    source: &'a S,
+    pub(crate) plan: &'a CompiledPlan,
+    pub(crate) source: &'a S,
     order: &'a TotalOrder,
     tcache: TriangleCache,
     ccache: CliqueCache,
     key_buf: Vec<VertexId>,
     data_labels: Option<&'a [u32]>,
     label_scratch: Vec<Vec<VertexId>>,
-    f: Vec<VertexId>,
-    slots: Vec<Slot>,
+    pub(crate) f: Vec<VertexId>,
+    pub(crate) slots: Vec<Slot>,
     scratch: Vec<VertexId>,
     scratch2: Vec<VertexId>,
     expand_f: Vec<VertexId>,
     pool: BufferPool,
+    pub(crate) adj_override: AdjOverride,
     /// Reusable operand-register index buffer (`Intersect`).
     operand_regs: Vec<usize>,
     /// Reusable smallest-first ordering buffer for `intersect_many_by`.
@@ -261,6 +296,7 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
             scratch2: Vec::new(),
             expand_f: vec![UNSET; plan.num_pattern_vertices],
             pool: BufferPool::new(true),
+            adj_override: AdjOverride::default(),
             operand_regs: Vec::with_capacity(max_arity),
             order_buf: Vec::with_capacity(max_arity),
         }
@@ -296,7 +332,7 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
     /// True when data vertex `x` is an admissible image of pattern vertex
     /// `u` under the label constraints.
     #[inline]
-    fn label_ok(&self, u: usize, x: VertexId) -> bool {
+    pub(crate) fn label_ok(&self, u: usize, x: VertexId) -> bool {
         match self.plan.labels[u] {
             None => true,
             Some(need) => {
@@ -333,6 +369,13 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
         }
     }
 
+    /// Hands a no-longer-shared buffer back to the pool (the frontier
+    /// driver recycles thawed level buffers through here, keeping the
+    /// BFS expansion pool-backed like the DFS slot file).
+    pub(crate) fn pool_put(&mut self, buf: Vec<VertexId>) {
+        self.pool.put(buf);
+    }
+
     /// Runs an unsplit task for every data vertex (the sequential version
     /// of Algorithm 2's parallel loop).
     pub fn run_all_vertices(&mut self, consumer: &mut dyn MatchConsumer) -> TaskMetrics {
@@ -361,7 +404,7 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
     /// Stores `value` into the slot file, recycling any displaced owned
     /// buffer through the pool instead of dropping it.
     #[inline]
-    fn set_slot(&mut self, target: usize, value: Slot) {
+    pub(crate) fn set_slot(&mut self, target: usize, value: Slot) {
         if let Slot::Buf(b) = std::mem::replace(&mut self.slots[target], value) {
             self.pool.put(b);
         }
@@ -369,13 +412,70 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
 
     /// Executes instructions from `pc` to the end (recursing at each
     /// `Foreach`). Returns early when an intersection comes up empty.
-    fn step(
+    pub(crate) fn step(
+        &mut self,
+        pc: usize,
+        task: &SearchTask,
+        consumer: &mut dyn MatchConsumer,
+        metrics: &mut TaskMetrics,
+    ) {
+        match self.exec_straight(pc, task, consumer, metrics) {
+            StraightEnd::Pruned | StraightEnd::Done => {}
+            StraightEnd::Foreach(fpc) => {
+                let plan = self.plan;
+                let CInstr::Foreach {
+                    vertex,
+                    source,
+                    is_second,
+                } = &plan.instrs[fpc]
+                else {
+                    unreachable!("exec_straight stops only at Foreach")
+                };
+                let vertex = *vertex;
+                // Take the candidate set out of its slot for the
+                // duration of the loop; nothing below reads it (its
+                // only other possible reader is RES in compressed
+                // plans, where this vertex has no Foreach at all).
+                let slot = std::mem::take(&mut self.slots[*source]);
+                let items = slot.as_slice();
+                let range = match (is_second, task.split) {
+                    (true, Some(split)) => split.range(items.len()),
+                    _ => 0..items.len(),
+                };
+                // Iterate by index to keep `self` free for recursion.
+                metrics.enu_candidates += (range.end - range.start) as u64;
+                for i in range {
+                    let x = match &slot {
+                        Slot::Buf(v) => v[i],
+                        Slot::Adj(a) => a.as_slice()[i],
+                        Slot::Tri(t) => t[i],
+                        Slot::Empty => unreachable!(),
+                    };
+                    if !self.label_ok(vertex, x) {
+                        continue;
+                    }
+                    self.f[vertex] = x;
+                    self.step(fpc + 1, task, consumer, metrics);
+                }
+                self.f[vertex] = UNSET;
+                self.slots[*source] = slot;
+            }
+        }
+    }
+
+    /// Executes the straight-line segment starting at `pc`: every
+    /// instruction up to (but not including) the next `Foreach`, or to
+    /// the end of the plan. This is the resumable core both execution
+    /// strategies share — [`LocalEngine::step`] recurses at the returned
+    /// `Foreach`, the frontier engine materialises its candidates
+    /// breadth-first instead.
+    pub(crate) fn exec_straight(
         &mut self,
         mut pc: usize,
         task: &SearchTask,
         consumer: &mut dyn MatchConsumer,
         metrics: &mut TaskMetrics,
-    ) {
+    ) -> StraightEnd {
         // Copy the plan reference out of `self` so matching on
         // instructions does not hold a borrow of the whole engine.
         let plan = self.plan;
@@ -383,7 +483,7 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
             match &plan.instrs[pc] {
                 CInstr::Init { vertex } => {
                     if !self.label_ok(*vertex, task.start) {
-                        return; // the start vertex cannot host this task
+                        return StraightEnd::Pruned; // the start vertex cannot host this task
                     }
                     self.f[*vertex] = task.start;
                 }
@@ -391,7 +491,14 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                     metrics.dbq_executions += 1;
                     let v = self.f[*vertex];
                     debug_assert_ne!(v, UNSET);
-                    let adj = self.source.get_adj(v);
+                    let adj = if self.adj_override.enabled {
+                        match self.adj_override.map.get(&v) {
+                            Some(a) => Arc::clone(a),
+                            None => self.source.get_adj(v),
+                        }
+                    } else {
+                        self.source.get_adj(v)
+                    };
                     self.set_slot(*target, Slot::Adj(adj));
                 }
                 CInstr::Intersect {
@@ -409,7 +516,7 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                     let empty = buf.is_empty();
                     self.slots[target] = Slot::Buf(buf);
                     if empty {
-                        return; // failed partial match: backtrack
+                        return StraightEnd::Pruned; // failed partial match: backtrack
                     }
                 }
                 CInstr::TCache {
@@ -474,7 +581,7 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                         empty
                     };
                     if empty {
-                        return;
+                        return StraightEnd::Pruned;
                     }
                 }
                 CInstr::KCache {
@@ -586,43 +693,13 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                         }
                     };
                     if empty {
-                        return;
+                        return StraightEnd::Pruned;
                     }
                 }
-                CInstr::Foreach {
-                    vertex,
-                    source,
-                    is_second,
-                } => {
-                    let vertex = *vertex;
-                    // Take the candidate set out of its slot for the
-                    // duration of the loop; nothing below reads it (its
-                    // only other possible reader is RES in compressed
-                    // plans, where this vertex has no Foreach at all).
-                    let slot = std::mem::take(&mut self.slots[*source]);
-                    let items = slot.as_slice();
-                    let range = match (is_second, task.split) {
-                        (true, Some(split)) => split.range(items.len()),
-                        _ => 0..items.len(),
-                    };
-                    // Iterate by index to keep `self` free for recursion.
-                    metrics.enu_candidates += (range.end - range.start) as u64;
-                    for i in range {
-                        let x = match &slot {
-                            Slot::Buf(v) => v[i],
-                            Slot::Adj(a) => a.as_slice()[i],
-                            Slot::Tri(t) => t[i],
-                            Slot::Empty => unreachable!(),
-                        };
-                        if !self.label_ok(vertex, x) {
-                            continue;
-                        }
-                        self.f[vertex] = x;
-                        self.step(pc + 1, task, consumer, metrics);
-                    }
-                    self.f[vertex] = UNSET;
-                    self.slots[*source] = slot;
-                    return; // the loop body covered the rest of the plan
+                CInstr::Foreach { .. } => {
+                    // The caller owns loop strategy; everything from here
+                    // on is the loop body.
+                    return StraightEnd::Foreach(pc);
                 }
                 CInstr::Report => {
                     self.report(consumer, metrics);
@@ -630,6 +707,7 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
             }
             pc += 1;
         }
+        StraightEnd::Done
     }
 
     fn compute_intersection(

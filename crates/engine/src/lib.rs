@@ -17,6 +17,8 @@
 //! * [`source`] — data sources: an in-memory graph and the KV-store +
 //!   DB-cache stack of the paper's architecture.
 //! * [`consumer`] — match consumers (counting, collecting, callbacks).
+//! * [`frontier`] — the memory-bounded BFS/DFS hybrid driver with
+//!   frontier-batched store reads.
 //! * [`expand`] — VCBC code expansion and embedding counting.
 //! * [`task`] — local search tasks and the task-splitting arithmetic
 //!   (§V-B).
@@ -27,6 +29,7 @@ pub mod compile;
 pub mod consumer;
 pub mod exec;
 pub mod expand;
+pub mod frontier;
 pub mod reference;
 pub mod source;
 pub mod task;
@@ -34,6 +37,7 @@ pub mod task;
 pub use compile::CompiledPlan;
 pub use consumer::{CollectingConsumer, CountingConsumer, FnConsumer, MatchConsumer};
 pub use exec::{LocalEngine, PoolStats, TaskMetrics};
+pub use frontier::{FrontierEngine, FrontierStats, MemoryBudget};
 pub use source::{DataSource, InMemorySource, KvSource};
 pub use task::{SearchTask, SplitSpec};
 

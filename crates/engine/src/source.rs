@@ -218,6 +218,26 @@ mod tests {
     }
 
     #[test]
+    fn kv_source_batch_with_repeated_ids_stays_aligned_and_dedups() {
+        let g = gen::complete(6);
+        let store = Arc::new(KvStore::from_graph(&g, 3));
+        // Cache disabled: every occurrence reaches the store's batch path.
+        let src = KvSource::new(Arc::clone(&store), Arc::new(DbCache::new(0, 1)));
+        let keys = [5u32, 2, 5, 5, 2, 0];
+        let sets = src.get_adj_batch(&keys);
+        for (i, &v) in keys.iter().enumerate() {
+            assert_eq!(
+                sets[i].as_slice(),
+                g.neighbors(v),
+                "slot {i} must still hold vertex {v}"
+            );
+        }
+        let stats = store.stats();
+        assert_eq!(stats.keys, 3, "hub repeats are served once");
+        assert_eq!(stats.deduped_keys, 3, "saved lookups are counted");
+    }
+
+    #[test]
     fn default_batch_matches_single_gets() {
         let g = gen::cycle(5);
         let src = InMemorySource::from_graph(&g);

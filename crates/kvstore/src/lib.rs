@@ -36,6 +36,7 @@ struct ShardStats {
     requests: AtomicU64,
     keys: AtomicU64,
     bytes: AtomicU64,
+    deduped: AtomicU64,
 }
 
 /// One partition of the key space (the role of one HBase region server).
@@ -52,6 +53,7 @@ struct ShardObs {
     requests: Arc<Counter>,
     keys: Arc<Counter>,
     bytes: Arc<Counter>,
+    deduped: Arc<Counter>,
 }
 
 /// Registry handles for the whole store: per-shard counters plus a
@@ -96,13 +98,20 @@ pub struct KvStats {
     pub keys: u64,
     /// Total value bytes transferred ("communication cost").
     pub bytes: u64,
+    /// Lookups saved by batch-level key deduplication: duplicate keys in
+    /// one multi-get are decoded, charged and transferred once, and every
+    /// further occurrence is answered from the first (frontier batches
+    /// repeat hub vertices heavily).
+    pub deduped_keys: u64,
 }
 
 /// The result of one batched multi-get.
 #[derive(Debug)]
 pub struct BatchOutcome {
     /// One slot per requested key, in request order (`None` for unknown
-    /// vertices). Duplicate keys are decoded and accounted per occurrence.
+    /// vertices). Duplicate keys are served by one decode: the first
+    /// occurrence is fetched and accounted, later occurrences share its
+    /// value and count as [`KvStats::deduped_keys`].
     pub values: Vec<Option<Arc<AdjSet>>>,
     /// Round trips this batch cost (= number of distinct shards touched).
     pub round_trips: u64,
@@ -172,6 +181,7 @@ impl KvStore {
                     requests: registry.counter(&format!("store.shard.{i}.requests")),
                     keys: registry.counter(&format!("store.shard.{i}.keys")),
                     bytes: registry.counter(&format!("store.shard.{i}.bytes")),
+                    deduped: registry.counter(&format!("store.shard.{i}.deduped_keys")),
                 })
                 .collect(),
             value_bytes: registry.histogram("store.value_bytes"),
@@ -316,7 +326,19 @@ impl KvStore {
             shard.stats.requests.fetch_add(1, Ordering::Relaxed);
             let mut shard_keys = 0u64;
             let mut shard_bytes = 0u64;
+            let mut shard_deduped = 0u64;
+            // First occurrence of a key in this shard's sub-batch decodes
+            // and is charged; every repeat clones the first slot's `Arc`,
+            // keeping the 1:1 slot alignment while the wire carries (and
+            // the stats charge) each key once.
+            let mut first_slot: HashMap<VertexId, usize> = HashMap::new();
             for &i in indices {
+                if let Some(&first) = first_slot.get(&keys[i]) {
+                    values[i] = values[first].clone();
+                    shard_deduped += 1;
+                    continue;
+                }
+                first_slot.insert(keys[i], i);
                 if let Some(value) = shard.values.get(&keys[i]) {
                     shard_keys += 1;
                     shard_bytes += value.len() as u64;
@@ -328,10 +350,15 @@ impl KvStore {
             }
             shard.stats.keys.fetch_add(shard_keys, Ordering::Relaxed);
             shard.stats.bytes.fetch_add(shard_bytes, Ordering::Relaxed);
+            shard
+                .stats
+                .deduped
+                .fetch_add(shard_deduped, Ordering::Relaxed);
             if let Some(obs) = &self.obs {
                 obs.shards[s].requests.inc();
                 obs.shards[s].keys.add(shard_keys);
                 obs.shards[s].bytes.add(shard_bytes);
+                obs.shards[s].deduped.add(shard_deduped);
             }
             total_bytes += shard_bytes;
         }
@@ -362,6 +389,7 @@ impl KvStore {
             total.requests += s.stats.requests.load(Ordering::Relaxed);
             total.keys += s.stats.keys.load(Ordering::Relaxed);
             total.bytes += s.stats.bytes.load(Ordering::Relaxed);
+            total.deduped_keys += s.stats.deduped.load(Ordering::Relaxed);
         }
         total
     }
@@ -373,6 +401,7 @@ impl KvStore {
             requests: s.requests.load(Ordering::Relaxed),
             keys: s.keys.load(Ordering::Relaxed),
             bytes: s.bytes.load(Ordering::Relaxed),
+            deduped_keys: s.deduped.load(Ordering::Relaxed),
         }
     }
 
@@ -382,6 +411,7 @@ impl KvStore {
             s.stats.requests.store(0, Ordering::Relaxed);
             s.stats.keys.store(0, Ordering::Relaxed);
             s.stats.bytes.store(0, Ordering::Relaxed);
+            s.stats.deduped.store(0, Ordering::Relaxed);
         }
     }
 
@@ -492,6 +522,64 @@ mod tests {
         assert_eq!(batched.keys, unbatched.keys);
         assert_eq!(batch.round_trips, 4, "one trip per shard for a full scan");
         assert!(batched.requests < unbatched.requests);
+    }
+
+    #[test]
+    fn get_many_dedups_repeated_keys_but_keeps_slot_alignment() {
+        let g = gen::star(9); // centre 0: 9 neighbours, leaves: 1
+        let store = KvStore::from_graph(&g, 2);
+        let keys = [0u32, 3, 0, 0, 3, 5];
+        let batch = store.get_many(&keys);
+        for (i, &v) in keys.iter().enumerate() {
+            assert_eq!(
+                batch.values[i].as_ref().unwrap().as_slice(),
+                g.neighbors(v),
+                "slot {i} must hold vertex {v} despite dedup"
+            );
+        }
+        // Duplicates share the first occurrence's decode.
+        assert!(Arc::ptr_eq(
+            batch.values[0].as_ref().unwrap(),
+            batch.values[2].as_ref().unwrap()
+        ));
+        let stats = store.stats();
+        assert_eq!(stats.keys, 3, "only unique keys are served");
+        assert_eq!(stats.deduped_keys, 3, "three repeats were saved");
+        // Bytes are charged once per unique key: centre (9×4) + two leaves.
+        assert_eq!(stats.bytes, 36 + 4 + 4);
+        assert_eq!(batch.bytes, stats.bytes);
+    }
+
+    #[test]
+    fn deduped_unknown_keys_stay_none_and_uncharged() {
+        let g = gen::path(4);
+        let store = KvStore::from_graph(&g, 2);
+        let batch = store.get_many(&[100, 1, 100]);
+        assert!(batch.values[0].is_none());
+        assert!(batch.values[1].is_some());
+        assert!(batch.values[2].is_none());
+        let stats = store.stats();
+        assert_eq!(stats.keys, 1);
+        assert_eq!(stats.deduped_keys, 1, "the repeated miss is still saved");
+    }
+
+    #[test]
+    fn obs_histogram_counts_unique_keys_only() {
+        let g = gen::path(6);
+        let registry = Registry::new();
+        let mut store = KvStore::from_graph(&g, 2);
+        store.attach_obs(&registry);
+        store.get_many(&[2, 2, 4, 2]);
+        assert_eq!(
+            registry.histogram("store.value_bytes").count(),
+            store.stats().keys,
+            "histogram mirrors served keys after dedup"
+        );
+        assert_eq!(
+            registry.counter("store.shard.0.deduped_keys").get(),
+            store.shard_stats(0).deduped_keys
+        );
+        assert_eq!(store.stats().deduped_keys, 2);
     }
 
     #[test]
