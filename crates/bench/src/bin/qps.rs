@@ -1,0 +1,301 @@
+//! Serving-layer throughput: queries/sec of [`benu_service::QueryService`]
+//! replaying one seeded query mix at several concurrency levels.
+//!
+//! The mix is a pure function of `--seed`: ~`--queries` submissions drawn
+//! from the five bench patterns with count/collect/sample result modes
+//! and varied fair-share weights (no truncating budgets, so every
+//! query's count has a single right answer). Each concurrency level
+//! replays the *same* mix against a fresh service and reports
+//! queries/sec plus p50/p99 virtual-time latency — vticks are the
+//! deterministic latency measure, identical at every concurrency, so
+//! the percentile columns double as a cross-level determinism check.
+//!
+//! ```text
+//! cargo run --release -p benu-bench --bin qps -- \
+//!     [--dataset uk] [--scale 0.02] [--seed 7] [--queries 24] \
+//!     [--chunk-tasks 16] [--levels 1,4,16] [--json BENCH_qps.json]
+//! ```
+//!
+//! The bin self-checks three serving-layer invariants and exits nonzero
+//! on violation (the CI `perf-smoke` hook):
+//!
+//! 1. every query's count equals its solo [`Cluster::run`] count,
+//! 2. the plan cache serves repeated patterns (hits > 0),
+//! 3. concurrency 16 beats concurrency 1 on queries/sec.
+
+use benu_bench::cli::Args;
+use benu_bench::impl_to_json;
+use benu_bench::{load_dataset, print_table};
+use benu_cluster::{Cluster, ClusterConfig};
+use benu_graph::datasets::Dataset;
+use benu_pattern::{queries, Pattern};
+use benu_plan::PlanBuilder;
+use benu_service::{QueryOptions, QueryService, ResultMode, ServiceConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+const CONCURRENCY: [usize; 3] = [1, 4, 16];
+
+/// `--levels 1,4,16` overrides the default concurrency ladder (the
+/// scaling self-check only runs when more than one level is measured).
+fn levels(args: &Args) -> Vec<usize> {
+    match args.get_str("levels") {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| s.trim().parse().expect("--levels takes a comma list"))
+            .collect(),
+        None => CONCURRENCY.to_vec(),
+    }
+}
+
+struct Row {
+    concurrency: u64,
+    queries: u64,
+    wall_s: f64,
+    qps: f64,
+    p50_vticks: u64,
+    p99_vticks: u64,
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
+    total_matches: u64,
+}
+
+impl_to_json!(Row {
+    concurrency,
+    queries,
+    wall_s,
+    qps,
+    p50_vticks,
+    p99_vticks,
+    plan_cache_hits,
+    plan_cache_misses,
+    total_matches
+});
+
+/// One submission of the seeded mix.
+struct MixEntry {
+    pattern_idx: usize,
+    options: QueryOptions,
+}
+
+/// The five mix patterns, heaviest last so the fair scheduler has real
+/// skew to absorb.
+fn patterns() -> Vec<(&'static str, Pattern)> {
+    vec![
+        ("triangle", queries::triangle()),
+        ("square", queries::square()),
+        ("q1", queries::q1()),
+        ("q2", queries::q2()),
+        ("clique4", queries::clique(4)),
+    ]
+}
+
+/// Draws the query mix: a pure function of the seed. Only non-truncating
+/// result modes — every query must run to exhaustion so its count has a
+/// solo ground truth.
+fn draw_mix(seed: u64, n: usize) -> Vec<MixEntry> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let pattern_idx = rng.gen_range(0..patterns().len());
+            let mode = match rng.gen_range(0..4u32) {
+                0 => ResultMode::Collect,
+                1 => ResultMode::Sample {
+                    n: 8,
+                    seed: rng.gen_range(0..u64::MAX),
+                },
+                _ => ResultMode::CountOnly,
+            };
+            let weight = rng.gen_range(1..4u32);
+            MixEntry {
+                pattern_idx,
+                options: QueryOptions::new().mode(mode).weight(weight),
+            }
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f64 = args.get("scale", 0.02);
+    let seed: u64 = args.get("seed", 7);
+    let n_queries: usize = args.get("queries", 24);
+    let chunk_tasks: usize = args.get("chunk-tasks", 16);
+    let dataset =
+        Dataset::from_abbrev(args.get_str("dataset").unwrap_or("uk")).expect("unknown dataset");
+    let g = load_dataset(dataset, scale);
+    let mix = draw_mix(seed, n_queries);
+    let named = patterns();
+
+    // Solo ground truth per pattern: one single-query batch cluster run.
+    let solo: Vec<u64> = named
+        .iter()
+        .map(|(_, pattern)| {
+            let plan = PlanBuilder::new(pattern).best_plan();
+            let cluster = Cluster::new(&g, ClusterConfig::builder().workers(2).build());
+            cluster.run(&plan).expect("solo run").total_matches
+        })
+        .collect();
+
+    let ladder = levels(&args);
+    // One unmeasured replay warms the allocator and page cache so the
+    // first measured level is not penalised relative to later ones —
+    // without this, level ordering masquerades as concurrency scaling.
+    {
+        let service = QueryService::new(
+            &g,
+            ServiceConfig::builder()
+                .workers(ladder[0])
+                .chunk_tasks(chunk_tasks)
+                .build(),
+        );
+        let ids: Vec<_> = mix
+            .iter()
+            .map(|entry| service.submit(&named[entry.pattern_idx].1, entry.options.clone()))
+            .collect();
+        for id in ids {
+            service.wait(id);
+        }
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = Vec::new();
+    for &workers in &ladder {
+        let service = QueryService::new(
+            &g,
+            ServiceConfig::builder()
+                .workers(workers)
+                .chunk_tasks(chunk_tasks)
+                .build(),
+        );
+        let start = Instant::now();
+        let ids: Vec<_> = mix
+            .iter()
+            .map(|entry| service.submit(&named[entry.pattern_idx].1, entry.options.clone()))
+            .collect();
+        let results: Vec<_> = ids.into_iter().map(|id| service.wait(id)).collect();
+        let wall = start.elapsed().as_secs_f64();
+
+        for (entry, result) in mix.iter().zip(&results) {
+            let (name, _) = &named[entry.pattern_idx];
+            assert_eq!(
+                result.matches_found,
+                solo[entry.pattern_idx],
+                "query {} ({name}, {}) at concurrency {workers} diverged from \
+                 its solo cluster count",
+                result.id,
+                entry.options.mode.name(),
+            );
+            assert!(result.exhaustive, "an unbudgeted query must exhaust");
+        }
+
+        let stats = service.plan_cache_stats();
+        assert!(
+            stats.hits > 0,
+            "a {n_queries}-query mix over {} patterns must hit the plan cache",
+            named.len()
+        );
+
+        let mut vticks: Vec<u64> = results.iter().map(|r| r.vticks).collect();
+        vticks.sort_unstable();
+        let row = Row {
+            concurrency: workers as u64,
+            queries: n_queries as u64,
+            wall_s: wall,
+            qps: benu_obs::safe_ratio(n_queries as f64, wall),
+            p50_vticks: percentile(&vticks, 50.0),
+            p99_vticks: percentile(&vticks, 99.0),
+            plan_cache_hits: stats.hits,
+            plan_cache_misses: stats.misses,
+            total_matches: results.iter().map(|r| r.matches_found).sum(),
+        };
+        table.push(vec![
+            row.concurrency.to_string(),
+            row.queries.to_string(),
+            format!("{:.3}s", row.wall_s),
+            format!("{:.1}", row.qps),
+            row.p50_vticks.to_string(),
+            row.p99_vticks.to_string(),
+            format!("{}/{}", row.plan_cache_hits, row.plan_cache_misses),
+            row.total_matches.to_string(),
+        ]);
+        rows.push(row);
+    }
+
+    // vticks are deterministic, so the latency percentiles must agree
+    // across concurrency levels — a cheap end-to-end determinism check.
+    for r in &rows[1..] {
+        assert_eq!(
+            (r.p50_vticks, r.p99_vticks),
+            (rows[0].p50_vticks, rows[0].p99_vticks),
+            "virtual-time latency changed with concurrency"
+        );
+    }
+
+    println!(
+        "\nServing throughput on {} (scale {scale}, seed {seed}, {n_queries} queries):",
+        dataset.abbrev()
+    );
+    print_table(
+        &[
+            "workers",
+            "queries",
+            "wall",
+            "qps",
+            "p50 vticks",
+            "p99 vticks",
+            "cache h/m",
+            "matches",
+        ],
+        &table,
+    );
+
+    if ladder.len() > 1 {
+        let lo = &rows[0];
+        let hi = &rows[rows.len() - 1];
+        println!(
+            "scaling: qps@{} = {:.2}x qps@{}",
+            hi.concurrency,
+            hi.qps / lo.qps.max(f64::MIN_POSITIVE),
+            lo.concurrency
+        );
+        // The ladder is CPU-bound, so more workers only pay off when the
+        // machine can actually run them — on a single hardware thread the
+        // strict check would assert on scheduler noise.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores > 1 {
+            assert!(
+                hi.qps > lo.qps,
+                "concurrency {} ({:.1} qps) must beat concurrency {} ({:.1} qps)",
+                hi.concurrency,
+                hi.qps,
+                lo.concurrency,
+                lo.qps
+            );
+        } else {
+            println!("scaling gate skipped: single hardware thread");
+        }
+    }
+
+    if let Some(path) = args.get_str("json") {
+        let mut report = benu_bench::report::BenchReport::new("qps");
+        report
+            .param("dataset", dataset.abbrev())
+            .param("scale", scale)
+            .param("seed", seed)
+            .param("queries", n_queries as u64)
+            .param("chunk_tasks", chunk_tasks as u64);
+        for r in &rows {
+            report.push_row(r);
+        }
+        report.write(path).expect("write json");
+    }
+}

@@ -59,10 +59,16 @@ pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> Graph {
     }
     for v in (k + 1)..n {
         let v = v as VertexId;
-        let mut targets = std::collections::HashSet::with_capacity(k * 2);
+        // Draw-ordered, not a HashSet: the targets feed back into
+        // `endpoints`, so their iteration order shapes every later
+        // degree-proportional draw — hash order would make the same
+        // seed yield a different graph on every run.
+        let mut targets: Vec<VertexId> = Vec::with_capacity(k);
         while targets.len() < k {
             let t = endpoints[rng.gen_range(0..endpoints.len())];
-            targets.insert(t);
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
         }
         for &t in &targets {
             b.add_edge(v, t);

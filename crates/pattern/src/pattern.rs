@@ -267,6 +267,49 @@ impl Pattern {
         self.search_iso(other, &mut perm)
     }
 
+    /// The pattern with vertices renumbered by `perm` (a bijection
+    /// `old -> new` of `0..n`): edge `(u, v)` becomes
+    /// `(perm[u], perm[v])`, labels follow their vertices. The result is
+    /// isomorphic to `self` by construction — the property-test
+    /// workhorse of [`crate::canonical`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn relabeled(&self, perm: &[PatternVertex]) -> Pattern {
+        assert_eq!(perm.len(), self.n, "one image per vertex");
+        let mut seen = 0u64;
+        for &v in perm {
+            assert!(v < self.n, "image {v} out of range");
+            assert!(seen & (1 << v) == 0, "duplicate image {v}");
+            seen |= 1 << v;
+        }
+        let edges: Vec<_> = self.edges().map(|(u, v)| (perm[u], perm[v])).collect();
+        let mut p = Pattern::from_edges(self.n, &edges);
+        if let Some(labels) = &self.labels {
+            let mut new_labels = vec![0u32; self.n];
+            for (u, &l) in labels.iter().enumerate() {
+                new_labels[perm[u]] = l;
+            }
+            p.labels = Some(new_labels);
+        }
+        p
+    }
+
+    /// A hash equal across every member of this pattern's isomorphism
+    /// class (relabelings, automorphic images) and — hash collisions
+    /// aside — distinct across classes. See [`crate::canonical`].
+    pub fn canonical_hash(&self) -> u64 {
+        crate::canonical::canonical_hash(self)
+    }
+
+    /// The canonical representative of this pattern's isomorphism class
+    /// plus the placement mapping back to this numbering. See
+    /// [`crate::canonical`].
+    pub fn canonical_form(&self) -> crate::canonical::CanonicalForm {
+        crate::canonical::canonical_form(self)
+    }
+
     fn search_iso(&self, other: &Pattern, perm: &mut Vec<PatternVertex>) -> bool {
         let u = perm.len();
         if u == self.n {

@@ -1,0 +1,420 @@
+//! The deterministic chunk-commit pipeline.
+//!
+//! Workers execute chunks in whatever order the fair queue and thread
+//! timing produce, but a query's *observable* result — count, match
+//! stream, budget cut-off — is defined over chunks committed in task
+//! order. [`CommitState`] buffers out-of-order arrivals and commits
+//! strictly in chunk order; budgets are evaluated only at commit
+//! boundaries, so a budgeted query terminates at the same point in the
+//! stream regardless of worker count, scheduler, or execution mode:
+//!
+//! * the virtual-time deadline is a *pre*-commit check (a chunk whose
+//!   commit would start at or past the deadline is dropped, so a
+//!   deadline of 0 commits nothing), and
+//! * `max_matches` / `TopK` clamp *within* the boundary chunk, taking a
+//!   prefix of its sorted matches.
+//!
+//! Each chunk's matches arrive already remapped to the submitted
+//! numbering and sorted, so the concatenation over committed chunks is
+//! one deterministic stream — what [`Sink::Sample`]'s seeded reservoir
+//! and [`Sink::TopK`]'s prefix are defined over.
+
+use crate::query::{ResultMode, Terminal};
+use benu_engine::TaskMetrics;
+use benu_graph::VertexId;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// One executed chunk as reported by a worker.
+#[derive(Debug)]
+pub(crate) struct ExecutedChunk {
+    /// Chunk index in `0..total_chunks`.
+    pub chunk: usize,
+    /// Matches in submitted numbering, sorted (empty for `CountOnly`).
+    pub matches: Vec<Vec<VertexId>>,
+    /// Matches found by the chunk (equals `matches.len()` whenever the
+    /// mode materialises).
+    pub count: u64,
+    /// Virtual ticks of the chunk: tasks + instruction executions +
+    /// candidate enumerations — a pure function of the work done.
+    pub vticks: u64,
+    /// Engine metrics of the chunk.
+    pub metrics: TaskMetrics,
+}
+
+/// Where committed matches go, per result mode.
+pub(crate) enum Sink {
+    /// Count only; nothing materialised.
+    Count,
+    /// Keep everything.
+    Collect(Vec<Vec<VertexId>>),
+    /// Keep the first `k` of the deterministic stream.
+    TopK { k: usize, kept: Vec<Vec<VertexId>> },
+    /// Algorithm-R reservoir over the deterministic stream.
+    Sample {
+        n: usize,
+        rng: ChaCha8Rng,
+        seen: u64,
+        reservoir: Vec<Vec<VertexId>>,
+    },
+}
+
+impl Sink {
+    fn new(mode: &ResultMode) -> Self {
+        match *mode {
+            ResultMode::CountOnly => Sink::Count,
+            ResultMode::Collect => Sink::Collect(Vec::new()),
+            ResultMode::TopK(k) => Sink::TopK {
+                k,
+                kept: Vec::new(),
+            },
+            ResultMode::Sample { n, seed } => Sink::Sample {
+                n,
+                rng: ChaCha8Rng::seed_from_u64(seed),
+                seen: 0,
+                reservoir: Vec::new(),
+            },
+        }
+    }
+
+    /// `TopK`'s remaining appetite; unbounded for the other sinks.
+    fn remaining(&self, committed: u64) -> Option<u64> {
+        match self {
+            Sink::TopK { k, .. } => Some((*k as u64).saturating_sub(committed)),
+            _ => None,
+        }
+    }
+
+    fn accept(&mut self, m: Vec<VertexId>) {
+        match self {
+            Sink::Count => {}
+            Sink::Collect(all) => all.push(m),
+            Sink::TopK { k, kept } => {
+                if kept.len() < *k {
+                    kept.push(m);
+                }
+            }
+            Sink::Sample {
+                n,
+                rng,
+                seen,
+                reservoir,
+            } => {
+                *seen += 1;
+                if reservoir.len() < *n {
+                    reservoir.push(m);
+                } else if *n > 0 {
+                    let j = rng.next_u64() % *seen;
+                    if (j as usize) < *n {
+                        reservoir[j as usize] = m;
+                    }
+                }
+            }
+        }
+    }
+
+    fn into_matches(self) -> Vec<Vec<VertexId>> {
+        match self {
+            Sink::Count => Vec::new(),
+            Sink::Collect(all) => all,
+            Sink::TopK { kept, .. } => kept,
+            Sink::Sample { reservoir, .. } => reservoir,
+        }
+    }
+}
+
+/// In-order commit state of one query. All methods run under the
+/// query's lock; workers only *execute* concurrently.
+pub(crate) struct CommitState {
+    total_chunks: usize,
+    /// Next chunk index eligible to commit.
+    next: usize,
+    /// Executed chunks waiting for their predecessors.
+    pending: BTreeMap<usize, ExecutedChunk>,
+    committed: usize,
+    discarded: usize,
+    matches_found: u64,
+    vticks: u64,
+    metrics: TaskMetrics,
+    sink: Sink,
+    deadline: Option<u64>,
+    max_matches: Option<u64>,
+    terminal: Option<Terminal>,
+}
+
+impl CommitState {
+    pub(crate) fn new(
+        total_chunks: usize,
+        mode: &ResultMode,
+        deadline: Option<u64>,
+        max_matches: Option<u64>,
+    ) -> Self {
+        let mut state = CommitState {
+            total_chunks,
+            next: 0,
+            pending: BTreeMap::new(),
+            committed: 0,
+            discarded: 0,
+            matches_found: 0,
+            vticks: 0,
+            metrics: TaskMetrics::default(),
+            sink: Sink::new(mode),
+            deadline,
+            max_matches,
+            terminal: None,
+        };
+        // A pattern with no start tasks (or `TopK(0)`) is terminal at
+        // admission.
+        if total_chunks == 0 {
+            state.terminal = Some(Terminal::Completed);
+        } else if state.sink.remaining(0) == Some(0) {
+            state.set_terminal(Terminal::Completed);
+        } else if deadline == Some(0) {
+            state.set_terminal(Terminal::DeadlineExceeded);
+        } else if max_matches == Some(0) {
+            state.set_terminal(Terminal::MaxMatchesReached);
+        }
+        state
+    }
+
+    /// Records a chunk that executed, commits every in-order chunk that
+    /// became eligible, and evaluates budgets at each boundary.
+    pub(crate) fn submit(&mut self, chunk: ExecutedChunk) {
+        if self.terminal.is_some() {
+            self.discarded += 1;
+            return;
+        }
+        self.pending.insert(chunk.chunk, chunk);
+        while self.terminal.is_none() {
+            let Some(chunk) = self.pending.remove(&self.next) else {
+                break;
+            };
+            self.commit(chunk);
+        }
+        if self.committed == self.total_chunks && self.terminal.is_none() {
+            self.terminal = Some(Terminal::Completed);
+        }
+        if self.terminal.is_some() {
+            self.flush_pending();
+        }
+    }
+
+    fn commit(&mut self, chunk: ExecutedChunk) {
+        debug_assert_eq!(chunk.chunk, self.next);
+        if self.deadline.is_some_and(|d| self.vticks >= d) {
+            self.set_terminal(Terminal::DeadlineExceeded);
+            self.discarded += 1;
+            return;
+        }
+        // Clamp the chunk's contribution to the tighter of the remaining
+        // `TopK` appetite and the remaining match budget.
+        let mut take = chunk.count;
+        let mut capped = false;
+        if let Some(rem) = self.sink.remaining(self.matches_found) {
+            take = take.min(rem);
+        }
+        if let Some(max) = self.max_matches {
+            let rem = max.saturating_sub(self.matches_found);
+            if take > rem {
+                take = rem;
+                capped = true;
+            }
+        }
+        for m in chunk.matches.into_iter().take(take as usize) {
+            self.sink.accept(m);
+        }
+        self.matches_found += take;
+        self.vticks += chunk.vticks;
+        self.metrics += chunk.metrics;
+        self.committed += 1;
+        self.next += 1;
+        if self.sink.remaining(self.matches_found) == Some(0) {
+            // A satisfied `TopK` is a *completed* query (LIMIT reached),
+            // just not an exhaustive one.
+            self.set_terminal(Terminal::Completed);
+        } else if capped || self.max_matches == Some(self.matches_found) {
+            self.set_terminal(Terminal::MaxMatchesReached);
+        }
+    }
+
+    /// Accounts a chunk that was released without executing (drained
+    /// from the fair queue, or skipped by a worker after termination).
+    pub(crate) fn skip(&mut self, n: usize) {
+        self.discarded += n;
+    }
+
+    /// Forces a terminal state (cancellation, budget) if the query is
+    /// not already terminal; pending chunks are discarded. Returns true
+    /// when this call made the transition.
+    pub(crate) fn set_terminal(&mut self, terminal: Terminal) -> bool {
+        if self.terminal.is_some() {
+            return false;
+        }
+        self.terminal = Some(terminal);
+        self.flush_pending();
+        true
+    }
+
+    fn flush_pending(&mut self) {
+        self.discarded += self.pending.len();
+        self.pending.clear();
+    }
+
+    pub(crate) fn terminal(&self) -> Option<Terminal> {
+        self.terminal
+    }
+
+    /// Every chunk accounted for — the query can finalise.
+    pub(crate) fn is_complete(&self) -> bool {
+        self.terminal.is_some() && self.committed + self.discarded == self.total_chunks
+    }
+
+    /// Tears the state down into its result components:
+    /// `(terminal, matches_found, matches, vticks, committed, discarded,
+    /// exhaustive, metrics)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn finish(
+        self,
+    ) -> (
+        Terminal,
+        u64,
+        Vec<Vec<VertexId>>,
+        u64,
+        usize,
+        usize,
+        bool,
+        TaskMetrics,
+    ) {
+        debug_assert!(self.is_complete());
+        (
+            self.terminal.unwrap_or(Terminal::Completed),
+            self.matches_found,
+            self.sink.into_matches(),
+            self.vticks,
+            self.committed,
+            self.discarded,
+            self.committed == self.total_chunks,
+            self.metrics,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(i: usize, matches: Vec<Vec<VertexId>>, vticks: u64) -> ExecutedChunk {
+        ExecutedChunk {
+            chunk: i,
+            count: matches.len() as u64,
+            matches,
+            vticks,
+            metrics: TaskMetrics::default(),
+        }
+    }
+
+    fn m(v: VertexId) -> Vec<VertexId> {
+        vec![v]
+    }
+
+    #[test]
+    fn out_of_order_submission_commits_in_order() {
+        let mut s = CommitState::new(3, &ResultMode::Collect, None, None);
+        s.submit(chunk(2, vec![m(2)], 1));
+        s.submit(chunk(0, vec![m(0)], 1));
+        assert!(s.terminal().is_none(), "chunk 1 still outstanding");
+        s.submit(chunk(1, vec![m(1)], 1));
+        assert!(s.is_complete());
+        let (terminal, found, matches, vticks, ..) = s.finish();
+        assert_eq!(terminal, Terminal::Completed);
+        assert_eq!(found, 3);
+        assert_eq!(matches, vec![m(0), m(1), m(2)], "stream is chunk-ordered");
+        assert_eq!(vticks, 3);
+    }
+
+    #[test]
+    fn deadline_is_checked_before_commit() {
+        // Deadline 2: chunk 0 (2 ticks) commits, chunk 1 hits the
+        // boundary and is dropped — a deadline of 0 would commit nothing.
+        let mut s = CommitState::new(2, &ResultMode::CountOnly, Some(2), None);
+        s.submit(chunk(0, vec![m(0), m(1)], 2));
+        s.submit(chunk(1, vec![m(2)], 1));
+        assert!(s.is_complete());
+        let (terminal, found, _, vticks, committed, discarded, exhaustive, _) = s.finish();
+        assert_eq!(terminal, Terminal::DeadlineExceeded);
+        assert_eq!((found, vticks), (2, 2));
+        assert_eq!((committed, discarded), (1, 1));
+        assert!(!exhaustive);
+    }
+
+    #[test]
+    fn zero_deadline_commits_nothing() {
+        let mut s = CommitState::new(2, &ResultMode::CountOnly, Some(0), None);
+        assert_eq!(s.terminal(), Some(Terminal::DeadlineExceeded));
+        s.skip(2);
+        assert!(s.is_complete());
+        assert_eq!(s.finish().1, 0);
+    }
+
+    #[test]
+    fn max_matches_clamps_within_the_boundary_chunk() {
+        let mut s = CommitState::new(2, &ResultMode::Collect, None, Some(3));
+        s.submit(chunk(0, vec![m(0), m(1)], 1));
+        assert!(s.terminal().is_none(), "2 of 3 committed");
+        s.submit(chunk(1, vec![m(2), m(3), m(4)], 1));
+        assert_eq!(s.terminal(), Some(Terminal::MaxMatchesReached));
+        let (_, found, matches, ..) = s.finish();
+        assert_eq!(found, 3, "count clamps at the cap");
+        assert_eq!(matches, vec![m(0), m(1), m(2)], "prefix of the stream");
+    }
+
+    #[test]
+    fn topk_satisfied_is_completed_not_partial() {
+        let mut s = CommitState::new(3, &ResultMode::TopK(2), None, None);
+        s.submit(chunk(0, vec![m(0), m(1), m(2)], 1));
+        assert_eq!(s.terminal(), Some(Terminal::Completed));
+        s.skip(2); // the drained remainder
+        let (terminal, found, matches, _, _, _, exhaustive, _) = s.finish();
+        assert_eq!(terminal, Terminal::Completed);
+        assert_eq!(found, 2);
+        assert_eq!(matches, vec![m(0), m(1)]);
+        assert!(!exhaustive, "LIMIT-style completion is not exhaustive");
+    }
+
+    #[test]
+    fn sample_is_a_function_of_stream_and_seed() {
+        let stream: Vec<Vec<VertexId>> = (0..100).map(m).collect();
+        let run = |chunks: &[&[Vec<VertexId>]]| {
+            let mode = ResultMode::Sample { n: 5, seed: 42 };
+            let mut s = CommitState::new(chunks.len(), &mode, None, None);
+            for (i, c) in chunks.iter().enumerate() {
+                s.submit(chunk(i, c.to_vec(), 1));
+            }
+            let (terminal, found, sample, ..) = s.finish();
+            assert_eq!(terminal, Terminal::Completed);
+            assert_eq!(found, 100, "sampling still counts exactly");
+            sample
+        };
+        // Same stream, different chunking ⇒ same reservoir.
+        let a = run(&[&stream[..30], &stream[30..]]);
+        let b = run(&[&stream[..70], &stream[70..90], &stream[90..]]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn cancellation_discards_pending_and_late_chunks() {
+        let mut s = CommitState::new(3, &ResultMode::CountOnly, None, None);
+        s.submit(chunk(2, vec![m(0)], 1)); // pending, out of order
+        assert!(s.set_terminal(Terminal::Cancelled), "first transition wins");
+        assert!(!s.set_terminal(Terminal::Completed));
+        s.submit(chunk(0, vec![m(1)], 1)); // in-flight arrival after cancel
+        s.skip(1); // drained from the queue
+        assert!(s.is_complete());
+        let (terminal, found, _, _, committed, discarded, _, _) = s.finish();
+        assert_eq!(terminal, Terminal::Cancelled);
+        assert_eq!(found, 0, "no silent partial counts");
+        assert_eq!((committed, discarded), (0, 3));
+    }
+}

@@ -1,0 +1,245 @@
+//! Serving-layer configuration.
+
+use benu_cluster::{ExecMode, SchedulerKind};
+
+/// Shape and tuning of the query service. One service owns one resident
+/// data graph: a sharded [`benu_kvstore::KvStore`] plus one warm
+/// database cache per serving worker, shared by every admitted query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceConfig {
+    /// Serving worker threads. Each worker owns a persistent database
+    /// cache (warm across queries) and one store transport, mirroring a
+    /// machine of the batch cluster.
+    pub workers: usize,
+    /// Database-cache capacity per worker, in bytes.
+    pub cache_capacity_bytes: usize,
+    /// Internal shard count of each worker's cache.
+    pub cache_shards: usize,
+    /// Task-splitting threshold τ applied to every query (0 disables
+    /// splitting) unless [`ServiceConfig::tau_auto`] is set.
+    pub tau: usize,
+    /// Pick τ per query from the degree distribution (recommended: the
+    /// adaptive choice splits heavy-start tasks for balance). The
+    /// adaptive τ targets a fixed virtual lane count — not `workers` —
+    /// so the task list, chunk boundaries and virtual-time accounting
+    /// are identical at any concurrency.
+    pub tau_auto: bool,
+    /// Within-query chunk placement policy. [`SchedulerKind::Static`]
+    /// pins a query's chunks to lanes round-robin;
+    /// [`SchedulerKind::WorkStealing`] lets idle lanes steal them. The
+    /// *cross*-query policy is always weighted round-robin (see
+    /// `fair`); this knob only shapes intra-query balance.
+    pub scheduler: SchedulerKind,
+    /// Default execution mode for queries that don't override it.
+    pub exec_mode: ExecMode,
+    /// Per-worker frontier byte budget for hybrid execution (0 =
+    /// unbounded).
+    pub memory_budget_bytes: usize,
+    /// Per-chunk triangle-cache entries.
+    pub triangle_cache_entries: usize,
+    /// Run engines with pooled execution buffers.
+    pub pooled_buffers: bool,
+    /// Compiled plans retained by the plan cache (LRU over canonical
+    /// pattern forms; 0 disables caching).
+    pub plan_cache_entries: usize,
+    /// Tasks per scheduling chunk — the pull, fairness and budget-commit
+    /// granularity. A worker books at most one chunk before the fair
+    /// queue may rotate to another query, and budgets are evaluated at
+    /// chunk boundaries so committed results are independent of worker
+    /// count and scheduler choice.
+    pub chunk_tasks: usize,
+    /// Store replication factor (shards ring-replicate as in the batch
+    /// cluster).
+    pub replication: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            cache_capacity_bytes: 64 << 20,
+            cache_shards: 8,
+            tau: 0,
+            tau_auto: true,
+            scheduler: SchedulerKind::WorkStealing,
+            exec_mode: ExecMode::Dfs,
+            memory_budget_bytes: 0,
+            triangle_cache_entries: 1 << 14,
+            pooled_buffers: true,
+            plan_cache_entries: 32,
+            chunk_tasks: 64,
+            replication: 1,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder(ServiceConfig::default())
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero workers, cache shards or chunk size, or a
+    /// replication factor outside `1..=workers`.
+    pub fn validate(&self) {
+        assert!(self.workers >= 1, "need at least one worker");
+        assert!(self.cache_shards >= 1, "need at least one cache shard");
+        assert!(self.chunk_tasks >= 1, "need at least one task per chunk");
+        assert!(
+            (1..=self.workers).contains(&self.replication),
+            "replication factor must be within 1..=workers (one shard per worker)"
+        );
+    }
+}
+
+/// Fluent builder for [`ServiceConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfigBuilder(ServiceConfig);
+
+impl ServiceConfigBuilder {
+    /// Serving worker threads.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.0.workers = n;
+        self
+    }
+
+    /// Per-worker database-cache capacity in bytes.
+    pub fn cache_capacity_bytes(mut self, n: usize) -> Self {
+        self.0.cache_capacity_bytes = n;
+        self
+    }
+
+    /// Internal cache shard count.
+    pub fn cache_shards(mut self, n: usize) -> Self {
+        self.0.cache_shards = n;
+        self
+    }
+
+    /// Task-splitting threshold τ (disables the adaptive choice).
+    pub fn tau(mut self, tau: usize) -> Self {
+        self.0.tau = tau;
+        self.0.tau_auto = false;
+        self
+    }
+
+    /// Pick τ adaptively from the degree distribution.
+    pub fn tau_auto(mut self, yes: bool) -> Self {
+        self.0.tau_auto = yes;
+        self
+    }
+
+    /// Within-query chunk placement policy.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.0.scheduler = kind;
+        self
+    }
+
+    /// Default execution mode.
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.0.exec_mode = mode;
+        self
+    }
+
+    /// Per-worker frontier byte budget for hybrid execution.
+    pub fn memory_budget_bytes(mut self, n: usize) -> Self {
+        self.0.memory_budget_bytes = n;
+        self
+    }
+
+    /// Per-chunk triangle-cache entries.
+    pub fn triangle_cache_entries(mut self, n: usize) -> Self {
+        self.0.triangle_cache_entries = n;
+        self
+    }
+
+    /// Run engines with pooled execution buffers.
+    pub fn pooled_buffers(mut self, yes: bool) -> Self {
+        self.0.pooled_buffers = yes;
+        self
+    }
+
+    /// Compiled plans retained by the plan cache.
+    pub fn plan_cache_entries(mut self, n: usize) -> Self {
+        self.0.plan_cache_entries = n;
+        self
+    }
+
+    /// Tasks per scheduling chunk (pull/fairness/budget granularity).
+    pub fn chunk_tasks(mut self, n: usize) -> Self {
+        self.0.chunk_tasks = n;
+        self
+    }
+
+    /// Store replication factor.
+    pub fn replication(mut self, r: usize) -> Self {
+        self.0.replication = r;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ServiceConfig::validate`]).
+    pub fn build(self) -> ServiceConfig {
+        self.0.validate();
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_covers_every_field() {
+        let built = ServiceConfig::builder()
+            .workers(3)
+            .cache_capacity_bytes(1 << 20)
+            .cache_shards(2)
+            .tau(25)
+            .tau_auto(false)
+            .scheduler(SchedulerKind::Static)
+            .exec_mode(ExecMode::Hybrid)
+            .memory_budget_bytes(4 << 10)
+            .triangle_cache_entries(64)
+            .pooled_buffers(false)
+            .plan_cache_entries(5)
+            .chunk_tasks(16)
+            .replication(2)
+            .build();
+        let literal = ServiceConfig {
+            workers: 3,
+            cache_capacity_bytes: 1 << 20,
+            cache_shards: 2,
+            tau: 25,
+            tau_auto: false,
+            scheduler: SchedulerKind::Static,
+            exec_mode: ExecMode::Hybrid,
+            memory_budget_bytes: 4 << 10,
+            triangle_cache_entries: 64,
+            pooled_buffers: false,
+            plan_cache_entries: 5,
+            chunk_tasks: 16,
+            replication: 2,
+        };
+        assert_eq!(built, literal, "every builder method must land");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task per chunk")]
+    fn zero_chunk_is_rejected() {
+        ServiceConfig::builder().chunk_tasks(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn over_replication_is_rejected() {
+        ServiceConfig::builder().workers(2).replication(3).build();
+    }
+}

@@ -1,0 +1,241 @@
+//! Weighted round-robin admission queue over per-query chunk queues.
+//!
+//! Cross-query fairness is the serving layer's scheduling contract: a
+//! clique-6 enumeration must not starve a triangle count. The unit of
+//! granting is one *chunk* (a bounded run of consecutive task indices,
+//! [`crate::ServiceConfig::chunk_tasks`] tasks), so a worker books at
+//! most one chunk of a query before the rotation may hand the next
+//! grant to a different query — a newly admitted query waits at most
+//! one chunk per worker, which is the batch-boundary fairness fix the
+//! `FRONTIER_TASK_BATCH` worker loop of the batch cluster never needed
+//! (it is single-query) but a multi-tenant pool does.
+//!
+//! *Within* a query, chunk placement follows the cluster's
+//! [`SchedulerKind`] semantics layered per query: `Static` pins chunks
+//! to lanes round-robin with no migration; `WorkStealing` lets an idle
+//! lane steal from its query's longest lane. Grant order is
+//! intentionally free (it depends on worker timing); result determinism
+//! comes from the in-order commit pipeline, not from grant order.
+
+use crate::query::QueryId;
+use benu_cluster::SchedulerKind;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+struct Entry<T> {
+    id: QueryId,
+    payload: T,
+    weight: u32,
+    /// Chunks left in this round-robin turn; refilled from `weight`.
+    credit: u32,
+    kind: SchedulerKind,
+    lanes: Vec<VecDeque<usize>>,
+    remaining: usize,
+}
+
+impl<T> Entry<T> {
+    /// Takes one chunk for `lane` under the entry's placement policy.
+    fn take(&mut self, lane: usize) -> Option<usize> {
+        if let Some(chunk) = self.lanes[lane].pop_front() {
+            return Some(chunk);
+        }
+        if self.kind == SchedulerKind::WorkStealing {
+            let victim = (0..self.lanes.len()).max_by_key(|&l| self.lanes[l].len())?;
+            return self.lanes[victim].pop_back();
+        }
+        None
+    }
+}
+
+struct State<T> {
+    entries: Vec<Entry<T>>,
+    /// Position of the entry whose round-robin turn it is. May sit one
+    /// past the last entry, meaning "the next admitted query has the
+    /// turn" — that is what guarantees a late admission is served within
+    /// one chunk of the running query instead of waiting a full cycle.
+    cursor: usize,
+}
+
+/// The fair cross-query queue. `T` is the per-query payload handed back
+/// with each grant (the service uses `Arc<QueryRun>`).
+pub(crate) struct FairQueue<T: Clone> {
+    state: Mutex<State<T>>,
+}
+
+impl<T: Clone> FairQueue<T> {
+    pub(crate) fn new() -> Self {
+        FairQueue {
+            state: Mutex::new(State {
+                entries: Vec::new(),
+                cursor: 0,
+            }),
+        }
+    }
+
+    /// Admits a query with `chunks` chunks distributed round-robin over
+    /// `lanes` lanes (the cluster's even initial shuffle).
+    pub(crate) fn admit(
+        &self,
+        id: QueryId,
+        payload: T,
+        weight: u32,
+        kind: SchedulerKind,
+        chunks: usize,
+        lanes: usize,
+    ) {
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); lanes];
+        for chunk in 0..chunks {
+            queues[chunk % lanes].push_back(chunk);
+        }
+        let weight = weight.max(1);
+        self.state.lock().entries.push(Entry {
+            id,
+            payload,
+            weight,
+            credit: weight,
+            kind,
+            lanes: queues,
+            remaining: chunks,
+        });
+    }
+
+    /// Grants `lane` one chunk: the cursor entry first, then — if it has
+    /// nothing this lane can take — the next entries in admission order.
+    /// Serving the cursor entry consumes one credit; an exhausted credit
+    /// (or an emptied entry) rotates the cursor.
+    pub(crate) fn next(&self, lane: usize) -> Option<(T, usize)> {
+        let state = &mut *self.state.lock();
+        let len = state.entries.len();
+        if len == 0 {
+            return None;
+        }
+        // A past-the-end cursor wraps to 0 only now that nothing was
+        // admitted behind it.
+        let cur = state.cursor % len;
+        for offset in 0..len {
+            let idx = (cur + offset) % len;
+            let Some(chunk) = state.entries[idx].take(lane) else {
+                continue;
+            };
+            let entry = &mut state.entries[idx];
+            let payload = entry.payload.clone();
+            entry.remaining -= 1;
+            entry.credit -= 1;
+            let exhausted_turn = entry.credit == 0;
+            if exhausted_turn {
+                entry.credit = entry.weight;
+            }
+            state.cursor = if entry.remaining == 0 {
+                state.entries.remove(idx);
+                // A removed cursor entry passes the turn to its
+                // successor, which just shifted into `cur`.
+                if idx < cur {
+                    cur - 1
+                } else {
+                    cur
+                }
+            } else if idx == cur && exhausted_turn {
+                cur + 1
+            } else {
+                cur
+            };
+            return Some((payload, chunk));
+        }
+        None
+    }
+
+    /// Removes a query's un-granted chunks (cancellation, budget
+    /// termination), returning how many were released.
+    pub(crate) fn drain(&self, id: QueryId) -> usize {
+        let state = &mut *self.state.lock();
+        let Some(idx) = state.entries.iter().position(|e| e.id == id) else {
+            return 0;
+        };
+        let released = state.entries[idx].remaining;
+        state.entries.remove(idx);
+        if idx < state.cursor {
+            state.cursor -= 1;
+        }
+        released
+    }
+
+    /// Total un-granted chunks across every admitted query.
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().entries.iter().map(|e| e.remaining).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WS: SchedulerKind = SchedulerKind::WorkStealing;
+
+    fn ids(q: &FairQueue<QueryId>, lane: usize, n: usize) -> Vec<QueryId> {
+        (0..n)
+            .map(|_| q.next(lane).expect("chunk available").0)
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_alternates_queries() {
+        let q = FairQueue::new();
+        q.admit(0, 0, 1, WS, 4, 1);
+        q.admit(1, 1, 1, WS, 4, 1);
+        assert_eq!(ids(&q, 0, 8), vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        assert!(q.next(0).is_none());
+    }
+
+    #[test]
+    fn late_admission_is_served_within_one_chunk() {
+        // The batch-boundary fairness regression: after one chunk of the
+        // running query, a newly admitted query gets the next grant.
+        let q = FairQueue::new();
+        q.admit(0, 0, 1, WS, 10, 1);
+        assert_eq!(q.next(0).unwrap().0, 0);
+        q.admit(1, 1, 1, WS, 1, 1);
+        assert_eq!(q.next(0).unwrap().0, 1, "B must preempt A's next grant");
+        assert_eq!(q.next(0).unwrap().0, 0);
+    }
+
+    #[test]
+    fn weights_scale_grants_per_round() {
+        let q = FairQueue::new();
+        q.admit(0, 0, 2, WS, 6, 1);
+        q.admit(1, 1, 1, WS, 3, 1);
+        assert_eq!(ids(&q, 0, 9), vec![0, 0, 1, 0, 0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn static_lanes_stay_pinned_and_stealing_migrates() {
+        let pinned = FairQueue::new();
+        pinned.admit(0, 0, 1, SchedulerKind::Static, 4, 2);
+        // Chunks 0,2 pin to lane 0; 1,3 to lane 1. Lane 0 cannot take
+        // lane 1's chunks.
+        assert_eq!(pinned.next(0).unwrap().1, 0);
+        assert_eq!(pinned.next(0).unwrap().1, 2);
+        assert!(pinned.next(0).is_none());
+        assert_eq!(pinned.next(1).unwrap().1, 1);
+
+        let stealing = FairQueue::new();
+        stealing.admit(0, 0, 1, WS, 4, 2);
+        assert_eq!(
+            ids(&stealing, 0, 4),
+            vec![0, 0, 0, 0],
+            "lane 0 steals the rest"
+        );
+    }
+
+    #[test]
+    fn drain_releases_remaining_chunks() {
+        let q = FairQueue::new();
+        q.admit(0, 0, 1, WS, 5, 1);
+        q.admit(1, 1, 1, WS, 5, 1);
+        assert_eq!(q.depth(), 10);
+        q.next(0);
+        assert_eq!(q.drain(0), 4);
+        assert_eq!(q.depth(), 5);
+        assert_eq!(q.drain(0), 0, "draining twice is a no-op");
+        assert_eq!(ids(&q, 0, 5), vec![1, 1, 1, 1, 1]);
+    }
+}

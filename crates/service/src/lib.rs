@@ -1,0 +1,62 @@
+//! benu-service: a concurrent multi-query serving layer over the BENU
+//! runtime.
+//!
+//! The batch layers (`benu-cluster`) answer one query per run. This
+//! crate adds the session front end a serving deployment needs: one
+//! resident data graph — sharded [`benu_kvstore::KvStore`] plus warm
+//! per-worker [`benu_cache::DbCache`]s — shared by many concurrent
+//! pattern queries, each submitted with its own result mode, fair-share
+//! weight and budgets.
+//!
+//! The moving parts:
+//!
+//! * **Admission & plan cache** ([`QueryService::submit`]): patterns
+//!   are resolved through an LRU [`PlanCache`] keyed on the
+//!   automorphism-canonical form ([`benu_pattern::canonical`]), so any
+//!   relabeling or automorphic image of an already-served pattern skips
+//!   plan search and compilation.
+//! * **Fair cross-query scheduling** (`fair`): work is granted in
+//!   bounded *chunks* through a weighted round-robin over admitted
+//!   queries; within a query, chunks follow the configured
+//!   [`benu_cluster::SchedulerKind`] (static lanes or work stealing).
+//! * **Deterministic budgets** (`commit`): deadlines (in virtual
+//!   ticks), match caps, `TopK` and seeded `Sample` modes are enforced
+//!   in the worker loop as early termination — evaluated at in-order
+//!   chunk-commit boundaries, so results and terminal statuses are
+//!   identical at any concurrency, scheduler and execution mode.
+//! * **Observability**: per-query compile/queue/execute spans on the
+//!   virtual clock and `service.*` registry counters, all reportable
+//!   through [`QueryService::report`].
+//!
+//! ```
+//! use benu_graph::gen;
+//! use benu_pattern::queries;
+//! use benu_service::{QueryOptions, QueryService, ResultMode, ServiceConfig};
+//!
+//! let g = gen::complete(6);
+//! let service = QueryService::new(&g, ServiceConfig::default());
+//! // Two queries in flight at once; the second hits the plan cache
+//! // (a relabeled triangle is the same canonical pattern).
+//! let a = service.submit(&queries::triangle(), QueryOptions::new());
+//! let b = service.submit(
+//!     &queries::triangle(),
+//!     QueryOptions::new().mode(ResultMode::Collect),
+//! );
+//! assert_eq!(service.wait(a).matches_found, 20);
+//! assert_eq!(service.wait(b).matches.len(), 20);
+//! assert_eq!(service.plan_cache_stats().hits, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod commit;
+mod config;
+mod fair;
+mod plan_cache;
+mod query;
+mod service;
+
+pub use config::{ServiceConfig, ServiceConfigBuilder};
+pub use plan_cache::{CachedPlan, PlanCache, PlanCacheStats};
+pub use query::{QueryId, QueryOptions, QueryResult, QueryStatus, ResultMode, Terminal};
+pub use service::QueryService;

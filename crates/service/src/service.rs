@@ -1,0 +1,707 @@
+//! The query service: admission, worker pool, commit, reporting.
+//!
+//! One [`QueryService`] owns a resident data graph — a sharded
+//! [`KvStore`] plus one persistent per-worker [`DbCache`] — and serves
+//! any number of concurrent pattern queries against it. Admission
+//! compiles (or plan-cache-resolves) the pattern, generates the split
+//! task list exactly as the batch [`benu_cluster::Cluster`] would, and
+//! enqueues fixed task-index-range *chunks* into the weighted
+//! round-robin [`crate::fair`] queue. Worker threads pull one chunk at
+//! a time — the cross-query fairness granularity — execute it with the
+//! regular engine (DFS task-at-a-time, or the memory-bounded hybrid as
+//! one frontier batch), and hand the outcome to the query's
+//! [`CommitState`], which enforces in-order commit and every budget.
+//!
+//! Determinism contract: a query's terminal status, match count,
+//! committed match stream and virtual-time latency are a pure function
+//! of `(graph, pattern, options, chunk_tasks)` — independent of worker
+//! count, scheduler kind, execution mode, and whatever else is running
+//! concurrently. See DESIGN.md §4h.
+
+use crate::commit::{CommitState, ExecutedChunk};
+use crate::config::ServiceConfig;
+use crate::plan_cache::{CachedPlan, PlanCache, PlanCacheStats};
+use crate::query::{QueryId, QueryOptions, QueryResult, QueryStatus, Terminal};
+use benu_cache::{CacheObs, DbCache};
+use benu_cluster::transport::Transport;
+use benu_cluster::ExecMode;
+use benu_engine::{
+    CollectingConsumer, CountingConsumer, DataSource, FrontierEngine, LocalEngine, MatchConsumer,
+    MemoryBudget, SearchTask, TaskMetrics,
+};
+use benu_graph::{AdjSet, Graph, TotalOrder, VertexId};
+use benu_kvstore::KvStore;
+use benu_obs::{ObsHub, Report, ReportMode};
+use benu_pattern::{Pattern, PatternVertex};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A condvar-backed edge-triggered signal: `notify` bumps a generation,
+/// `wait_past` sleeps until the generation moves (with a timeout
+/// backstop so a missed wakeup degrades to a short poll, never a hang).
+struct Signal {
+    generation: std::sync::Mutex<u64>,
+    cv: std::sync::Condvar,
+}
+
+impl Signal {
+    fn new() -> Self {
+        Signal {
+            generation: std::sync::Mutex::new(0),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn notify(&self) {
+        let mut generation = self.generation.lock().expect("signal mutex");
+        *generation += 1;
+        self.cv.notify_all();
+    }
+
+    fn current(&self) -> u64 {
+        *self.generation.lock().expect("signal mutex")
+    }
+
+    fn wait_past(&self, seen: u64) {
+        let guard = self.generation.lock().expect("signal mutex");
+        if *guard != seen {
+            return;
+        }
+        let _ = self
+            .cv
+            .wait_timeout(guard, Duration::from_millis(10))
+            .expect("signal mutex");
+    }
+}
+
+/// The engine's view of the resident graph from one serving worker:
+/// the worker's persistent cache in front of its store transport. The
+/// service runs without fault injection, so transport errors cannot
+/// occur and a vertex missing from the store is a programming error
+/// (tasks are generated from the same graph the store was loaded from).
+struct ServiceSource {
+    transport: Transport,
+    cache: Arc<DbCache>,
+}
+
+impl DataSource for ServiceSource {
+    fn num_vertices(&self) -> usize {
+        self.transport.store().num_vertices()
+    }
+
+    fn get_adj(&self, v: VertexId) -> Arc<AdjSet> {
+        self.cache
+            .get_or_fetch(v, || match self.transport.fetch(v) {
+                Ok(Some(adj)) => Ok(adj),
+                Ok(None) => Err(()),
+                Err(err) => panic!("faultless transport failed: {err}"),
+            })
+            .unwrap_or_else(|()| panic!("vertex {v} missing from the resident store"))
+    }
+
+    fn get_adj_batch(&self, vs: &[VertexId]) -> Vec<Arc<AdjSet>> {
+        let mut out: Vec<Option<Arc<AdjSet>>> = vec![None; vs.len()];
+        let mut missing_slots = Vec::new();
+        let mut missing_keys = Vec::new();
+        for (i, &v) in vs.iter().enumerate() {
+            match self.cache.get(v) {
+                Some(adj) => out[i] = Some(adj),
+                None => {
+                    missing_slots.push(i);
+                    missing_keys.push(v);
+                }
+            }
+        }
+        if !missing_keys.is_empty() {
+            let values = self
+                .transport
+                .fetch_many(&missing_keys)
+                .unwrap_or_else(|err| panic!("faultless transport failed: {err}"));
+            for (j, value) in values.into_iter().enumerate() {
+                let adj = value.unwrap_or_else(|| panic!("vertex {} missing", missing_keys[j]));
+                self.cache.insert(missing_keys[j], Arc::clone(&adj));
+                out[missing_slots[j]] = Some(adj);
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every slot filled"))
+            .collect()
+    }
+}
+
+/// Mutable per-query state behind one lock: the commit pipeline while
+/// the query runs, the final result once it terminates.
+struct RunState {
+    commit: Option<CommitState>,
+    result: Option<QueryResult>,
+}
+
+/// One admitted query, shared between the submitter and the workers.
+struct QueryRun {
+    id: QueryId,
+    options: QueryOptions,
+    exec_mode: ExecMode,
+    plan: Arc<CachedPlan>,
+    /// `placement[i]` = submitted-pattern vertex at canonical position
+    /// `i` (plans are compiled for the canonical numbering).
+    placement: Vec<PatternVertex>,
+    tasks: Vec<SearchTask>,
+    chunk_tasks: usize,
+    plan_cache_hit: bool,
+    submitted_at: Instant,
+    /// First chunk granted — flips `Queued` to `Running`.
+    started: AtomicBool,
+    /// Terminal decided: workers skip granted chunks and abort DFS
+    /// chunks at the next task boundary.
+    terminated: AtomicBool,
+    state: Mutex<RunState>,
+}
+
+impl QueryRun {
+    /// The task-index range of `chunk`.
+    fn chunk_range(&self, chunk: usize) -> std::ops::Range<usize> {
+        let start = chunk * self.chunk_tasks;
+        start..self.tasks.len().min(start + self.chunk_tasks)
+    }
+}
+
+struct Inner {
+    config: ServiceConfig,
+    store: Arc<KvStore>,
+    order: Arc<TotalOrder>,
+    degrees: Vec<u32>,
+    graph_edges: usize,
+    caches: Vec<Arc<DbCache>>,
+    plan_cache: PlanCache,
+    queue: crate::fair::FairQueue<Arc<QueryRun>>,
+    queries: Mutex<Vec<Arc<QueryRun>>>,
+    obs: Option<Arc<ObsHub>>,
+    shutdown: AtomicBool,
+    work: Signal,
+    done: Signal,
+    completions: AtomicU64,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_exceeded: AtomicU64,
+}
+
+/// The serving front end. See the module docs; construct with
+/// [`QueryService::new`], submit with [`QueryService::submit`], and
+/// collect with [`QueryService::wait`]. Dropping the service drains the
+/// queue and joins the worker pool.
+pub struct QueryService {
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Loads `g` into the service's sharded store and starts the worker
+    /// pool.
+    pub fn new(g: &Graph, config: ServiceConfig) -> Self {
+        Self::build(g, config, None)
+    }
+
+    /// Like [`QueryService::new`], with an observability hub: store and
+    /// cache tiers record into its registry, per-query phase spans land
+    /// on its virtual-clock tracer, and `service.*` counters mirror the
+    /// admission lifecycle.
+    pub fn new_observed(g: &Graph, config: ServiceConfig, hub: Arc<ObsHub>) -> Self {
+        Self::build(g, config, Some(hub))
+    }
+
+    fn build(g: &Graph, config: ServiceConfig, obs: Option<Arc<ObsHub>>) -> Self {
+        config.validate();
+        let store = {
+            let _span = obs.as_ref().map(|h| h.tracer.span("store_load"));
+            let mut store = KvStore::from_graph_replicated(g, config.workers, config.replication);
+            if let Some(hub) = &obs {
+                store.attach_obs(&hub.registry);
+            }
+            Arc::new(store)
+        };
+        let caches = (0..config.workers)
+            .map(|_| {
+                let mut cache = DbCache::new(config.cache_capacity_bytes, config.cache_shards);
+                if let Some(hub) = &obs {
+                    cache.attach_obs(CacheObs::register(&hub.registry, "db"));
+                }
+                Arc::new(cache)
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            store,
+            order: Arc::new(TotalOrder::new(g)),
+            degrees: g.vertices().map(|v| g.degree(v) as u32).collect(),
+            graph_edges: g.num_edges(),
+            caches,
+            plan_cache: PlanCache::new(config.plan_cache_entries),
+            queue: crate::fair::FairQueue::new(),
+            queries: Mutex::new(Vec::new()),
+            obs,
+            shutdown: AtomicBool::new(false),
+            work: Signal::new(),
+            done: Signal::new(),
+            completions: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            config,
+        });
+        let threads = (0..config.workers)
+            .map(|lane| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(inner, lane))
+            })
+            .collect();
+        QueryService { inner, threads }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.inner.plan_cache.stats()
+    }
+
+    /// Un-granted chunks currently queued across every admitted query.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.depth()
+    }
+
+    /// Admits `pattern` and returns its [`QueryId`]. Plan resolution
+    /// (cache lookup or compile) and task generation happen inside the
+    /// admission lock, so QueryIds, plan-cache hit/miss sequences and
+    /// task lists are a deterministic function of the submission order.
+    pub fn submit(&self, pattern: &Pattern, options: QueryOptions) -> QueryId {
+        let inner = &*self.inner;
+        let mut queries = inner.queries.lock();
+        let id = queries.len() as QueryId;
+        let (plan, placement, hit) = {
+            let _span = inner
+                .obs
+                .as_ref()
+                .map(|h| h.tracer.span(&format!("query.{id}.compile")));
+            inner
+                .plan_cache
+                .get_or_compile(pattern, inner.store.num_vertices(), inner.graph_edges)
+        };
+        let exec_mode = options.exec_mode.unwrap_or(inner.config.exec_mode);
+        let tasks = inner.generate_tasks(&plan);
+        let total_chunks = tasks.len().div_ceil(inner.config.chunk_tasks);
+        let commit = CommitState::new(
+            total_chunks,
+            &options.mode,
+            options.deadline_vticks,
+            options.max_matches,
+        );
+        let weight = options.weight;
+        let run = Arc::new(QueryRun {
+            id,
+            options,
+            exec_mode,
+            plan,
+            placement,
+            tasks,
+            chunk_tasks: inner.config.chunk_tasks,
+            plan_cache_hit: hit,
+            submitted_at: Instant::now(),
+            started: AtomicBool::new(false),
+            terminated: AtomicBool::new(false),
+            state: Mutex::new(RunState {
+                commit: Some(commit),
+                result: None,
+            }),
+        });
+        queries.push(Arc::clone(&run));
+        inner.admitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(hub) = &inner.obs {
+            hub.registry.counter("service.admitted").inc();
+            if hit {
+                hub.registry.counter("service.plan_cache.hits").inc();
+            }
+            let _queued = hub.tracer.span(&format!("query.{id}.queue"));
+        }
+        let mut state = run.state.lock();
+        if state
+            .commit
+            .as_ref()
+            .is_some_and(|c| c.terminal().is_some())
+        {
+            // Terminal at admission: deadline 0, max_matches 0, TopK(0),
+            // or an empty task list. Nothing is queued.
+            run.terminated.store(true, Ordering::Release);
+            state
+                .commit
+                .as_mut()
+                .expect("commit present until finalised")
+                .skip(total_chunks);
+            inner.after_state_change(&run, &mut state);
+        } else {
+            inner.queue.admit(
+                id,
+                Arc::clone(&run),
+                weight,
+                inner.config.scheduler,
+                total_chunks,
+                inner.config.workers,
+            );
+            inner.sync_queue_depth();
+            inner.work.notify();
+        }
+        drop(state);
+        drop(queries);
+        id
+    }
+
+    /// Non-blocking lifecycle view; `None` for an unknown id.
+    pub fn status(&self, id: QueryId) -> Option<QueryStatus> {
+        let run = Arc::clone(self.inner.queries.lock().get(id as usize)?);
+        let state = run.state.lock();
+        Some(match &state.result {
+            Some(result) => QueryStatus::Finished(result.clone()),
+            None if run.started.load(Ordering::Acquire) => QueryStatus::Running,
+            None => QueryStatus::Queued,
+        })
+    }
+
+    /// Cancels `id`. Queued chunks are released immediately, an in-flight
+    /// DFS chunk aborts at its next task boundary, and the query settles
+    /// with [`Terminal::Cancelled`] (committed work stays reported as the
+    /// partial it is — [`QueryResult::is_partial`]). Returns true when
+    /// this call made the transition; false if the query already
+    /// terminated (or the id is unknown).
+    pub fn cancel(&self, id: QueryId) -> bool {
+        let Some(run) = self.inner.queries.lock().get(id as usize).map(Arc::clone) else {
+            return false;
+        };
+        let mut state = run.state.lock();
+        let Some(commit) = state.commit.as_mut() else {
+            return false;
+        };
+        if !commit.set_terminal(Terminal::Cancelled) {
+            return false;
+        }
+        self.inner.after_state_change(&run, &mut state);
+        true
+    }
+
+    /// Blocks until `id` terminates and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never returned by [`QueryService::submit`].
+    pub fn wait(&self, id: QueryId) -> QueryResult {
+        let run = Arc::clone(
+            self.inner
+                .queries
+                .lock()
+                .get(id as usize)
+                .expect("unknown query id"),
+        );
+        loop {
+            let seen = self.inner.done.current();
+            if let Some(result) = &run.state.lock().result {
+                return result.clone();
+            }
+            self.inner.done.wait_past(seen);
+        }
+    }
+
+    /// The service's report subtree. `Deterministic` mode is built
+    /// purely from commit-pipeline state — admission counters, plan
+    /// cache, one entry per terminated query — and is identical across
+    /// worker counts, schedulers and execution modes. `Full` mode adds
+    /// wall-clock latencies and merges the hub's registry/trace report
+    /// when the service is observed.
+    pub fn report(&self, mode: ReportMode) -> Report {
+        let inner = &*self.inner;
+        let mut service = Report::new();
+        service.set("admitted", inner.admitted.load(Ordering::Relaxed));
+        service.set("completed", inner.completed.load(Ordering::Relaxed));
+        service.set("cancelled", inner.cancelled.load(Ordering::Relaxed));
+        service.set(
+            "deadline_exceeded",
+            inner.deadline_exceeded.load(Ordering::Relaxed),
+        );
+        service.set("queue_depth", inner.queue.depth());
+        let pc = inner.plan_cache.stats();
+        let mut plan_cache = Report::new();
+        plan_cache.set("hits", pc.hits);
+        plan_cache.set("misses", pc.misses);
+        plan_cache.set("evictions", pc.evictions);
+        plan_cache.set("entries", pc.entries);
+        service.set_tree("plan_cache", plan_cache);
+        for run in inner.queries.lock().iter() {
+            let state = run.state.lock();
+            let Some(result) = &state.result else {
+                continue;
+            };
+            let mut q = Report::new();
+            q.set("terminal", result.terminal.name());
+            q.set("mode", run.options.mode.name());
+            q.set("matches_found", result.matches_found);
+            q.set("vticks", result.vticks);
+            q.set("chunks_committed", result.chunks_committed);
+            q.set("chunks_discarded", result.chunks_discarded);
+            q.set("exhaustive", result.exhaustive);
+            q.set("plan_cache_hit", result.plan_cache_hit);
+            if mode == ReportMode::Full {
+                // Completion order and wall latency depend on worker
+                // timing — real observability, but not part of the
+                // deterministic surface.
+                q.set("completion_index", result.completion_index);
+                q.set("wall_nanos", result.wall.as_nanos() as u64);
+            }
+            service.set_tree(&format!("query.{}", run.id), q);
+        }
+        let mut report = Report::new();
+        report.set_tree("service", service);
+        if mode == ReportMode::Full {
+            if let Some(hub) = &inner.obs {
+                report.merge(hub.report(mode));
+            }
+        }
+        report
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work.notify();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Lane parameter fed to the adaptive τ choice, deliberately *not* the
+/// worker count: the task list fixes chunk boundaries, and chunk
+/// boundaries fix where budgets are evaluated and how many virtual
+/// ticks a query accrues — all part of the determinism contract
+/// ("identical results at any concurrency"), so τ must be a pure
+/// function of the graph and the plan.
+const AUTO_TAU_VIRTUAL_LANES: usize = 8;
+
+impl Inner {
+    /// The §V-B task list for a cached plan, exactly as the batch
+    /// cluster generates it — except that adaptive τ targets a fixed
+    /// virtual lane count instead of `workers`, keeping the task list
+    /// (and with it vticks and budget boundaries) identical at any
+    /// concurrency.
+    fn generate_tasks(&self, plan: &CachedPlan) -> Vec<SearchTask> {
+        let second_adjacent = plan.compiled.second_adjacent;
+        let tau = if plan.compiled.second_vertex.is_none() {
+            0
+        } else if self.config.tau_auto {
+            benu_engine::task::auto_tau(&self.degrees, AUTO_TAU_VIRTUAL_LANES, second_adjacent)
+        } else {
+            self.config.tau
+        };
+        benu_engine::task::generate_tasks_from_degrees(&self.degrees, tau, second_adjacent)
+    }
+
+    fn sync_queue_depth(&self) {
+        if let Some(hub) = &self.obs {
+            hub.registry
+                .gauge("service.queue_depth")
+                .set(self.queue.depth() as i64);
+        }
+    }
+
+    /// Reacts to a commit-state change: on a fresh terminal, raises the
+    /// terminated flag and releases the query's queued chunks; once
+    /// every chunk is accounted for, finalises the result.
+    fn after_state_change(&self, run: &Arc<QueryRun>, state: &mut RunState) {
+        let commit = state
+            .commit
+            .as_mut()
+            .expect("commit present until finalised");
+        if commit.terminal().is_some() && !run.terminated.swap(true, Ordering::AcqRel) {
+            let released = self.queue.drain(run.id);
+            commit.skip(released);
+            self.sync_queue_depth();
+        }
+        if state.result.is_some() || !state.commit.as_ref().is_some_and(|c| c.is_complete()) {
+            return;
+        }
+        let commit = state.commit.take().expect("checked above");
+        let (terminal, found, matches, vticks, committed, discarded, exhaustive, metrics) =
+            commit.finish();
+        match terminal {
+            Terminal::Completed | Terminal::MaxMatchesReached => {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Terminal::Cancelled => {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            Terminal::DeadlineExceeded => {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(hub) = &self.obs {
+            let name = match terminal {
+                Terminal::Completed | Terminal::MaxMatchesReached => "service.completed",
+                Terminal::Cancelled => "service.cancelled",
+                Terminal::DeadlineExceeded => "service.deadline_exceeded",
+            };
+            hub.registry.counter(name).inc();
+            // Committed work only — the deterministic share of the run.
+            metrics.record_into(&hub.registry);
+        }
+        state.result = Some(QueryResult {
+            id: run.id,
+            terminal,
+            matches_found: found,
+            matches,
+            vticks,
+            chunks_committed: committed,
+            chunks_discarded: discarded,
+            plan_cache_hit: run.plan_cache_hit,
+            exhaustive,
+            completion_index: self.completions.fetch_add(1, Ordering::SeqCst),
+            metrics,
+            wall: run.submitted_at.elapsed(),
+        });
+        self.done.notify();
+    }
+}
+
+/// Virtual ticks of a chunk: one per task plus every instruction
+/// execution and candidate enumeration — counts the hybrid-equivalence
+/// suite pins as identical across execution modes, so a query's latency
+/// (and its deadline semantics) is mode- and concurrency-independent.
+fn chunk_vticks(tasks: usize, m: &TaskMetrics) -> u64 {
+    tasks as u64
+        + m.enu_candidates
+        + m.dbq_executions
+        + m.int_executions
+        + m.trc_executions
+        + m.kcache_executions
+}
+
+/// Remaps an embedding of the canonical pattern back to the submitted
+/// numbering: `out[placement[i]] = f[i]`.
+fn remap(f: &[VertexId], placement: &[PatternVertex]) -> Vec<VertexId> {
+    let mut out = vec![0; f.len()];
+    for (i, &v) in f.iter().enumerate() {
+        out[placement[i]] = v;
+    }
+    out
+}
+
+fn worker_loop(inner: Arc<Inner>, lane: usize) {
+    let source = ServiceSource {
+        transport: Transport::new(Arc::clone(&inner.store)),
+        cache: Arc::clone(&inner.caches[lane]),
+    };
+    loop {
+        let seen = inner.work.current();
+        match inner.queue.next(lane) {
+            Some((run, chunk)) => {
+                inner.sync_queue_depth();
+                execute_chunk(&inner, &source, &run, chunk);
+            }
+            None if inner.shutdown.load(Ordering::Acquire) => break,
+            None => inner.work.wait_past(seen),
+        }
+    }
+}
+
+/// Executes one granted chunk and feeds the outcome to the query's
+/// commit pipeline. A chunk of a terminated query is skipped (or, for
+/// DFS, aborted at the next task boundary) and accounted as discarded.
+fn execute_chunk(inner: &Inner, source: &ServiceSource, run: &Arc<QueryRun>, chunk: usize) {
+    run.started.store(true, Ordering::Release);
+    if run.terminated.load(Ordering::Acquire) {
+        let mut state = run.state.lock();
+        if let Some(commit) = state.commit.as_mut() {
+            commit.skip(1);
+        }
+        inner.after_state_change(run, &mut state);
+        return;
+    }
+    let _span = inner
+        .obs
+        .as_ref()
+        .map(|h| h.tracer.span(&format!("query.{}.execute", run.id)));
+    let range = run.chunk_range(chunk);
+    let tasks = &run.tasks[range];
+    let needs_matches = run.options.mode.needs_matches();
+    let engine = LocalEngine::with_triangle_cache(
+        &run.plan.compiled,
+        source,
+        &inner.order,
+        inner.config.triangle_cache_entries,
+    )
+    .with_pooling(inner.config.pooled_buffers);
+    let mut counting = CountingConsumer::default();
+    let mut collecting = CollectingConsumer::default();
+    let mut metrics = TaskMetrics::default();
+    let mut aborted = false;
+    match run.exec_mode {
+        ExecMode::Dfs => {
+            let mut engine = engine;
+            for &task in tasks {
+                if run.terminated.load(Ordering::Acquire) {
+                    aborted = true;
+                    break;
+                }
+                let consumer: &mut dyn MatchConsumer = if needs_matches {
+                    &mut collecting
+                } else {
+                    &mut counting
+                };
+                metrics += engine.run_task(task, consumer);
+            }
+        }
+        ExecMode::Hybrid => {
+            // The whole chunk is one frontier batch: sibling tasks share
+            // deduplicated batched store reads, bounded per worker.
+            let budget =
+                MemoryBudget::bytes(inner.config.memory_budget_bytes / inner.config.workers);
+            let mut frontier = FrontierEngine::new(engine, budget);
+            let consumer: &mut dyn MatchConsumer = if needs_matches {
+                &mut collecting
+            } else {
+                &mut counting
+            };
+            metrics = frontier.run_batch(tasks, consumer);
+        }
+    }
+    let mut state = run.state.lock();
+    if aborted {
+        if let Some(commit) = state.commit.as_mut() {
+            commit.skip(1);
+        }
+    } else {
+        let mut matches: Vec<Vec<VertexId>> = collecting
+            .into_matches()
+            .iter()
+            .map(|f| remap(f, &run.placement))
+            .collect();
+        matches.sort_unstable();
+        let executed = ExecutedChunk {
+            chunk,
+            count: metrics.matches,
+            matches,
+            vticks: chunk_vticks(tasks.len(), &metrics),
+            metrics,
+        };
+        if let Some(hub) = &inner.obs {
+            hub.tracer.clock().advance(executed.vticks);
+        }
+        if let Some(commit) = state.commit.as_mut() {
+            commit.submit(executed);
+        }
+    }
+    inner.after_state_change(run, &mut state);
+}

@@ -1,0 +1,152 @@
+//! Satellite: the service determinism guard.
+//!
+//! The same seed and query mix must produce identical per-query results
+//! — terminal status, match count, committed match stream, virtual-time
+//! latency — and an identical deterministic report at every concurrency
+//! level, under both schedulers, and across both execution modes. This
+//! is the serving-layer extension of the cluster's
+//! `hybrid_equivalence` suite: budgets and result modes are enforced at
+//! deterministic chunk-commit boundaries, so even *truncating* queries
+//! (deadlines, match caps, TopK) cut the stream at the same point
+//! everywhere.
+
+use benu_cluster::{ExecMode, SchedulerKind};
+use benu_graph::gen;
+use benu_obs::ReportMode;
+use benu_pattern::queries;
+use benu_service::{QueryOptions, QueryResult, QueryService, ResultMode, ServiceConfig, Terminal};
+
+/// The comparable surface of a result: everything except wall time and
+/// completion order (which legitimately depend on worker timing).
+fn surface(r: &QueryResult) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.id,
+        r.terminal,
+        r.matches_found,
+        r.matches.clone(),
+        r.vticks,
+        r.chunks_committed,
+        r.chunks_discarded,
+        r.plan_cache_hit,
+        r.exhaustive,
+        r.metrics,
+    )
+}
+
+/// Submits the fixed mix and waits for every query, in id order.
+fn run_mix(config: ServiceConfig) -> (Vec<QueryResult>, benu_obs::Report) {
+    let g = gen::barabasi_albert(150, 4, 7);
+    let service = QueryService::new(&g, config);
+    let ids = vec![
+        service.submit(&queries::triangle(), QueryOptions::new()),
+        service.submit(
+            &queries::q1(),
+            QueryOptions::new().mode(ResultMode::Collect),
+        ),
+        // Budgeted queries: every truncation mode is in the mix.
+        service.submit(&queries::triangle(), QueryOptions::new().max_matches(100)),
+        service.submit(&queries::q1(), QueryOptions::new().deadline_vticks(2_000)),
+        service.submit(
+            &queries::triangle(),
+            QueryOptions::new().mode(ResultMode::TopK(7)),
+        ),
+        service.submit(
+            &queries::q2(),
+            QueryOptions::new().mode(ResultMode::Sample { n: 5, seed: 42 }),
+        ),
+        // A relabeled triangle — plan-cache hit, same results.
+        service.submit(
+            &benu_pattern::Pattern::from_edges(3, &[(2, 1), (1, 0), (0, 2)]),
+            QueryOptions::new().mode(ResultMode::Collect),
+        ),
+    ];
+    let results: Vec<QueryResult> = ids.into_iter().map(|id| service.wait(id)).collect();
+    let report = service.report(ReportMode::Deterministic);
+    (results, report)
+}
+
+#[test]
+fn results_are_identical_across_concurrency_schedulers_and_modes() {
+    let base = ServiceConfig::builder().chunk_tasks(16);
+    let mut baseline: Option<(Vec<QueryResult>, benu_obs::Report)> = None;
+    for workers in [1, 3] {
+        for scheduler in [SchedulerKind::Static, SchedulerKind::WorkStealing] {
+            for exec_mode in [ExecMode::Dfs, ExecMode::Hybrid] {
+                let config = base
+                    .workers(workers)
+                    .scheduler(scheduler)
+                    .exec_mode(exec_mode)
+                    .build();
+                let (results, report) = run_mix(config);
+                match &baseline {
+                    None => baseline = Some((results, report)),
+                    Some((expect_results, expect_report)) => {
+                        for (got, want) in results.iter().zip(expect_results) {
+                            assert_eq!(
+                                surface(got),
+                                surface(want),
+                                "query {} diverged at workers={workers} {scheduler} {exec_mode:?}",
+                                got.id
+                            );
+                        }
+                        assert_eq!(
+                            &report, expect_report,
+                            "deterministic report diverged at workers={workers} \
+                             {scheduler} {exec_mode:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let (results, _) = baseline.expect("at least one configuration ran");
+    // The mix exercised every terminal class.
+    assert_eq!(results[0].terminal, Terminal::Completed);
+    assert!(results[0].exhaustive);
+    assert_eq!(results[2].terminal, Terminal::MaxMatchesReached);
+    assert_eq!(results[2].matches_found, 100, "count clamps at the cap");
+    assert_eq!(results[3].terminal, Terminal::DeadlineExceeded);
+    assert!(results[3].chunks_discarded > 0, "the deadline must bite");
+    assert_eq!(results[4].terminal, Terminal::Completed);
+    assert_eq!(results[4].matches.len(), 7);
+    assert!(!results[4].exhaustive, "TopK completes without exhausting");
+    assert_eq!(results[5].matches.len(), 5, "reservoir filled");
+    assert!(results[6].plan_cache_hit, "relabeled pattern must hit");
+}
+
+#[test]
+fn unbudgeted_counts_match_the_sequential_engine() {
+    let g = gen::barabasi_albert(120, 4, 11);
+    let service = QueryService::new(
+        &g,
+        ServiceConfig::builder().workers(3).chunk_tasks(16).build(),
+    );
+    for pattern in [queries::triangle(), queries::q1(), queries::square()] {
+        let plan = benu_plan::PlanBuilder::new(&pattern).best_plan();
+        let expected = benu_engine::count_embeddings(&plan, &g);
+        let id = service.submit(&pattern, QueryOptions::new());
+        let result = service.wait(id);
+        assert_eq!(result.matches_found, expected);
+        assert!(result.exhaustive);
+    }
+}
+
+#[test]
+fn collected_streams_are_sorted_and_complete() {
+    // The committed match stream is chunk-ordered with sorted chunks of
+    // submitted-numbering embeddings; for a full run over the whole
+    // graph that equals the sequential engine's sorted embedding list.
+    let g = gen::erdos_renyi_gnm(60, 220, 3);
+    let service = QueryService::new(
+        &g,
+        ServiceConfig::builder().workers(2).chunk_tasks(8).build(),
+    );
+    let pattern = queries::triangle();
+    let plan = benu_plan::PlanBuilder::new(&pattern).best_plan();
+    let mut expected = benu_engine::collect_embeddings(&plan, &g);
+    expected.sort_unstable();
+    let id = service.submit(&pattern, QueryOptions::new().mode(ResultMode::Collect));
+    let mut got = service.wait(id).matches;
+    got.sort_unstable();
+    assert_eq!(got, expected);
+}

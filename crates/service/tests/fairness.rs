@@ -1,0 +1,92 @@
+//! Satellite: batch-boundary fairness across queries.
+//!
+//! The regression this suite pins: a worker that is mid-stream on a
+//! long query must yield to a newly admitted query at the next chunk
+//! boundary — one bounded batch of tasks, not "whenever the first query
+//! drains". With one worker the grant order is fully deterministic, so
+//! the tests assert completion order outright.
+
+use benu_graph::gen;
+use benu_pattern::queries;
+use benu_service::{QueryOptions, QueryService, ResultMode, ServiceConfig, Terminal};
+
+#[test]
+fn short_query_finishes_before_a_long_head_of_line_query() {
+    // One worker, 4-task chunks: the clique query alone holds dozens of
+    // chunks. The later-submitted triangle TopK(3) needs only a few
+    // grants, so round-robin interleaving must complete it first —
+    // head-of-line blocking would force it to wait for every clique
+    // chunk.
+    let g = gen::barabasi_albert(300, 6, 5);
+    let service = QueryService::new(
+        &g,
+        ServiceConfig::builder().workers(1).chunk_tasks(4).build(),
+    );
+    let long = service.submit(
+        &queries::clique(4),
+        QueryOptions::new().mode(ResultMode::Collect),
+    );
+    let short = service.submit(
+        &queries::triangle(),
+        QueryOptions::new().mode(ResultMode::TopK(3)),
+    );
+    let s = service.wait(short);
+    let l = service.wait(long);
+    assert_eq!(s.terminal, Terminal::Completed);
+    assert_eq!(s.matches.len(), 3);
+    assert_eq!(l.terminal, Terminal::Completed);
+    assert!(
+        s.completion_index < l.completion_index,
+        "the short query must not wait behind the long one \
+         (short finished #{}, long #{})",
+        s.completion_index,
+        l.completion_index
+    );
+}
+
+#[test]
+fn weights_shift_the_interleaving() {
+    // Two identical heavy queries, but B carries weight 8: per
+    // round-robin round B commits eight chunks to A's one, so B
+    // finishes well before A even though A was admitted first and got a
+    // brief solo head start while B was being submitted. (One worker
+    // keeps grant order deterministic; the clique enumeration is heavy
+    // enough that the head start is a few chunks out of dozens.)
+    let g = gen::barabasi_albert(250, 5, 9);
+    let service = QueryService::new(
+        &g,
+        ServiceConfig::builder().workers(1).chunk_tasks(4).build(),
+    );
+    let a = service.submit(&queries::clique(4), QueryOptions::new());
+    let b = service.submit(&queries::clique(4), QueryOptions::new().weight(8));
+    let ra = service.wait(a);
+    let rb = service.wait(b);
+    assert_eq!(ra.matches_found, rb.matches_found, "same query, same count");
+    assert!(
+        rb.completion_index < ra.completion_index,
+        "the weighted query must overtake (A #{}, B #{})",
+        ra.completion_index,
+        rb.completion_index
+    );
+}
+
+#[test]
+fn many_interleaved_queries_all_complete_with_exact_counts() {
+    // Fairness must never trade correctness: a pile of queries admitted
+    // back-to-back on few workers all complete with the solo count.
+    let g = gen::barabasi_albert(200, 5, 3);
+    let plan = benu_plan::PlanBuilder::new(&queries::triangle()).best_plan();
+    let expected = benu_engine::count_embeddings(&plan, &g);
+    let service = QueryService::new(
+        &g,
+        ServiceConfig::builder().workers(2).chunk_tasks(8).build(),
+    );
+    let ids: Vec<_> = (0..8)
+        .map(|_| service.submit(&queries::triangle(), QueryOptions::new()))
+        .collect();
+    for id in ids {
+        let r = service.wait(id);
+        assert_eq!(r.terminal, Terminal::Completed);
+        assert_eq!(r.matches_found, expected);
+    }
+}

@@ -22,6 +22,9 @@
 //!   the retry policy the cluster recovers with.
 //! * [`cluster`] — the simulated shared-nothing cluster: task generation,
 //!   task splitting, workers, fault recovery and metrics.
+//! * [`service`] — the concurrent multi-query serving layer: one resident
+//!   store shared by many queries, with a canonical-pattern plan cache,
+//!   weighted fair scheduling, and deterministic per-query budgets.
 //! * [`obs`] — structured observability: the lock-light metrics registry,
 //!   virtual-time span tracing, and the unified [`obs::Report`] tree
 //!   every run serialises to.
@@ -43,6 +46,31 @@
 //! let outcome = Cluster::new(&g, config).run(&plan).expect("run failed");
 //! assert_eq!(outcome.total_matches, 10); // C(5,3) triangles in K5
 //! ```
+//!
+//! ## Serving many queries at once
+//!
+//! Where [`cluster`] answers one query per run, [`service`] keeps the
+//! store resident and admits concurrent queries, each with its own
+//! result mode and budgets:
+//!
+//! ```
+//! use benu::prelude::*;
+//!
+//! let g = benu::graph::gen::complete(6);
+//! let service = QueryService::new(&g, ServiceConfig::default());
+//!
+//! // Two queries in flight at once: an exhaustive count and a
+//! // budget-capped collection. The second triangle submission reuses
+//! // the first's compiled plan via the canonical-pattern plan cache.
+//! let count = service.submit(&benu::pattern::queries::triangle(), QueryOptions::new());
+//! let capped = service.submit(
+//!     &benu::pattern::queries::triangle(),
+//!     QueryOptions::new().mode(ResultMode::TopK(5)),
+//! );
+//! assert_eq!(service.wait(count).matches_found, 20); // C(6,3) in K6
+//! assert_eq!(service.wait(capped).matches.len(), 5);
+//! assert_eq!(service.plan_cache_stats().hits, 1);
+//! ```
 
 pub use benu_baselines as baselines;
 pub use benu_cache as cache;
@@ -54,6 +82,7 @@ pub use benu_kvstore as kvstore;
 pub use benu_obs as obs;
 pub use benu_pattern as pattern;
 pub use benu_plan as plan;
+pub use benu_service as service;
 
 /// Convenience re-exports covering the common end-to-end workflow.
 pub mod prelude {
@@ -65,4 +94,7 @@ pub mod prelude {
     pub use benu_obs::{ObsHub, Report, ReportMode};
     pub use benu_pattern::{Pattern, PatternVertex};
     pub use benu_plan::{ExecutionPlan, PlanBuilder};
+    pub use benu_service::{
+        QueryOptions, QueryResult, QueryService, ResultMode, ServiceConfig, Terminal,
+    };
 }
