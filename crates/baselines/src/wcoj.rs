@@ -18,7 +18,7 @@
 
 use crate::order::greedy_connected_order;
 use crate::BaselineOutcome;
-use benu_graph::ops::intersect_many_into;
+use benu_graph::view::{self, GraphViews};
 use benu_graph::{Graph, TotalOrder, VertexId};
 use benu_pattern::{Pattern, SymmetryBreaking};
 use std::time::Instant;
@@ -65,12 +65,17 @@ pub fn run(g: &Graph, pattern: &Pattern, config: &WcojConfig) -> BaselineOutcome
     let order = greedy_connected_order(pattern);
     let symmetry = SymmetryBreaking::compute(pattern);
     let total_order = TotalOrder::new(g);
+    // Same per-vertex representation decision the BENU store makes:
+    // dense vertices get bitset blocks, so the ∩-extension shares the
+    // engine's block kernels.
+    let views = GraphViews::build(g);
     let ctx = Ctx {
         g,
         pattern,
         order: &order,
         symmetry: &symmetry,
         total_order: &total_order,
+        views: &views,
         config,
     };
 
@@ -102,6 +107,7 @@ struct Ctx<'a> {
     order: &'a [usize],
     symmetry: &'a SymmetryBreaking,
     total_order: &'a TotalOrder,
+    views: &'a GraphViews,
     config: &'a WcojConfig,
 }
 
@@ -109,6 +115,8 @@ struct Ctx<'a> {
 struct Scratch {
     candidates: Vec<VertexId>,
     tmp: Vec<VertexId>,
+    sources: Vec<VertexId>,
+    order_buf: Vec<usize>,
     work: u64,
 }
 
@@ -210,18 +218,27 @@ fn extend_batch(
 /// `order[level]`.
 fn candidates_for(ctx: &Ctx, tuple: &[VertexId], level: usize, scratch: &mut Scratch) {
     let u = ctx.order[level];
-    let sets: Vec<&[VertexId]> = ctx.order[..level]
-        .iter()
-        .enumerate()
-        .filter(|&(_, &v)| ctx.pattern.has_edge(u, v))
-        .map(|(i, _)| ctx.g.neighbors(tuple[i]))
-        .collect();
+    scratch.sources.clear();
+    scratch.sources.extend(
+        ctx.order[..level]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| ctx.pattern.has_edge(u, v))
+            .map(|(i, _)| tuple[i]),
+    );
     debug_assert!(
-        !sets.is_empty(),
+        !scratch.sources.is_empty(),
         "connected order guarantees a bound neighbour"
     );
     let mut candidates = std::mem::take(&mut scratch.candidates);
-    intersect_many_into(&sets, &mut candidates, &mut scratch.tmp);
+    let sources = &scratch.sources;
+    view::intersect_many_by(
+        sources.len(),
+        |i| ctx.views.view(ctx.g, sources[i]),
+        &mut scratch.order_buf,
+        &mut candidates,
+        &mut scratch.tmp,
+    );
     // Injectivity and symmetry filters.
     candidates.retain(|&cand| {
         for (i, &v) in ctx.order[..level].iter().enumerate() {

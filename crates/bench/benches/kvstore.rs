@@ -2,7 +2,7 @@
 //! sharded get).
 
 use benu_graph::gen;
-use benu_kvstore::{codec, KvStore};
+use benu_kvstore::{codec, CodecKind, KvStore};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_kvstore(c: &mut Criterion) {
@@ -47,13 +47,15 @@ fn bench_kvstore(c: &mut Criterion) {
     });
 
     let adj: Vec<u32> = (0..256).map(|i| i * 7).collect();
-    let encoded = codec::encode_adj(&adj);
-    group.bench_function("codec/encode-256", |b| {
-        b.iter(|| black_box(codec::encode_adj(black_box(&adj))))
-    });
-    group.bench_function("codec/decode-256", |b| {
-        b.iter(|| black_box(codec::decode_adj(black_box(&encoded))))
-    });
+    for kind in [CodecKind::RawU32, CodecKind::DeltaVarint] {
+        let encoded = codec::encode(kind, &adj);
+        group.bench_function(format!("codec/{kind}/encode-256"), |b| {
+            b.iter(|| black_box(codec::encode(kind, black_box(&adj))))
+        });
+        group.bench_function(format!("codec/{kind}/decode-256"), |b| {
+            b.iter(|| black_box(codec::decode(black_box(&encoded)).unwrap()))
+        });
+    }
     group.finish();
 }
 

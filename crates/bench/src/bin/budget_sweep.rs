@@ -15,7 +15,8 @@
 //! ```text
 //! cargo run --release -p benu-bench --bin budget_sweep -- \
 //!     [--dataset ok] [--scale 0.05] [--workers 4] [--threads 2] \
-//!     [--tau 32] [--scheduler static] [--json BENCH_budget_sweep.json]
+//!     [--tau 32] [--scheduler static] [--codec delta-varint] \
+//!     [--json BENCH_budget_sweep.json]
 //! ```
 //!
 //! `--exec-mode`/`--memory-budget` spellings are shared with `hotpath`
@@ -26,7 +27,7 @@ use benu_bench::cli::Args;
 use benu_bench::impl_to_json;
 use benu_bench::report::BenchReport;
 use benu_bench::{load_dataset, print_table};
-use benu_cluster::{Cluster, ClusterConfig, ExecMode, RunOutcome, SchedulerKind};
+use benu_cluster::{Cluster, ClusterConfig, CodecKind, ExecMode, RunOutcome, SchedulerKind};
 use benu_graph::datasets::Dataset;
 use benu_graph::Graph;
 use benu_obs::safe_ratio;
@@ -52,6 +53,7 @@ struct Row {
     kv_requests: u64,
     kv_keys: u64,
     deduped_keys: u64,
+    store_bytes: u64,
     frontier_expansions: u64,
     spill_events: u64,
     peak_frontier_bytes: u64,
@@ -67,6 +69,7 @@ impl_to_json!(Row {
     kv_requests,
     kv_keys,
     deduped_keys,
+    store_bytes,
     frontier_expansions,
     spill_events,
     peak_frontier_bytes
@@ -84,6 +87,7 @@ fn row(workload: &str, label: &str, budget: usize, outcome: &RunOutcome) -> Row 
         kv_requests: outcome.kv.requests,
         kv_keys: outcome.kv.keys,
         deduped_keys: outcome.kv.deduped_keys,
+        store_bytes: outcome.kv.bytes,
         frontier_expansions: outcome.frontier_expansions,
         spill_events: outcome.spill_events,
         peak_frontier_bytes: outcome.peak_frontier_bytes,
@@ -105,6 +109,7 @@ fn run_arm(
         .cache_capacity_bytes(0)
         .tau(base.tau)
         .scheduler(base.scheduler)
+        .codec(base.codec)
         .exec_mode(mode)
         .memory_budget_bytes(budget)
         .build();
@@ -120,6 +125,7 @@ fn main() {
     let threads: usize = args.get("threads", 2);
     let tau: usize = args.get("tau", 32);
     let scheduler = args.scheduler().unwrap_or(SchedulerKind::Static);
+    let codec = args.codec().unwrap_or(CodecKind::RawU32);
     let dataset =
         Dataset::from_abbrev(args.get_str("dataset").unwrap_or("ok")).expect("unknown dataset");
     let g = load_dataset(dataset, scale);
@@ -128,6 +134,7 @@ fn main() {
         .threads_per_worker(threads)
         .tau(tau)
         .scheduler(scheduler)
+        .codec(codec)
         .build();
 
     let mut budgets: Vec<(String, usize)> = BUDGETS
@@ -183,7 +190,8 @@ fn main() {
     }
 
     println!(
-        "\nBudget sweep on {} (scale {scale}, {workers}x{threads}, {scheduler}, tau {tau}):",
+        "\nBudget sweep on {} (scale {scale}, {workers}x{threads}, {scheduler}, tau {tau}, \
+         codec {codec}):",
         dataset.abbrev()
     );
     let table: Vec<Vec<String>> = rows
@@ -196,6 +204,7 @@ fn main() {
                 format!("{:.0}", r.matches_per_sec),
                 r.kv_requests.to_string(),
                 r.deduped_keys.to_string(),
+                r.store_bytes.to_string(),
                 r.frontier_expansions.to_string(),
                 r.spill_events.to_string(),
                 r.peak_frontier_bytes.to_string(),
@@ -210,6 +219,7 @@ fn main() {
             "matches/s",
             "kv trips",
             "deduped",
+            "store bytes",
             "expansions",
             "spills",
             "peak bytes",
@@ -231,7 +241,8 @@ fn main() {
             .param("workers", workers as u64)
             .param("threads", threads as u64)
             .param("tau", tau as u64)
-            .param("scheduler", scheduler.name());
+            .param("scheduler", scheduler.name())
+            .param("codec", codec.name());
         for r in &rows {
             report.push_row(r);
         }

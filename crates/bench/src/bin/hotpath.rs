@@ -16,8 +16,17 @@
 //! cargo run --release -p benu-bench --bin hotpath -- \
 //!     [--dataset uk] [--scale 0.05] [--tau 32] [--iters 3] \
 //!     [--exec-mode dfs|hybrid] [--memory-budget 256k] \
+//!     [--codec raw-u32|delta-varint] \
 //!     [--json BENCH_hotpath.json] [--check-against BENCH_hotpath.json]
 //! ```
+//!
+//! Beyond the pooled/unpooled arms, the bin reports the data-plane
+//! numbers behind them: every row carries a `wire_bytes` column — the
+//! encoded store footprint of the dataset under `--codec`, i.e. the
+//! bytes one full adjacency sweep ships — and a dedicated
+//! intersection-kernel A/B times the block (bitset) kernels against the
+//! scalar merge over the dataset's densest vertex pairs (the clique4
+//! hot loop in isolation).
 //!
 //! `--exec-mode hybrid` drives the same task list through a
 //! [`FrontierEngine`] under `--memory-budget` (shared CLI parser with
@@ -37,7 +46,10 @@ use benu_engine::{
     PoolStats,
 };
 use benu_graph::datasets::Dataset;
-use benu_graph::TotalOrder;
+use benu_graph::ops;
+use benu_graph::view::{self, GraphViews};
+use benu_graph::{TotalOrder, VertexId};
+use benu_kvstore::{CodecKind, KvStore};
 use benu_obs::alloc::{AllocSnapshot, CountingAllocator};
 use benu_obs::safe_ratio;
 use benu_pattern::queries;
@@ -64,6 +76,7 @@ struct Row {
     pool_hits: u64,
     pool_misses: u64,
     pool_returns: u64,
+    wire_bytes: u64,
 }
 
 impl_to_json!(Row {
@@ -77,7 +90,8 @@ impl_to_json!(Row {
     alloc_bytes_per_task,
     pool_hits,
     pool_misses,
-    pool_returns
+    pool_returns,
+    wire_bytes
 });
 
 /// One workload's fixed measurement inputs, shared by both arms.
@@ -132,7 +146,7 @@ impl Driver<'_> {
 
 /// One measured arm: warmup pass, then `iters` timed passes keeping the
 /// best wall time and the steady-state (minimum) allocation delta.
-fn measure(w: &Workload<'_>, arm: &str, pooled: bool) -> Row {
+fn measure(w: &Workload<'_>, arm: &str, pooled: bool, wire_bytes: u64) -> Row {
     let Workload {
         name: workload,
         compiled,
@@ -192,7 +206,53 @@ fn measure(w: &Workload<'_>, arm: &str, pooled: bool) -> Row {
         pool_hits: stats.hits,
         pool_misses: stats.misses,
         pool_returns: stats.returns,
+        wire_bytes,
     }
+}
+
+/// The intersection-kernel A/B: times the block (bitset) kernels against
+/// the scalar merge over every unordered pair of the dataset's densest
+/// vertices — the clique4 hot loop in isolation. Returns
+/// `(pairs, scalar_wall, bitset_wall)` for the best of `iters` passes,
+/// after asserting the two kernels agree on every pair.
+fn kernel_ab(g: &benu_graph::Graph, iters: usize) -> (u64, f64, f64) {
+    const HUBS: usize = 48;
+    let mut by_degree: Vec<VertexId> = g.vertices().collect();
+    by_degree.sort_unstable_by_key(|&v| std::cmp::Reverse(g.neighbors(v).len()));
+    by_degree.truncate(HUBS);
+    let hubs = by_degree;
+    let views = GraphViews::build(g);
+    let mut out: Vec<VertexId> = Vec::new();
+    let mut run = |bitset: bool| -> (f64, u64) {
+        let mut best = f64::INFINITY;
+        let mut checksum = 0u64;
+        for _ in 0..iters.max(1) {
+            let start = Instant::now();
+            let mut sum = 0u64;
+            for (i, &a) in hubs.iter().enumerate() {
+                for &b in &hubs[i + 1..] {
+                    if bitset {
+                        view::intersect_into(views.view(g, a), views.view(g, b), &mut out);
+                    } else {
+                        ops::intersect_into(g.neighbors(a), g.neighbors(b), &mut out);
+                    }
+                    sum = sum.wrapping_add(out.len() as u64);
+                    sum = sum.wrapping_add(out.last().copied().unwrap_or(0) as u64);
+                }
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+            checksum = sum;
+        }
+        (best, checksum)
+    };
+    let (scalar_wall, scalar_sum) = run(false);
+    let (bitset_wall, bitset_sum) = run(true);
+    assert_eq!(
+        scalar_sum, bitset_sum,
+        "the kernels must agree on every hub pair"
+    );
+    let pairs = (hubs.len() * hubs.len().saturating_sub(1) / 2) as u64;
+    (pairs, scalar_wall, bitset_wall)
 }
 
 /// Pulls `matches_per_sec` for the pooled arm of `workload` out of a
@@ -225,11 +285,15 @@ fn main() {
     let iters: usize = args.get("iters", 3);
     let mode = args.exec_mode().unwrap_or(ExecMode::Dfs);
     let budget = args.memory_budget_bytes().unwrap_or(0);
+    let codec = args.codec().unwrap_or(CodecKind::RawU32);
     let dataset =
         Dataset::from_abbrev(args.get_str("dataset").unwrap_or("uk")).expect("unknown dataset");
     let g = load_dataset(dataset, scale);
     let source = InMemorySource::from_graph(&g);
     let order = TotalOrder::new(&g);
+    // Bytes on the wire: the encoded store footprint under `--codec` —
+    // what one full adjacency sweep ships from a cold store.
+    let wire_bytes = KvStore::from_graph_with(&g, 1, 1, codec).total_value_bytes() as u64;
 
     // Fig. 9-style workloads, uncompressed so the measured loop is the
     // backtracking interpreter itself rather than VCBC code expansion.
@@ -264,8 +328,8 @@ fn main() {
             budget,
         };
 
-        let pooled = measure(&w, "pooled", true);
-        let unpooled = measure(&w, "unpooled", false);
+        let pooled = measure(&w, "pooled", true, wire_bytes);
+        let unpooled = measure(&w, "unpooled", false, wire_bytes);
         assert_eq!(
             pooled.matches, unpooled.matches,
             "{name}: pooled and unpooled arms must count identically"
@@ -296,6 +360,7 @@ fn main() {
                 format!("{:.2}", r.allocs_per_task),
                 format!("{:.1}", r.alloc_bytes_per_task),
                 r.pool_hits.to_string(),
+                r.wire_bytes.to_string(),
             ]);
         }
         rows.push(pooled);
@@ -303,7 +368,8 @@ fn main() {
     }
 
     println!(
-        "\nHot-path throughput on {} (scale {scale}, tau {tau}, {mode}, best of {iters}):",
+        "\nHot-path throughput on {} (scale {scale}, tau {tau}, {mode}, codec {codec}, \
+         best of {iters}):",
         dataset.abbrev()
     );
     print_table(
@@ -317,12 +383,22 @@ fn main() {
             "allocs/task",
             "bytes/task",
             "pool hits",
+            "wire bytes",
         ],
         &table,
     );
     for (name, speedup) in &speedups {
         println!("{name}: pooled throughput = {speedup:.2}x unpooled");
     }
+
+    let (pairs, scalar_wall, bitset_wall) = kernel_ab(&g, iters);
+    let kernel_speedup = safe_ratio(scalar_wall, bitset_wall);
+    println!(
+        "kernel A/B over {pairs} hub pairs: scalar {:.0} pairs/s, bitset {:.0} pairs/s \
+         — bitset = {kernel_speedup:.2}x scalar",
+        safe_ratio(pairs as f64, scalar_wall),
+        safe_ratio(pairs as f64, bitset_wall),
+    );
 
     if let Some(path) = args.get_str("json") {
         let mut report = benu_bench::report::BenchReport::new("hotpath");
@@ -332,7 +408,19 @@ fn main() {
             .param("tau", tau as u64)
             .param("iters", iters as u64)
             .param("exec_mode", mode.name())
-            .param("memory_budget_bytes", budget as u64);
+            .param("memory_budget_bytes", budget as u64)
+            .param("codec", codec.name())
+            .param("wire_bytes", wire_bytes)
+            .param("kernel.hub_pairs", pairs)
+            .param(
+                "kernel.scalar_pairs_per_sec",
+                safe_ratio(pairs as f64, scalar_wall),
+            )
+            .param(
+                "kernel.bitset_pairs_per_sec",
+                safe_ratio(pairs as f64, bitset_wall),
+            )
+            .param("kernel.bitset_speedup", kernel_speedup);
         for (name, speedup) in &speedups {
             report.param(&format!("{name}.pooled_speedup"), *speedup);
         }

@@ -1,7 +1,7 @@
 //! Minimal flag parsing shared by the experiment binaries (no external
 //! CLI dependency — the offline crate budget is spent on the substrate).
 
-use benu_cluster::{ExecMode, SchedulerKind};
+use benu_cluster::{CodecKind, ExecMode, SchedulerKind};
 use benu_fault::FaultPlan;
 use std::collections::HashMap;
 
@@ -121,6 +121,17 @@ impl Args {
             s.parse()
                 .unwrap_or_else(|e: String| panic!("--exec-mode: {e}"))
         })
+    }
+
+    /// The `--codec` flag parsed into a [`CodecKind`], or `None` when
+    /// absent (binaries default to the raw codec or sweep both).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown codec name, listing the accepted ones.
+    pub fn codec(&self) -> Option<CodecKind> {
+        self.get_str("codec")
+            .map(|s| s.parse().unwrap_or_else(|e: String| panic!("--codec: {e}")))
     }
 
     /// The `--memory-budget` flag parsed into bytes, accepting bare
@@ -259,6 +270,22 @@ mod tests {
     #[should_panic(expected = "unknown exec mode")]
     fn unknown_exec_mode_is_rejected() {
         parse("--exec-mode bfs").exec_mode();
+    }
+
+    #[test]
+    fn codec_flag_parses_into_a_kind() {
+        assert_eq!(parse("").codec(), None);
+        assert_eq!(parse("--codec raw-u32").codec(), Some(CodecKind::RawU32));
+        assert_eq!(
+            parse("--codec delta-varint").codec(),
+            Some(CodecKind::DeltaVarint)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown codec")]
+    fn unknown_codec_is_rejected() {
+        parse("--codec gzip").codec();
     }
 
     #[test]

@@ -44,9 +44,10 @@ pub mod schedule;
 pub mod transport;
 pub mod worker;
 
+pub use benu_kvstore::{CodecKind, CorruptValue};
 pub use config::{ClusterConfig, ClusterConfigBuilder, ExecMode};
 pub use report::{RecoveryReport, RunOutcome, WorkerReport};
 pub use runtime::Cluster;
 pub use schedule::{Scheduler, SchedulerKind};
-pub use transport::TransportError;
+pub use transport::{FetchError, TransportError};
 pub use worker::WorkerError;

@@ -221,6 +221,9 @@ pub struct RunOutcome {
     pub scheduler: SchedulerKind,
     /// The engine driving mode this run used.
     pub exec_mode: ExecMode,
+    /// The adjacency wire codec the store was built with (decides what
+    /// `kv.bytes` measures).
+    pub codec: benu_kvstore::CodecKind,
     /// Frontier levels expanded with a batched read (zero under DFS).
     pub frontier_expansions: u64,
     /// Task batches that exceeded the byte budget and drained via DFS.
@@ -367,6 +370,7 @@ impl RunOutcome {
         r.set_tree("engine", engine);
 
         let mut store = Report::new();
+        store.set("codec", self.codec.name());
         store.set("requests", self.kv.requests);
         store.set("keys", self.kv.keys);
         store.set("bytes", self.kv.bytes);

@@ -75,7 +75,8 @@ impl Cluster {
         config.validate();
         let store = {
             let _span = obs.as_ref().map(|h| h.tracer.span("store_load"));
-            let mut store = KvStore::from_graph_replicated(g, config.workers, config.replication);
+            let mut store =
+                KvStore::from_graph_with(g, config.workers, config.replication, config.codec);
             if let Some(hub) = &obs {
                 store.attach_obs(&hub.registry);
             }
@@ -190,6 +191,17 @@ impl Cluster {
         Arc::get_mut(&mut self.store)
             .expect("corrupt_remove_vertex requires exclusive store access (no run in flight)")
             .remove_vertex(v)
+    }
+
+    /// Chaos hook: overwrites vertex `v`'s stored value with undecodable
+    /// bytes on every replica shard — the data rot the structured
+    /// `CorruptValue` error path exists to surface (a corrupt shard must
+    /// degrade like any other store fault, not panic the run). Only
+    /// callable between runs. Returns true if the vertex was present.
+    pub fn corrupt_value(&mut self, v: VertexId) -> bool {
+        Arc::get_mut(&mut self.store)
+            .expect("corrupt_value requires exclusive store access (no run in flight)")
+            .corrupt_value(v)
     }
 
     /// Runs `plan`, counting matches (Algorithm 2 lines 3–8). Store
@@ -606,6 +618,7 @@ impl Cluster {
             effective_tau,
             scheduler: self.config.scheduler,
             exec_mode: self.config.exec_mode,
+            codec: self.config.codec,
             frontier_expansions: frontier.expansions,
             spill_events: frontier.spill_events,
             peak_frontier_bytes: frontier.peak_bytes,
@@ -976,6 +989,74 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The corrupt-value chaos matrix: a vertex whose stored bytes rot
+    /// (on every replica) must surface the structured `CorruptValue`
+    /// error — never a panic, never a silent undercount — identically
+    /// across single-get and batched-prefetch fetch paths and across
+    /// both schedulers.
+    #[test]
+    fn corrupt_value_is_structured_across_prefetch_and_schedulers() {
+        let g = gen::barabasi_albert(80, 3, 13);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let rotten: VertexId = 7;
+        for kind in [SchedulerKind::Static, SchedulerKind::WorkStealing] {
+            for prefetch in [false, true] {
+                let mut cluster = Cluster::new(
+                    &g,
+                    ClusterConfig::builder()
+                        .workers(2)
+                        .threads_per_worker(1)
+                        .cache_capacity_bytes(1 << 20)
+                        .prefetch_frontier(prefetch)
+                        .scheduler(kind)
+                        .build(),
+                );
+                assert!(cluster.corrupt_value(rotten));
+                match cluster.run(&plan) {
+                    Err(WorkerError::CorruptValue { error, .. }) => {
+                        assert_eq!(
+                            error.vertex, rotten,
+                            "{kind} prefetch={prefetch}: wrong vertex blamed"
+                        );
+                    }
+                    other => {
+                        panic!("{kind} prefetch={prefetch}: expected CorruptValue, got {other:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_codec_cuts_store_bytes_with_identical_matches() {
+        let g = gen::barabasi_albert(150, 5, 29);
+        let plan = PlanBuilder::new(&queries::q1()).best_plan();
+        let run = |codec: benu_kvstore::CodecKind| {
+            let cluster = Cluster::new(
+                &g,
+                ClusterConfig::builder()
+                    .workers(2)
+                    .threads_per_worker(1)
+                    .cache_capacity_bytes(0) // every fetch pays wire bytes
+                    .codec(codec)
+                    .build(),
+            );
+            cluster.run_collect(&plan).unwrap()
+        };
+        let (raw, raw_matches) = run(benu_kvstore::CodecKind::RawU32);
+        let (delta, delta_matches) = run(benu_kvstore::CodecKind::DeltaVarint);
+        assert_eq!(raw.total_matches, delta.total_matches);
+        assert_eq!(raw_matches, delta_matches, "codecs must be byte-identical");
+        assert!(
+            delta.communication_bytes() < raw.communication_bytes(),
+            "delta-varint must shrink the wire ({} vs {})",
+            delta.communication_bytes(),
+            raw.communication_bytes()
+        );
+        // The compressed wire volume still reconciles with the store.
+        assert_eq!(delta.communication_bytes(), delta.kv.bytes);
     }
 
     #[test]

@@ -18,9 +18,9 @@
 //! the worker folds into its busy-time accounting after each task (the
 //! plan stays deterministic because no fault decision reads a clock).
 
-use benu_fault::{FaultKind, FaultPlan, FaultingStore, RetryPolicy};
+use benu_fault::{FaultKind, FaultPlan, FaultingStore, RetryPolicy, StoreError};
 use benu_graph::{AdjSet, VertexId};
-use benu_kvstore::KvStore;
+use benu_kvstore::{CorruptValue, KvStore};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -56,6 +56,62 @@ impl std::fmt::Display for TransportError {
 }
 
 impl std::error::Error for TransportError {}
+
+/// Why a fetch failed, in the transport's error taxonomy:
+/// [`FetchError::Unavailable`] is the retry-exhausted (or hopeless)
+/// availability failure; [`FetchError::Corrupt`] means the bytes
+/// arrived but failed to decode — permanent, since every replica
+/// mirrors the same value, so it fails fast without touching the retry
+/// budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchError {
+    /// The shard kept refusing for longer than the retry policy allows.
+    Unavailable(TransportError),
+    /// The stored value decoded to garbage (see
+    /// [`benu_kvstore::CorruptValue`]).
+    Corrupt(CorruptValue),
+}
+
+impl FetchError {
+    /// The availability view of the error, if that is what it is.
+    pub fn as_unavailable(&self) -> Option<&TransportError> {
+        match self {
+            FetchError::Unavailable(err) => Some(err),
+            FetchError::Corrupt(_) => None,
+        }
+    }
+
+    /// The corruption view of the error, if that is what it is.
+    pub fn as_corrupt(&self) -> Option<&CorruptValue> {
+        match self {
+            FetchError::Corrupt(err) => Some(err),
+            FetchError::Unavailable(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::Unavailable(err) => err.fmt(f),
+            FetchError::Corrupt(err) => err.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+impl From<TransportError> for FetchError {
+    fn from(err: TransportError) -> Self {
+        FetchError::Unavailable(err)
+    }
+}
+
+impl From<CorruptValue> for FetchError {
+    fn from(err: CorruptValue) -> Self {
+        FetchError::Corrupt(err)
+    }
+}
 
 /// The fault-injection state of a chaos-enabled transport.
 struct FaultState {
@@ -171,54 +227,59 @@ impl Transport {
         TASK_PENALTY_NANOS.with(|p| Duration::from_nanos(p.replace(0)))
     }
 
-    fn account_single(&self, adj: &Arc<AdjSet>) {
+    fn account_single(&self, wire: u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        self.bytes
-            .fetch_add(adj.size_bytes() as u64, Ordering::Relaxed);
+        self.bytes.fetch_add(wire, Ordering::Relaxed);
     }
 
     /// Fetches one adjacency set (one round trip). `Ok(None)` for unknown
     /// vertices — a permanent condition, never retried and never charged.
+    /// Accounted bytes are **wire** bytes: the encoded value as stored,
+    /// which with a compressing codec is smaller than the decoded set.
     ///
     /// # Errors
     ///
-    /// [`TransportError`] when the shard's injected faults outlast the
-    /// retry policy.
-    pub fn fetch(&self, v: VertexId) -> Result<Option<Arc<AdjSet>>, TransportError> {
+    /// [`FetchError::Unavailable`] when the shard's injected faults
+    /// outlast the retry policy; [`FetchError::Corrupt`] when the value
+    /// fails to decode (never retried — every replica mirrors the same
+    /// bytes).
+    pub fn fetch(&self, v: VertexId) -> Result<Option<Arc<AdjSet>>, FetchError> {
         let Some(faults) = &self.faults else {
-            let adj = self.store.get(v);
-            if let Some(adj) = &adj {
-                self.account_single(adj);
-            }
-            return Ok(adj);
+            let Some((adj, wire)) = self.store.try_get_replica(v, 0)? else {
+                return Ok(None);
+            };
+            self.account_single(wire);
+            return Ok(Some(adj));
         };
         for attempt in 0..faults.retry.max_attempts {
             match faults.store.get(v, attempt) {
-                Ok(adj) => {
-                    if let Some(adj) = &adj {
-                        self.account_single(adj);
-                        faults.book_penalty(faults.store.latency_penalty_routed(v, attempt));
-                    }
-                    return Ok(adj);
+                Ok(Some((adj, wire))) => {
+                    self.account_single(wire);
+                    faults.book_penalty(faults.store.latency_penalty_routed(v, attempt));
+                    return Ok(Some(adj));
                 }
+                Ok(None) => return Ok(None),
                 // Every replica persistently dark: retrying cannot help,
                 // so fail fast without touching the retry budget.
-                Err(fault) if fault.kind == FaultKind::Outage => {
-                    return Err(TransportError {
+                Err(StoreError::Fault(fault)) if fault.kind == FaultKind::Outage => {
+                    return Err(FetchError::Unavailable(TransportError {
                         shard: fault.shard,
                         vertex: v,
                         attempts: attempt + 1,
-                    });
+                    }));
                 }
-                Err(fault) => {
+                Err(StoreError::Fault(fault)) => {
                     if !faults.book_fault(fault.kind, v as u64, attempt) {
-                        return Err(TransportError {
+                        return Err(FetchError::Unavailable(TransportError {
                             shard: fault.shard,
                             vertex: v,
                             attempts: faults.retry.max_attempts,
-                        });
+                        }));
                     }
                 }
+                // Corruption is permanent — replicas mirror the same
+                // bytes, so retrying or failing over cannot help.
+                Err(StoreError::Corrupt(err)) => return Err(FetchError::Corrupt(err)),
             }
         }
         unreachable!("retry loop returns on success or exhausted attempts")
@@ -232,9 +293,10 @@ impl Transport {
     ///
     /// See [`Transport::fetch`]; the error names the first vertex routed
     /// to the failing shard.
-    pub fn fetch_many(&self, vs: &[VertexId]) -> Result<Vec<Option<Arc<AdjSet>>>, TransportError> {
+    pub fn fetch_many(&self, vs: &[VertexId]) -> Result<Vec<Option<Arc<AdjSet>>>, FetchError> {
         let Some(faults) = &self.faults else {
-            return Ok(self.account_batch(self.store.get_many(vs)));
+            let batch = self.store.try_get_many_routed(vs, |_| 0)?;
+            return Ok(self.account_batch(batch));
         };
         // The batch's deterministic retry key: the smallest vertex (the
         // same key the plan uses for its per-shard decisions).
@@ -247,22 +309,23 @@ impl Transport {
                 }
                 // A whole placement group is dark: hopeless this pass,
                 // fail the batch fast.
-                Err(fault) if fault.kind == FaultKind::Outage => {
-                    return Err(TransportError {
+                Err(StoreError::Fault(fault)) if fault.kind == FaultKind::Outage => {
+                    return Err(FetchError::Unavailable(TransportError {
                         shard: fault.shard,
                         vertex: Self::batch_error_vertex(&self.store, vs, fault.shard),
                         attempts: attempt + 1,
-                    });
+                    }));
                 }
-                Err(fault) => {
+                Err(StoreError::Fault(fault)) => {
                     if !faults.book_fault(fault.kind, key, attempt) {
-                        return Err(TransportError {
+                        return Err(FetchError::Unavailable(TransportError {
                             shard: fault.shard,
                             vertex: Self::batch_error_vertex(&self.store, vs, fault.shard),
                             attempts: faults.retry.max_attempts,
-                        });
+                        }));
                     }
                 }
+                Err(StoreError::Corrupt(err)) => return Err(FetchError::Corrupt(err)),
             }
         }
         unreachable!("retry loop returns on success or exhausted attempts")
@@ -376,7 +439,7 @@ mod tests {
         let adj = t.fetch(0).unwrap().unwrap();
         assert_eq!(adj.len(), 9);
         assert_eq!(t.requests(), 1);
-        assert_eq!(t.bytes(), 36);
+        assert_eq!(t.bytes(), 37, "wire bytes: 1 tag + 9 × u32");
         assert_eq!(t.batch_round_trips(), 0);
         assert!(t.fetch(100).unwrap().is_none());
         assert_eq!(t.requests(), 1, "misses are free");
@@ -390,7 +453,7 @@ mod tests {
         assert!(values.iter().all(Option::is_some));
         assert_eq!(t.requests(), 2, "vertices 0 and 4 share a shard");
         assert_eq!(t.batch_round_trips(), 2);
-        assert_eq!(t.bytes(), 3 * 8);
+        assert_eq!(t.bytes(), 3 * 9, "three values, each 1 tag + 2 × u32");
     }
 
     #[test]
@@ -475,9 +538,12 @@ mod tests {
         let err = (0..4u32)
             .find_map(|v| t.fetch(v).err())
             .expect("rate 0.995 with 3 attempts must exhaust somewhere");
+        assert!(err.to_string().contains("after 3 attempts"));
+        let err = err
+            .as_unavailable()
+            .expect("exhaustion is an availability error");
         assert_eq!(err.attempts, 3);
         assert_eq!(err.shard, 0);
-        assert!(err.to_string().contains("after 3 attempts"));
         let _ = Transport::take_task_penalty();
     }
 
@@ -537,6 +603,9 @@ mod tests {
         let plan = Arc::new(FaultPlan::builder(0).shard_outage(1, 1).build());
         let t = Transport::with_faults(store, plan, RetryPolicy::default());
         let err = t.fetch(1).unwrap_err();
+        let err = err
+            .as_unavailable()
+            .expect("outage is an availability error");
         assert_eq!(err.shard, 1);
         assert_eq!(
             err.attempts, 1,
@@ -547,6 +616,7 @@ mod tests {
         // Batches over the dark shard fail fast too, naming a vertex
         // placed on it.
         let err = t.fetch_many(&[0, 1, 2]).unwrap_err();
+        let err = err.as_unavailable().unwrap();
         assert_eq!(err.shard, 1);
         assert_eq!(err.vertex, 1);
         let _ = Transport::take_task_penalty();
@@ -563,6 +633,34 @@ mod tests {
         assert!(t.fetch(2).is_err());
         t.set_pass(1);
         assert!(t.fetch(2).is_ok(), "windowing is driven purely by the pass");
+        let _ = Transport::take_task_penalty();
+    }
+
+    #[test]
+    fn corrupt_values_fail_fast_as_their_own_error_kind() {
+        let g = gen::cycle(6);
+        let mut store = KvStore::from_graph_replicated(&g, 2, 2);
+        assert!(store.corrupt_value(3));
+        let store = Arc::new(store);
+        // Plain transport: a structured error, not a panic.
+        let t = Transport::new(Arc::clone(&store));
+        let err = t.fetch(3).unwrap_err();
+        let corrupt = err.as_corrupt().expect("decode failure is corruption");
+        assert_eq!(corrupt.vertex, 3);
+        assert!(err.as_unavailable().is_none());
+        assert!(err.to_string().contains("corrupt value for vertex 3"));
+        // Chaos transport: corruption never burns retry budget — every
+        // replica mirrors the same bytes, so retrying cannot help.
+        let chaos = Transport::with_faults(
+            Arc::clone(&store),
+            Arc::new(FaultPlan::benign(0)),
+            RetryPolicy::default(),
+        );
+        assert!(chaos.fetch(3).unwrap_err().as_corrupt().is_some());
+        assert_eq!(chaos.retries(), 0);
+        // Batches surface the same taxonomy, and healthy keys still serve.
+        assert!(t.fetch_many(&[0, 3]).unwrap_err().as_corrupt().is_some());
+        assert!(t.fetch(0).unwrap().is_some());
         let _ = Transport::take_task_penalty();
     }
 

@@ -14,13 +14,14 @@
 use crate::config::{ClusterConfig, ExecMode};
 use crate::recovery::{RecoveryCtx, TaskFate};
 use crate::schedule::Scheduler;
-use crate::transport::{Transport, TransportError};
+use crate::transport::{FetchError, Transport, TransportError};
 use benu_cache::DbCache;
 use benu_engine::{
     CollectingConsumer, CompiledPlan, CountingConsumer, DataSource, FrontierEngine, FrontierStats,
     LocalEngine, MatchConsumer, MemoryBudget, PoolStats, SearchTask, TaskMetrics,
 };
 use benu_graph::{AdjSet, TotalOrder, VertexId};
+use benu_kvstore::CorruptValue;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -82,6 +83,20 @@ pub enum WorkerError {
         /// The execution attempt (1-based).
         attempt: u32,
     },
+    /// A stored adjacency value failed to decode — the shard's data is
+    /// rotten. Every replica mirrors the same bytes, so neither retries
+    /// nor ring failover can recover; the run aborts like any other
+    /// unrecoverable store fault, with the codec error as context.
+    CorruptValue {
+        /// The worker whose fetch hit the rotten value.
+        worker: usize,
+        /// The decode failure, naming vertex, shard and codec error.
+        error: CorruptValue,
+        /// The task being executed, if the failure happened inside one.
+        task: Option<SearchTask>,
+        /// The execution attempt (1-based).
+        attempt: u32,
+    },
     /// A task panicked inside the engine.
     TaskPanicked {
         /// The worker executing the task.
@@ -122,6 +137,18 @@ impl std::fmt::Display for WorkerError {
                 )
             }
             WorkerError::StoreUnavailable {
+                worker,
+                error,
+                task,
+                attempt,
+            } => {
+                write!(
+                    f,
+                    "worker {worker}: {error} ({}, attempt {attempt})",
+                    TaskLabel(*task)
+                )
+            }
+            WorkerError::CorruptValue {
                 worker,
                 error,
                 task,
@@ -201,6 +228,8 @@ enum FetchFail {
     Missing,
     /// The shard's injected faults outlasted the retry policy.
     Unavailable(TransportError),
+    /// The stored value failed to decode (permanent).
+    Corrupt(CorruptValue),
 }
 
 /// The engine's view of the data graph from inside one worker: database
@@ -262,6 +291,26 @@ impl<'a> WorkerSource<'a> {
         Arc::new(AdjSet::new())
     }
 
+    fn corrupt(&self, error: CorruptValue) -> Arc<AdjSet> {
+        self.errors.record(WorkerError::CorruptValue {
+            worker: self.worker,
+            error,
+            task: *self.current.lock(),
+            attempt: self.attempt,
+        });
+        Arc::new(AdjSet::new())
+    }
+
+    /// Records the matching [`WorkerError`] for a failed fetch and
+    /// degrades to an empty set (the run aborts before the empty result
+    /// can be observed).
+    fn fetch_failed(&self, error: FetchError) -> Arc<AdjSet> {
+        match error {
+            FetchError::Unavailable(err) => self.unavailable(err),
+            FetchError::Corrupt(err) => self.corrupt(err),
+        }
+    }
+
     /// Warms the cache for a task starting at `start`: fetches the start
     /// vertex, then pulls all its uncached neighbours in one batched
     /// round trip. Prefetched entries enter the cache without counting a
@@ -290,7 +339,7 @@ impl<'a> WorkerSource<'a> {
                 }
             }
             Err(error) => {
-                self.unavailable(error);
+                self.fetch_failed(error);
             }
         }
     }
@@ -307,12 +356,14 @@ impl DataSource for WorkerSource<'_> {
             .get_or_fetch(v, || match self.transport.fetch(v) {
                 Ok(Some(adj)) => Ok(adj),
                 Ok(None) => Err(FetchFail::Missing),
-                Err(error) => Err(FetchFail::Unavailable(error)),
+                Err(FetchError::Unavailable(error)) => Err(FetchFail::Unavailable(error)),
+                Err(FetchError::Corrupt(error)) => Err(FetchFail::Corrupt(error)),
             });
         match fetch {
             Ok(adj) => adj,
             Err(FetchFail::Missing) => self.missing(v),
             Err(FetchFail::Unavailable(error)) => self.unavailable(error),
+            Err(FetchFail::Corrupt(error)) => self.corrupt(error),
         }
     }
 
@@ -343,7 +394,7 @@ impl DataSource for WorkerSource<'_> {
                     }
                 }
                 Err(error) => {
-                    let empty = self.unavailable(error);
+                    let empty = self.fetch_failed(error);
                     for &slot in &missing_slots {
                         out[slot] = Some(Arc::clone(&empty));
                     }
@@ -830,10 +881,54 @@ mod tests {
             e.to_string(),
             "worker 4: shard 3 unavailable for vertex 9 after 8 attempts (no task, attempt 1)"
         );
+        let e = WorkerError::CorruptValue {
+            worker: 1,
+            error: CorruptValue {
+                vertex: 5,
+                shard: 2,
+                error: benu_kvstore::CodecError::Truncated,
+            },
+            task: Some(SearchTask::whole(5)),
+            attempt: 1,
+        };
+        assert_eq!(
+            e.to_string(),
+            "worker 1: corrupt value for vertex 5 on shard 2: truncated payload \
+             (task v5, attempt 1)"
+        );
         let e = WorkerError::ClusterLost { outstanding: 12 };
         assert_eq!(
             e.to_string(),
             "every worker crashed with 12 tasks outstanding"
         );
+    }
+
+    #[test]
+    fn corrupt_value_records_structured_error_and_degrades() {
+        let g = gen::complete(5);
+        let mut store = KvStore::from_graph(&g, 2);
+        assert!(store.corrupt_value(2));
+        let transport = Transport::new(Arc::new(store));
+        let cache = DbCache::new(1 << 16, 2);
+        let errors = ErrorSlot::new();
+        let source = WorkerSource::new(4, &transport, &cache, &errors, 1);
+        source.set_current(Some(SearchTask::whole(2)));
+        let adj = source.get_adj(2);
+        assert!(adj.is_empty(), "corrupt fetch degrades to an empty set");
+        assert!(errors.aborted());
+        match errors.first() {
+            Some(WorkerError::CorruptValue {
+                worker,
+                error,
+                task,
+                attempt,
+            }) => {
+                assert_eq!(worker, 4);
+                assert_eq!(error.vertex, 2);
+                assert_eq!(task, Some(SearchTask::whole(2)));
+                assert_eq!(attempt, 1);
+            }
+            other => panic!("expected CorruptValue, got {other:?}"),
+        }
     }
 }

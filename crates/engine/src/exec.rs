@@ -16,8 +16,9 @@ use crate::expand;
 use crate::source::DataSource;
 use crate::task::SearchTask;
 use benu_cache::{CliqueCache, TriangleCache};
-use benu_graph::ops::{intersect_into, intersect_many_by, intersect_many_into};
-use benu_graph::{AdjSet, TotalOrder, VertexId};
+use benu_graph::ops::{intersect_into, intersect_many_into};
+use benu_graph::view;
+use benu_graph::{AdjSet, AdjView, TotalOrder, VertexId};
 use benu_plan::FilterOp;
 use std::sync::Arc;
 
@@ -198,6 +199,19 @@ impl Slot {
             Slot::Buf(v) => v,
             Slot::Adj(a) => a.as_slice(),
             Slot::Tri(t) => t,
+        }
+    }
+
+    /// The dual-representation borrow: adjacency slots expose their
+    /// block sidecar (when the store built one) so intersections can
+    /// dispatch to the block-wise kernels; owned buffers and triangle
+    /// sets are slice-only.
+    pub(crate) fn as_view(&self) -> AdjView<'_> {
+        match self {
+            Slot::Empty => panic!("read of undefined register (plan validated, so this is a bug)"),
+            Slot::Buf(v) => AdjView::from_slice(v),
+            Slot::Adj(a) => a.view(),
+            Slot::Tri(t) => AdjView::from_slice(t),
         }
     }
 }
@@ -533,12 +547,20 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                     // The cache stores the raw triangle set; filters are
                     // applied per use because they depend on other
                     // mappings.
+                    // Pooled engines intersect through the views (block
+                    // kernels when a dense operand is present); the
+                    // unpooled baseline keeps the scalar merge verbatim.
+                    let pooled = self.pool.enabled();
                     let empty = if filters.is_empty() {
-                        let (a_slice, b_slice) =
-                            (self.slots[*a_reg].as_slice(), self.slots[*b_reg].as_slice());
+                        let (a_view, b_view) =
+                            (self.slots[*a_reg].as_view(), self.slots[*b_reg].as_view());
                         let tri = self.tcache.get_or_compute(va, vb, || {
                             let mut out = Vec::new();
-                            intersect_into(a_slice, b_slice, &mut out);
+                            if pooled {
+                                view::intersect_into(a_view, b_view, &mut out);
+                            } else {
+                                intersect_into(a_view.ids, b_view.ids, &mut out);
+                            }
                             out
                         });
                         let empty = tri.is_empty();
@@ -555,8 +577,8 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                             Slot::Buf(b) => b,
                             _ => self.pool.take(),
                         };
-                        let (a_slice, b_slice) =
-                            (self.slots[*a_reg].as_slice(), self.slots[*b_reg].as_slice());
+                        let (a_view, b_view) =
+                            (self.slots[*a_reg].as_view(), self.slots[*b_reg].as_view());
                         let order = self.order;
                         let f = &self.f;
                         let empty = self.tcache.with_or_compute(
@@ -564,7 +586,11 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                             vb,
                             || {
                                 let mut out = Vec::new();
-                                intersect_into(a_slice, b_slice, &mut out);
+                                if pooled {
+                                    view::intersect_into(a_view, b_view, &mut out);
+                                } else {
+                                    intersect_into(a_view.ids, b_view.ids, &mut out);
+                                }
                                 out
                             },
                             |tri| {
@@ -609,9 +635,9 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                             let slots = &self.slots;
                             let clique_set = self.ccache.get_or_compute(&self.key_buf, || {
                                 let mut out = Vec::new();
-                                intersect_many_by(
+                                view::intersect_many_by(
                                     regs.len(),
-                                    |i| slots[regs[i]].as_slice(),
+                                    |i| slots[regs[i]].as_view(),
                                     &mut order_buf,
                                     &mut out,
                                     &mut scratch,
@@ -633,9 +659,9 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                                 &self.key_buf,
                                 || {
                                     let mut out = Vec::new();
-                                    intersect_many_by(
+                                    view::intersect_many_by(
                                         regs.len(),
-                                        |i| slots[regs[i]].as_slice(),
+                                        |i| slots[regs[i]].as_view(),
                                         &mut order_buf,
                                         &mut out,
                                         &mut scratch,
@@ -800,9 +826,9 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                 if filters.is_empty() {
                     let slots = &self.slots;
                     let oregs = &self.operand_regs;
-                    intersect_many_by(
+                    view::intersect_many_by(
                         k,
-                        |i| slots[oregs[i]].as_slice(),
+                        |i| slots[oregs[i]].as_view(),
                         &mut order_buf,
                         buf,
                         &mut scratch,
@@ -812,9 +838,9 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                     {
                         let slots = &self.slots;
                         let oregs = &self.operand_regs;
-                        intersect_many_by(
+                        view::intersect_many_by(
                             k,
-                            |i| slots[oregs[i]].as_slice(),
+                            |i| slots[oregs[i]].as_view(),
                             &mut order_buf,
                             &mut scratch,
                             &mut scratch2,
@@ -1215,6 +1241,42 @@ mod tests {
                 PoolStats::default(),
                 "{name}: unpooled engine must never touch the pool"
             );
+        }
+    }
+
+    #[test]
+    fn block_kernels_engage_on_dense_graphs_and_stay_byte_identical() {
+        // Hub degrees far past DENSE_BLOCK_THRESHOLD, so the pooled
+        // engine's intersections actually cross the slice×bitset and
+        // bitset×bitset kernels while the unpooled baseline stays on the
+        // scalar merge — the representation crossing must be invisible.
+        let g = gen::barabasi_albert(120, 20, 17);
+        let source = InMemorySource::from_graph(&g);
+        let dense = (0..g.num_vertices() as VertexId)
+            .filter(|&v| source.get_adj(v).has_blocks())
+            .count();
+        assert!(dense > 0, "no vertex reached the block threshold");
+        for (name, plan) in [
+            (
+                "triangle",
+                PlanBuilder::new(&queries::triangle()).best_plan(),
+            ),
+            ("clique4", PlanBuilder::new(&queries::clique(4)).best_plan()),
+        ] {
+            let compiled = CompiledPlan::compile(&plan);
+            let order = benu_graph::TotalOrder::new(&g);
+            let mut pooled = LocalEngine::new(&compiled, &source, &order).with_pooling(true);
+            let mut cp = CollectingConsumer::default();
+            let mp = pooled.run_all_vertices(&mut cp);
+            let mut unpooled = LocalEngine::new(&compiled, &source, &order).with_pooling(false);
+            let mut cu = CollectingConsumer::default();
+            let mu = unpooled.run_all_vertices(&mut cu);
+            assert_eq!(mp, mu, "{name}: metrics diverge across kernels");
+            let mut ep = cp.into_matches();
+            let mut eu = cu.into_matches();
+            ep.sort_unstable();
+            eu.sort_unstable();
+            assert_eq!(ep, eu, "{name}: block kernels changed the match set");
         }
     }
 

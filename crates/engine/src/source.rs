@@ -46,10 +46,15 @@ pub struct InMemorySource {
 }
 
 impl InMemorySource {
-    /// Materialises every adjacency set of `g`.
+    /// Materialises every adjacency set of `g`, building the bitset-block
+    /// sidecar for dense vertices (the same per-vertex representation
+    /// decision the distributed store makes at decode time).
     pub fn from_graph(g: &Graph) -> Self {
         InMemorySource {
-            adj: g.vertices().map(|v| Arc::new(g.adj_set(v))).collect(),
+            adj: g
+                .vertices()
+                .map(|v| Arc::new(g.adj_set(v).with_blocks(benu_graph::DENSE_BLOCK_THRESHOLD)))
+                .collect(),
         }
     }
 }

@@ -39,4 +39,4 @@ pub mod store;
 pub use plan::{FaultError, FaultKind, FaultPlan, FaultPlanBuilder};
 pub use retry::RetryPolicy;
 pub use source::FaultingDataSource;
-pub use store::FaultingStore;
+pub use store::{FaultingStore, StoreError};

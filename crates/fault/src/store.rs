@@ -22,10 +22,56 @@
 
 use crate::plan::{FaultError, FaultKind, FaultPlan};
 use benu_graph::{AdjSet, VertexId};
-use benu_kvstore::{BatchOutcome, KvStore};
+use benu_kvstore::{BatchOutcome, CorruptValue, KvStore};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Why a routed read failed: either the fault plan refused every
+/// replica (retryable unless the kind is [`FaultKind::Outage`]), or the
+/// serving replica's bytes failed to decode (never retryable — every
+/// replica mirrors the same value, so a corrupt read cannot be waited
+/// out).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// Every replica refused per the fault plan.
+    Fault(FaultError),
+    /// The serving replica's stored bytes are damaged.
+    Corrupt(CorruptValue),
+}
+
+impl StoreError {
+    /// The injected-fault view of the error, if that is what it is.
+    pub fn as_fault(&self) -> Option<&FaultError> {
+        match self {
+            StoreError::Fault(err) => Some(err),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Fault(err) => err.fmt(f),
+            StoreError::Corrupt(err) => err.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<FaultError> for StoreError {
+    fn from(err: FaultError) -> Self {
+        StoreError::Fault(err)
+    }
+}
+
+impl From<CorruptValue> for StoreError {
+    fn from(err: CorruptValue) -> Self {
+        StoreError::Corrupt(err)
+    }
+}
 
 /// A [`KvStore`] with a [`FaultPlan`] in front of it.
 pub struct FaultingStore {
@@ -175,14 +221,18 @@ impl FaultingStore {
         }
     }
 
-    /// The `attempt`-th try at fetching `v`. `Ok(None)` means the vertex
-    /// genuinely does not exist (a permanent condition — retrying cannot
-    /// help); `Err` is an injected fault, retryable unless its kind is
-    /// [`FaultKind::Outage`] (every replica persistently dark).
-    pub fn get(&self, v: VertexId, attempt: u32) -> Result<Option<Arc<AdjSet>>, FaultError> {
+    /// The `attempt`-th try at fetching `v`, returning the decoded set
+    /// together with the wire bytes it cost. `Ok(None)` means the
+    /// vertex genuinely does not exist (a permanent condition —
+    /// retrying cannot help); [`StoreError::Fault`] is an injected
+    /// fault, retryable unless its kind is [`FaultKind::Outage`] (every
+    /// replica persistently dark); [`StoreError::Corrupt`] means the
+    /// serving replica's bytes are rotten — also permanent, since every
+    /// replica mirrors the same value.
+    pub fn get(&self, v: VertexId, attempt: u32) -> Result<Option<(Arc<AdjSet>, u64)>, StoreError> {
         let primary = self.store.shard_of(v);
         let offset = self.route(primary, v as u64, attempt, self.pass())?;
-        Ok(self.store.get_replica(v, offset))
+        Ok(self.store.try_get_replica(v, offset)?)
     }
 
     /// The `attempt`-th try at a batched multi-get. The routing decision
@@ -192,7 +242,7 @@ impl FaultingStore {
     /// multi-get RPC that fails as a unit. Groups that *can* be served
     /// are regrouped by serving shard, so a failed-over batch still
     /// costs one round trip per surviving shard touched.
-    pub fn get_many(&self, keys: &[VertexId], attempt: u32) -> Result<BatchOutcome, FaultError> {
+    pub fn get_many(&self, keys: &[VertexId], attempt: u32) -> Result<BatchOutcome, StoreError> {
         let pass = self.pass();
         let mut route: Vec<usize> = vec![0; self.store.num_shards()];
         let mut skipped = 0u64;
@@ -217,7 +267,7 @@ impl FaultingStore {
         }
         if let Some(err) = hopeless.or(retryable) {
             self.injected.fetch_add(1, Ordering::Relaxed);
-            return Err(err);
+            return Err(err.into());
         }
         if skipped > 0 {
             self.failover_attempts.fetch_add(skipped, Ordering::Relaxed);
@@ -226,7 +276,9 @@ impl FaultingStore {
             self.failover_reads
                 .fetch_add(failover_groups, Ordering::Relaxed);
         }
-        Ok(self.store.get_many_routed(keys, |primary| route[primary]))
+        Ok(self
+            .store
+            .try_get_many_routed(keys, |primary| route[primary])?)
     }
 
     /// The extra virtual latency a successful round trip to `shard` pays
@@ -307,7 +359,9 @@ mod tests {
     fn benign_plan_is_a_passthrough() {
         let s = store(2);
         let f = FaultingStore::new(Arc::clone(&s), Arc::new(FaultPlan::benign(0)));
-        assert_eq!(f.get(0, 0).unwrap().unwrap().len(), 7);
+        let (adj, wire) = f.get(0, 0).unwrap().unwrap();
+        assert_eq!(adj.len(), 7);
+        assert_eq!(wire, 1 + 7 * 4, "tagged raw-u32 wire bytes");
         assert!(f.get(99, 0).unwrap().is_none(), "missing stays missing");
         let batch = f.get_many(&[0, 1, 2], 0).unwrap();
         assert_eq!(batch.values.len(), 3);
@@ -366,7 +420,7 @@ mod tests {
         let f = FaultingStore::new(Arc::clone(&s), plan);
         // Vertex 0's primary (shard 0) is dark; its mirror on shard 1
         // serves without surfacing an error.
-        let adj = f.get(0, 0).unwrap().unwrap();
+        let (adj, _) = f.get(0, 0).unwrap().unwrap();
         assert_eq!(adj.len(), 7);
         assert_eq!(f.injected(), 0, "masked faults never surface");
         assert_eq!(f.failover_attempts(), 1);
@@ -390,7 +444,7 @@ mod tests {
         );
         let f = FaultingStore::new(Arc::clone(&s), plan);
         let err = f.get(0, 0).unwrap_err();
-        assert_eq!(err.kind, FaultKind::Outage);
+        assert_eq!(err.as_fault().unwrap().kind, FaultKind::Outage);
         assert_eq!(f.injected(), 1);
         assert_eq!(f.failover_reads(), 0, "nothing was served");
         // Vertex 2's placement {2, 3} survives untouched.
@@ -404,7 +458,10 @@ mod tests {
         let f = FaultingStore::new(Arc::clone(&s), plan);
         assert!(f.get(0, 0).is_ok(), "pass 1 predates the outage");
         f.set_pass(2);
-        assert_eq!(f.get(0, 5).unwrap_err().kind, FaultKind::Outage);
+        assert_eq!(
+            f.get(0, 5).unwrap_err().as_fault().unwrap().kind,
+            FaultKind::Outage
+        );
         assert_eq!(
             f.failover_attempts(),
             0,
@@ -433,7 +490,7 @@ mod tests {
                     break;
                 }
                 Err(err) => assert_ne!(
-                    err.kind,
+                    err.as_fault().unwrap().kind,
                     FaultKind::Outage,
                     "a live mirror keeps the error retryable"
                 ),
@@ -469,7 +526,7 @@ mod tests {
         let f = FaultingStore::new(Arc::clone(&s), plan);
         // Vertex 0's group {0, 1} is all dark; vertex 2's group is fine.
         let err = f.get_many(&[0, 2], 0).unwrap_err();
-        assert_eq!(err.kind, FaultKind::Outage);
+        assert_eq!(err.as_fault().unwrap().kind, FaultKind::Outage);
         assert_eq!(s.stats().requests, 0, "the batch fails as a unit");
     }
 

@@ -9,6 +9,10 @@
 //! * [`AdjSet`] and the intersection kernels in [`ops`] — the sorted-set
 //!   arithmetic that powers the `Intersect` instructions of a BENU
 //!   execution plan.
+//! * [`view`] — dual-representation adjacency: [`AdjView`] pairs the
+//!   sorted ids with optional bitset blocks for dense vertices, and its
+//!   kernels dispatch to block-wise (u64-word) intersection when a dense
+//!   operand is present.
 //! * [`TotalOrder`] — the degree-based total order `≺` on `V(G)` required
 //!   by the symmetry-breaking technique (the same order used by SEED).
 //! * [`gen`] — deterministic synthetic graph generators (Erdős–Rényi,
@@ -27,10 +31,12 @@ pub mod neighborhood;
 pub mod ops;
 pub mod order;
 pub mod stats;
+pub mod view;
 
 pub use adj::AdjSet;
 pub use graph::{Graph, GraphBuilder};
 pub use order::TotalOrder;
+pub use view::{AdjView, BlockSet, GraphViews, DENSE_BLOCK_THRESHOLD};
 
 /// Identifier of a data-graph vertex. Graphs are limited to `u32::MAX`
 /// vertices, which matches the paper's datasets (≤ 65M vertices) while

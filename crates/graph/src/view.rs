@@ -1,0 +1,454 @@
+//! Dual-representation adjacency views and block intersection kernels.
+//!
+//! High-degree ("hub") vertices dominate intersection cost: a scalar
+//! merge over a hub's neighbour list touches every id even when the
+//! other operand is tiny. This module adds a second representation —
+//! fixed-width **bitset blocks** — built once per vertex at store-build
+//! time when the degree reaches [`DENSE_BLOCK_THRESHOLD`], alongside the
+//! sorted id slice that every consumer already understands.
+//!
+//! An [`AdjView`] borrows both: the sorted ids (always present) and the
+//! optional [`BlockSet`]. The kernels here mirror the scalar API of
+//! [`crate::ops`] but dispatch per operand pair:
+//!
+//! * **block × block** — two-pointer merge over block bases with a
+//!   single `u64` AND per common base; the word loop auto-vectorises
+//!   and the result expands back to sorted ids via `trailing_zeros`;
+//! * **slice × block** — walk the sorted slice while advancing a block
+//!   cursor, one shift-and-mask membership test per candidate;
+//! * **slice × slice** — delegates to the adaptive scalar kernels in
+//!   [`crate::ops`], the reference implementation.
+//!
+//! Every kernel writes the same strictly-increasing id sequence the
+//! scalar reference produces, so representation choice can never change
+//! results — only speed. The equivalence tests below cross {slice,
+//! bitset, mixed} operand shapes against [`crate::ops`] directly.
+
+use crate::{ops, VertexId};
+
+/// Degree at and above which a vertex gets a [`BlockSet`] beside its
+/// sorted ids. Below this the slice walk wins: blocks pay one 12-byte
+/// entry (base + word) per populated 64-id span, which only amortises
+/// once enough bits share a word, and tiny sets fit in cache either
+/// way. At 64+ neighbours hubs are exactly the vertices whose scalar
+/// merges dominate profile time, and real-world skew puts most ids in
+/// few blocks.
+pub const DENSE_BLOCK_THRESHOLD: usize = 64;
+
+/// Bits per block word.
+const BLOCK_BITS: u32 = 64;
+
+/// A sorted run of 64-id bitset blocks: `words[i]` holds membership for
+/// ids `bases[i] * 64 ..= bases[i] * 64 + 63`. Only populated blocks are
+/// stored, and `bases` is strictly increasing, so intersection is a
+/// two-pointer base merge with one word AND per common base.
+#[derive(Clone, Debug, Default)]
+pub struct BlockSet {
+    bases: Vec<u32>,
+    words: Vec<u64>,
+}
+
+impl BlockSet {
+    /// Builds the block representation of a strictly increasing id run.
+    pub fn from_sorted(ids: &[VertexId]) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids not sorted");
+        let mut bases: Vec<u32> = Vec::new();
+        let mut words: Vec<u64> = Vec::new();
+        for &id in ids {
+            let base = id / BLOCK_BITS;
+            let bit = 1u64 << (id % BLOCK_BITS);
+            match bases.last() {
+                Some(&last) if last == base => *words.last_mut().expect("parallel") |= bit,
+                _ => {
+                    bases.push(base);
+                    words.push(bit);
+                }
+            }
+        }
+        BlockSet { bases, words }
+    }
+
+    /// Number of populated 64-id blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Heap footprint of the block representation in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bases.len() * std::mem::size_of::<u32>()
+            + self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Membership test: one binary search plus a shift-and-mask.
+    pub fn contains(&self, v: VertexId) -> bool {
+        match self.bases.binary_search(&(v / BLOCK_BITS)) {
+            Ok(i) => self.words[i] & (1u64 << (v % BLOCK_BITS)) != 0,
+            Err(_) => false,
+        }
+    }
+}
+
+/// A borrowed adjacency set in both representations: the sorted ids
+/// (always) and the optional bitset blocks a dense vertex carries.
+/// Kernels inspect `blocks` to pick the fastest pairing; results are
+/// byte-identical regardless.
+#[derive(Clone, Copy, Debug)]
+pub struct AdjView<'a> {
+    /// The sorted, strictly increasing ids.
+    pub ids: &'a [VertexId],
+    /// Bitset blocks, present when the owner crossed
+    /// [`DENSE_BLOCK_THRESHOLD`] at build time.
+    pub blocks: Option<&'a BlockSet>,
+}
+
+impl<'a> AdjView<'a> {
+    /// A slice-only view (no block representation).
+    pub fn from_slice(ids: &'a [VertexId]) -> Self {
+        AdjView { ids, blocks: None }
+    }
+
+    /// Number of ids.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the view holds no ids.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Expands `word` (bits of block `base`) into sorted ids appended to
+/// `out`.
+#[inline]
+fn expand_word(base: u32, mut word: u64, out: &mut Vec<VertexId>) {
+    while word != 0 {
+        out.push(base * BLOCK_BITS + word.trailing_zeros());
+        word &= word - 1;
+    }
+}
+
+/// Block × block intersection: merge the base runs, AND common words.
+fn block_block_into(a: &BlockSet, b: &BlockSet, out: &mut Vec<VertexId>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.bases.len() && j < b.bases.len() {
+        let (x, y) = (a.bases[i], b.bases[j]);
+        if x < y {
+            i += 1;
+        } else if y < x {
+            j += 1;
+        } else {
+            let word = a.words[i] & b.words[j];
+            if word != 0 {
+                expand_word(x, word, out);
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+}
+
+/// Block × block intersection cardinality via popcount.
+fn block_block_count(a: &BlockSet, b: &BlockSet) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0usize);
+    while i < a.bases.len() && j < b.bases.len() {
+        let (x, y) = (a.bases[i], b.bases[j]);
+        if x < y {
+            i += 1;
+        } else if y < x {
+            j += 1;
+        } else {
+            n += (a.words[i] & b.words[j]).count_ones() as usize;
+            i += 1;
+            j += 1;
+        }
+    }
+    n
+}
+
+/// Slice × block intersection: walk the sorted slice, advancing a block
+/// cursor in lockstep; one shift-and-mask test per surviving candidate.
+fn slice_block_into(ids: &[VertexId], b: &BlockSet, out: &mut Vec<VertexId>) {
+    let mut j = 0;
+    for &x in ids {
+        let base = x / BLOCK_BITS;
+        while j < b.bases.len() && b.bases[j] < base {
+            j += 1;
+        }
+        if j >= b.bases.len() {
+            return;
+        }
+        if b.bases[j] == base && b.words[j] & (1u64 << (x % BLOCK_BITS)) != 0 {
+            out.push(x);
+        }
+    }
+}
+
+/// Slice × block intersection cardinality.
+fn slice_block_count(ids: &[VertexId], b: &BlockSet) -> usize {
+    let (mut j, mut n) = (0, 0usize);
+    for &x in ids {
+        let base = x / BLOCK_BITS;
+        while j < b.bases.len() && b.bases[j] < base {
+            j += 1;
+        }
+        if j >= b.bases.len() {
+            return n;
+        }
+        if b.bases[j] == base && b.words[j] & (1u64 << (x % BLOCK_BITS)) != 0 {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Intersects two views into `out` (cleared first), dispatching to the
+/// block-wise kernels whenever a bitset operand is present. The output
+/// is always the sorted id run the scalar reference produces.
+pub fn intersect_into(a: AdjView<'_>, b: AdjView<'_>, out: &mut Vec<VertexId>) {
+    out.clear();
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    match (a.blocks, b.blocks) {
+        (Some(ba), Some(bb)) => block_block_into(ba, bb, out),
+        (Some(ba), None) => slice_block_into(b.ids, ba, out),
+        (None, Some(bb)) => slice_block_into(a.ids, bb, out),
+        (None, None) => ops::intersect_into(a.ids, b.ids, out),
+    }
+}
+
+/// Counts `|a ∩ b|` without materialising the result, with the same
+/// dispatch as [`intersect_into`].
+pub fn intersect_count(a: AdjView<'_>, b: AdjView<'_>) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    match (a.blocks, b.blocks) {
+        (Some(ba), Some(bb)) => block_block_count(ba, bb),
+        (Some(ba), None) => slice_block_count(b.ids, ba),
+        (None, Some(bb)) => slice_block_count(a.ids, bb),
+        (None, None) => ops::intersect_count(a.ids, b.ids),
+    }
+}
+
+/// Intersects `k` views, addressed by index through `get`, into `out` —
+/// the view-dispatching twin of [`crate::ops::intersect_many_by`].
+/// Operands are visited smallest-first; the first pair may run
+/// block × block, and every later round intersects the (slice-shaped)
+/// running intermediate against the next view, so dense operands keep
+/// their block fast path throughout.
+pub fn intersect_many_by<'a>(
+    k: usize,
+    get: impl Fn(usize) -> AdjView<'a>,
+    order: &mut Vec<usize>,
+    out: &mut Vec<VertexId>,
+    scratch: &mut Vec<VertexId>,
+) {
+    out.clear();
+    match k {
+        0 => {}
+        1 => out.extend_from_slice(get(0).ids),
+        _ => {
+            order.clear();
+            order.extend(0..k);
+            order.sort_unstable_by_key(|&i| get(i).len());
+            intersect_into(get(order[0]), get(order[1]), out);
+            for &i in &order[2..] {
+                if out.is_empty() {
+                    return;
+                }
+                std::mem::swap(out, scratch);
+                intersect_into(AdjView::from_slice(scratch), get(i), out);
+            }
+        }
+    }
+}
+
+/// Per-graph block index for consumers that read adjacency straight
+/// from a [`crate::Graph`] (the in-process baselines): one optional
+/// [`BlockSet`] per vertex, built once per run with the same degree
+/// threshold the store uses.
+#[derive(Clone, Debug, Default)]
+pub struct GraphViews {
+    blocks: Vec<Option<BlockSet>>,
+}
+
+impl GraphViews {
+    /// Builds block sets for every vertex of `g` whose degree reaches
+    /// [`DENSE_BLOCK_THRESHOLD`].
+    pub fn build(g: &crate::Graph) -> Self {
+        GraphViews::with_threshold(g, DENSE_BLOCK_THRESHOLD)
+    }
+
+    /// Builds block sets with an explicit degree threshold.
+    pub fn with_threshold(g: &crate::Graph, threshold: usize) -> Self {
+        let blocks = g
+            .vertices()
+            .map(|v| {
+                let ids = g.neighbors(v);
+                (ids.len() >= threshold.max(1)).then(|| BlockSet::from_sorted(ids))
+            })
+            .collect();
+        GraphViews { blocks }
+    }
+
+    /// The dual-representation view of `v`'s adjacency in `g`.
+    pub fn view<'a>(&'a self, g: &'a crate::Graph, v: VertexId) -> AdjView<'a> {
+        AdjView {
+            ids: g.neighbors(v),
+            blocks: self.blocks.get(v as usize).and_then(|b| b.as_ref()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[u32], b: &[u32]) -> Vec<u32> {
+        a.iter().filter(|x| b.contains(x)).copied().collect()
+    }
+
+    fn blocked(ids: &[u32]) -> BlockSet {
+        BlockSet::from_sorted(ids)
+    }
+
+    /// Every operand-shape pairing of the same two id runs must agree
+    /// with the scalar reference.
+    fn assert_all_pairings(a: &[u32], b: &[u32]) {
+        let expect = naive(a, b);
+        let (ba, bb) = (blocked(a), blocked(b));
+        let shapes_a = [
+            AdjView::from_slice(a),
+            AdjView {
+                ids: a,
+                blocks: Some(&ba),
+            },
+        ];
+        let shapes_b = [
+            AdjView::from_slice(b),
+            AdjView {
+                ids: b,
+                blocks: Some(&bb),
+            },
+        ];
+        let mut out = Vec::new();
+        for &va in &shapes_a {
+            for &vb in &shapes_b {
+                intersect_into(va, vb, &mut out);
+                assert_eq!(out, expect, "a={a:?} b={b:?}");
+                intersect_into(vb, va, &mut out);
+                assert_eq!(out, expect, "operand order must not matter");
+                assert_eq!(intersect_count(va, vb), expect.len());
+                assert_eq!(intersect_count(vb, va), expect.len());
+            }
+        }
+    }
+
+    #[test]
+    fn block_set_round_trips_membership() {
+        let ids = [0u32, 1, 63, 64, 65, 500, u32::MAX - 1, u32::MAX];
+        let b = blocked(&ids);
+        for &id in &ids {
+            assert!(b.contains(id), "{id}");
+        }
+        for miss in [2u32, 62, 66, 499, 501, u32::MAX - 2] {
+            assert!(!b.contains(miss), "{miss}");
+        }
+        assert_eq!(b.num_blocks(), 4, "0..63, 64..127, 448..511, MAX block");
+    }
+
+    #[test]
+    fn kernels_agree_with_scalar_on_fixed_cases() {
+        assert_all_pairings(&[1, 3, 5, 7, 9], &[2, 3, 5, 8, 9, 10]);
+        assert_all_pairings(&[], &[1, 2, 3]);
+        assert_all_pairings(&[42], &[42]);
+        assert_all_pairings(&[41], &[42]);
+        // Dense runs sharing words, crossing block boundaries.
+        let dense: Vec<u32> = (60..200).collect();
+        let sparse: Vec<u32> = (0..300).step_by(7).collect();
+        assert_all_pairings(&dense, &sparse);
+        // Extreme ids: the top block must not overflow.
+        assert_all_pairings(&[0, u32::MAX - 1, u32::MAX], &[u32::MAX]);
+    }
+
+    /// Deterministic xorshift mirror of the `ops` property fan.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_sorted_set(seed: &mut u64, len: usize, universe: u64) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..len)
+            .map(|_| (xorshift(seed) % universe.max(1)) as u32)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn kernel_equivalence_fan_across_densities() {
+        let mut seed = 0xb10c_cafe_u64;
+        for &len_a in &[1usize, 7, 64, 200] {
+            for &len_b in &[1usize, 31, 150] {
+                for &universe in &[64u64, 256, 4096, 1 << 20] {
+                    let a = random_sorted_set(&mut seed, len_a, universe);
+                    let b = random_sorted_set(&mut seed, len_b, universe);
+                    assert_all_pairings(&a, &b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn many_by_matches_scalar_reference_on_mixed_shapes() {
+        let a: Vec<u32> = (0..256).step_by(2).collect();
+        let b: Vec<u32> = (0..256).step_by(3).collect();
+        let c = vec![0u32, 6, 12, 90, 102, 240, 255];
+        let (ba, bb) = (blocked(&a), blocked(&b));
+        let views = [
+            AdjView {
+                ids: &a,
+                blocks: Some(&ba),
+            },
+            AdjView {
+                ids: &b,
+                blocks: Some(&bb),
+            },
+            AdjView::from_slice(&c),
+        ];
+        let sets: Vec<&[u32]> = vec![&a, &b, &c];
+        let (mut expect, mut out) = (Vec::new(), Vec::new());
+        let (mut order, mut scratch) = (Vec::new(), Vec::new());
+        ops::intersect_many_into(&sets, &mut expect, &mut scratch);
+        intersect_many_by(3, |i| views[i], &mut order, &mut out, &mut scratch);
+        assert_eq!(out, expect);
+        // Degenerate arities mirror the scalar contract.
+        intersect_many_by(1, |i| views[i], &mut order, &mut out, &mut scratch);
+        assert_eq!(out, a);
+        intersect_many_by(0, |i| views[i], &mut order, &mut out, &mut scratch);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn graph_views_blocks_only_dense_vertices() {
+        let mut b = crate::GraphBuilder::new();
+        // Vertex 0 is a hub with DENSE_BLOCK_THRESHOLD neighbours; the
+        // spokes each have degree 1.
+        for v in 1..=DENSE_BLOCK_THRESHOLD as u32 {
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        let views = GraphViews::build(&g);
+        assert!(views.view(&g, 0).blocks.is_some(), "hub gets blocks");
+        assert!(views.view(&g, 1).blocks.is_none(), "spoke stays a slice");
+        let mut out = Vec::new();
+        let spokes: Vec<u32> = (1..=DENSE_BLOCK_THRESHOLD as u32).collect();
+        intersect_into(views.view(&g, 0), AdjView::from_slice(&spokes), &mut out);
+        assert_eq!(out, spokes);
+    }
+}

@@ -5,7 +5,10 @@
 //! [`KvStore`] partitions the vertex space across shards (one per worker
 //! machine in the simulated cluster), stores each adjacency set as an
 //! opaque encoded value, and counts every request and transferred byte —
-//! the communication-cost metric of the paper's evaluation.
+//! the communication-cost metric of the paper's evaluation. Values are
+//! written by a versioned [`codec`] chosen at store-build time (see
+//! [`KvStore::from_graph_with`]); every byte count reported is the
+//! *wire* volume of those tagged, possibly compressed values.
 //!
 //! The store is immutable after loading (BENU's preprocessing step,
 //! Algorithm 2 line 1, is pattern-independent), so reads are lock-free.
@@ -22,6 +25,8 @@
 
 pub mod codec;
 
+pub use codec::{Codec, CodecError, CodecKind};
+
 use benu_graph::{AdjSet, Graph, VertexId};
 use benu_obs::{Counter, Histogram, Registry};
 use bytes::Bytes;
@@ -29,6 +34,32 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A value whose stored bytes failed to decode: which vertex, which
+/// shard served it, and the structural [`CodecError`]. Surfaced by the
+/// `try_*` read paths so a damaged shard degrades through the worker
+/// error taxonomy instead of crashing the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorruptValue {
+    /// The vertex whose value is damaged.
+    pub vertex: VertexId,
+    /// The shard that served the damaged bytes.
+    pub shard: usize,
+    /// What exactly is wrong with the bytes.
+    pub error: CodecError,
+}
+
+impl std::fmt::Display for CorruptValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "corrupt value for vertex {} on shard {}: {}",
+            self.vertex, self.shard, self.error
+        )
+    }
+}
+
+impl std::error::Error for CorruptValue {}
 
 /// Per-shard request/byte counters.
 #[derive(Debug, Default)]
@@ -73,6 +104,7 @@ pub struct KvStore {
     shards: Vec<Shard>,
     num_vertices: usize,
     replication: usize,
+    codec: CodecKind,
     obs: Option<StoreObs>,
 }
 
@@ -96,7 +128,10 @@ pub struct KvStats {
     pub requests: u64,
     /// Total values served (individual `GetAdj` answers).
     pub keys: u64,
-    /// Total value bytes transferred ("communication cost").
+    /// Total *wire* bytes transferred ("communication cost"): the
+    /// tagged, codec-compressed value lengths — not the decoded id
+    /// footprint — so a store built with a compressing codec shows its
+    /// savings here directly.
     pub bytes: u64,
     /// Lookups saved by batch-level key deduplication: duplicate keys in
     /// one multi-get are decoded, charged and transferred once, and every
@@ -115,7 +150,8 @@ pub struct BatchOutcome {
     pub values: Vec<Option<Arc<AdjSet>>>,
     /// Round trips this batch cost (= number of distinct shards touched).
     pub round_trips: u64,
-    /// Value bytes transferred by this batch.
+    /// Wire bytes transferred by this batch (tagged, codec-encoded
+    /// value lengths).
     pub bytes: u64,
 }
 
@@ -142,6 +178,26 @@ impl KvStore {
     /// `1..=num_shards` (more copies than shards would place two
     /// replicas on the same shard, defeating the point).
     pub fn from_graph_replicated(g: &Graph, num_shards: usize, replication: usize) -> Self {
+        Self::from_graph_with(g, num_shards, replication, CodecKind::default())
+    }
+
+    /// Loads the data graph with an explicit adjacency [`CodecKind`]:
+    /// the store-build-time decision that fixes every value's wire
+    /// bytes (and thus the communication cost every read is charged).
+    /// Reads are codec-agnostic — values are tagged — so stores built
+    /// with different codecs are drop-in interchangeable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero or `replication` is outside
+    /// `1..=num_shards` (more copies than shards would place two
+    /// replicas on the same shard, defeating the point).
+    pub fn from_graph_with(
+        g: &Graph,
+        num_shards: usize,
+        replication: usize,
+        codec: CodecKind,
+    ) -> Self {
         assert!(num_shards >= 1, "need at least one shard");
         assert!(
             (1..=num_shards).contains(&replication),
@@ -154,7 +210,7 @@ impl KvStore {
             })
             .collect();
         for v in g.vertices() {
-            let value = codec::encode_adj(g.neighbors(v));
+            let value = codec::encode(codec, g.neighbors(v));
             for offset in 0..replication {
                 shards[ring_shard(v, num_shards, offset)]
                     .values
@@ -165,6 +221,7 @@ impl KvStore {
             shards,
             num_vertices: g.num_vertices(),
             replication,
+            codec,
             obs: None,
         }
     }
@@ -204,6 +261,11 @@ impl KvStore {
         self.replication
     }
 
+    /// The adjacency codec the store was built with.
+    pub fn codec(&self) -> CodecKind {
+        self.codec
+    }
+
     /// The primary shard of vertex `v` (replica offset 0).
     pub fn shard_of(&self, v: VertexId) -> usize {
         self.replica_shard(v, 0)
@@ -234,9 +296,27 @@ impl KvStore {
     ///
     /// # Panics
     ///
-    /// Panics (debug builds) if `offset` is not below the replication
-    /// factor — such a shard holds no copy of `v`.
+    /// Panics on a corrupt stored value (use
+    /// [`KvStore::try_get_replica`] to handle that structurally), and
+    /// in debug builds if `offset` is not below the replication factor
+    /// — such a shard holds no copy of `v`.
     pub fn get_replica(&self, v: VertexId, offset: usize) -> Option<Arc<AdjSet>> {
+        self.try_get_replica(v, offset)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .map(|(adj, _)| adj)
+    }
+
+    /// [`KvStore::get_replica`] with structured corruption handling:
+    /// returns the decoded set together with the wire bytes it cost,
+    /// or a [`CorruptValue`] naming the vertex, serving shard and the
+    /// exact [`CodecError`]. Statistics are charged only after a
+    /// successful decode, so a corrupt read never perturbs the
+    /// communication accounting it aborts.
+    pub fn try_get_replica(
+        &self,
+        v: VertexId,
+        offset: usize,
+    ) -> Result<Option<(Arc<AdjSet>, u64)>, CorruptValue> {
         debug_assert!(
             offset < self.replication,
             "replica offset {offset} outside replication factor {}",
@@ -245,14 +325,20 @@ impl KvStore {
         let started = self.obs.as_ref().map(|_| Instant::now());
         let s = self.replica_shard(v, offset);
         let shard = &self.shards[s];
-        let value = shard.values.get(&v)?;
+        let Some(value) = shard.values.get(&v) else {
+            return Ok(None);
+        };
+        let decoded = codec::decode(value).map_err(|error| CorruptValue {
+            vertex: v,
+            shard: s,
+            error,
+        })?;
         shard.stats.requests.fetch_add(1, Ordering::Relaxed);
         shard.stats.keys.fetch_add(1, Ordering::Relaxed);
         shard
             .stats
             .bytes
             .fetch_add(value.len() as u64, Ordering::Relaxed);
-        let decoded = Arc::new(codec::decode_adj(value));
         if let Some(obs) = &self.obs {
             obs.shards[s].requests.inc();
             obs.shards[s].keys.inc();
@@ -262,7 +348,7 @@ impl KvStore {
                 obs.latency_nanos.record(t0.elapsed().as_nanos() as u64);
             }
         }
-        Some(decoded)
+        Ok(Some((Arc::new(decoded), value.len() as u64)))
     }
 
     /// Chaos hook: silently drops vertex `v` from every replica shard,
@@ -277,6 +363,25 @@ impl KvStore {
             removed |= self.shards[s].values.remove(&v).is_some();
         }
         removed
+    }
+
+    /// Chaos hook: overwrites vertex `v`'s value on every replica shard
+    /// with garbage bytes (an unknown codec tag), modelling bit rot in
+    /// a region file. Subsequent reads of `v` surface a structured
+    /// [`CorruptValue`] through the `try_*` paths — the corrupt-shard
+    /// degradation the worker taxonomy routes like a fault. Returns
+    /// true if the vertex was present.
+    pub fn corrupt_value(&mut self, v: VertexId) -> bool {
+        let garbage = Bytes::from_static(&[0xff, 0xde, 0xad]);
+        let mut corrupted = false;
+        for offset in 0..self.replication {
+            let s = self.replica_shard(v, offset);
+            if let Some(value) = self.shards[s].values.get_mut(&v) {
+                *value = garbage.clone();
+                corrupted = true;
+            }
+        }
+        corrupted
     }
 
     /// Fetches a batch of adjacency sets, grouping the keys by shard so
@@ -303,6 +408,25 @@ impl KvStore {
         keys: &[VertexId],
         route: impl Fn(usize) -> usize,
     ) -> BatchOutcome {
+        self.try_get_many_routed(keys, route)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`KvStore::get_many_routed`] with structured corruption
+    /// handling: the first damaged value aborts the batch with a
+    /// [`CorruptValue`]. Per-shard statistics are committed only for
+    /// sub-batches that decoded cleanly, so the charge never includes
+    /// bytes the caller did not receive.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `route` returns an offset at or above
+    /// the replication factor.
+    pub fn try_get_many_routed(
+        &self,
+        keys: &[VertexId],
+        route: impl Fn(usize) -> usize,
+    ) -> Result<BatchOutcome, CorruptValue> {
         let started = self.obs.as_ref().map(|_| Instant::now());
         let mut values: Vec<Option<Arc<AdjSet>>> = vec![None; keys.len()];
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
@@ -323,7 +447,6 @@ impl KvStore {
             }
             let shard = &self.shards[s];
             round_trips += 1;
-            shard.stats.requests.fetch_add(1, Ordering::Relaxed);
             let mut shard_keys = 0u64;
             let mut shard_bytes = 0u64;
             let mut shard_deduped = 0u64;
@@ -340,14 +463,20 @@ impl KvStore {
                 }
                 first_slot.insert(keys[i], i);
                 if let Some(value) = shard.values.get(&keys[i]) {
+                    let decoded = codec::decode(value).map_err(|error| CorruptValue {
+                        vertex: keys[i],
+                        shard: s,
+                        error,
+                    })?;
                     shard_keys += 1;
                     shard_bytes += value.len() as u64;
                     if let Some(obs) = &self.obs {
                         obs.value_bytes.record(value.len() as u64);
                     }
-                    values[i] = Some(Arc::new(codec::decode_adj(value)));
+                    values[i] = Some(Arc::new(decoded));
                 }
             }
+            shard.stats.requests.fetch_add(1, Ordering::Relaxed);
             shard.stats.keys.fetch_add(shard_keys, Ordering::Relaxed);
             shard.stats.bytes.fetch_add(shard_bytes, Ordering::Relaxed);
             shard
@@ -365,11 +494,11 @@ impl KvStore {
         if let (Some(obs), Some(t0)) = (&self.obs, started) {
             obs.latency_nanos.record(t0.elapsed().as_nanos() as u64);
         }
-        BatchOutcome {
+        Ok(BatchOutcome {
             values,
             round_trips,
             bytes: total_bytes,
-        }
+        })
     }
 
     /// Fetches without touching the statistics (used by loaders and
@@ -379,7 +508,7 @@ impl KvStore {
         shard
             .values
             .get(&v)
-            .map(|value| Arc::new(codec::decode_adj(value)))
+            .map(|value| Arc::new(codec::decode(value).unwrap_or_else(|e| panic!("{e}"))))
     }
 
     /// Aggregated access statistics.
@@ -455,8 +584,8 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.requests, 3);
         assert_eq!(stats.keys, 3, "unbatched gets serve one key per request");
-        // centre: 9 ids × 4 bytes; leaf: 1 id × 4 bytes fetched twice.
-        assert_eq!(stats.bytes, 36 + 4 + 4);
+        // centre: tag + 9 ids × 4 bytes; leaf: tag + 1 id fetched twice.
+        assert_eq!(stats.bytes, 37 + 5 + 5);
     }
 
     #[test]
@@ -470,8 +599,8 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.requests, 2, "per-shard grouping batches round trips");
         assert_eq!(stats.keys, 3, "every key is still served");
-        // Each cycle vertex has 2 neighbours × 4 bytes.
-        assert_eq!(stats.bytes, 3 * 8);
+        // Each cycle vertex: a tag byte plus 2 neighbours × 4 bytes.
+        assert_eq!(stats.bytes, 3 * 9);
         assert_eq!(batch.bytes, stats.bytes);
         assert_eq!(store.shard_stats(0).requests, 1);
         assert_eq!(store.shard_stats(0).keys, 2);
@@ -545,8 +674,9 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.keys, 3, "only unique keys are served");
         assert_eq!(stats.deduped_keys, 3, "three repeats were saved");
-        // Bytes are charged once per unique key: centre (9×4) + two leaves.
-        assert_eq!(stats.bytes, 36 + 4 + 4);
+        // Bytes are charged once per unique key: centre (tag + 9×4) +
+        // two tagged leaves.
+        assert_eq!(stats.bytes, 37 + 5 + 5);
         assert_eq!(batch.bytes, stats.bytes);
     }
 
@@ -629,10 +759,14 @@ mod tests {
     }
 
     #[test]
-    fn total_value_bytes_matches_graph() {
+    fn total_value_bytes_matches_graph_plus_tags() {
         let g = gen::complete(6);
         let store = KvStore::from_graph(&g, 3);
-        assert_eq!(store.total_value_bytes(), g.adjacency_bytes());
+        // raw-u32 wire = the raw adjacency bytes plus one tag per value.
+        assert_eq!(
+            store.total_value_bytes(),
+            g.adjacency_bytes() + g.num_vertices()
+        );
     }
 
     #[test]
@@ -731,12 +865,72 @@ mod tests {
         let g = gen::complete(6);
         let single = KvStore::from_graph(&g, 3);
         let mirrored = KvStore::from_graph_replicated(&g, 3, 3);
-        assert_eq!(single.total_value_bytes(), g.adjacency_bytes());
+        let wire = g.adjacency_bytes() + g.num_vertices();
+        assert_eq!(single.total_value_bytes(), wire);
         assert_eq!(
             mirrored.total_value_bytes(),
-            g.adjacency_bytes(),
+            wire,
             "mirrors are redundancy, not extra data"
         );
+    }
+
+    #[test]
+    fn delta_codec_store_serves_identical_sets_for_fewer_bytes() {
+        let g = gen::barabasi_albert(80, 4, 13);
+        let raw = KvStore::from_graph_with(&g, 4, 1, CodecKind::RawU32);
+        let delta = KvStore::from_graph_with(&g, 4, 1, CodecKind::DeltaVarint);
+        assert_eq!(raw.codec(), CodecKind::RawU32);
+        assert_eq!(delta.codec(), CodecKind::DeltaVarint);
+        for v in g.vertices() {
+            let a = raw.get(v).unwrap();
+            let b = delta.get(v).unwrap();
+            assert_eq!(a.as_slice(), b.as_slice(), "codec must not change data");
+        }
+        let (rs, ds) = (raw.stats(), delta.stats());
+        assert_eq!(rs.keys, ds.keys);
+        assert!(
+            ds.bytes < rs.bytes,
+            "delta-varint must shrink the wire volume ({} vs {})",
+            ds.bytes,
+            rs.bytes
+        );
+        assert!(delta.total_value_bytes() < raw.total_value_bytes());
+    }
+
+    #[test]
+    fn try_get_reports_wire_bytes_matching_stats() {
+        let g = gen::star(9);
+        let store = KvStore::from_graph_with(&g, 2, 1, CodecKind::DeltaVarint);
+        let (adj, wire) = store.try_get_replica(0, 0).unwrap().unwrap();
+        assert_eq!(adj.len(), 9);
+        assert_eq!(wire, store.stats().bytes, "single get = whole charge");
+        assert!(wire < 37, "delta encoding beats the raw wire");
+    }
+
+    #[test]
+    fn corrupt_value_surfaces_structured_error_without_charging() {
+        let g = gen::cycle(6);
+        let mut store = KvStore::from_graph_replicated(&g, 2, 2);
+        assert!(store.corrupt_value(3));
+        let err = store.try_get_replica(3, 0).unwrap_err();
+        assert_eq!(err.vertex, 3);
+        assert_eq!(err.shard, store.shard_of(3));
+        assert_eq!(err.error, CodecError::UnknownTag(0xff));
+        // Every replica is equally rotten.
+        assert!(store.try_get_replica(3, 1).is_err());
+        // The batch path aborts with the same structured error.
+        let batch_err = store.try_get_many_routed(&[0, 3], |_| 0).unwrap_err();
+        assert_eq!(batch_err.vertex, 3);
+        // Corrupt reads never perturb the byte accounting: only vertex
+        // 0's clean shard sub-batch committed its charge; the corrupt
+        // shard's sub-batch (and both failed single gets) charged
+        // nothing.
+        let healthy: u64 = 9; // tag + 2 ids
+        assert_eq!(store.stats().bytes, healthy);
+        assert_eq!(store.stats().keys, 1);
+        // Clean vertices still read fine.
+        assert!(store.get(0).is_some());
+        assert!(!store.corrupt_value(100), "unknown vertex: nothing to rot");
     }
 
     #[test]

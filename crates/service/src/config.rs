@@ -1,6 +1,6 @@
 //! Serving-layer configuration.
 
-use benu_cluster::{ExecMode, SchedulerKind};
+use benu_cluster::{CodecKind, ExecMode, SchedulerKind};
 
 /// Shape and tuning of the query service. One service owns one resident
 /// data graph: a sharded [`benu_kvstore::KvStore`] plus one warm
@@ -51,6 +51,10 @@ pub struct ServiceConfig {
     /// Store replication factor (shards ring-replicate as in the batch
     /// cluster).
     pub replication: usize,
+    /// Wire codec for stored adjacency values, fixed when the resident
+    /// graph is loaded. Every query served afterwards reads the same
+    /// bytes; decoded sets are byte-identical across codecs.
+    pub codec: CodecKind,
 }
 
 impl Default for ServiceConfig {
@@ -69,6 +73,7 @@ impl Default for ServiceConfig {
             plan_cache_entries: 32,
             chunk_tasks: 64,
             replication: 1,
+            codec: CodecKind::RawU32,
         }
     }
 }
@@ -180,6 +185,12 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Wire codec for stored adjacency values.
+    pub fn codec(mut self, codec: CodecKind) -> Self {
+        self.0.codec = codec;
+        self
+    }
+
     /// Finishes the builder.
     ///
     /// # Panics
@@ -212,6 +223,7 @@ mod tests {
             .plan_cache_entries(5)
             .chunk_tasks(16)
             .replication(2)
+            .codec(CodecKind::DeltaVarint)
             .build();
         let literal = ServiceConfig {
             workers: 3,
@@ -227,6 +239,7 @@ mod tests {
             plan_cache_entries: 5,
             chunk_tasks: 16,
             replication: 2,
+            codec: CodecKind::DeltaVarint,
         };
         assert_eq!(built, literal, "every builder method must land");
     }

@@ -56,6 +56,7 @@ mod plan_cache;
 mod query;
 mod service;
 
+pub use benu_cluster::CodecKind;
 pub use config::{ServiceConfig, ServiceConfigBuilder};
 pub use plan_cache::{CachedPlan, PlanCache, PlanCacheStats};
 pub use query::{QueryId, QueryOptions, QueryResult, QueryStatus, ResultMode, Terminal};

@@ -217,7 +217,8 @@ impl QueryService {
         config.validate();
         let store = {
             let _span = obs.as_ref().map(|h| h.tracer.span("store_load"));
-            let mut store = KvStore::from_graph_replicated(g, config.workers, config.replication);
+            let mut store =
+                KvStore::from_graph_with(g, config.workers, config.replication, config.codec);
             if let Some(hub) = &obs {
                 store.attach_obs(&hub.registry);
             }

@@ -115,6 +115,34 @@ fn results_are_identical_across_concurrency_schedulers_and_modes() {
 }
 
 #[test]
+fn results_are_identical_across_wire_codecs() {
+    // The codec changes how adjacency values travel, never what they
+    // decode to — the whole query mix (including truncating modes, which
+    // cut the stream at chunk boundaries) must be byte-identical across
+    // codecs. Wire statistics legitimately differ and are excluded.
+    let mix = |codec| {
+        run_mix(
+            ServiceConfig::builder()
+                .workers(2)
+                .chunk_tasks(16)
+                .codec(codec)
+                .build(),
+        )
+        .0
+    };
+    let raw = mix(benu_cluster::CodecKind::RawU32);
+    let delta = mix(benu_cluster::CodecKind::DeltaVarint);
+    for (got, want) in delta.iter().zip(&raw) {
+        assert_eq!(
+            surface(got),
+            surface(want),
+            "query {} diverged across codecs",
+            got.id
+        );
+    }
+}
+
+#[test]
 fn unbudgeted_counts_match_the_sequential_engine() {
     let g = gen::barabasi_albert(120, 4, 11);
     let service = QueryService::new(

@@ -89,8 +89,8 @@ pub mod prelude {
     pub use benu_cluster::{Cluster, ClusterConfig, RunOutcome};
     pub use benu_engine::LocalEngine;
     pub use benu_fault::{FaultPlan, RetryPolicy};
-    pub use benu_graph::{AdjSet, Graph, GraphBuilder, TotalOrder, VertexId};
-    pub use benu_kvstore::KvStore;
+    pub use benu_graph::{AdjSet, AdjView, Graph, GraphBuilder, TotalOrder, VertexId};
+    pub use benu_kvstore::{CodecKind, KvStore};
     pub use benu_obs::{ObsHub, Report, ReportMode};
     pub use benu_pattern::{Pattern, PatternVertex};
     pub use benu_plan::{ExecutionPlan, PlanBuilder};

@@ -169,7 +169,12 @@ fn kv_store_round_trip_through_cluster() {
         let adj = cluster.store().get_unaccounted(v).unwrap();
         assert_eq!(adj.as_slice(), g.neighbors(v));
     }
-    assert_eq!(cluster.store().total_value_bytes(), g.adjacency_bytes());
+    // Stored values are the raw adjacency payload behind a one-byte
+    // codec tag (raw-u32 is the default), one tag per vertex.
+    assert_eq!(
+        cluster.store().total_value_bytes(),
+        g.adjacency_bytes() + g.num_vertices()
+    );
 }
 
 #[test]
