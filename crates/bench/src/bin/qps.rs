@@ -13,7 +13,8 @@
 //! ```text
 //! cargo run --release -p benu-bench --bin qps -- \
 //!     [--dataset uk] [--scale 0.02] [--seed 7] [--queries 24] \
-//!     [--chunk-tasks 16] [--levels 1,4,16] [--json BENCH_qps.json]
+//!     [--chunk-tasks 16] [--levels 1,4,16] [--fault-rate 0.01] \
+//!     [--json BENCH_qps.json]
 //! ```
 //!
 //! The bin self-checks three serving-layer invariants and exits nonzero
@@ -22,6 +23,13 @@
 //! 1. every query's count equals its solo [`Cluster::run`] count,
 //! 2. the plan cache serves repeated patterns (hits > 0),
 //! 3. concurrency 16 beats concurrency 1 on queries/sec.
+//!
+//! With `--fault-rate R > 0` a fourth arm replays the mix at the top
+//! concurrency level under a seeded [`benu_service::FaultPlan`]
+//! injecting transient faults at rate R, and asserts the resilience
+//! smoke contract: zero failed queries (every fault recovered by
+//! retry), counts still equal to solo, and throughput within 20% of
+//! the faultless arm at the same concurrency.
 
 use benu_bench::cli::Args;
 use benu_bench::impl_to_json;
@@ -30,7 +38,7 @@ use benu_cluster::{Cluster, ClusterConfig};
 use benu_graph::datasets::Dataset;
 use benu_pattern::{queries, Pattern};
 use benu_plan::PlanBuilder;
-use benu_service::{QueryOptions, QueryService, ResultMode, ServiceConfig};
+use benu_service::{FaultPlan, QueryOptions, QueryService, ResultMode, ServiceConfig, Terminal};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
@@ -130,6 +138,7 @@ fn main() {
     let seed: u64 = args.get("seed", 7);
     let n_queries: usize = args.get("queries", 24);
     let chunk_tasks: usize = args.get("chunk-tasks", 16);
+    let fault_rate: f64 = args.get("fault-rate", 0.0);
     let dataset =
         Dataset::from_abbrev(args.get_str("dataset").unwrap_or("uk")).expect("unknown dataset");
     let g = load_dataset(dataset, scale);
@@ -285,6 +294,71 @@ fn main() {
         }
     }
 
+    let mut faulted_row: Option<Row> = None;
+    if fault_rate > 0.0 {
+        // Resilience smoke: the same mix at the top concurrency level
+        // with seeded transient faults on every store round trip.
+        // Recovered faults must be invisible in results AND cheap in
+        // wall clock — retries and backoff are virtual-time bookings,
+        // not sleeps.
+        let workers = *ladder.last().expect("ladder is non-empty");
+        let plain = rows.last().expect("ladder measured");
+        let service = QueryService::new(
+            &g,
+            ServiceConfig::builder()
+                .workers(workers)
+                .chunk_tasks(chunk_tasks)
+                .fault_plan(FaultPlan::builder(seed).transient_rate(fault_rate).build())
+                .build(),
+        );
+        let start = Instant::now();
+        let ids: Vec<_> = mix
+            .iter()
+            .map(|entry| service.submit(&named[entry.pattern_idx].1, entry.options.clone()))
+            .collect();
+        let results: Vec<_> = ids.into_iter().map(|id| service.wait(id)).collect();
+        let wall = start.elapsed().as_secs_f64();
+        for (entry, result) in mix.iter().zip(&results) {
+            assert!(
+                matches!(result.terminal, Terminal::Completed),
+                "query {} must recover every injected fault at rate {fault_rate}, got {:?}",
+                result.id,
+                result.terminal
+            );
+            assert_eq!(
+                result.matches_found, solo[entry.pattern_idx],
+                "recovered faults must not change query {}'s count",
+                result.id
+            );
+        }
+        let qps = benu_obs::safe_ratio(n_queries as f64, wall);
+        println!(
+            "fault-rate {fault_rate}: {:.1} qps vs {:.1} faultless \
+             ({:.0}% of plain), 0 failed",
+            qps,
+            plain.qps,
+            100.0 * qps / plain.qps.max(f64::MIN_POSITIVE)
+        );
+        assert!(
+            qps >= 0.8 * plain.qps,
+            "faulted throughput {qps:.1} degraded more than 20% from {:.1}",
+            plain.qps
+        );
+        let mut vticks: Vec<u64> = results.iter().map(|r| r.vticks).collect();
+        vticks.sort_unstable();
+        faulted_row = Some(Row {
+            concurrency: workers as u64,
+            queries: n_queries as u64,
+            wall_s: wall,
+            qps,
+            p50_vticks: percentile(&vticks, 50.0),
+            p99_vticks: percentile(&vticks, 99.0),
+            plan_cache_hits: service.plan_cache_stats().hits,
+            plan_cache_misses: service.plan_cache_stats().misses,
+            total_matches: results.iter().map(|r| r.matches_found).sum(),
+        });
+    }
+
     if let Some(path) = args.get_str("json") {
         let mut report = benu_bench::report::BenchReport::new("qps");
         report
@@ -292,7 +366,11 @@ fn main() {
             .param("scale", scale)
             .param("seed", seed)
             .param("queries", n_queries as u64)
-            .param("chunk_tasks", chunk_tasks as u64);
+            .param("chunk_tasks", chunk_tasks as u64)
+            .param("fault_rate", fault_rate);
+        if let Some(r) = &faulted_row {
+            report.push_row(r);
+        }
         for r in &rows {
             report.push_row(r);
         }

@@ -44,6 +44,14 @@ pub mod schedule;
 pub mod transport;
 pub mod worker;
 
+// Everything a non-`Cluster` owner needs to build its own fault-aware
+// [`transport::Transport`]s ([`transport::Transport::with_faults`]):
+// the plan, the retry policy, and the routed store decorator — so a
+// serving layer can reuse the exact retry/failover machinery the batch
+// runtime runs on.
+pub use benu_fault::{
+    FaultError, FaultKind, FaultPlan, FaultPlanBuilder, FaultingStore, RetryPolicy, StoreError,
+};
 pub use benu_kvstore::{CodecKind, CorruptValue};
 pub use config::{ClusterConfig, ClusterConfigBuilder, ExecMode};
 pub use report::{RecoveryReport, RunOutcome, WorkerReport};

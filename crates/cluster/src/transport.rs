@@ -227,6 +227,18 @@ impl Transport {
         TASK_PENALTY_NANOS.with(|p| Duration::from_nanos(p.replace(0)))
     }
 
+    /// Charges virtual latency to the current thread's task penalty.
+    /// For layers that evaluate fault decisions themselves — e.g. a
+    /// serving layer checking the plan's verdict in front of its own
+    /// cache — but fold their backoff and timeout waits into the same
+    /// virtual-time accounting the transport uses. Never slept.
+    pub fn book_virtual(penalty: Duration) {
+        if penalty.is_zero() {
+            return;
+        }
+        TASK_PENALTY_NANOS.with(|p| p.set(p.get() + penalty.as_nanos() as u64));
+    }
+
     fn account_single(&self, wire: u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(wire, Ordering::Relaxed);

@@ -36,6 +36,8 @@ const SALT_STORE: u64 = 0x51;
 const SALT_SLOW: u64 = 0x5C;
 /// Salt for the outage sampler in [`FaultPlanBuilder::random_shard_outages`].
 const SALT_OUTAGE: u64 = 0x07;
+/// Salt for [`FaultPlan::scoped`] seed derivation.
+const SALT_SCOPE: u64 = 0x5E;
 
 /// SplitMix64-style combination of the seed with a decision key, giving
 /// an independent, well-mixed stream per (salt, a, b) triple.
@@ -227,6 +229,21 @@ impl FaultPlan {
     /// Number of shard outages the plan describes.
     pub fn planned_outages(&self) -> usize {
         self.outages.len()
+    }
+
+    /// Derives a plan whose *per-request* decision stream (transient
+    /// errors, timeouts, retry jitter) is independent of this plan's and
+    /// of any other scope's, while the *structural* state — slow shards,
+    /// worker crashes, shard outages, latencies, rates — is shared
+    /// verbatim. This is how concurrent queries draw independent
+    /// deterministic fault streams against the same injected
+    /// infrastructure failures: scope by query id and every scope sees
+    /// the same dark shards, but faults different round trips.
+    pub fn scoped(&self, scope: u64) -> FaultPlan {
+        FaultPlan {
+            seed: mix(self.seed, SALT_SCOPE, scope, 0),
+            ..self.clone()
+        }
     }
 
     /// The shards the plan darkens at some point, in ascending order.
@@ -572,6 +589,33 @@ mod tests {
         assert_eq!(pick(9).len(), 2);
         // A different seed eventually picks a different set.
         assert!((0..32).any(|s| pick(s) != pick(9)));
+    }
+
+    #[test]
+    fn scoped_plans_share_structure_but_not_decision_streams() {
+        let plan = FaultPlan::builder(21)
+            .transient_rate(0.3)
+            .shard_outage(1, 1)
+            .slow_shard(2, 4.0)
+            .crash(0, 5)
+            .build();
+        let a = plan.scoped(0);
+        let b = plan.scoped(1);
+        // Structural faults are shared across scopes.
+        for p in [&a, &b] {
+            assert!(p.outage_at(1, 1));
+            assert_eq!(p.latency_multiplier(2), 4.0);
+            assert_eq!(p.crash_after(0), Some(5));
+            assert_eq!(p.fault_rate(), plan.fault_rate());
+        }
+        // Per-request decisions are independent per scope, and each
+        // scope replays its own stream exactly.
+        let stream = |p: &FaultPlan| -> Vec<Option<FaultKind>> {
+            (0..200).map(|v| p.fault_for(0, v, 0)).collect()
+        };
+        assert_eq!(stream(&a), stream(&plan.scoped(0)), "scopes replay");
+        assert_ne!(stream(&a), stream(&b), "scopes draw independently");
+        assert_ne!(stream(&a), stream(&plan), "scope 0 is not the parent");
     }
 
     #[test]

@@ -221,6 +221,20 @@ impl FaultingStore {
         }
     }
 
+    /// The routing decision for the `attempt`-th try at fetching `v`,
+    /// *without* touching the store: the replica offset that serves, or
+    /// the fault that refuses every replica (retryable unless its kind
+    /// is [`FaultKind::Outage`]). Failover/injection counters are
+    /// booked. Public so decision-only consumers — e.g. a serving layer
+    /// that fronts the store with its own cache — can evaluate the
+    /// plan's verdict on every *logical* access, independent of what
+    /// their cache happens to hold, and keep failure outcomes a pure
+    /// function of the seed.
+    pub fn route_for(&self, v: VertexId, attempt: u32) -> Result<usize, FaultError> {
+        let primary = self.store.shard_of(v);
+        self.route(primary, v as u64, attempt, self.pass())
+    }
+
     /// The `attempt`-th try at fetching `v`, returning the decoded set
     /// together with the wire bytes it cost. `Ok(None)` means the
     /// vertex genuinely does not exist (a permanent condition —
@@ -230,19 +244,19 @@ impl FaultingStore {
     /// serving replica's bytes are rotten — also permanent, since every
     /// replica mirrors the same value.
     pub fn get(&self, v: VertexId, attempt: u32) -> Result<Option<(Arc<AdjSet>, u64)>, StoreError> {
-        let primary = self.store.shard_of(v);
-        let offset = self.route(primary, v as u64, attempt, self.pass())?;
+        let offset = self.route_for(v, attempt)?;
         Ok(self.store.try_get_replica(v, offset)?)
     }
 
-    /// The `attempt`-th try at a batched multi-get. The routing decision
-    /// is per primary-shard group (keyed by the smallest vertex primarily
-    /// owned by it); if any group cannot be served from any replica, the
-    /// whole batch fails and the caller retries it — matching a
-    /// multi-get RPC that fails as a unit. Groups that *can* be served
-    /// are regrouped by serving shard, so a failed-over batch still
-    /// costs one round trip per surviving shard touched.
-    pub fn get_many(&self, keys: &[VertexId], attempt: u32) -> Result<BatchOutcome, StoreError> {
+    /// The per-primary-group routing decision of a batched multi-get
+    /// over `keys`, *without* touching the store: `route[primary]` is
+    /// the replica offset serving that group. Decisions are keyed by
+    /// the smallest vertex primarily owned by each shard; if any group
+    /// cannot be served from any replica the whole batch fails as a
+    /// unit (an all-dark group makes it hopeless — [`FaultKind::Outage`]
+    /// — otherwise the first retryable error is carried home).
+    /// Failover/injection counters are booked.
+    pub fn route_many(&self, keys: &[VertexId], attempt: u32) -> Result<Vec<usize>, FaultError> {
         let pass = self.pass();
         let mut route: Vec<usize> = vec![0; self.store.num_shards()];
         let mut skipped = 0u64;
@@ -267,7 +281,7 @@ impl FaultingStore {
         }
         if let Some(err) = hopeless.or(retryable) {
             self.injected.fetch_add(1, Ordering::Relaxed);
-            return Err(err.into());
+            return Err(err);
         }
         if skipped > 0 {
             self.failover_attempts.fetch_add(skipped, Ordering::Relaxed);
@@ -276,6 +290,15 @@ impl FaultingStore {
             self.failover_reads
                 .fetch_add(failover_groups, Ordering::Relaxed);
         }
+        Ok(route)
+    }
+
+    /// The `attempt`-th try at a batched multi-get: the
+    /// [`FaultingStore::route_many`] decision followed by the actual
+    /// reads, regrouped by serving shard — a failed-over batch still
+    /// costs one round trip per surviving shard touched.
+    pub fn get_many(&self, keys: &[VertexId], attempt: u32) -> Result<BatchOutcome, StoreError> {
+        let route = self.route_many(keys, attempt)?;
         Ok(self
             .store
             .try_get_many_routed(keys, |primary| route[primary])?)

@@ -19,6 +19,7 @@
 //! one deterministic stream — what [`Sink::Sample`]'s seeded reservoir
 //! and [`Sink::TopK`]'s prefix are defined over.
 
+use crate::error::ServiceError;
 use crate::query::{ResultMode, Terminal};
 use benu_engine::TaskMetrics;
 use benu_graph::VertexId;
@@ -40,6 +41,31 @@ pub(crate) struct ExecutedChunk {
     /// candidate enumerations — a pure function of the work done.
     pub vticks: u64,
     /// Engine metrics of the chunk.
+    pub metrics: TaskMetrics,
+}
+
+/// What a worker reported for one chunk: results, or the first error
+/// its deterministic access stream hit. Failures ride the same
+/// in-order pipeline as results, so the error (or dark shard) a query
+/// surfaces is always the lowest-indexed failing chunk's — independent
+/// of worker timing.
+#[derive(Debug)]
+enum ChunkOutcome {
+    Executed(ExecutedChunk),
+    Failed { error: ServiceError },
+}
+
+/// The final components of a finished commit pipeline.
+pub(crate) struct CommitOutcome {
+    pub terminal: Terminal,
+    pub matches_found: u64,
+    pub matches: Vec<Vec<VertexId>>,
+    pub vticks: u64,
+    pub committed: usize,
+    pub discarded: usize,
+    /// Dark shards behind skipped (degraded) chunks, ascending.
+    pub dark_shards: Vec<usize>,
+    pub exhaustive: bool,
     pub metrics: TaskMetrics,
 }
 
@@ -131,9 +157,14 @@ pub(crate) struct CommitState {
     /// Next chunk index eligible to commit.
     next: usize,
     /// Executed chunks waiting for their predecessors.
-    pending: BTreeMap<usize, ExecutedChunk>,
+    pending: BTreeMap<usize, ChunkOutcome>,
     committed: usize,
     discarded: usize,
+    /// Chunks skipped dark under graceful degradation.
+    dark: usize,
+    dark_shards: Vec<usize>,
+    /// Absorb degradable failures instead of failing the query.
+    degrade: bool,
     matches_found: u64,
     vticks: u64,
     metrics: TaskMetrics,
@@ -149,6 +180,7 @@ impl CommitState {
         mode: &ResultMode,
         deadline: Option<u64>,
         max_matches: Option<u64>,
+        degrade: bool,
     ) -> Self {
         let mut state = CommitState {
             total_chunks,
@@ -156,6 +188,9 @@ impl CommitState {
             pending: BTreeMap::new(),
             committed: 0,
             discarded: 0,
+            dark: 0,
+            dark_shards: Vec::new(),
+            degrade,
             matches_found: 0,
             vticks: 0,
             metrics: TaskMetrics::default(),
@@ -181,23 +216,67 @@ impl CommitState {
     /// Records a chunk that executed, commits every in-order chunk that
     /// became eligible, and evaluates budgets at each boundary.
     pub(crate) fn submit(&mut self, chunk: ExecutedChunk) {
+        self.submit_outcome(chunk.chunk, ChunkOutcome::Executed(chunk));
+    }
+
+    /// Records a chunk whose execution hit an unrecoverable error. The
+    /// failure is evaluated at the chunk's in-order commit position:
+    /// under graceful degradation a degradable error marks the chunk
+    /// dark (no matches, no vticks) and commits continue; otherwise the
+    /// query settles as [`Terminal::Failed`] with this error — making
+    /// the surfaced error the lowest-indexed failure, deterministically.
+    pub(crate) fn submit_failed(&mut self, chunk: usize, error: ServiceError) {
+        self.submit_outcome(chunk, ChunkOutcome::Failed { error });
+    }
+
+    fn submit_outcome(&mut self, index: usize, outcome: ChunkOutcome) {
         if self.terminal.is_some() {
             self.discarded += 1;
             return;
         }
-        self.pending.insert(chunk.chunk, chunk);
+        self.pending.insert(index, outcome);
         while self.terminal.is_none() {
-            let Some(chunk) = self.pending.remove(&self.next) else {
+            let Some(outcome) = self.pending.remove(&self.next) else {
                 break;
             };
-            self.commit(chunk);
+            match outcome {
+                ChunkOutcome::Executed(chunk) => self.commit(chunk),
+                ChunkOutcome::Failed { error } => self.commit_failed(error),
+            }
         }
-        if self.committed == self.total_chunks && self.terminal.is_none() {
-            self.terminal = Some(Terminal::Completed);
+        if self.committed + self.dark == self.total_chunks && self.terminal.is_none() {
+            self.terminal = Some(if self.dark > 0 {
+                Terminal::DegradedPartial
+            } else {
+                Terminal::Completed
+            });
         }
         if self.terminal.is_some() {
             self.flush_pending();
         }
+    }
+
+    /// A failed chunk at its in-order boundary. The deadline pre-check
+    /// still wins (a query past its budget is `DeadlineExceeded`, not
+    /// `Failed` — same precedence as for a successful chunk).
+    fn commit_failed(&mut self, error: ServiceError) {
+        if self.deadline.is_some_and(|d| self.vticks >= d) {
+            self.set_terminal(Terminal::DeadlineExceeded);
+            self.discarded += 1;
+            return;
+        }
+        if self.degrade && error.is_degradable() {
+            if let Some(shard) = error.dark_shard() {
+                if !self.dark_shards.contains(&shard) {
+                    self.dark_shards.push(shard);
+                }
+            }
+            self.dark += 1;
+            self.next += 1;
+            return;
+        }
+        self.set_terminal(Terminal::Failed(error));
+        self.discarded += 1;
     }
 
     fn commit(&mut self, chunk: ExecutedChunk) {
@@ -261,42 +340,38 @@ impl CommitState {
         self.pending.clear();
     }
 
-    pub(crate) fn terminal(&self) -> Option<Terminal> {
-        self.terminal
+    pub(crate) fn terminal(&self) -> Option<&Terminal> {
+        self.terminal.as_ref()
+    }
+
+    /// The next chunk index eligible to commit — the first chunk whose
+    /// work is lost when the whole worker pool dies.
+    pub(crate) fn next_chunk(&self) -> usize {
+        self.next
     }
 
     /// Every chunk accounted for — the query can finalise.
     pub(crate) fn is_complete(&self) -> bool {
-        self.terminal.is_some() && self.committed + self.discarded == self.total_chunks
+        self.terminal.is_some() && self.committed + self.discarded + self.dark == self.total_chunks
     }
 
-    /// Tears the state down into its result components:
-    /// `(terminal, matches_found, matches, vticks, committed, discarded,
-    /// exhaustive, metrics)`.
-    #[allow(clippy::type_complexity)]
-    pub(crate) fn finish(
-        self,
-    ) -> (
-        Terminal,
-        u64,
-        Vec<Vec<VertexId>>,
-        u64,
-        usize,
-        usize,
-        bool,
-        TaskMetrics,
-    ) {
+    /// Tears the state down into its result components. Dark chunks are
+    /// folded into `discarded` (they contributed nothing); the dark
+    /// shards behind them are reported separately.
+    pub(crate) fn finish(mut self) -> CommitOutcome {
         debug_assert!(self.is_complete());
-        (
-            self.terminal.unwrap_or(Terminal::Completed),
-            self.matches_found,
-            self.sink.into_matches(),
-            self.vticks,
-            self.committed,
-            self.discarded,
-            self.committed == self.total_chunks,
-            self.metrics,
-        )
+        self.dark_shards.sort_unstable();
+        CommitOutcome {
+            terminal: self.terminal.unwrap_or(Terminal::Completed),
+            matches_found: self.matches_found,
+            matches: self.sink.into_matches(),
+            vticks: self.vticks,
+            committed: self.committed,
+            discarded: self.discarded + self.dark,
+            dark_shards: self.dark_shards,
+            exhaustive: self.committed == self.total_chunks,
+            metrics: self.metrics,
+        }
     }
 }
 
@@ -318,68 +393,76 @@ mod tests {
         vec![v]
     }
 
+    fn outage(v: VertexId, shard: usize) -> ServiceError {
+        ServiceError::StoreUnavailable { vertex: v, shard }
+    }
+
     #[test]
     fn out_of_order_submission_commits_in_order() {
-        let mut s = CommitState::new(3, &ResultMode::Collect, None, None);
+        let mut s = CommitState::new(3, &ResultMode::Collect, None, None, false);
         s.submit(chunk(2, vec![m(2)], 1));
         s.submit(chunk(0, vec![m(0)], 1));
         assert!(s.terminal().is_none(), "chunk 1 still outstanding");
         s.submit(chunk(1, vec![m(1)], 1));
         assert!(s.is_complete());
-        let (terminal, found, matches, vticks, ..) = s.finish();
-        assert_eq!(terminal, Terminal::Completed);
-        assert_eq!(found, 3);
-        assert_eq!(matches, vec![m(0), m(1), m(2)], "stream is chunk-ordered");
-        assert_eq!(vticks, 3);
+        let out = s.finish();
+        assert_eq!(out.terminal, Terminal::Completed);
+        assert_eq!(out.matches_found, 3);
+        assert_eq!(
+            out.matches,
+            vec![m(0), m(1), m(2)],
+            "stream is chunk-ordered"
+        );
+        assert_eq!(out.vticks, 3);
     }
 
     #[test]
     fn deadline_is_checked_before_commit() {
         // Deadline 2: chunk 0 (2 ticks) commits, chunk 1 hits the
         // boundary and is dropped — a deadline of 0 would commit nothing.
-        let mut s = CommitState::new(2, &ResultMode::CountOnly, Some(2), None);
+        let mut s = CommitState::new(2, &ResultMode::CountOnly, Some(2), None, false);
         s.submit(chunk(0, vec![m(0), m(1)], 2));
         s.submit(chunk(1, vec![m(2)], 1));
         assert!(s.is_complete());
-        let (terminal, found, _, vticks, committed, discarded, exhaustive, _) = s.finish();
-        assert_eq!(terminal, Terminal::DeadlineExceeded);
-        assert_eq!((found, vticks), (2, 2));
-        assert_eq!((committed, discarded), (1, 1));
-        assert!(!exhaustive);
+        let out = s.finish();
+        assert_eq!(out.terminal, Terminal::DeadlineExceeded);
+        assert_eq!((out.matches_found, out.vticks), (2, 2));
+        assert_eq!((out.committed, out.discarded), (1, 1));
+        assert!(!out.exhaustive);
     }
 
     #[test]
     fn zero_deadline_commits_nothing() {
-        let mut s = CommitState::new(2, &ResultMode::CountOnly, Some(0), None);
-        assert_eq!(s.terminal(), Some(Terminal::DeadlineExceeded));
+        let mut s = CommitState::new(2, &ResultMode::CountOnly, Some(0), None, false);
+        assert_eq!(s.terminal(), Some(&Terminal::DeadlineExceeded));
         s.skip(2);
         assert!(s.is_complete());
-        assert_eq!(s.finish().1, 0);
+        assert_eq!(s.finish().matches_found, 0);
     }
 
     #[test]
     fn max_matches_clamps_within_the_boundary_chunk() {
-        let mut s = CommitState::new(2, &ResultMode::Collect, None, Some(3));
+        let mut s = CommitState::new(2, &ResultMode::Collect, None, Some(3), false);
         s.submit(chunk(0, vec![m(0), m(1)], 1));
         assert!(s.terminal().is_none(), "2 of 3 committed");
         s.submit(chunk(1, vec![m(2), m(3), m(4)], 1));
-        assert_eq!(s.terminal(), Some(Terminal::MaxMatchesReached));
-        let (_, found, matches, ..) = s.finish();
-        assert_eq!(found, 3, "count clamps at the cap");
-        assert_eq!(matches, vec![m(0), m(1), m(2)], "prefix of the stream");
+        assert_eq!(s.terminal(), Some(&Terminal::MaxMatchesReached));
+        let out = s.finish();
+        assert_eq!(out.matches_found, 3, "count clamps at the cap");
+        assert_eq!(out.matches, vec![m(0), m(1), m(2)], "prefix of the stream");
     }
 
     #[test]
     fn topk_satisfied_is_completed_not_partial() {
-        let mut s = CommitState::new(3, &ResultMode::TopK(2), None, None);
+        let mut s = CommitState::new(3, &ResultMode::TopK(2), None, None, false);
         s.submit(chunk(0, vec![m(0), m(1), m(2)], 1));
-        assert_eq!(s.terminal(), Some(Terminal::Completed));
+        assert_eq!(s.terminal(), Some(&Terminal::Completed));
         s.skip(2); // the drained remainder
-        let (terminal, found, matches, _, _, _, exhaustive, _) = s.finish();
-        assert_eq!(terminal, Terminal::Completed);
-        assert_eq!(found, 2);
-        assert_eq!(matches, vec![m(0), m(1)]);
-        assert!(!exhaustive, "LIMIT-style completion is not exhaustive");
+        let out = s.finish();
+        assert_eq!(out.terminal, Terminal::Completed);
+        assert_eq!(out.matches_found, 2);
+        assert_eq!(out.matches, vec![m(0), m(1)]);
+        assert!(!out.exhaustive, "LIMIT-style completion is not exhaustive");
     }
 
     #[test]
@@ -387,14 +470,14 @@ mod tests {
         let stream: Vec<Vec<VertexId>> = (0..100).map(m).collect();
         let run = |chunks: &[&[Vec<VertexId>]]| {
             let mode = ResultMode::Sample { n: 5, seed: 42 };
-            let mut s = CommitState::new(chunks.len(), &mode, None, None);
+            let mut s = CommitState::new(chunks.len(), &mode, None, None, false);
             for (i, c) in chunks.iter().enumerate() {
                 s.submit(chunk(i, c.to_vec(), 1));
             }
-            let (terminal, found, sample, ..) = s.finish();
-            assert_eq!(terminal, Terminal::Completed);
-            assert_eq!(found, 100, "sampling still counts exactly");
-            sample
+            let out = s.finish();
+            assert_eq!(out.terminal, Terminal::Completed);
+            assert_eq!(out.matches_found, 100, "sampling still counts exactly");
+            out.matches
         };
         // Same stream, different chunking ⇒ same reservoir.
         let a = run(&[&stream[..30], &stream[30..]]);
@@ -405,16 +488,91 @@ mod tests {
 
     #[test]
     fn cancellation_discards_pending_and_late_chunks() {
-        let mut s = CommitState::new(3, &ResultMode::CountOnly, None, None);
+        let mut s = CommitState::new(3, &ResultMode::CountOnly, None, None, false);
         s.submit(chunk(2, vec![m(0)], 1)); // pending, out of order
         assert!(s.set_terminal(Terminal::Cancelled), "first transition wins");
         assert!(!s.set_terminal(Terminal::Completed));
         s.submit(chunk(0, vec![m(1)], 1)); // in-flight arrival after cancel
         s.skip(1); // drained from the queue
         assert!(s.is_complete());
-        let (terminal, found, _, _, committed, discarded, _, _) = s.finish();
-        assert_eq!(terminal, Terminal::Cancelled);
-        assert_eq!(found, 0, "no silent partial counts");
-        assert_eq!((committed, discarded), (0, 3));
+        let out = s.finish();
+        assert_eq!(out.terminal, Terminal::Cancelled);
+        assert_eq!(out.matches_found, 0, "no silent partial counts");
+        assert_eq!((out.committed, out.discarded), (0, 3));
+    }
+
+    #[test]
+    fn lowest_indexed_failure_decides_the_error() {
+        // Failures arrive out of order; the surfaced error must be chunk
+        // 1's, not chunk 2's — in-order evaluation, worker timing moot.
+        let mut s = CommitState::new(4, &ResultMode::Collect, None, None, false);
+        s.submit_failed(2, outage(20, 2));
+        s.submit_failed(1, outage(10, 1));
+        assert!(s.terminal().is_none(), "chunk 0 still outstanding");
+        s.submit(chunk(0, vec![m(0)], 1));
+        assert_eq!(s.terminal(), Some(&Terminal::Failed(outage(10, 1))));
+        s.skip(1); // the drained remainder
+        assert!(s.is_complete());
+        let out = s.finish();
+        assert_eq!(out.terminal, Terminal::Failed(outage(10, 1)));
+        assert_eq!(out.matches_found, 1, "work before the failure stays");
+        assert_eq!((out.committed, out.discarded), (1, 3));
+        assert!(
+            out.dark_shards.is_empty(),
+            "no degradation without the flag"
+        );
+    }
+
+    #[test]
+    fn degradation_skips_dark_chunks_and_keeps_committing() {
+        let mut s = CommitState::new(4, &ResultMode::Collect, None, None, true);
+        s.submit(chunk(0, vec![m(0)], 1));
+        s.submit_failed(1, outage(10, 3));
+        s.submit(chunk(2, vec![m(2)], 1));
+        s.submit_failed(3, outage(11, 1));
+        assert!(s.is_complete());
+        let out = s.finish();
+        assert_eq!(out.terminal, Terminal::DegradedPartial);
+        assert_eq!(out.matches, vec![m(0), m(2)], "reachable chunks committed");
+        assert_eq!(out.vticks, 2, "dark chunks cost no virtual time");
+        assert_eq!((out.committed, out.discarded), (2, 2));
+        assert_eq!(out.dark_shards, vec![1, 3], "sorted, deduplicated");
+        assert!(!out.exhaustive);
+    }
+
+    #[test]
+    fn non_degradable_errors_fail_even_under_degradation() {
+        let mut s = CommitState::new(2, &ResultMode::CountOnly, None, None, true);
+        let rot = ServiceError::CorruptValue {
+            vertex: 5,
+            detail: "missing from the resident store".into(),
+        };
+        s.submit_failed(0, rot.clone());
+        assert_eq!(s.terminal(), Some(&Terminal::Failed(rot)));
+        s.skip(1);
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn deadline_takes_precedence_over_a_late_failure() {
+        // The failing chunk sits past the deadline boundary: the query is
+        // DeadlineExceeded (budget semantics are fault-independent).
+        let mut s = CommitState::new(2, &ResultMode::CountOnly, Some(1), None, false);
+        s.submit(chunk(0, vec![m(0)], 1));
+        s.submit_failed(1, outage(9, 0));
+        assert!(s.is_complete());
+        assert_eq!(s.finish().terminal, Terminal::DeadlineExceeded);
+    }
+
+    #[test]
+    fn all_chunks_dark_is_still_degraded_partial() {
+        let mut s = CommitState::new(2, &ResultMode::CountOnly, None, None, true);
+        s.submit_failed(0, outage(0, 0));
+        s.submit_failed(1, outage(1, 0));
+        assert!(s.is_complete());
+        let out = s.finish();
+        assert_eq!(out.terminal, Terminal::DegradedPartial);
+        assert_eq!(out.matches_found, 0);
+        assert_eq!(out.dark_shards, vec![0]);
     }
 }

@@ -1,11 +1,14 @@
 //! Serving-layer configuration.
 
 use benu_cluster::{CodecKind, ExecMode, SchedulerKind};
+use benu_fault::{FaultPlan, RetryPolicy};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Shape and tuning of the query service. One service owns one resident
 /// data graph: a sharded [`benu_kvstore::KvStore`] plus one warm
 /// database cache per serving worker, shared by every admitted query.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServiceConfig {
     /// Serving worker threads. Each worker owns a persistent database
     /// cache (warm across queries) and one store transport, mirroring a
@@ -48,6 +51,12 @@ pub struct ServiceConfig {
     /// chunk boundaries so committed results are independent of worker
     /// count and scheduler choice.
     pub chunk_tasks: usize,
+    /// Shard count of the resident store (0 = one shard per worker).
+    /// Sharding is a property of the *deployment*, not of the local
+    /// worker pool: injected fault decisions are keyed by `(shard,
+    /// vertex)`, so pinning this makes failure outcomes — not just
+    /// results — identical across worker counts.
+    pub store_shards: usize,
     /// Store replication factor (shards ring-replicate as in the batch
     /// cluster).
     pub replication: usize,
@@ -55,6 +64,44 @@ pub struct ServiceConfig {
     /// graph is loaded. Every query served afterwards reads the same
     /// bytes; decoded sets are byte-identical across codecs.
     pub codec: CodecKind,
+    /// Deterministic fault injection for the serving data path. Each
+    /// admitted query draws its own per-request decision stream
+    /// ([`FaultPlan::scoped`] by query id) while structural faults —
+    /// shard outages, slow shards, worker crashes — are shared, so the
+    /// set of queries a given seed fails is reproducible regardless of
+    /// thread timing or cache state. `None` serves faultlessly.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// How serving workers retry injected transient faults and
+    /// timeouts (virtual backoff, never slept). Ignored without a
+    /// fault plan.
+    pub retry: RetryPolicy,
+    /// Admission cap on queries that are admitted but not yet terminal
+    /// (0 = unbounded). A submission over the cap is shed with
+    /// [`crate::Terminal::Rejected`] instead of queued.
+    pub max_inflight_queries: usize,
+    /// Admission cap on un-granted chunks across every admitted query
+    /// (0 = unbounded). A submission whose chunks would push the queue
+    /// past the cap is shed with [`crate::Terminal::Rejected`].
+    pub max_queued_chunks: usize,
+    /// Deadline-aware load shedding: refuse a query whose virtual-time
+    /// deadline is below the backlog's minimum drain cost — one vtick
+    /// per task over the `queued_chunks × chunk_tasks` tasks already
+    /// waiting. Per-query budgets are never charged for queue time, so
+    /// this gate is a service-level urgency heuristic, not a change to
+    /// deadline semantics: a tight deadline declares the query urgent,
+    /// and a backlogged service sheds it up front instead of serving it
+    /// late. Off by default — a zero deadline then still admits and
+    /// settles as [`crate::Terminal::DeadlineExceeded`].
+    pub admission_deadline_aware: bool,
+    /// Absorb unrecoverable shard outages instead of failing the query:
+    /// chunks whose data is dark are skipped, every reachable chunk
+    /// commits, and the query settles as
+    /// [`crate::Terminal::DegradedPartial`] naming the dark shards.
+    /// Off by default (an outage then fails the affected query).
+    pub graceful_degradation: bool,
+    /// Backstop poll interval of the worker/waiter condvar signals: a
+    /// missed wakeup degrades to a poll at this cadence, never a hang.
+    pub signal_poll: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -72,8 +119,16 @@ impl Default for ServiceConfig {
             pooled_buffers: true,
             plan_cache_entries: 32,
             chunk_tasks: 64,
+            store_shards: 0,
             replication: 1,
             codec: CodecKind::RawU32,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
+            max_inflight_queries: 0,
+            max_queued_chunks: 0,
+            admission_deadline_aware: false,
+            graceful_degradation: false,
+            signal_poll: Duration::from_millis(10),
         }
     }
 }
@@ -84,25 +139,39 @@ impl ServiceConfig {
         ServiceConfigBuilder(ServiceConfig::default())
     }
 
+    /// The store shard count this configuration resolves to.
+    pub fn resolved_store_shards(&self) -> usize {
+        if self.store_shards == 0 {
+            self.workers
+        } else {
+            self.store_shards
+        }
+    }
+
     /// Validates invariants.
     ///
     /// # Panics
     ///
     /// Panics on zero workers, cache shards or chunk size, or a
-    /// replication factor outside `1..=workers`.
+    /// replication factor outside `1..=store shards`.
     pub fn validate(&self) {
         assert!(self.workers >= 1, "need at least one worker");
         assert!(self.cache_shards >= 1, "need at least one cache shard");
         assert!(self.chunk_tasks >= 1, "need at least one task per chunk");
         assert!(
-            (1..=self.workers).contains(&self.replication),
-            "replication factor must be within 1..=workers (one shard per worker)"
+            (1..=self.resolved_store_shards()).contains(&self.replication),
+            "replication factor must be within 1..=store shards"
         );
+        assert!(
+            !self.signal_poll.is_zero(),
+            "signal poll interval must be positive (it is the missed-wakeup backstop)"
+        );
+        self.retry.validate();
     }
 }
 
 /// Fluent builder for [`ServiceConfig`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfigBuilder(ServiceConfig);
 
 impl ServiceConfigBuilder {
@@ -179,6 +248,12 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Shard count of the resident store (0 = one shard per worker).
+    pub fn store_shards(mut self, n: usize) -> Self {
+        self.0.store_shards = n;
+        self
+    }
+
     /// Store replication factor.
     pub fn replication(mut self, r: usize) -> Self {
         self.0.replication = r;
@@ -188,6 +263,48 @@ impl ServiceConfigBuilder {
     /// Wire codec for stored adjacency values.
     pub fn codec(mut self, codec: CodecKind) -> Self {
         self.0.codec = codec;
+        self
+    }
+
+    /// Installs a deterministic fault plan on the serving data path.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.0.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Retry policy for injected transient faults and timeouts.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.0.retry = retry;
+        self
+    }
+
+    /// Admission cap on non-terminal queries (0 = unbounded).
+    pub fn max_inflight_queries(mut self, n: usize) -> Self {
+        self.0.max_inflight_queries = n;
+        self
+    }
+
+    /// Admission cap on queued chunks across queries (0 = unbounded).
+    pub fn max_queued_chunks(mut self, n: usize) -> Self {
+        self.0.max_queued_chunks = n;
+        self
+    }
+
+    /// Shed queries whose deadline the current backlog cannot meet.
+    pub fn admission_deadline_aware(mut self, yes: bool) -> Self {
+        self.0.admission_deadline_aware = yes;
+        self
+    }
+
+    /// Absorb unrecoverable shard outages as degraded partial results.
+    pub fn graceful_degradation(mut self, yes: bool) -> Self {
+        self.0.graceful_degradation = yes;
+        self
+    }
+
+    /// Backstop poll interval of the condvar signals.
+    pub fn signal_poll(mut self, poll: Duration) -> Self {
+        self.0.signal_poll = poll;
         self
     }
 
@@ -209,6 +326,11 @@ mod tests {
 
     #[test]
     fn builder_covers_every_field() {
+        let plan = FaultPlan::builder(9).transient_rate(0.01).build();
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
         let built = ServiceConfig::builder()
             .workers(3)
             .cache_capacity_bytes(1 << 20)
@@ -222,8 +344,16 @@ mod tests {
             .pooled_buffers(false)
             .plan_cache_entries(5)
             .chunk_tasks(16)
+            .store_shards(4)
             .replication(2)
             .codec(CodecKind::DeltaVarint)
+            .fault_plan(plan.clone())
+            .retry(retry)
+            .max_inflight_queries(8)
+            .max_queued_chunks(100)
+            .admission_deadline_aware(true)
+            .graceful_degradation(true)
+            .signal_poll(Duration::from_millis(2))
             .build();
         let literal = ServiceConfig {
             workers: 3,
@@ -238,10 +368,24 @@ mod tests {
             pooled_buffers: false,
             plan_cache_entries: 5,
             chunk_tasks: 16,
+            store_shards: 4,
             replication: 2,
             codec: CodecKind::DeltaVarint,
+            fault_plan: Some(Arc::new(plan)),
+            retry,
+            max_inflight_queries: 8,
+            max_queued_chunks: 100,
+            admission_deadline_aware: true,
+            graceful_degradation: true,
+            signal_poll: Duration::from_millis(2),
         };
         assert_eq!(built, literal, "every builder method must land");
+    }
+
+    #[test]
+    #[should_panic(expected = "poll interval must be positive")]
+    fn zero_signal_poll_is_rejected() {
+        ServiceConfig::builder().signal_poll(Duration::ZERO).build();
     }
 
     #[test]

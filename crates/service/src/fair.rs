@@ -54,6 +54,20 @@ struct State<T> {
     /// turn" — that is what guarantees a late admission is served within
     /// one chunk of the running query instead of waiting a full cycle.
     cursor: usize,
+    /// Lanes whose worker crashed. Dead lanes receive no placements and
+    /// grant no chunks; their queued work migrates to survivors.
+    dead: Vec<bool>,
+}
+
+impl<T> State<T> {
+    fn alive_lanes(&self) -> Vec<usize> {
+        let alive: Vec<usize> = (0..self.dead.len()).filter(|&l| !self.dead[l]).collect();
+        debug_assert!(
+            !alive.is_empty(),
+            "admission must stop before the pool dies"
+        );
+        alive
+    }
 }
 
 /// The fair cross-query queue. `T` is the per-query payload handed back
@@ -63,17 +77,19 @@ pub(crate) struct FairQueue<T: Clone> {
 }
 
 impl<T: Clone> FairQueue<T> {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(lanes: usize) -> Self {
         FairQueue {
             state: Mutex::new(State {
                 entries: Vec::new(),
                 cursor: 0,
+                dead: vec![false; lanes],
             }),
         }
     }
 
     /// Admits a query with `chunks` chunks distributed round-robin over
-    /// `lanes` lanes (the cluster's even initial shuffle).
+    /// the surviving lanes (the cluster's even initial shuffle, skipping
+    /// crashed lanes).
     pub(crate) fn admit(
         &self,
         id: QueryId,
@@ -81,14 +97,15 @@ impl<T: Clone> FairQueue<T> {
         weight: u32,
         kind: SchedulerKind,
         chunks: usize,
-        lanes: usize,
     ) {
-        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); lanes];
+        let state = &mut *self.state.lock();
+        let alive = state.alive_lanes();
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); state.dead.len()];
         for chunk in 0..chunks {
-            queues[chunk % lanes].push_back(chunk);
+            queues[alive[chunk % alive.len()]].push_back(chunk);
         }
         let weight = weight.max(1);
-        self.state.lock().entries.push(Entry {
+        state.entries.push(Entry {
             id,
             payload,
             weight,
@@ -105,6 +122,9 @@ impl<T: Clone> FairQueue<T> {
     /// (or an emptied entry) rotates the cursor.
     pub(crate) fn next(&self, lane: usize) -> Option<(T, usize)> {
         let state = &mut *self.state.lock();
+        if state.dead[lane] {
+            return None;
+        }
         let len = state.entries.len();
         if len == 0 {
             return None;
@@ -163,6 +183,78 @@ impl<T: Clone> FairQueue<T> {
     pub(crate) fn depth(&self) -> usize {
         self.state.lock().entries.iter().map(|e| e.remaining).sum()
     }
+
+    /// Marks `lane` dead and migrates its queued chunks onto survivors —
+    /// crash recovery overrides `Static` pinning by design (a pinned
+    /// chunk on a dead lane would otherwise never execute). Returns how
+    /// many queued chunks migrated. A dead pool (no survivors) migrates
+    /// nothing; the caller fails the affected queries instead.
+    pub(crate) fn fail_lane(&self, lane: usize) -> usize {
+        let state = &mut *self.state.lock();
+        if state.dead[lane] {
+            return 0;
+        }
+        state.dead[lane] = true;
+        let alive: Vec<usize> = (0..state.dead.len()).filter(|&l| !state.dead[l]).collect();
+        if alive.is_empty() {
+            return 0;
+        }
+        let mut moved = 0;
+        for entry in &mut state.entries {
+            let orphans: Vec<usize> = entry.lanes[lane].drain(..).collect();
+            for chunk in orphans {
+                entry.lanes[alive[moved % alive.len()]].push_back(chunk);
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Puts back a chunk that was granted but never executed (its worker
+    /// crashed holding it). The chunk lands at the *front* of a surviving
+    /// lane of its query — re-execution order does not matter for results
+    /// (the commit pipeline is in-order), only that the chunk runs. If
+    /// the query's entry was already retired from the rotation (its last
+    /// chunk had been granted), a fresh single-chunk entry is admitted.
+    pub(crate) fn requeue(
+        &self,
+        id: QueryId,
+        payload: T,
+        weight: u32,
+        kind: SchedulerKind,
+        chunk: usize,
+    ) {
+        let state = &mut *self.state.lock();
+        let alive = state.alive_lanes();
+        // Shortest surviving queue keeps the migrated load even.
+        let target = *alive
+            .iter()
+            .min_by_key(|&&l| {
+                state
+                    .entries
+                    .iter()
+                    .map(|e| e.lanes[l].len())
+                    .sum::<usize>()
+            })
+            .expect("at least one survivor");
+        if let Some(entry) = state.entries.iter_mut().find(|e| e.id == id) {
+            entry.lanes[target].push_front(chunk);
+            entry.remaining += 1;
+            return;
+        }
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); state.dead.len()];
+        queues[target].push_back(chunk);
+        let weight = weight.max(1);
+        state.entries.push(Entry {
+            id,
+            payload,
+            weight,
+            credit: weight,
+            kind,
+            lanes: queues,
+            remaining: 1,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -179,9 +271,9 @@ mod tests {
 
     #[test]
     fn round_robin_alternates_queries() {
-        let q = FairQueue::new();
-        q.admit(0, 0, 1, WS, 4, 1);
-        q.admit(1, 1, 1, WS, 4, 1);
+        let q = FairQueue::new(1);
+        q.admit(0, 0, 1, WS, 4);
+        q.admit(1, 1, 1, WS, 4);
         assert_eq!(ids(&q, 0, 8), vec![0, 1, 0, 1, 0, 1, 0, 1]);
         assert!(q.next(0).is_none());
     }
@@ -190,26 +282,26 @@ mod tests {
     fn late_admission_is_served_within_one_chunk() {
         // The batch-boundary fairness regression: after one chunk of the
         // running query, a newly admitted query gets the next grant.
-        let q = FairQueue::new();
-        q.admit(0, 0, 1, WS, 10, 1);
+        let q = FairQueue::new(1);
+        q.admit(0, 0, 1, WS, 10);
         assert_eq!(q.next(0).unwrap().0, 0);
-        q.admit(1, 1, 1, WS, 1, 1);
+        q.admit(1, 1, 1, WS, 1);
         assert_eq!(q.next(0).unwrap().0, 1, "B must preempt A's next grant");
         assert_eq!(q.next(0).unwrap().0, 0);
     }
 
     #[test]
     fn weights_scale_grants_per_round() {
-        let q = FairQueue::new();
-        q.admit(0, 0, 2, WS, 6, 1);
-        q.admit(1, 1, 1, WS, 3, 1);
+        let q = FairQueue::new(1);
+        q.admit(0, 0, 2, WS, 6);
+        q.admit(1, 1, 1, WS, 3);
         assert_eq!(ids(&q, 0, 9), vec![0, 0, 1, 0, 0, 1, 0, 0, 1]);
     }
 
     #[test]
     fn static_lanes_stay_pinned_and_stealing_migrates() {
-        let pinned = FairQueue::new();
-        pinned.admit(0, 0, 1, SchedulerKind::Static, 4, 2);
+        let pinned = FairQueue::new(2);
+        pinned.admit(0, 0, 1, SchedulerKind::Static, 4);
         // Chunks 0,2 pin to lane 0; 1,3 to lane 1. Lane 0 cannot take
         // lane 1's chunks.
         assert_eq!(pinned.next(0).unwrap().1, 0);
@@ -217,8 +309,8 @@ mod tests {
         assert!(pinned.next(0).is_none());
         assert_eq!(pinned.next(1).unwrap().1, 1);
 
-        let stealing = FairQueue::new();
-        stealing.admit(0, 0, 1, WS, 4, 2);
+        let stealing = FairQueue::new(2);
+        stealing.admit(0, 0, 1, WS, 4);
         assert_eq!(
             ids(&stealing, 0, 4),
             vec![0, 0, 0, 0],
@@ -228,14 +320,69 @@ mod tests {
 
     #[test]
     fn drain_releases_remaining_chunks() {
-        let q = FairQueue::new();
-        q.admit(0, 0, 1, WS, 5, 1);
-        q.admit(1, 1, 1, WS, 5, 1);
+        let q = FairQueue::new(1);
+        q.admit(0, 0, 1, WS, 5);
+        q.admit(1, 1, 1, WS, 5);
         assert_eq!(q.depth(), 10);
         q.next(0);
         assert_eq!(q.drain(0), 4);
         assert_eq!(q.depth(), 5);
         assert_eq!(q.drain(0), 0, "draining twice is a no-op");
         assert_eq!(ids(&q, 0, 5), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn failed_lane_migrates_even_pinned_chunks() {
+        let q = FairQueue::new(2);
+        q.admit(0, 0, 1, SchedulerKind::Static, 4);
+        assert_eq!(q.next(1).unwrap().1, 1);
+        // Lane 1 dies holding nothing; its queued chunk 3 must migrate
+        // to lane 0 despite Static pinning.
+        assert_eq!(q.fail_lane(1), 1);
+        assert!(q.next(1).is_none(), "a dead lane grants nothing");
+        let granted: Vec<usize> = (0..3).map(|_| q.next(0).unwrap().1).collect();
+        let mut sorted = granted.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 2, 3]);
+        assert!(q.next(0).is_none());
+        assert_eq!(q.fail_lane(1), 0, "failing twice is a no-op");
+    }
+
+    #[test]
+    fn dead_lanes_receive_no_new_placements() {
+        let q = FairQueue::new(2);
+        q.fail_lane(0);
+        q.admit(0, 0, 1, SchedulerKind::Static, 3);
+        assert!(q.next(0).is_none());
+        assert_eq!(ids(&q, 1, 3), vec![0, 0, 0], "all chunks land on lane 1");
+    }
+
+    #[test]
+    fn requeue_revives_a_granted_chunk() {
+        let q = FairQueue::new(2);
+        q.admit(7, 7, 1, WS, 2);
+        let (_, c0) = q.next(0).unwrap();
+        let (_, c1) = q.next(1).unwrap();
+        assert!(q.next(0).is_none(), "entry retired: all chunks granted");
+        // Lane 1 crashes mid-chunk: its chunk comes back even though the
+        // entry left the rotation.
+        q.fail_lane(1);
+        q.requeue(7, 7, 1, WS, c1);
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.next(0).unwrap(), (7, c1));
+        assert_ne!(c0, c1);
+
+        // And with the entry still live, the chunk rejoins it rather
+        // than duplicating the query.
+        let q = FairQueue::new(1);
+        q.admit(3, 3, 1, WS, 3);
+        let (_, first) = q.next(0).unwrap();
+        q.requeue(3, 3, 1, WS, first);
+        assert_eq!(q.depth(), 3);
+        assert_eq!(
+            q.next(0).unwrap().1,
+            first,
+            "requeued chunk sits at the front"
+        );
     }
 }

@@ -27,6 +27,16 @@
 //! * **Observability**: per-query compile/queue/execute spans on the
 //!   virtual clock and `service.*` registry counters, all reportable
 //!   through [`QueryService::report`].
+//! * **Resilience** (`error`, `admission`): with a seeded
+//!   [`benu_fault::FaultPlan`] installed, every request-path failure
+//!   settles exactly one query with a structured [`ServiceError`] —
+//!   retry with virtual backoff and replica failover first, then
+//!   [`Terminal::Failed`], or [`Terminal::DegradedPartial`] when
+//!   [`ServiceConfig`] opts into absorbing shard outages. Crashed
+//!   serving workers hand their uncommitted chunks to survivors with
+//!   byte-identical results. Admission control sheds work over the
+//!   configured backlog caps as [`Terminal::Rejected`] before anything
+//!   executes. Nothing on the request path panics.
 //!
 //! ```
 //! use benu_graph::gen;
@@ -49,15 +59,19 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 mod commit;
 mod config;
+mod error;
 mod fair;
 mod plan_cache;
 mod query;
 mod service;
 
 pub use benu_cluster::CodecKind;
+pub use benu_fault::{FaultPlan, FaultPlanBuilder, RetryPolicy};
 pub use config::{ServiceConfig, ServiceConfigBuilder};
+pub use error::ServiceError;
 pub use plan_cache::{CachedPlan, PlanCache, PlanCacheStats};
 pub use query::{QueryId, QueryOptions, QueryResult, QueryStatus, ResultMode, Terminal};
 pub use service::QueryService;

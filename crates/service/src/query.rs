@@ -127,8 +127,8 @@ impl QueryOptions {
 }
 
 /// Why a query stopped — always structured, never a silent partial
-/// count.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// count and never a process abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Terminal {
     /// The query ran to its natural end: enumeration exhausted, or a
     /// `TopK` request satisfied.
@@ -141,6 +141,26 @@ pub enum Terminal {
     DeadlineExceeded,
     /// [`crate::QueryService::cancel`] was called before completion.
     Cancelled,
+    /// The request path hit an unrecoverable error — retry budget
+    /// spent, shard outage, corrupt value, or the whole worker pool
+    /// lost. Only this query fails; siblings are unaffected. The error
+    /// is the lowest-chunk-indexed failure in commit order, so it is a
+    /// deterministic function of the fault seed.
+    Failed(crate::error::ServiceError),
+    /// The query was hit by an unrecoverable shard outage while
+    /// [`crate::ServiceConfig::graceful_degradation`] was on: every
+    /// reachable chunk committed, chunks needing the dark shards were
+    /// skipped, and [`QueryResult::dark_shards`] names the outage.
+    DegradedPartial,
+    /// Admission control shed the query (inflight or queue cap hit, or
+    /// a deadline the current backlog cannot meet). Nothing executed;
+    /// resubmitting after roughly `retry_after_vticks` of service
+    /// virtual time is the caller's move.
+    Rejected {
+        /// A lower bound on the service virtual time needed to drain
+        /// the backlog that caused the shed.
+        retry_after_vticks: u64,
+    },
 }
 
 impl Terminal {
@@ -151,11 +171,18 @@ impl Terminal {
             Terminal::MaxMatchesReached => "max_matches_reached",
             Terminal::DeadlineExceeded => "deadline_exceeded",
             Terminal::Cancelled => "cancelled",
+            Terminal::Failed(_) => "failed",
+            Terminal::DegradedPartial => "degraded_partial",
+            Terminal::Rejected { .. } => "rejected",
         }
     }
 }
 
 /// A non-blocking view of a query's lifecycle.
+// A `Finished` status carries the full result by value; the enum is a
+// transient poll return, never stored in bulk, so the size skew is
+// preferable to handing callers a box.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum QueryStatus {
     /// Admitted, no chunk executed yet.
@@ -194,6 +221,11 @@ pub struct QueryResult {
     /// True iff every chunk committed — the enumeration was exhaustive
     /// (a satisfied `TopK` is `Completed` but not exhaustive).
     pub exhaustive: bool,
+    /// Shards that were dark for chunks this query had to skip, in
+    /// ascending order. Non-empty only for
+    /// [`Terminal::DegradedPartial`]: the committed result is the
+    /// deterministic truth about every other shard.
+    pub dark_shards: Vec<usize>,
     /// Service-wide completion sequence number (0 = first query to
     /// finish) — pins cross-query completion ordering in tests.
     pub completion_index: u64,
@@ -236,5 +268,17 @@ mod tests {
         assert_eq!(ResultMode::CountOnly.name(), "count");
         assert_eq!(ResultMode::Sample { n: 1, seed: 0 }.name(), "sample");
         assert_eq!(Terminal::DeadlineExceeded.name(), "deadline_exceeded");
+        assert_eq!(Terminal::DegradedPartial.name(), "degraded_partial");
+        assert_eq!(
+            Terminal::Rejected {
+                retry_after_vticks: 7
+            }
+            .name(),
+            "rejected"
+        );
+        assert_eq!(
+            Terminal::Failed(crate::error::ServiceError::WorkerLost { lane: 0, chunk: 0 }).name(),
+            "failed"
+        );
     }
 }

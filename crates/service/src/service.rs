@@ -3,13 +3,14 @@
 //! One [`QueryService`] owns a resident data graph — a sharded
 //! [`KvStore`] plus one persistent per-worker [`DbCache`] — and serves
 //! any number of concurrent pattern queries against it. Admission
-//! compiles (or plan-cache-resolves) the pattern, generates the split
-//! task list exactly as the batch [`benu_cluster::Cluster`] would, and
-//! enqueues fixed task-index-range *chunks* into the weighted
-//! round-robin [`crate::fair`] queue. Worker threads pull one chunk at
-//! a time — the cross-query fairness granularity — execute it with the
-//! regular engine (DFS task-at-a-time, or the memory-bounded hybrid as
-//! one frontier batch), and hand the outcome to the query's
+//! compiles (or plan-cache-resolves) the pattern, evaluates the
+//! [`crate::admission`] gates against the current backlog, generates
+//! the split task list exactly as the batch [`benu_cluster::Cluster`]
+//! would, and enqueues fixed task-index-range *chunks* into the
+//! weighted round-robin [`crate::fair`] queue. Worker threads pull one
+//! chunk at a time — the cross-query fairness granularity — execute it
+//! with the regular engine (DFS task-at-a-time, or the memory-bounded
+//! hybrid as one frontier batch), and hand the outcome to the query's
 //! [`CommitState`], which enforces in-order commit and every budget.
 //!
 //! Determinism contract: a query's terminal status, match count,
@@ -17,24 +18,39 @@
 //! of `(graph, pattern, options, chunk_tasks)` — independent of worker
 //! count, scheduler kind, execution mode, and whatever else is running
 //! concurrently. See DESIGN.md §4h.
+//!
+//! Resilience contract (DESIGN.md §4j): with a
+//! [`crate::ServiceConfig::fault_plan`] installed, every failure on the
+//! request path maps onto a structured [`ServiceError`] that settles
+//! *one* query — never a panic, never a sibling. Fault decisions are
+//! evaluated per logical adjacency access *in front of* the warm cache
+//! ([`FaultingStore::route_for`] is decision-only), so which chunks of
+//! which queries fail is a pure function of the per-query scoped fault
+//! seed, independent of cache state and thread timing. A crashed
+//! serving worker's uncommitted chunk is requeued onto survivors and
+//! re-executed byte-identically; only a fully dead pool surfaces
+//! [`ServiceError::WorkerLost`].
 
+use crate::admission::{self, AdmissionCaps, AdmissionVerdict, LoadSnapshot};
 use crate::commit::{CommitState, ExecutedChunk};
 use crate::config::ServiceConfig;
+use crate::error::ServiceError;
 use crate::plan_cache::{CachedPlan, PlanCache, PlanCacheStats};
 use crate::query::{QueryId, QueryOptions, QueryResult, QueryStatus, Terminal};
 use benu_cache::{CacheObs, DbCache};
-use benu_cluster::transport::Transport;
+use benu_cluster::transport::{FetchError, Transport};
 use benu_cluster::ExecMode;
 use benu_engine::{
     CollectingConsumer, CountingConsumer, DataSource, FrontierEngine, LocalEngine, MatchConsumer,
     MemoryBudget, SearchTask, TaskMetrics,
 };
+use benu_fault::{FaultKind, FaultingStore, RetryPolicy};
 use benu_graph::{AdjSet, Graph, TotalOrder, VertexId};
 use benu_kvstore::KvStore;
 use benu_obs::{ObsHub, Report, ReportMode};
 use benu_pattern::{Pattern, PatternVertex};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -65,44 +81,222 @@ impl Signal {
         *self.generation.lock().expect("signal mutex")
     }
 
-    fn wait_past(&self, seen: u64) {
-        let guard = self.generation.lock().expect("signal mutex");
-        if *guard != seen {
-            return;
+    /// Blocks until the generation moves past `seen` or `poll` elapses.
+    /// Condvar waits can wake spuriously; the loop re-checks the
+    /// generation and keeps waiting out the *remaining* window, so a
+    /// spurious wakeup costs nothing instead of silently converting the
+    /// wait into a busy retry.
+    fn wait_past(&self, seen: u64, poll: Duration) {
+        let deadline = Instant::now() + poll;
+        let mut guard = self.generation.lock().expect("signal mutex");
+        while *guard == seen {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return;
+            };
+            let (g, timeout) = self
+                .cv
+                .wait_timeout(guard, remaining)
+                .expect("signal mutex");
+            guard = g;
+            if timeout.timed_out() {
+                return;
+            }
         }
-        let _ = self
-            .cv
-            .wait_timeout(guard, Duration::from_millis(10))
-            .expect("signal mutex");
     }
 }
 
-/// The engine's view of the resident graph from one serving worker:
-/// the worker's persistent cache in front of its store transport. The
-/// service runs without fault injection, so transport errors cannot
-/// occur and a vertex missing from the store is a programming error
-/// (tasks are generated from the same graph the store was loaded from).
-struct ServiceSource {
-    transport: Transport,
-    cache: Arc<DbCache>,
+/// Per-query fault state, built at admission from the service fault
+/// plan scoped by query id: each query draws its own per-request
+/// decision stream while structural faults (outages, slow shards,
+/// crashes) stay shared.
+struct Chaos {
+    store: FaultingStore,
+    retry: RetryPolicy,
 }
 
-impl DataSource for ServiceSource {
+/// The engine's view of the resident graph while one worker executes
+/// one chunk: the worker's persistent cache in front of its faultless
+/// store transport, with the query's chaos verdicts evaluated *before*
+/// the cache on every logical access. Decisions are decision-only
+/// ([`FaultingStore::route_for`]) so a cache hit and a cache miss see
+/// the same fault stream — per-chunk failure outcomes stay a pure
+/// function of the fault seed even though the caches are warm and
+/// shared across queries.
+///
+/// [`DataSource`] cannot return errors, so the first error is parked in
+/// a slot (first-error-wins), the access returns an empty adjacency set
+/// to unwind the engine cheaply, and the worker converts the poisoned
+/// slot into [`CommitState::submit_failed`] after the chunk.
+struct ChunkSource<'a> {
+    transport: &'a Transport,
+    cache: &'a DbCache,
+    chaos: Option<&'a Chaos>,
+    error: Mutex<Option<ServiceError>>,
+}
+
+impl ChunkSource<'_> {
+    /// Parks the first error and hands back the empty-set sentinel.
+    fn poison(&self, err: ServiceError) -> Arc<AdjSet> {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        Arc::new(AdjSet::new())
+    }
+
+    fn poisoned(&self) -> bool {
+        self.error.lock().is_some()
+    }
+
+    fn take_error(&self) -> Option<ServiceError> {
+        self.error.lock().take()
+    }
+
+    /// The chaos verdict for one logical access: replica failover
+    /// within an attempt, virtual backoff between attempts, fail fast
+    /// on hopeless outages — mirroring the batch transport's retry
+    /// loop, with every wait booked to virtual time, never slept.
+    fn verdict(&self, v: VertexId) -> Result<(), ServiceError> {
+        let Some(chaos) = self.chaos else {
+            return Ok(());
+        };
+        for attempt in 0..chaos.retry.max_attempts {
+            match chaos.store.route_for(v, attempt) {
+                Ok(_) => {
+                    Transport::book_virtual(chaos.store.latency_penalty_routed(v, attempt));
+                    return Ok(());
+                }
+                Err(fault) if fault.kind == FaultKind::Outage => {
+                    return Err(ServiceError::StoreUnavailable {
+                        vertex: v,
+                        shard: fault.shard,
+                    });
+                }
+                Err(fault) => {
+                    if fault.kind == FaultKind::Timeout {
+                        Transport::book_virtual(chaos.store.plan().timeout_wait());
+                    }
+                    if attempt + 1 >= chaos.retry.max_attempts {
+                        return Err(ServiceError::RetryExhausted {
+                            vertex: v,
+                            shard: fault.shard,
+                            attempts: chaos.retry.max_attempts,
+                        });
+                    }
+                    Transport::book_virtual(chaos.retry.backoff(
+                        chaos.store.plan().seed(),
+                        v as u64,
+                        attempt + 1,
+                    ));
+                }
+            }
+        }
+        unreachable!("retry loop returns on success or exhausted attempts")
+    }
+
+    /// The chaos verdict for one logical batch over the *full* key set
+    /// — same loop as [`ChunkSource::verdict`] at shard-batch
+    /// granularity, so a batch access draws exactly one decision stream
+    /// regardless of which keys the cache already holds.
+    fn batch_verdict(&self, vs: &[VertexId]) -> Result<(), ServiceError> {
+        let Some(chaos) = self.chaos else {
+            return Ok(());
+        };
+        let key = vs.iter().copied().min().unwrap_or(0) as u64;
+        for attempt in 0..chaos.retry.max_attempts {
+            match chaos.store.route_many(vs, attempt) {
+                Ok(_) => {
+                    Transport::book_virtual(chaos.store.batch_latency_penalty_routed(vs, attempt));
+                    return Ok(());
+                }
+                Err(fault) if fault.kind == FaultKind::Outage => {
+                    return Err(ServiceError::StoreUnavailable {
+                        vertex: batch_error_vertex(self.transport.store(), vs, fault.shard),
+                        shard: fault.shard,
+                    });
+                }
+                Err(fault) => {
+                    if fault.kind == FaultKind::Timeout {
+                        Transport::book_virtual(chaos.store.plan().timeout_wait());
+                    }
+                    if attempt + 1 >= chaos.retry.max_attempts {
+                        return Err(ServiceError::RetryExhausted {
+                            vertex: batch_error_vertex(self.transport.store(), vs, fault.shard),
+                            shard: fault.shard,
+                            attempts: chaos.retry.max_attempts,
+                        });
+                    }
+                    Transport::book_virtual(chaos.retry.backoff(
+                        chaos.store.plan().seed(),
+                        key,
+                        attempt + 1,
+                    ));
+                }
+            }
+        }
+        unreachable!("retry loop returns on success or exhausted attempts")
+    }
+
+    /// One fetch through the faultless serve path: warm cache first,
+    /// then the worker's transport. A vertex missing from the resident
+    /// store (or decoding to garbage) is a data error of this query,
+    /// not a process abort.
+    fn fetch(&self, v: VertexId) -> Result<Arc<AdjSet>, ServiceError> {
+        self.verdict(v)?;
+        self.cache
+            .get_or_fetch(v, || resident_fetch(self.transport, v))
+    }
+}
+
+/// Maps the faultless transport's error taxonomy into the service's.
+/// The serve-path transport has no fault plan, so `Unavailable` here
+/// means the store itself refused — surfaced with the transport's own
+/// attempt accounting.
+fn resident_fetch(transport: &Transport, v: VertexId) -> Result<Arc<AdjSet>, ServiceError> {
+    match transport.fetch(v) {
+        Ok(Some(adj)) => Ok(adj),
+        Ok(None) => Err(ServiceError::CorruptValue {
+            vertex: v,
+            detail: "missing from the resident store".into(),
+        }),
+        Err(FetchError::Corrupt(err)) => Err(ServiceError::CorruptValue {
+            vertex: err.vertex,
+            detail: err.error.to_string(),
+        }),
+        Err(FetchError::Unavailable(err)) => Err(ServiceError::RetryExhausted {
+            vertex: err.vertex,
+            shard: err.shard,
+            attempts: err.attempts,
+        }),
+    }
+}
+
+/// The first vertex of `vs` whose placement involves `shard` — the
+/// representative vertex a batch failure names.
+fn batch_error_vertex(store: &KvStore, vs: &[VertexId], shard: usize) -> VertexId {
+    vs.iter()
+        .copied()
+        .find(|&v| store.placement(v).any(|s| s == shard))
+        .unwrap_or_default()
+}
+
+impl DataSource for ChunkSource<'_> {
     fn num_vertices(&self) -> usize {
         self.transport.store().num_vertices()
     }
 
     fn get_adj(&self, v: VertexId) -> Arc<AdjSet> {
-        self.cache
-            .get_or_fetch(v, || match self.transport.fetch(v) {
-                Ok(Some(adj)) => Ok(adj),
-                Ok(None) => Err(()),
-                Err(err) => panic!("faultless transport failed: {err}"),
-            })
-            .unwrap_or_else(|()| panic!("vertex {v} missing from the resident store"))
+        match self.fetch(v) {
+            Ok(adj) => adj,
+            Err(err) => self.poison(err),
+        }
     }
 
     fn get_adj_batch(&self, vs: &[VertexId]) -> Vec<Arc<AdjSet>> {
+        if let Err(err) = self.batch_verdict(vs) {
+            let empty = self.poison(err);
+            return vs.iter().map(|_| Arc::clone(&empty)).collect();
+        }
         let mut out: Vec<Option<Arc<AdjSet>>> = vec![None; vs.len()];
         let mut missing_slots = Vec::new();
         let mut missing_keys = Vec::new();
@@ -116,14 +310,38 @@ impl DataSource for ServiceSource {
             }
         }
         if !missing_keys.is_empty() {
-            let values = self
-                .transport
-                .fetch_many(&missing_keys)
-                .unwrap_or_else(|err| panic!("faultless transport failed: {err}"));
-            for (j, value) in values.into_iter().enumerate() {
-                let adj = value.unwrap_or_else(|| panic!("vertex {} missing", missing_keys[j]));
-                self.cache.insert(missing_keys[j], Arc::clone(&adj));
-                out[missing_slots[j]] = Some(adj);
+            match self.transport.fetch_many(&missing_keys) {
+                Ok(values) => {
+                    for (j, value) in values.into_iter().enumerate() {
+                        out[missing_slots[j]] = Some(match value {
+                            Some(adj) => {
+                                self.cache.insert(missing_keys[j], Arc::clone(&adj));
+                                adj
+                            }
+                            None => self.poison(ServiceError::CorruptValue {
+                                vertex: missing_keys[j],
+                                detail: "missing from the resident store".into(),
+                            }),
+                        });
+                    }
+                }
+                Err(err) => {
+                    let err = match err {
+                        FetchError::Corrupt(c) => ServiceError::CorruptValue {
+                            vertex: c.vertex,
+                            detail: c.error.to_string(),
+                        },
+                        FetchError::Unavailable(t) => ServiceError::RetryExhausted {
+                            vertex: t.vertex,
+                            shard: t.shard,
+                            attempts: t.attempts,
+                        },
+                    };
+                    let empty = self.poison(err);
+                    for &slot in &missing_slots {
+                        out[slot] = Some(Arc::clone(&empty));
+                    }
+                }
             }
         }
         out.into_iter()
@@ -152,11 +370,17 @@ struct QueryRun {
     chunk_tasks: usize,
     plan_cache_hit: bool,
     submitted_at: Instant,
+    /// Per-query fault state (scoped plan + retry policy); `None`
+    /// serves faultlessly.
+    chaos: Option<Chaos>,
     /// First chunk granted — flips `Queued` to `Running`.
     started: AtomicBool,
     /// Terminal decided: workers skip granted chunks and abort DFS
     /// chunks at the next task boundary.
     terminated: AtomicBool,
+    /// Counted against the inflight cap (admitted past the gates and
+    /// not yet finalised).
+    counted: AtomicBool,
     state: Mutex<RunState>,
 }
 
@@ -183,10 +407,20 @@ struct Inner {
     work: Signal,
     done: Signal,
     completions: AtomicU64,
+    /// Surviving (not crashed) serving workers.
+    alive: AtomicUsize,
+    /// The most recent crashed lane — named by pool-dead rejections.
+    dead_lane: AtomicUsize,
+    /// Queries admitted past the gates and not yet finalised.
+    inflight: AtomicUsize,
     admitted: AtomicU64,
     completed: AtomicU64,
     cancelled: AtomicU64,
     deadline_exceeded: AtomicU64,
+    failed: AtomicU64,
+    degraded: AtomicU64,
+    rejected: AtomicU64,
+    requeued_chunks: AtomicU64,
 }
 
 /// The serving front end. See the module docs; construct with
@@ -198,11 +432,15 @@ pub struct QueryService {
     threads: Vec<JoinHandle<()>>,
 }
 
+/// A store mutation applied between loading the resident graph and
+/// starting the worker pool (chaos-test hook).
+type StoreRot<'a> = Box<dyn FnOnce(&mut KvStore) + 'a>;
+
 impl QueryService {
     /// Loads `g` into the service's sharded store and starts the worker
     /// pool.
     pub fn new(g: &Graph, config: ServiceConfig) -> Self {
-        Self::build(g, config, None)
+        Self::build(g, config, None, None)
     }
 
     /// Like [`QueryService::new`], with an observability hub: store and
@@ -210,15 +448,36 @@ impl QueryService {
     /// on its virtual-clock tracer, and `service.*` counters mirror the
     /// admission lifecycle.
     pub fn new_observed(g: &Graph, config: ServiceConfig, hub: Arc<ObsHub>) -> Self {
-        Self::build(g, config, Some(hub))
+        Self::build(g, config, Some(hub), None)
     }
 
-    fn build(g: &Graph, config: ServiceConfig, obs: Option<Arc<ObsHub>>) -> Self {
+    /// Like [`QueryService::new`], applying `rot` to the resident store
+    /// after load and before serving. A chaos-test hook: corrupt or
+    /// drop stored values and assert the request path fails the
+    /// affected *query* (structured [`ServiceError`]) instead of the
+    /// process.
+    pub fn new_corrupted(g: &Graph, config: ServiceConfig, rot: impl FnOnce(&mut KvStore)) -> Self {
+        Self::build(g, config, None, Some(Box::new(rot)))
+    }
+
+    fn build(
+        g: &Graph,
+        config: ServiceConfig,
+        obs: Option<Arc<ObsHub>>,
+        rot: Option<StoreRot<'_>>,
+    ) -> Self {
         config.validate();
         let store = {
             let _span = obs.as_ref().map(|h| h.tracer.span("store_load"));
-            let mut store =
-                KvStore::from_graph_with(g, config.workers, config.replication, config.codec);
+            let mut store = KvStore::from_graph_with(
+                g,
+                config.resolved_store_shards(),
+                config.replication,
+                config.codec,
+            );
+            if let Some(rot) = rot {
+                rot(&mut store);
+            }
             if let Some(hub) = &obs {
                 store.attach_obs(&hub.registry);
             }
@@ -240,20 +499,27 @@ impl QueryService {
             graph_edges: g.num_edges(),
             caches,
             plan_cache: PlanCache::new(config.plan_cache_entries),
-            queue: crate::fair::FairQueue::new(),
+            queue: crate::fair::FairQueue::new(config.workers),
             queries: Mutex::new(Vec::new()),
             obs,
             shutdown: AtomicBool::new(false),
             work: Signal::new(),
             done: Signal::new(),
             completions: AtomicU64::new(0),
+            alive: AtomicUsize::new(config.workers),
+            dead_lane: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
             admitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            requeued_chunks: AtomicU64::new(0),
             config,
         });
-        let threads = (0..config.workers)
+        let threads = (0..inner.config.workers)
             .map(|lane| {
                 let inner = Arc::clone(&inner);
                 std::thread::spawn(move || worker_loop(inner, lane))
@@ -281,6 +547,13 @@ impl QueryService {
     /// (cache lookup or compile) and task generation happen inside the
     /// admission lock, so QueryIds, plan-cache hit/miss sequences and
     /// task lists are a deterministic function of the submission order.
+    ///
+    /// Admission control runs under the same lock against the backlog
+    /// snapshot (see [`crate::admission`]): a shed query settles
+    /// immediately as [`Terminal::Rejected`] without executing, and a
+    /// submission into a fully dead worker pool settles as
+    /// [`Terminal::Failed`]\([`ServiceError::WorkerLost`]). Both are
+    /// terminal results, not errors of the submit call.
     pub fn submit(&self, pattern: &Pattern, options: QueryOptions) -> QueryId {
         let inner = &*self.inner;
         let mut queries = inner.queries.lock();
@@ -302,8 +575,14 @@ impl QueryService {
             &options.mode,
             options.deadline_vticks,
             options.max_matches,
+            inner.config.graceful_degradation,
         );
+        let chaos = inner.config.fault_plan.as_ref().map(|plan| Chaos {
+            store: FaultingStore::new(Arc::clone(&inner.store), Arc::new(plan.scoped(id))),
+            retry: inner.config.retry,
+        });
         let weight = options.weight;
+        let deadline = options.deadline_vticks;
         let run = Arc::new(QueryRun {
             id,
             options,
@@ -314,8 +593,10 @@ impl QueryService {
             chunk_tasks: inner.config.chunk_tasks,
             plan_cache_hit: hit,
             submitted_at: Instant::now(),
+            chaos,
             started: AtomicBool::new(false),
             terminated: AtomicBool::new(false),
+            counted: AtomicBool::new(false),
             state: Mutex::new(RunState {
                 commit: Some(commit),
                 result: None,
@@ -345,17 +626,58 @@ impl QueryService {
                 .expect("commit present until finalised")
                 .skip(total_chunks);
             inner.after_state_change(&run, &mut state);
+        } else if inner.alive.load(Ordering::Acquire) == 0 {
+            // The whole pool crashed: nothing can execute this query
+            // and nothing ever will.
+            let commit = state
+                .commit
+                .as_mut()
+                .expect("commit present until finalised");
+            commit.set_terminal(Terminal::Failed(ServiceError::WorkerLost {
+                lane: inner.dead_lane.load(Ordering::Acquire),
+                chunk: 0,
+            }));
+            commit.skip(total_chunks);
+            inner.after_state_change(&run, &mut state);
         } else {
-            inner.queue.admit(
-                id,
-                Arc::clone(&run),
-                weight,
-                inner.config.scheduler,
+            let verdict = admission::evaluate(
+                AdmissionCaps {
+                    max_inflight_queries: inner.config.max_inflight_queries,
+                    max_queued_chunks: inner.config.max_queued_chunks,
+                    deadline_aware: inner.config.admission_deadline_aware,
+                    chunk_tasks: inner.config.chunk_tasks,
+                },
+                LoadSnapshot {
+                    inflight_queries: inner.inflight.load(Ordering::Acquire),
+                    queued_chunks: inner.queue.depth(),
+                },
                 total_chunks,
-                inner.config.workers,
+                deadline,
             );
-            inner.sync_queue_depth();
-            inner.work.notify();
+            match verdict {
+                AdmissionVerdict::Shed { retry_after_vticks } => {
+                    let commit = state
+                        .commit
+                        .as_mut()
+                        .expect("commit present until finalised");
+                    commit.set_terminal(Terminal::Rejected { retry_after_vticks });
+                    commit.skip(total_chunks);
+                    inner.after_state_change(&run, &mut state);
+                }
+                AdmissionVerdict::Admit => {
+                    run.counted.store(true, Ordering::Release);
+                    inner.inflight.fetch_add(1, Ordering::AcqRel);
+                    inner.queue.admit(
+                        id,
+                        Arc::clone(&run),
+                        weight,
+                        inner.config.scheduler,
+                        total_chunks,
+                    );
+                    inner.sync_queue_depth();
+                    inner.work.notify();
+                }
+            }
         }
         drop(state);
         drop(queries);
@@ -412,7 +734,9 @@ impl QueryService {
             if let Some(result) = &run.state.lock().result {
                 return result.clone();
             }
-            self.inner.done.wait_past(seen);
+            self.inner
+                .done
+                .wait_past(seen, self.inner.config.signal_poll);
         }
     }
 
@@ -432,7 +756,18 @@ impl QueryService {
             "deadline_exceeded",
             inner.deadline_exceeded.load(Ordering::Relaxed),
         );
+        service.set("failed", inner.failed.load(Ordering::Relaxed));
+        service.set("degraded", inner.degraded.load(Ordering::Relaxed));
+        service.set("rejected", inner.rejected.load(Ordering::Relaxed));
         service.set("queue_depth", inner.queue.depth());
+        if mode == ReportMode::Full {
+            // Requeue counts depend on where the crash cut the grant
+            // stream — real observability, not deterministic surface.
+            service.set(
+                "requeued_chunks",
+                inner.requeued_chunks.load(Ordering::Relaxed),
+            );
+        }
         let pc = inner.plan_cache.stats();
         let mut plan_cache = Report::new();
         plan_cache.set("hits", pc.hits);
@@ -454,6 +789,12 @@ impl QueryService {
             q.set("chunks_discarded", result.chunks_discarded);
             q.set("exhaustive", result.exhaustive);
             q.set("plan_cache_hit", result.plan_cache_hit);
+            if let Terminal::Failed(err) = &result.terminal {
+                q.set("error", err.name());
+            }
+            if !result.dark_shards.is_empty() {
+                q.set("dark_shards", result.dark_shards.len());
+            }
             if mode == ReportMode::Full {
                 // Completion order and wall latency depend on worker
                 // timing — real observability, but not part of the
@@ -535,41 +876,54 @@ impl Inner {
             return;
         }
         let commit = state.commit.take().expect("checked above");
-        let (terminal, found, matches, vticks, committed, discarded, exhaustive, metrics) =
-            commit.finish();
-        match terminal {
+        let out = commit.finish();
+        if run.counted.swap(false, Ordering::AcqRel) {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+        let counter = match &out.terminal {
             Terminal::Completed | Terminal::MaxMatchesReached => {
                 self.completed.fetch_add(1, Ordering::Relaxed);
+                "service.completed"
             }
             Terminal::Cancelled => {
                 self.cancelled.fetch_add(1, Ordering::Relaxed);
+                "service.cancelled"
             }
             Terminal::DeadlineExceeded => {
                 self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                "service.deadline_exceeded"
             }
-        }
+            Terminal::Failed(_) => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                "service.failed"
+            }
+            Terminal::DegradedPartial => {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                "service.degraded"
+            }
+            Terminal::Rejected { .. } => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                "service.rejected"
+            }
+        };
         if let Some(hub) = &self.obs {
-            let name = match terminal {
-                Terminal::Completed | Terminal::MaxMatchesReached => "service.completed",
-                Terminal::Cancelled => "service.cancelled",
-                Terminal::DeadlineExceeded => "service.deadline_exceeded",
-            };
-            hub.registry.counter(name).inc();
+            hub.registry.counter(counter).inc();
             // Committed work only — the deterministic share of the run.
-            metrics.record_into(&hub.registry);
+            out.metrics.record_into(&hub.registry);
         }
         state.result = Some(QueryResult {
             id: run.id,
-            terminal,
-            matches_found: found,
-            matches,
-            vticks,
-            chunks_committed: committed,
-            chunks_discarded: discarded,
+            terminal: out.terminal,
+            matches_found: out.matches_found,
+            matches: out.matches,
+            vticks: out.vticks,
+            chunks_committed: out.committed,
+            chunks_discarded: out.discarded,
             plan_cache_hit: run.plan_cache_hit,
-            exhaustive,
+            exhaustive: out.exhaustive,
+            dark_shards: out.dark_shards,
             completion_index: self.completions.fetch_add(1, Ordering::SeqCst),
-            metrics,
+            metrics: out.metrics,
             wall: run.submitted_at.elapsed(),
         });
         self.done.notify();
@@ -580,6 +934,9 @@ impl Inner {
 /// execution and candidate enumeration — counts the hybrid-equivalence
 /// suite pins as identical across execution modes, so a query's latency
 /// (and its deadline semantics) is mode- and concurrency-independent.
+/// Injected-fault penalties (backoff, timeout waits, slow shards) are
+/// deliberately *excluded*: a recovered fault must not shift deadline
+/// semantics, or results would depend on the fault seed.
 fn chunk_vticks(tasks: usize, m: &TaskMetrics) -> u64 {
     tasks as u64
         + m.enu_candidates
@@ -600,27 +957,119 @@ fn remap(f: &[VertexId], placement: &[PatternVertex]) -> Vec<VertexId> {
 }
 
 fn worker_loop(inner: Arc<Inner>, lane: usize) {
-    let source = ServiceSource {
-        transport: Transport::new(Arc::clone(&inner.store)),
-        cache: Arc::clone(&inner.caches[lane]),
-    };
+    let transport = Transport::new(Arc::clone(&inner.store));
+    let cache = Arc::clone(&inner.caches[lane]);
+    // An injected crash takes effect at chunk granularity: after
+    // `crash_at` executed chunks, the next granted chunk triggers the
+    // crash — the worker dies holding an unexecuted chunk, which is
+    // exactly the recovery case worth exercising.
+    let crash_at = inner
+        .config
+        .fault_plan
+        .as_ref()
+        .and_then(|p| p.crash_after(lane));
+    let mut executed: u64 = 0;
     loop {
         let seen = inner.work.current();
         match inner.queue.next(lane) {
             Some((run, chunk)) => {
+                if crash_at.is_some_and(|after| executed >= after) {
+                    crash_worker(&inner, lane, &run, chunk);
+                    return;
+                }
                 inner.sync_queue_depth();
-                execute_chunk(&inner, &source, &run, chunk);
+                execute_chunk(&inner, &transport, &cache, &run, chunk);
+                executed += 1;
             }
             None if inner.shutdown.load(Ordering::Acquire) => break,
-            None => inner.work.wait_past(seen),
+            None => inner.work.wait_past(seen, inner.config.signal_poll),
         }
     }
 }
 
+/// An injected worker crash, caught at the grant boundary while the
+/// worker holds one unexecuted chunk. With survivors the crash is
+/// invisible to results: the lane's queued chunks migrate
+/// ([`crate::fair::FairQueue::fail_lane`]) and the held chunk is
+/// requeued for byte-identical re-execution (it never ran, and chaos
+/// decisions are stateless per chunk). With no survivors every
+/// non-terminal query fails with [`ServiceError::WorkerLost`] — a
+/// structured terminal, not a hang and not an abort.
+fn crash_worker(inner: &Inner, lane: usize, run: &Arc<QueryRun>, chunk: usize) {
+    let survivors = inner.alive.fetch_sub(1, Ordering::AcqRel) - 1;
+    inner.dead_lane.store(lane, Ordering::Release);
+    inner.queue.fail_lane(lane);
+    if let Some(hub) = &inner.obs {
+        hub.registry.counter("service.worker_crashes").inc();
+    }
+    if survivors > 0 {
+        if run.terminated.load(Ordering::Acquire) {
+            // The query settled while we held its chunk: account the
+            // grant as discarded rather than putting dead work back.
+            let mut state = run.state.lock();
+            if let Some(commit) = state.commit.as_mut() {
+                commit.skip(1);
+            }
+            inner.after_state_change(run, &mut state);
+        } else {
+            inner.queue.requeue(
+                run.id,
+                Arc::clone(run),
+                run.options.weight,
+                inner.config.scheduler,
+                chunk,
+            );
+            inner.requeued_chunks.fetch_add(1, Ordering::Relaxed);
+            if let Some(hub) = &inner.obs {
+                hub.registry.counter("service.requeued_chunks").inc();
+            }
+        }
+        inner.sync_queue_depth();
+        inner.work.notify();
+        return;
+    }
+    // Last worker down: no survivor can ever run the backlog. Fail every
+    // non-terminal query; the holder's error names its held chunk,
+    // siblings' name their next uncommitted chunk.
+    let queries = inner.queries.lock();
+    for q in queries.iter() {
+        let mut state = q.state.lock();
+        let Some(commit) = state.commit.as_mut() else {
+            continue;
+        };
+        if commit.terminal().is_none() {
+            let failed_chunk = if q.id == run.id {
+                chunk
+            } else {
+                commit.next_chunk()
+            };
+            commit.set_terminal(Terminal::Failed(ServiceError::WorkerLost {
+                lane,
+                chunk: failed_chunk,
+            }));
+        }
+        if q.id == run.id {
+            // The chunk dying in our hands is accounted as discarded.
+            commit.skip(1);
+        }
+        inner.after_state_change(q, &mut state);
+    }
+    inner.sync_queue_depth();
+    inner.work.notify();
+}
+
 /// Executes one granted chunk and feeds the outcome to the query's
 /// commit pipeline. A chunk of a terminated query is skipped (or, for
-/// DFS, aborted at the next task boundary) and accounted as discarded.
-fn execute_chunk(inner: &Inner, source: &ServiceSource, run: &Arc<QueryRun>, chunk: usize) {
+/// DFS, aborted at the next task boundary) and accounted as discarded;
+/// a chunk whose access stream hit an unrecoverable fault reports
+/// [`CommitState::submit_failed`] instead of results.
+fn execute_chunk(
+    inner: &Inner,
+    transport: &Transport,
+    cache: &Arc<DbCache>,
+    run: &Arc<QueryRun>,
+    chunk: usize,
+) {
     run.started.store(true, Ordering::Release);
     if run.terminated.load(Ordering::Acquire) {
         let mut state = run.state.lock();
@@ -637,9 +1086,15 @@ fn execute_chunk(inner: &Inner, source: &ServiceSource, run: &Arc<QueryRun>, chu
     let range = run.chunk_range(chunk);
     let tasks = &run.tasks[range];
     let needs_matches = run.options.mode.needs_matches();
+    let source = ChunkSource {
+        transport,
+        cache,
+        chaos: run.chaos.as_ref(),
+        error: Mutex::new(None),
+    };
     let engine = LocalEngine::with_triangle_cache(
         &run.plan.compiled,
-        source,
+        &source,
         &inner.order,
         inner.config.triangle_cache_entries,
     )
@@ -654,6 +1109,11 @@ fn execute_chunk(inner: &Inner, source: &ServiceSource, run: &Arc<QueryRun>, chu
             for &task in tasks {
                 if run.terminated.load(Ordering::Acquire) {
                     aborted = true;
+                    break;
+                }
+                // A poisoned source already decided the chunk's fate;
+                // the remaining tasks' work would be discarded anyway.
+                if source.poisoned() {
                     break;
                 }
                 let consumer: &mut dyn MatchConsumer = if needs_matches {
@@ -678,10 +1138,30 @@ fn execute_chunk(inner: &Inner, source: &ServiceSource, run: &Arc<QueryRun>, chu
             metrics = frontier.run_batch(tasks, consumer);
         }
     }
+    // Injected-fault waits (virtual backoff, timeout waits, slow-shard
+    // penalties) accumulated on this thread are observability, not
+    // query latency — draining them here keeps vticks (and deadline
+    // semantics) invariant under recovered faults.
+    let penalty = Transport::take_task_penalty();
+    if !penalty.is_zero() {
+        if let Some(hub) = &inner.obs {
+            hub.registry
+                .counter("service.fault_penalty_nanos")
+                .add(penalty.as_nanos() as u64);
+        }
+    }
+    let error = source.take_error();
     let mut state = run.state.lock();
     if aborted {
         if let Some(commit) = state.commit.as_mut() {
             commit.skip(1);
+        }
+    } else if let Some(err) = error {
+        // Whatever partial matches the engine produced before the
+        // poison are dropped with the chunk: a failed chunk contributes
+        // nothing, which is what keeps failure outcomes deterministic.
+        if let Some(commit) = state.commit.as_mut() {
+            commit.submit_failed(chunk, err);
         }
     } else {
         let mut matches: Vec<Vec<VertexId>> = collecting

@@ -1,0 +1,500 @@
+//! Satellite: the service chaos suite.
+//!
+//! Seeded fault injection against the serving layer, crossed over
+//! worker counts, schedulers and execution modes. The resilience
+//! contract under test (DESIGN.md §4j):
+//!
+//! * recovered faults (transients, timeouts, replica failover, worker
+//!   crashes with survivors) are *invisible* — results byte-identical
+//!   to a faultless run across the whole matrix;
+//! * unrecoverable faults settle exactly one query with a structured
+//!   [`ServiceError`] (or [`Terminal::DegradedPartial`] when opted
+//!   in), never a panic and never a sibling;
+//! * which queries fail, and with what, is a pure function of the
+//!   fault seed and the execution mode's access granularity —
+//!   identical across worker counts, schedulers and replays. (DFS
+//!   draws one fault decision per vertex access, hybrid one per
+//!   deduplicated shard batch, so *failure* outcomes are compared
+//!   within a mode; *recovered* runs are identical across modes too.)
+
+use benu_cluster::{ExecMode, SchedulerKind};
+use benu_graph::gen;
+use benu_pattern::queries;
+use benu_service::{
+    FaultPlan, QueryOptions, QueryResult, QueryService, ResultMode, RetryPolicy, ServiceConfig,
+    ServiceConfigBuilder, ServiceError, Terminal,
+};
+
+fn graph() -> benu_graph::Graph {
+    gen::barabasi_albert(120, 4, 7)
+}
+
+/// Store sharding is pinned: fault decisions are keyed by `(shard,
+/// vertex)`, so a fixed deployment shape is what makes failure outcomes
+/// comparable across worker counts.
+fn base(workers: usize, scheduler: SchedulerKind, exec_mode: ExecMode) -> ServiceConfigBuilder {
+    ServiceConfig::builder()
+        .workers(workers)
+        .scheduler(scheduler)
+        .exec_mode(exec_mode)
+        .store_shards(4)
+        .chunk_tasks(16)
+}
+
+/// The fixed query mix: counting, collecting, budgeted and sampled.
+fn run_mix(config: ServiceConfig) -> Vec<QueryResult> {
+    let g = graph();
+    let service = QueryService::new(&g, config);
+    let ids = vec![
+        service.submit(&queries::triangle(), QueryOptions::new()),
+        service.submit(
+            &queries::triangle(),
+            QueryOptions::new().mode(ResultMode::Collect),
+        ),
+        service.submit(
+            &queries::q1(),
+            QueryOptions::new().mode(ResultMode::Collect),
+        ),
+        service.submit(
+            &queries::q2(),
+            QueryOptions::new().mode(ResultMode::Sample { n: 5, seed: 3 }),
+        ),
+        service.submit(&queries::square(), QueryOptions::new().max_matches(500)),
+    ];
+    ids.into_iter().map(|id| service.wait(id)).collect()
+}
+
+/// The comparable surface of a result: everything except wall time and
+/// completion order (which legitimately depend on worker timing).
+fn surface(r: &QueryResult) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.id,
+        r.terminal.clone(),
+        r.matches_found,
+        r.matches.clone(),
+        r.vticks,
+        r.chunks_committed,
+        r.chunks_discarded,
+        r.exhaustive,
+        r.dark_shards.clone(),
+        r.metrics,
+    )
+}
+
+/// Runs the mix for one execution mode under every (workers, scheduler)
+/// combination of `make` and asserts the full result surfaces —
+/// including failures, degradations and their error payloads — are
+/// identical everywhere. Returns the (verified common) result set.
+fn mode_invariant(
+    exec_mode: ExecMode,
+    make: impl Fn(usize, SchedulerKind, ExecMode) -> ServiceConfig,
+) -> Vec<QueryResult> {
+    let mut baseline: Option<Vec<QueryResult>> = None;
+    for workers in [1, 4] {
+        for scheduler in [SchedulerKind::Static, SchedulerKind::WorkStealing] {
+            let results = run_mix(make(workers, scheduler, exec_mode));
+            match &baseline {
+                None => baseline = Some(results),
+                Some(expect) => {
+                    for (got, want) in results.iter().zip(expect) {
+                        assert_eq!(
+                            surface(got),
+                            surface(want),
+                            "query {} diverged at workers={workers} {scheduler} {exec_mode:?}",
+                            got.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+    baseline.expect("at least one configuration ran")
+}
+
+#[test]
+fn recovered_transients_and_timeouts_are_invisible() {
+    let faultless = run_mix(base(4, SchedulerKind::WorkStealing, ExecMode::Dfs).build());
+    // Recovered faults leave no trace, so the matrix extends across
+    // execution modes too: every configuration must equal the faultless
+    // baseline byte-for-byte, virtual latency included.
+    for exec_mode in [ExecMode::Dfs, ExecMode::Hybrid] {
+        let faulted = mode_invariant(exec_mode, |workers, scheduler, exec_mode| {
+            let plan = FaultPlan::builder(11)
+                .transient_rate(0.02)
+                .timeout_rate(0.02)
+                .build();
+            base(workers, scheduler, exec_mode).fault_plan(plan).build()
+        });
+        for (got, want) in faulted.iter().zip(&faultless) {
+            assert_eq!(
+                surface(got),
+                surface(want),
+                "recovered faults must not change query {} in {exec_mode:?}",
+                got.id
+            );
+            assert!(matches!(
+                got.terminal,
+                Terminal::Completed | Terminal::MaxMatchesReached
+            ));
+        }
+    }
+}
+
+#[test]
+fn retry_exhaustion_fails_only_affected_queries_deterministically() {
+    // Two attempts against a moderate fault rate: each query draws its
+    // own scoped decision stream, so some queries exhaust the budget
+    // and some survive — a per-query outcome, not a service-wide one.
+    let results = mode_invariant(ExecMode::Dfs, |workers, scheduler, exec_mode| {
+        let plan = FaultPlan::builder(23).transient_rate(0.06).build();
+        base(workers, scheduler, exec_mode)
+            .fault_plan(plan)
+            .retry(RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            })
+            .build()
+    });
+    let statuses: Vec<_> = results.iter().map(|r| r.terminal.name()).collect();
+    let failed: Vec<_> = results
+        .iter()
+        .filter(|r| matches!(r.terminal, Terminal::Failed(_)))
+        .collect();
+    let completed: Vec<_> = results
+        .iter()
+        .filter(|r| !matches!(r.terminal, Terminal::Failed(_)))
+        .collect();
+    assert!(
+        !failed.is_empty(),
+        "the seed must fail at least one query: {statuses:?}"
+    );
+    assert!(
+        !completed.is_empty(),
+        "siblings of a failed query must keep completing: {statuses:?}"
+    );
+    for r in &failed {
+        assert!(
+            matches!(
+                r.terminal,
+                Terminal::Failed(ServiceError::RetryExhausted { attempts: 2, .. })
+            ),
+            "failure must carry the structured exhaustion error, got {:?}",
+            r.terminal
+        );
+    }
+    // Survivors are byte-identical to the faultless run — recovered
+    // retries leave no trace in results or virtual latency.
+    let faultless = run_mix(base(4, SchedulerKind::WorkStealing, ExecMode::Dfs).build());
+    for r in &completed {
+        let want = &faultless[r.id as usize];
+        assert_eq!(surface(r), surface(want), "survivor {} diverged", r.id);
+    }
+}
+
+#[test]
+fn hybrid_batch_faults_surface_the_same_taxonomy() {
+    // Hybrid draws one fault decision per deduplicated shard batch; a
+    // rate hot enough to exhaust two attempts across a chunk's batches
+    // fails queries with the same structured error, deterministically
+    // across workers and schedulers.
+    let results = mode_invariant(ExecMode::Hybrid, |workers, scheduler, exec_mode| {
+        let plan = FaultPlan::builder(31).transient_rate(0.45).build();
+        base(workers, scheduler, exec_mode)
+            .fault_plan(plan)
+            .retry(RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            })
+            .build()
+    });
+    assert!(
+        results.iter().any(|r| matches!(
+            r.terminal,
+            Terminal::Failed(ServiceError::RetryExhausted { .. })
+        )),
+        "the hot seed must exhaust at least one query: {:?}",
+        results
+            .iter()
+            .map(|r| r.terminal.name())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn unreplicated_shard_outage_fails_queries_with_structured_errors() {
+    for exec_mode in [ExecMode::Dfs, ExecMode::Hybrid] {
+        let results = mode_invariant(exec_mode, |workers, scheduler, exec_mode| {
+            let plan = FaultPlan::builder(5).shard_outage(0, 1).build();
+            base(workers, scheduler, exec_mode).fault_plan(plan).build()
+        });
+        for r in &results {
+            match &r.terminal {
+                Terminal::Failed(ServiceError::StoreUnavailable { shard, .. }) => {
+                    assert_eq!(*shard, 0, "the outage names the dark shard");
+                }
+                other => panic!(
+                    "query {} must fail on the dark shard without degradation, got {other:?}",
+                    r.id
+                ),
+            }
+            assert!(
+                r.dark_shards.is_empty(),
+                "failed queries report no dark shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn graceful_degradation_turns_the_outage_into_partial_results() {
+    let faultless = run_mix(base(4, SchedulerKind::WorkStealing, ExecMode::Dfs).build());
+    for exec_mode in [ExecMode::Dfs, ExecMode::Hybrid] {
+        let results = mode_invariant(exec_mode, |workers, scheduler, exec_mode| {
+            let plan = FaultPlan::builder(5).shard_outage(0, 1).build();
+            base(workers, scheduler, exec_mode)
+                .fault_plan(plan)
+                .graceful_degradation(true)
+                .build()
+        });
+        for (r, full) in results.iter().zip(&faultless) {
+            assert_eq!(
+                r.terminal,
+                Terminal::DegradedPartial,
+                "query {} must degrade, not fail",
+                r.id
+            );
+            assert_eq!(
+                r.dark_shards,
+                vec![0],
+                "the partial is flagged with its dark shard"
+            );
+            assert!(!r.exhaustive, "a degraded result is never exhaustive");
+            assert!(
+                r.matches_found <= full.matches_found,
+                "a partial can never overcount"
+            );
+            // Committed partials are honest subsets of the faultless
+            // stream.
+            for m in &r.matches {
+                assert!(
+                    full.matches.contains(m),
+                    "degraded match {m:?} must exist in the faultless result"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn replication_masks_the_outage_entirely() {
+    // Same dark shard, but every placement group has a live replica:
+    // failover serves the request and results are byte-identical to the
+    // faultless run — no failure, no degradation, no vtick drift.
+    let faultless = run_mix(base(4, SchedulerKind::WorkStealing, ExecMode::Dfs).build());
+    let plan = FaultPlan::builder(5).shard_outage(0, 1).build();
+    let results = run_mix(
+        base(4, SchedulerKind::WorkStealing, ExecMode::Dfs)
+            .replication(2)
+            .fault_plan(plan)
+            .build(),
+    );
+    for (got, want) in results.iter().zip(&faultless) {
+        assert_eq!(surface(got), surface(want), "failover must be invisible");
+    }
+}
+
+#[test]
+fn worker_crashes_with_survivors_are_invisible() {
+    let faultless = run_mix(base(4, SchedulerKind::WorkStealing, ExecMode::Dfs).build());
+    // Crashed lanes hand their queued chunks to survivors and the
+    // chunks they died holding re-execute elsewhere — byte-exact.
+    let plan = FaultPlan::builder(7).crash(1, 1).crash(2, 2).build();
+    for workers in [2, 4] {
+        for scheduler in [SchedulerKind::Static, SchedulerKind::WorkStealing] {
+            for exec_mode in [ExecMode::Dfs, ExecMode::Hybrid] {
+                let results = run_mix(
+                    base(workers, scheduler, exec_mode)
+                        .fault_plan(plan.clone())
+                        .build(),
+                );
+                for (got, want) in results.iter().zip(&faultless) {
+                    assert_eq!(
+                        surface(got),
+                        surface(want),
+                        "crash recovery must be byte-exact at workers={workers} \
+                         {scheduler} {exec_mode:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dead_pool_surfaces_worker_lost_instead_of_hanging() {
+    let g = graph();
+    let plan = FaultPlan::builder(3).crash(0, 1).build();
+    let service = QueryService::new(
+        &g,
+        ServiceConfig::builder()
+            .workers(1)
+            .chunk_tasks(8)
+            .fault_plan(plan)
+            .build(),
+    );
+    let id = service.submit(
+        &queries::triangle(),
+        QueryOptions::new().mode(ResultMode::Collect),
+    );
+    let result = service.wait(id);
+    match &result.terminal {
+        Terminal::Failed(ServiceError::WorkerLost { lane: 0, .. }) => {}
+        other => panic!("expected WorkerLost from the dead pool, got {other:?}"),
+    }
+    assert_eq!(
+        result.chunks_committed, 1,
+        "the one chunk executed before the crash still committed"
+    );
+    // The pool is gone: later submissions settle immediately with the
+    // same structured error instead of queueing forever.
+    let late = service.submit(&queries::triangle(), QueryOptions::new());
+    let late = service.wait(late);
+    assert!(
+        matches!(
+            late.terminal,
+            Terminal::Failed(ServiceError::WorkerLost { lane: 0, .. })
+        ),
+        "post-crash submissions must fail fast, got {:?}",
+        late.terminal
+    );
+}
+
+#[test]
+fn corrupt_store_fails_the_query_not_the_process() {
+    // Regression: both ServiceSource panic paths ("vertex missing from
+    // the resident store" and the transport corruption unwrap) are now
+    // structured per-query errors.
+    let g = graph();
+    let missing = QueryService::new_corrupted(
+        &g,
+        ServiceConfig::builder().workers(2).chunk_tasks(16).build(),
+        |store| assert!(store.remove_vertex(100), "chaos hook must bite"),
+    );
+    let id = missing.submit(
+        &queries::triangle(),
+        QueryOptions::new().mode(ResultMode::Collect),
+    );
+    let result = missing.wait(id);
+    match &result.terminal {
+        Terminal::Failed(ServiceError::CorruptValue {
+            vertex: 100,
+            detail,
+        }) => {
+            assert!(
+                detail.contains("missing"),
+                "detail names the damage: {detail}"
+            );
+        }
+        other => panic!("expected CorruptValue for the removed vertex, got {other:?}"),
+    }
+    // The service keeps serving after the failure (no abort, no wedge).
+    assert!(missing.status(id).is_some());
+
+    let rotten = QueryService::new_corrupted(
+        &g,
+        ServiceConfig::builder().workers(2).chunk_tasks(16).build(),
+        |store| assert!(store.corrupt_value(100), "chaos hook must bite"),
+    );
+    let id = rotten.submit(&queries::triangle(), QueryOptions::new());
+    let result = rotten.wait(id);
+    assert!(
+        matches!(
+            result.terminal,
+            Terminal::Failed(ServiceError::CorruptValue { vertex: 100, .. })
+        ),
+        "expected CorruptValue for the damaged bytes, got {:?}",
+        result.terminal
+    );
+}
+
+/// The acceptance scenario: transient faults + a shard outage + a
+/// worker crash across 16 concurrent queries on 4 workers, degradation
+/// on. Every query settles in a terminal state (no hang, no abort),
+/// both unrecoverable classes appear, and replaying the same seed
+/// reproduces every status and every result byte-for-byte. (The
+/// fourth resilience terminal, `Rejected`, is deterministically
+/// load-dependent by design and is pinned by the admission suite.)
+#[test]
+fn seeded_chaos_scenario_replays_identically() {
+    let run_scenario = || {
+        let g = gen::barabasi_albert(200, 4, 13);
+        let plan = FaultPlan::builder(77)
+            .transient_rate(0.03)
+            .timeout_rate(0.01)
+            .shard_outage(2, 1)
+            .crash(3, 2)
+            .build();
+        let service = QueryService::new(
+            &g,
+            ServiceConfig::builder()
+                .workers(4)
+                .store_shards(4)
+                .chunk_tasks(16)
+                .fault_plan(plan)
+                .retry(RetryPolicy {
+                    max_attempts: 2,
+                    ..RetryPolicy::default()
+                })
+                .graceful_degradation(true)
+                .build(),
+        );
+        let patterns = [
+            queries::triangle(),
+            queries::q1(),
+            queries::q2(),
+            queries::square(),
+        ];
+        let ids: Vec<_> = (0..16)
+            .map(|i| {
+                service.submit(
+                    &patterns[i % patterns.len()],
+                    QueryOptions::new().weight(1 + (i as u32) % 3),
+                )
+            })
+            .collect();
+        ids.into_iter()
+            .map(|id| service.wait(id))
+            .collect::<Vec<QueryResult>>()
+    };
+    let results = run_scenario();
+    let statuses: Vec<_> = results.iter().map(|r| r.terminal.name()).collect();
+    assert!(
+        results.iter().all(|r| matches!(
+            r.terminal,
+            Terminal::Completed | Terminal::Failed(_) | Terminal::DegradedPartial
+        )),
+        "every query must settle in a resilience terminal: {statuses:?}"
+    );
+    assert!(
+        results
+            .iter()
+            .any(|r| matches!(r.terminal, Terminal::DegradedPartial)),
+        "the dark shard must degrade at least one query: {statuses:?}"
+    );
+    assert!(
+        results
+            .iter()
+            .any(|r| matches!(r.terminal, Terminal::Failed(_))),
+        "the fault pressure must fail at least one query: {statuses:?}"
+    );
+    for r in &results {
+        if r.terminal == Terminal::DegradedPartial {
+            assert_eq!(r.dark_shards, vec![2], "partials name the dark shard");
+        }
+    }
+    // Same seed, same scenario, same everything.
+    let replay = run_scenario();
+    for (a, b) in results.iter().zip(&replay) {
+        assert_eq!(surface(a), surface(b), "replay diverged on query {}", a.id);
+    }
+}

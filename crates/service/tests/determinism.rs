@@ -21,7 +21,7 @@ use benu_service::{QueryOptions, QueryResult, QueryService, ResultMode, ServiceC
 fn surface(r: &QueryResult) -> impl PartialEq + std::fmt::Debug {
     (
         r.id,
-        r.terminal,
+        r.terminal.clone(),
         r.matches_found,
         r.matches.clone(),
         r.vticks,
@@ -73,6 +73,7 @@ fn results_are_identical_across_concurrency_schedulers_and_modes() {
         for scheduler in [SchedulerKind::Static, SchedulerKind::WorkStealing] {
             for exec_mode in [ExecMode::Dfs, ExecMode::Hybrid] {
                 let config = base
+                    .clone()
                     .workers(workers)
                     .scheduler(scheduler)
                     .exec_mode(exec_mode)
