@@ -38,6 +38,30 @@ impl_to_json!(Record {
     speedup_vs_1
 });
 
+/// One arm of the load-balancing A/B: degree-driven `auto_tau` vs
+/// observed-cost splitting fed back from the first arm's profile.
+struct BalanceRecord {
+    dataset: String,
+    query: String,
+    arm: String,
+    workers: usize,
+    total_tasks: usize,
+    threshold: usize,
+    work_imbalance: f64,
+    load_imbalance: f64,
+}
+
+impl_to_json!(BalanceRecord {
+    dataset,
+    query,
+    arm,
+    workers,
+    total_tasks,
+    threshold,
+    work_imbalance,
+    load_imbalance
+});
+
 /// Simulates the runtime's scheduler: tasks are assigned round-robin to
 /// `workers`; within each worker, `threads` threads repeatedly pull the
 /// next queued task. Returns the makespan in seconds.
@@ -102,7 +126,7 @@ fn main() {
     .collect();
 
     let mut records = Vec::new();
-    for (dataset, qname) in cases {
+    for &(dataset, qname) in &cases {
         let g = load_dataset(dataset, scale);
         let pattern = queries::by_name(qname).unwrap();
         let plan = PlanBuilder::new(&pattern)
@@ -160,6 +184,83 @@ fn main() {
         "\npaper shape: near-linear speedup with worker count, flattening as\n\
          straggler tasks start to dominate (sub-4x from 4 to 16 workers)."
     );
+
+    // Load-balancing A/B: degree-driven auto_tau vs observed-cost
+    // splitting. Pass 1 splits on the degree proxy and records the
+    // per-start-vertex cost profile; pass 2 feeds the profile back, so
+    // splitting thresholds and LPT placement act on real work.
+    // `work_imbalance` (max/mean of per-worker deterministic vticks) is
+    // the headline: unlike wall-clock load_imbalance it is byte-stable,
+    // so the in-bin regression assert can lean on it.
+    let balance_workers: usize = args.get("balance-workers", 4);
+    let mut balance_records = Vec::new();
+    for (dataset, qname) in &cases {
+        let g = load_dataset(*dataset, scale);
+        let pattern = queries::by_name(qname).unwrap();
+        let plan = PlanBuilder::new(&pattern)
+            .graph_stats(g.num_vertices(), g.num_edges())
+            .compressed(true)
+            .best_plan();
+        let config = ClusterConfig::builder()
+            .workers(balance_workers)
+            .threads_per_worker(1)
+            .cache_capacity_bytes(64 << 20)
+            .tau_auto(true)
+            .collect_cost_profile(true)
+            .build();
+        let mut cluster = Cluster::new(&g, config);
+        let degree_arm = cluster.run(&plan).expect("degree arm failed");
+        let profile = degree_arm.cost_profile.clone().expect("profile collected");
+        cluster.clear_caches();
+        cluster.set_cost_profile(Some(profile));
+        let cost_arm = cluster.run(&plan).expect("cost arm failed");
+        assert_eq!(
+            cost_arm.total_matches, degree_arm.total_matches,
+            "splitting policy must not change counts"
+        );
+        let (dw, cw) = (degree_arm.work_imbalance(), cost_arm.work_imbalance());
+        assert!(
+            cw <= dw * 1.05 + 1e-9,
+            "observed-cost splitting worsened work imbalance on {} {}: {dw:.3} -> {cw:.3}",
+            dataset.abbrev(),
+            qname
+        );
+        let mut rows = Vec::new();
+        for (arm, o) in [("degree_tau", &degree_arm), ("observed_cost", &cost_arm)] {
+            rows.push(vec![
+                arm.to_string(),
+                o.total_tasks.to_string(),
+                o.effective_tau.to_string(),
+                format!("{:.3}", o.work_imbalance()),
+                format!("{:.3}", o.load_imbalance()),
+            ]);
+            balance_records.push(BalanceRecord {
+                dataset: dataset.abbrev().to_string(),
+                query: qname.to_string(),
+                arm: arm.to_string(),
+                workers: balance_workers,
+                total_tasks: o.total_tasks,
+                threshold: o.effective_tau,
+                work_imbalance: o.work_imbalance(),
+                load_imbalance: o.load_imbalance(),
+            });
+        }
+        println!(
+            "\nload-balancing A/B — {qname} on {} ({balance_workers} workers):",
+            dataset.abbrev()
+        );
+        print_table(
+            &[
+                "arm",
+                "tasks",
+                "tau/theta",
+                "work_imbalance",
+                "load_imbalance",
+            ],
+            &rows,
+        );
+    }
+
     if let Some(path) = args.get_str("json") {
         let mut report = benu_bench::report::BenchReport::new("fig10_scal");
         report
@@ -168,6 +269,9 @@ fn main() {
             .param("tau", tau as u64)
             .param("max_workers", max_workers as u64);
         for r in &records {
+            report.push_row(r);
+        }
+        for r in &balance_records {
             report.push_row(r);
         }
         report.write(path).expect("write json");

@@ -3,6 +3,7 @@
 use crate::schedule::SchedulerKind;
 use benu_fault::RetryPolicy;
 use benu_kvstore::CodecKind;
+use benu_plan::EstimatorKind;
 
 /// How worker threads drive the execution engine.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -118,6 +119,21 @@ pub struct ClusterConfig {
     /// `run.store.bytes` roughly in half on power-law graphs. Decoded
     /// sets are byte-identical across codecs.
     pub codec: CodecKind,
+    /// Which cardinality model calibrates plan compilation through
+    /// [`crate::Cluster::plan_builder`]: the paper's static Erdős–Rényi
+    /// model (the default), the degree-moment Chung-Lu model computed
+    /// from the resident degree array, or feedback-driven re-planning
+    /// from a previous run's observed per-instruction cardinalities
+    /// (Chung-Lu until an observation is supplied).
+    pub estimator: EstimatorKind,
+    /// Collect a per-start-vertex observed-cost profile
+    /// ([`crate::CostProfile`]) during the run, exposed as
+    /// `RunOutcome::cost_profile`. Installing it back via
+    /// [`crate::Cluster::set_cost_profile`] switches task splitting and
+    /// initial placement from degree-based `auto_tau` to observed-cost
+    /// driven. DFS execution only (the hybrid engine reports batch-level
+    /// metrics); off by default.
+    pub collect_cost_profile: bool,
 }
 
 impl Default for ClusterConfig {
@@ -140,6 +156,8 @@ impl Default for ClusterConfig {
             exec_mode: ExecMode::Dfs,
             memory_budget_bytes: 0,
             codec: CodecKind::RawU32,
+            estimator: EstimatorKind::Er,
+            collect_cost_profile: false,
         }
     }
 }
@@ -283,6 +301,18 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Cardinality model for plan compilation.
+    pub fn estimator(mut self, kind: EstimatorKind) -> Self {
+        self.0.estimator = kind;
+        self
+    }
+
+    /// Collect the per-start-vertex observed-cost profile during runs.
+    pub fn collect_cost_profile(mut self, yes: bool) -> Self {
+        self.0.collect_cost_profile = yes;
+        self
+    }
+
     /// Finalises the configuration.
     ///
     /// # Panics
@@ -339,6 +369,8 @@ mod tests {
             .exec_mode(ExecMode::Hybrid)
             .memory_budget_bytes(1 << 20)
             .codec(CodecKind::DeltaVarint)
+            .estimator(EstimatorKind::ChungLu)
+            .collect_cost_profile(true)
             .build();
         let literal = ClusterConfig {
             workers: 5,
@@ -358,6 +390,8 @@ mod tests {
             exec_mode: ExecMode::Hybrid,
             memory_budget_bytes: 1 << 20,
             codec: CodecKind::DeltaVarint,
+            estimator: EstimatorKind::ChungLu,
+            collect_cost_profile: true,
         };
         assert_eq!(built, literal);
         // Every field above differs from its default, so a builder
@@ -380,6 +414,8 @@ mod tests {
         assert_ne!(built.exec_mode, d.exec_mode);
         assert_ne!(built.memory_budget_bytes, d.memory_budget_bytes);
         assert_ne!(built.codec, d.codec);
+        assert_ne!(built.estimator, d.estimator);
+        assert_ne!(built.collect_cost_profile, d.collect_cost_profile);
     }
 
     #[test]

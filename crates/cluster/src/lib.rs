@@ -36,6 +36,7 @@
 //!   Fig. 9 and Fig. 10.
 
 pub mod analysis;
+pub mod balance;
 pub mod config;
 mod recovery;
 pub mod report;
@@ -49,6 +50,7 @@ pub mod worker;
 // the plan, the retry policy, and the routed store decorator — so a
 // serving layer can reuse the exact retry/failover machinery the batch
 // runtime runs on.
+pub use balance::CostProfile;
 pub use benu_fault::{
     FaultError, FaultKind, FaultPlan, FaultPlanBuilder, FaultingStore, RetryPolicy, StoreError,
 };

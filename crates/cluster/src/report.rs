@@ -8,6 +8,7 @@
 //! field, leaving exactly the values that are byte-identical across two
 //! executions of the same seeded run.
 
+use crate::balance::{self, CostProfile};
 use crate::config::ExecMode;
 use crate::schedule::SchedulerKind;
 use benu_cache::CacheStats;
@@ -235,6 +236,12 @@ pub struct RunOutcome {
     /// What fault injection and recovery did (all zeros without a fault
     /// plan).
     pub recovery: RecoveryReport,
+    /// Per-start-vertex observed costs, collected when
+    /// [`ClusterConfig::collect_cost_profile`](crate::ClusterConfig::collect_cost_profile)
+    /// is set (DFS execution only). Feed it back via
+    /// [`Cluster::set_cost_profile`](crate::Cluster::set_cost_profile) to
+    /// drive the next run's splitting and placement from observed cost.
+    pub cost_profile: Option<CostProfile>,
 }
 
 impl RunOutcome {
@@ -310,6 +317,27 @@ impl RunOutcome {
         safe_ratio(max.as_secs_f64(), min.as_secs_f64())
     }
 
+    /// Work imbalance: max over workers of executed *vticks* (the
+    /// deterministic instruction-count work measure, see
+    /// [`crate::balance::vticks`]) divided by the mean. 1.0 = perfectly
+    /// balanced. The deterministic sibling of [`RunOutcome::load_imbalance`]:
+    /// it measures how evenly the *work* landed, independent of wall
+    /// clock, so it is byte-stable across runs under the static
+    /// scheduler. Returns 0.0 — never NaN — for a run with no workers or
+    /// no executed work.
+    pub fn work_imbalance(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        let work: Vec<f64> = self
+            .workers
+            .iter()
+            .map(|w| balance::vticks(&w.metrics) as f64)
+            .collect();
+        let mean = safe_ratio(work.iter().sum::<f64>(), work.len() as f64);
+        safe_ratio(work.iter().cloned().fold(0.0f64, f64::max), mean)
+    }
+
     /// Load imbalance: max over workers of busy time divided by the mean
     /// (1.0 = perfectly balanced). Returns 0.0 — never NaN — for a run
     /// with no workers or no recorded busy time (a zero-task run has no
@@ -356,6 +384,16 @@ impl RunOutcome {
         engine.set("trc_executions", m.trc_executions);
         engine.set("kcache_executions", m.kcache_executions);
         engine.set("enu_candidates", m.enu_candidates);
+        engine.set("obs_candidates", m.obs.totals().0);
+        engine.set("obs_survivors", m.obs.totals().1);
+        let mut obs = Report::new();
+        for (pc, slot) in m.obs.iter_nonzero() {
+            let mut s = Report::new();
+            s.set("candidates", slot.candidates);
+            s.set("survivors", slot.survivors);
+            obs.set_tree(&format!("slot_{pc:02}"), s);
+        }
+        engine.set_tree("obs", obs);
         let pool = self.pool_stats();
         let mut pool_tree = Report::new();
         pool_tree.set("hits", pool.hits);
@@ -387,6 +425,7 @@ impl RunOutcome {
             ),
         );
         r.set_tree("recovery", self.recovery.report());
+        r.set("work_imbalance", self.work_imbalance());
 
         if mode == ReportMode::Full {
             r.set("elapsed_seconds", self.elapsed.as_secs_f64());
@@ -447,6 +486,37 @@ mod tests {
             ..RunOutcome::default()
         };
         assert!(skewed.load_imbalance() > 1.4);
+    }
+
+    #[test]
+    fn work_imbalance_is_deterministic_and_tracks_vticks() {
+        let mut heavy = worker(0, 0, 0, 0);
+        heavy.metrics.enu_candidates = 300;
+        let mut light = worker(0, 0, 0, 0);
+        light.metrics.enu_candidates = 100;
+        let o = RunOutcome {
+            workers: vec![heavy, light],
+            ..RunOutcome::default()
+        };
+        assert!((o.work_imbalance() - 1.5).abs() < 1e-9);
+        // Deterministic: present even in deterministic-mode reports.
+        let det = o.report(ReportMode::Deterministic);
+        assert_eq!(det.get_f64("work_imbalance"), Some(o.work_imbalance()));
+        // Guard zero-work runs.
+        assert_eq!(RunOutcome::default().work_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn report_surfaces_observed_slot_cardinalities() {
+        let mut o = RunOutcome::default();
+        if let Some(s) = o.metrics.obs.slot_mut(2) {
+            s.candidates = 10;
+            s.survivors = 4;
+        }
+        let r = o.report(ReportMode::Deterministic);
+        assert_eq!(r.get_u64("engine/obs/slot_02/candidates"), Some(10));
+        assert_eq!(r.get_u64("engine/obs/slot_02/survivors"), Some(4));
+        assert_eq!(r.get_u64("engine/obs_candidates"), Some(10));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! unrecoverable faults (a shard outage outlasting the retry policy, or
 //! every worker crashing).
 
+use crate::balance::CostProfile;
 use crate::config::ClusterConfig;
 use crate::recovery::RecoveryCtx;
 use crate::report::{RecoveryReport, RunOutcome, WorkerReport};
@@ -49,6 +50,7 @@ pub struct Cluster {
     caches: Vec<Arc<DbCache>>,
     config: ClusterConfig,
     fault_plan: Option<Arc<FaultPlan>>,
+    cost_profile: Option<Arc<CostProfile>>,
     obs: Option<Arc<ObsHub>>,
 }
 
@@ -89,6 +91,7 @@ impl Cluster {
             caches: Self::build_caches(&config, obs.as_deref()),
             config,
             fault_plan: None,
+            cost_profile: None,
             obs,
         }
     }
@@ -139,6 +142,22 @@ impl Cluster {
         self.fault_plan.as_deref()
     }
 
+    /// Installs (or removes, with `None`) an observed-cost profile from a
+    /// previous run (see [`ClusterConfig::collect_cost_profile`]).
+    /// Subsequent runs split tasks at an observed-cost threshold instead
+    /// of the degree proxy, place them longest-first onto the least
+    /// loaded worker, and order each queue heaviest-first (the steal
+    /// priority). All decisions are pure functions of the profile, so
+    /// runs stay deterministic under the static scheduler.
+    pub fn set_cost_profile(&mut self, profile: Option<CostProfile>) {
+        self.cost_profile = profile.map(Arc::new);
+    }
+
+    /// The installed cost profile, if any.
+    pub fn cost_profile(&self) -> Option<&CostProfile> {
+        self.cost_profile.as_deref()
+    }
+
     /// Drops every cached adjacency set and resets the cache counters —
     /// the cold-cache starting point of the Exp-3 ablation. Run-to-run
     /// warmth is otherwise deliberate.
@@ -168,6 +187,16 @@ impl Cluster {
     /// split threshold actually used (static `tau`, or the adaptive
     /// choice under `tau_auto`).
     fn generate_tasks(&self, second_adjacent: bool, has_second: bool) -> (Vec<SearchTask>, usize) {
+        // An installed cost profile overrides both degree-based paths:
+        // split at an observed-cost threshold θ (reported in place of τ)
+        // rather than a degree proxy.
+        if has_second {
+            if let Some(profile) = &self.cost_profile {
+                let lanes = self.config.workers * self.config.threads_per_worker;
+                let (tasks, theta) = profile.generate_tasks(&self.degrees, lanes, second_adjacent);
+                return (tasks, theta as usize);
+            }
+        }
         let tau = if !has_second {
             0
         } else if self.config.tau_auto {
@@ -179,6 +208,55 @@ impl Cluster {
         let tasks =
             benu_engine::task::generate_tasks_from_degrees(&self.degrees, tau, second_adjacent);
         (tasks, tau)
+    }
+
+    /// A [`PlanBuilder`](benu_plan::PlanBuilder) calibrated per the
+    /// configured [`ClusterConfig::estimator`] from the resident graph
+    /// statistics: `(N, M)` for the Erdős–Rényi model, the degree
+    /// histogram's moments for Chung-Lu. [`EstimatorKind::Feedback`]
+    /// falls back to the Chung-Lu prior here — use
+    /// [`Cluster::plan_builder_with_feedback`] once a run has produced
+    /// an observation.
+    pub fn plan_builder<'p>(
+        &self,
+        pattern: &'p benu_pattern::Pattern,
+    ) -> benu_plan::PlanBuilder<'p> {
+        let builder = benu_plan::PlanBuilder::new(pattern);
+        match self.config.estimator {
+            benu_plan::EstimatorKind::Er => {
+                let n = self.degrees.len();
+                let m = self.degrees.iter().map(|&d| d as usize).sum::<usize>() / 2;
+                builder.graph_stats(n, m)
+            }
+            benu_plan::EstimatorKind::ChungLu | benu_plan::EstimatorKind::Feedback => {
+                builder.chung_lu(self.chung_lu_prior())
+            }
+        }
+    }
+
+    /// A plan builder calibrated with a [`benu_plan::FeedbackEstimator`]:
+    /// the cluster's Chung-Lu prior corrected by the per-instruction
+    /// cardinalities (`RunOutcome::metrics.obs`) observed while running
+    /// `observed_plan`. Deterministic given the observation, so repeat
+    /// compilations re-rank candidate plans identically.
+    pub fn plan_builder_with_feedback<'p>(
+        &self,
+        pattern: &'p benu_pattern::Pattern,
+        observed_plan: &ExecutionPlan,
+        obs: &benu_plan::PlanObs,
+    ) -> benu_plan::PlanBuilder<'p> {
+        let est = benu_plan::FeedbackEstimator::new(self.chung_lu_prior(), observed_plan, obs);
+        benu_plan::PlanBuilder::new(pattern).observed_feedback(est)
+    }
+
+    /// The Chung-Lu estimator over the resident degree array.
+    fn chung_lu_prior(&self) -> benu_plan::ChungLuEstimator {
+        let max_d = self.degrees.iter().copied().max().unwrap_or(0) as usize;
+        let mut hist = vec![0usize; max_d + 1];
+        for &d in &self.degrees {
+            hist[d as usize] += 1;
+        }
+        benu_plan::ChungLuEstimator::from_degree_histogram(&hist)
     }
 
     /// Chaos hook: drops vertex `v` from every replica shard of the
@@ -253,12 +331,21 @@ impl Cluster {
             .as_ref()
             .map(|plan| RecoveryCtx::new(Arc::clone(plan), p));
 
-        // Round-robin initial assignment — the even shuffle of tasks to
-        // reducers. The scheduler decides whether tasks may migrate.
-        let mut pending: Vec<Vec<SearchTask>> = vec![Vec::new(); p];
-        for (i, t) in tasks.into_iter().enumerate() {
-            pending[i % p].push(t);
-        }
+        // Initial assignment. Default: round robin — the even shuffle of
+        // tasks to reducers. With a cost profile installed: longest-
+        // processing-time-first onto the least-loaded worker, each queue
+        // ordered heaviest-first (the steal priority). The scheduler
+        // decides whether tasks may migrate afterwards.
+        let mut pending: Vec<Vec<SearchTask>> = match &self.cost_profile {
+            Some(profile) => profile.assign_lpt(tasks, p),
+            None => {
+                let mut queues: Vec<Vec<SearchTask>> = vec![Vec::new(); p];
+                for (i, t) in tasks.into_iter().enumerate() {
+                    queues[i % p].push(t);
+                }
+                queues
+            }
+        };
 
         self.store.reset_stats();
         let transports: Vec<Transport> = (0..p)
@@ -437,6 +524,8 @@ impl Cluster {
         let mut reports: Vec<WorkerReport> = Vec::with_capacity(p);
         let mut all_matches: Option<Matches> = collect.then(Vec::new);
         let mut all_task_times = self.config.collect_task_times.then(Vec::new);
+        let mut task_cost_records: Option<Vec<(SearchTask, u64)>> =
+            self.config.collect_cost_profile.then(Vec::new);
         for (w, results) in merged.into_iter().enumerate() {
             let mut report = WorkerReport {
                 worker: w,
@@ -455,6 +544,9 @@ impl Cluster {
                 report.frontier += r.frontier;
                 if let Some(times) = all_task_times.as_mut() {
                     times.extend(r.task_times);
+                }
+                if let Some(records) = task_cost_records.as_mut() {
+                    records.extend(r.task_costs);
                 }
                 if let (Some(all), Some(mine)) = (all_matches.as_mut(), r.matches) {
                     all.extend(mine);
@@ -624,6 +716,8 @@ impl Cluster {
             peak_frontier_bytes: frontier.peak_bytes,
             task_times: all_task_times,
             recovery,
+            cost_profile: task_cost_records
+                .map(|records| CostProfile::from_task_costs(self.degrees.len(), records)),
         };
         if let Some(m) = all_matches.as_mut() {
             m.sort_unstable();
@@ -665,6 +759,117 @@ mod tests {
         let executed: usize = outcome.workers.iter().map(|w| w.tasks_executed).sum();
         assert_eq!(executed, 6);
         assert!(outcome.recovery.is_clean(), "no fault plan, no recovery");
+    }
+
+    #[test]
+    fn cost_profile_feedback_loop_preserves_counts_and_balances_work() {
+        let g = gen::barabasi_albert(300, 4, 5);
+        let plan = PlanBuilder::new(&queries::triangle()).best_plan();
+        let config = ClusterConfig::builder()
+            .workers(4)
+            .threads_per_worker(1)
+            .tau_auto(true)
+            .collect_cost_profile(true)
+            .build();
+
+        // Pass 1: degree-driven auto τ, collecting per-task costs.
+        let mut cluster = Cluster::new(&g, config);
+        let first = cluster.run(&plan).unwrap();
+        let profile = first.cost_profile.clone().expect("profile was requested");
+        assert_eq!(profile.len(), 300);
+        assert!(profile.total() > 0, "BA graph has triangles to find");
+
+        // Pass 2: same cluster, observed-cost splitting + LPT placement.
+        cluster.clear_caches();
+        cluster.set_cost_profile(Some(profile));
+        let second = cluster.run(&plan).unwrap();
+        assert_eq!(second.total_matches, first.total_matches);
+        assert!(
+            second.work_imbalance() <= first.work_imbalance() + 1e-9,
+            "cost-driven splitting must not worsen work imbalance: {} -> {}",
+            first.work_imbalance(),
+            second.work_imbalance()
+        );
+
+        // Determinism: a fresh cluster with the same profile reproduces
+        // the second pass byte-for-byte on the deterministic fields.
+        let mut cluster2 = Cluster::new(
+            &g,
+            ClusterConfig::builder()
+                .workers(4)
+                .threads_per_worker(1)
+                .tau_auto(true)
+                .collect_cost_profile(true)
+                .build(),
+        );
+        // Re-derive pass 1's profile on the fresh cluster to mirror the
+        // exact pipeline.
+        let profile2 = cluster2.run(&plan).unwrap().cost_profile.unwrap();
+        cluster2.set_cost_profile(Some(profile2));
+        cluster2.clear_caches();
+        let third = cluster2.run(&plan).unwrap();
+        assert_eq!(third.total_matches, second.total_matches);
+        assert_eq!(third.total_tasks, second.total_tasks);
+        assert_eq!(third.effective_tau, second.effective_tau);
+        assert_eq!(third.metrics.obs, second.metrics.obs);
+    }
+
+    #[test]
+    fn plan_builder_honours_configured_estimator() {
+        let g = gen::barabasi_albert(200, 4, 7);
+        for kind in [
+            benu_plan::EstimatorKind::Er,
+            benu_plan::EstimatorKind::ChungLu,
+            benu_plan::EstimatorKind::Feedback,
+        ] {
+            let cluster = Cluster::new(
+                &g,
+                ClusterConfig::builder().workers(1).estimator(kind).build(),
+            );
+            for (name, p) in queries::evaluation_queries() {
+                let plan = cluster.plan_builder(&p).best_plan();
+                plan.validate()
+                    .unwrap_or_else(|e| panic!("{kind} {name}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn feedback_replanning_is_deterministic_and_count_preserving() {
+        let g = gen::barabasi_albert(250, 4, 9);
+        let pattern = queries::q1();
+        let cluster = Cluster::new(
+            &g,
+            ClusterConfig::builder()
+                .workers(2)
+                .threads_per_worker(2)
+                .estimator(benu_plan::EstimatorKind::Feedback)
+                .build(),
+        );
+        // Cold plan: Chung-Lu prior (no observation yet). Must be
+        // uncompressed so every enumeration level records a slot.
+        let cold = cluster.plan_builder(&pattern).best_plan();
+        let expected = benu_engine::count_embeddings(&cold, &g);
+        let outcome = cluster.run(&cold).unwrap();
+        assert_eq!(outcome.total_matches, expected);
+        assert!(
+            !outcome.metrics.obs.is_empty(),
+            "run must record observations"
+        );
+
+        // Warm plan: re-planned from the observed cardinalities.
+        let warm = cluster
+            .plan_builder_with_feedback(&pattern, &cold, &outcome.metrics.obs)
+            .best_plan();
+        warm.validate().unwrap();
+        assert_eq!(cluster.run(&warm).unwrap().total_matches, expected);
+
+        // Byte-determinism of re-planning: same observation, same plan.
+        let warm2 = cluster
+            .plan_builder_with_feedback(&pattern, &cold, &outcome.metrics.obs)
+            .best_plan();
+        assert_eq!(warm.matching_order, warm2.matching_order);
+        assert_eq!(warm.instructions, warm2.instructions);
     }
 
     #[test]

@@ -416,6 +416,10 @@ pub struct ThreadResult {
     /// Per-task durations with task identity; only recorded when
     /// straggler speculation is configured.
     pub(crate) timed_tasks: Vec<(SearchTask, Duration)>,
+    /// Per-task deterministic costs (vticks) with task identity; only
+    /// recorded when the cost profile is being collected, and only under
+    /// DFS execution (the hybrid engine reports batch-level metrics).
+    pub(crate) task_costs: Vec<(SearchTask, u64)>,
     pub(crate) tri_stats: benu_cache::CacheStats,
     pub(crate) pool: PoolStats,
     pub(crate) frontier: FrontierStats,
@@ -430,6 +434,7 @@ impl ThreadResult {
             executed: 0,
             task_times: Vec::new(),
             timed_tasks: Vec::new(),
+            task_costs: Vec::new(),
             tri_stats: benu_cache::CacheStats::default(),
             pool: PoolStats::default(),
             frontier: FrontierStats::default(),
@@ -518,6 +523,11 @@ impl Worker<'_> {
                 Ok(metrics) => {
                     result.metrics += metrics;
                     result.executed += 1;
+                    if self.config.collect_cost_profile {
+                        result
+                            .task_costs
+                            .push((task, crate::balance::vticks(&metrics)));
+                    }
                 }
                 Err(_) => {
                     let err = WorkerError::TaskPanicked {

@@ -51,6 +51,12 @@ pub struct TaskMetrics {
     /// Candidate vertices iterated by ENU (`Foreach`) loops — the raw
     /// backtracking branch count before label filtering.
     pub enu_candidates: u64,
+    /// Per-instruction observed cardinalities, indexed by the compiled
+    /// plan's instruction slot (`CInstr` and `Instruction` indices align
+    /// one-to-one). Deterministic and cache/pooling-independent: cache
+    /// hits record the same output sizes a cold execution would. Feeds
+    /// [`benu_plan::FeedbackEstimator`].
+    pub obs: benu_plan::PlanObs,
 }
 
 impl std::ops::AddAssign for TaskMetrics {
@@ -63,6 +69,7 @@ impl std::ops::AddAssign for TaskMetrics {
         self.trc_executions += rhs.trc_executions;
         self.kcache_executions += rhs.kcache_executions;
         self.enu_candidates += rhs.enu_candidates;
+        self.obs += rhs.obs;
     }
 }
 
@@ -89,6 +96,11 @@ impl TaskMetrics {
         registry
             .counter("engine.enu_candidates")
             .add(self.enu_candidates);
+        let (obs_candidates, obs_survivors) = self.obs.totals();
+        registry
+            .counter("engine.obs_candidates")
+            .add(obs_candidates);
+        registry.counter("engine.obs_survivors").add(obs_survivors);
     }
 }
 
@@ -457,7 +469,9 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                     _ => 0..items.len(),
                 };
                 // Iterate by index to keep `self` free for recursion.
-                metrics.enu_candidates += (range.end - range.start) as u64;
+                let considered = (range.end - range.start) as u64;
+                metrics.enu_candidates += considered;
+                let mut survivors = 0u64;
                 for i in range {
                     let x = match &slot {
                         Slot::Buf(v) => v[i],
@@ -468,11 +482,16 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                     if !self.label_ok(vertex, x) {
                         continue;
                     }
+                    survivors += 1;
                     self.f[vertex] = x;
                     self.step(fpc + 1, task, consumer, metrics);
                 }
                 self.f[vertex] = UNSET;
                 self.slots[*source] = slot;
+                if let Some(s) = metrics.obs.slot_mut(fpc) {
+                    s.candidates += considered;
+                    s.survivors += survivors;
+                }
             }
         }
     }
@@ -513,6 +532,10 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                     } else {
                         self.source.get_adj(v)
                     };
+                    if let Some(s) = metrics.obs.slot_mut(pc) {
+                        s.candidates += 1;
+                        s.survivors += adj.as_slice().len() as u64;
+                    }
                     self.set_slot(*target, Slot::Adj(adj));
                 }
                 CInstr::Intersect {
@@ -528,6 +551,10 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                     };
                     self.compute_intersection(operands, filters, &mut buf);
                     let empty = buf.is_empty();
+                    if let Some(s) = metrics.obs.slot_mut(pc) {
+                        s.candidates += 1;
+                        s.survivors += buf.len() as u64;
+                    }
                     self.slots[target] = Slot::Buf(buf);
                     if empty {
                         return StraightEnd::Pruned; // failed partial match: backtrack
@@ -564,6 +591,10 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                             out
                         });
                         let empty = tri.is_empty();
+                        if let Some(s) = metrics.obs.slot_mut(pc) {
+                            s.candidates += 1;
+                            s.survivors += tri.len() as u64;
+                        }
                         self.set_slot(target, Slot::Tri(tri));
                         empty
                     } else {
@@ -603,6 +634,10 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                                 buf.is_empty()
                             },
                         );
+                        if let Some(s) = metrics.obs.slot_mut(pc) {
+                            s.candidates += 1;
+                            s.survivors += buf.len() as u64;
+                        }
                         self.slots[target] = Slot::Buf(buf);
                         empty
                     };
@@ -645,6 +680,10 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                                 out
                             });
                             let empty = clique_set.is_empty();
+                            if let Some(s) = metrics.obs.slot_mut(pc) {
+                                s.candidates += 1;
+                                s.survivors += clique_set.len() as u64;
+                            }
                             self.set_slot(target, Slot::Tri(clique_set));
                             empty
                         } else {
@@ -678,6 +717,10 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                                     buf.is_empty()
                                 },
                             );
+                            if let Some(s) = metrics.obs.slot_mut(pc) {
+                                s.candidates += 1;
+                                s.survivors += buf.len() as u64;
+                            }
                             self.slots[target] = Slot::Buf(buf);
                             empty
                         };
@@ -700,6 +743,10 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                         self.key_buf = key;
                         if filters.is_empty() {
                             let empty = clique_set.is_empty();
+                            if let Some(s) = metrics.obs.slot_mut(pc) {
+                                s.candidates += 1;
+                                s.survivors += clique_set.len() as u64;
+                            }
                             self.slots[target] = Slot::Tri(clique_set);
                             empty
                         } else {
@@ -714,6 +761,10 @@ impl<'a, S: DataSource + ?Sized> LocalEngine<'a, S> {
                                 }
                             }
                             let empty = buf.is_empty();
+                            if let Some(s) = metrics.obs.slot_mut(pc) {
+                                s.candidates += 1;
+                                s.survivors += buf.len() as u64;
+                            }
                             self.slots[target] = Slot::Buf(buf);
                             empty
                         }

@@ -289,12 +289,15 @@ impl<'a, S: DataSource + ?Sized> FrontierEngine<'a, S> {
                             (true, Some(split)) => split.range(items.len()),
                             _ => 0..items.len(),
                         };
-                        metrics.enu_candidates += (range.end - range.start) as u64;
+                        let considered = (range.end - range.start) as u64;
+                        metrics.enu_candidates += considered;
+                        let mut survivors = 0u64;
                         for i in range.clone() {
                             let x = items[i];
                             if !self.engine.label_ok(*vertex, x) {
                                 continue;
                             }
+                            survivors += 1;
                             let mut f = self.engine.f.clone();
                             f[*vertex] = x;
                             used_bytes += entry_cost;
@@ -303,6 +306,12 @@ impl<'a, S: DataSource + ?Sized> FrontierEngine<'a, S> {
                                 f,
                                 snap: Arc::clone(&snap),
                             });
+                        }
+                        // Mirror the DFS engine's per-slot observation so
+                        // frontier and DFS metrics stay byte-identical.
+                        if let Some(s) = metrics.obs.slot_mut(fpc) {
+                            s.candidates += considered;
+                            s.survivors += survivors;
                         }
                         next_pc = fpc + 1;
                         if !spilled && self.budget.exceeded(used_bytes) {

@@ -332,6 +332,78 @@ mod tests {
         assert_eq!(whole, split_total, "adaptive τ changed the count");
     }
 
+    /// The audit for `auto_tau`'s internal extra-subtask estimate: its
+    /// closure (`⌈bound/τ⌉ − 1` where `degree ≥ τ ∧ bound > τ`) must
+    /// agree with what `generate_tasks_from_degrees` actually emits, at
+    /// the τ boundary and under both `second_adjacent` arms. If the two
+    /// predicates drifted, the chosen τ could blow the scheduling budget
+    /// or leave hubs unsplit.
+    #[test]
+    fn auto_tau_estimate_matches_actual_partition_at_the_boundary() {
+        // Mirrors auto_tau's internal closure exactly.
+        let estimate = |degrees: &[u32], tau: usize, second_adjacent: bool| -> usize {
+            let n = degrees.len();
+            degrees
+                .iter()
+                .map(|&d| {
+                    let degree = d as usize;
+                    let bound = if second_adjacent { degree } else { n };
+                    if degree >= tau && bound > tau {
+                        bound.div_ceil(tau) - 1
+                    } else {
+                        0
+                    }
+                })
+                .sum()
+        };
+        let actual = |degrees: &[u32], tau: usize, second_adjacent: bool| -> usize {
+            generate_tasks_from_degrees(degrees, tau, second_adjacent).len() - degrees.len()
+        };
+        for tau in [2usize, 5, 16, 500] {
+            for second_adjacent in [true, false] {
+                // Degree mixes straddling the boundary, including n vs τ
+                // interactions for the non-adjacent bound (n = len).
+                let cases: Vec<Vec<u32>> = vec![
+                    vec![0; tau],                    // n == τ: nothing splits
+                    vec![0; tau + 1],                // n == τ+1: bound n just over
+                    vec![tau as u32; tau + 1],       // every degree at τ
+                    vec![(tau - 1) as u32; tau + 2], // degrees just under τ
+                    {
+                        let mut d = vec![1u32; 2 * tau + 1]; // one hub far over τ
+                        d[0] = (7 * tau + 3) as u32;
+                        d
+                    },
+                    {
+                        let mut d = vec![0u32; tau + 2]; // boundary sweep
+                        d[0] = (tau - 1) as u32;
+                        d[1] = tau as u32;
+                        d[2] = (tau + 1) as u32;
+                        d
+                    },
+                ];
+                for degrees in &cases {
+                    assert_eq!(
+                        estimate(degrees, tau, second_adjacent),
+                        actual(degrees, tau, second_adjacent),
+                        "τ={tau} second_adjacent={second_adjacent} degrees={degrees:?}"
+                    );
+                }
+            }
+        }
+        // And on a power-law degree distribution at the auto-chosen τ
+        // itself, for both arms.
+        let g = gen::barabasi_albert(1500, 4, 13);
+        let degrees: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+        for second_adjacent in [true, false] {
+            for lanes in [1usize, 8] {
+                let tau = auto_tau(&degrees, lanes, second_adjacent);
+                let est = estimate(&degrees, tau, second_adjacent);
+                assert_eq!(est, actual(&degrees, tau, second_adjacent));
+                assert!(est <= lanes * AUTO_TAU_EXTRA_PER_LANE);
+            }
+        }
+    }
+
     #[test]
     fn task_count_grows_only_slightly() {
         // Paper Exp-4: 3.07M → 3.12M tasks. On a power-law mini graph,

@@ -13,6 +13,7 @@
 //! ```
 
 use crate::cost::{CardinalityEstimator, ChungLuEstimator, GraphStatsEstimator};
+use crate::feedback::FeedbackEstimator;
 use crate::generate::raw_plan;
 use crate::ir::ExecutionPlan;
 use crate::optimize::{optimize, OptimizeOptions};
@@ -27,6 +28,9 @@ enum EstimatorChoice {
     Stats(GraphStatsEstimator),
     /// Degree-moment Chung-Lu model — better on power-law graphs.
     ChungLu(ChungLuEstimator),
+    /// Chung-Lu prior corrected by cardinalities observed while executing
+    /// a previous plan for the same pattern.
+    Feedback(FeedbackEstimator),
 }
 
 impl CardinalityEstimator for EstimatorChoice {
@@ -34,6 +38,7 @@ impl CardinalityEstimator for EstimatorChoice {
         match self {
             EstimatorChoice::Stats(e) => e.estimate_component(n_vertices, n_edges),
             EstimatorChoice::ChungLu(e) => e.estimate_component(n_vertices, n_edges),
+            EstimatorChoice::Feedback(e) => e.estimate_component(n_vertices, n_edges),
         }
     }
 
@@ -41,6 +46,18 @@ impl CardinalityEstimator for EstimatorChoice {
         match self {
             EstimatorChoice::Stats(e) => e.estimate_component_degrees(degrees, n_edges),
             EstimatorChoice::ChungLu(e) => e.estimate_component_degrees(degrees, n_edges),
+            EstimatorChoice::Feedback(e) => e.estimate_component_degrees(degrees, n_edges),
+        }
+    }
+
+    // Forwarded explicitly: the feedback estimator overrides the subset
+    // estimate with directly observed prefix cardinalities, which the
+    // default component-product implementation would lose.
+    fn estimate_pattern_subset(&self, pattern: &Pattern, vertex_mask: u64) -> f64 {
+        match self {
+            EstimatorChoice::Stats(e) => e.estimate_pattern_subset(pattern, vertex_mask),
+            EstimatorChoice::ChungLu(e) => e.estimate_pattern_subset(pattern, vertex_mask),
+            EstimatorChoice::Feedback(e) => e.estimate_pattern_subset(pattern, vertex_mask),
         }
     }
 }
@@ -90,6 +107,21 @@ impl<'a> PlanBuilder<'a> {
     /// (the Chung-Lu model — usually a better fit for power-law graphs).
     pub fn degree_moments(mut self, g: &benu_graph::Graph) -> Self {
         self.estimator = EstimatorChoice::ChungLu(ChungLuEstimator::from_graph(g));
+        self
+    }
+
+    /// Calibrates the cost model with a pre-built Chung-Lu estimator, for
+    /// callers holding a degree histogram rather than the graph itself.
+    pub fn chung_lu(mut self, est: ChungLuEstimator) -> Self {
+        self.estimator = EstimatorChoice::ChungLu(est);
+        self
+    }
+
+    /// Calibrates the cost model with a feedback estimator built from a
+    /// previous execution's observed per-instruction cardinalities (see
+    /// [`crate::feedback`]).
+    pub fn observed_feedback(mut self, est: FeedbackEstimator) -> Self {
+        self.estimator = EstimatorChoice::Feedback(est);
         self
     }
 
@@ -245,7 +277,7 @@ mod tests {
             .build();
         for instr in &plan.instructions {
             if let Instruction::Intersect { filters, .. } = instr {
-                assert!(filters.iter().all(|f| f.op == FilterOp::NotEqual || false));
+                assert!(filters.iter().all(|f| f.op == FilterOp::NotEqual));
             }
         }
     }

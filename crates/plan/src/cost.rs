@@ -7,9 +7,22 @@
 //! `P_i` induced by the enumeration levels enclosing it, so everything
 //! reduces to estimating match cardinalities.
 //!
-//! The default estimator is the Erdős–Rényi model of SEED §5.1: a pattern
-//! component with `n'` vertices and `m'` edges has
-//! `E[matches] = N·(N−1)⋯(N−n'+1) · (2M / N(N−1))^{m'}` expected matches.
+//! Three estimators implement the pluggable [`CardinalityEstimator`]
+//! trait, in increasing order of fidelity:
+//!
+//! 1. [`GraphStatsEstimator`] — the static Erdős–Rényi model of SEED
+//!    §5.1: a pattern component with `n'` vertices and `m'` edges has
+//!    `E[matches] = N·(N−1)⋯(N−n'+1) · (2M / N(N−1))^{m'}` expected
+//!    matches. Cheap (two scalars) but degree-oblivious, so it badly
+//!    underestimates stars and cliques on power-law graphs.
+//! 2. [`ChungLuEstimator`] — a degree-moment model that weights each
+//!    pattern vertex by the data graph's degree moments `S_k = Σ d^k`,
+//!    capturing heavy hubs. Static, but degree-aware.
+//! 3. [`crate::feedback::FeedbackEstimator`] — blends a Chung-Lu prior
+//!    with per-instruction cardinalities *observed* during a previous
+//!    execution of a plan for the same pattern; exact on observed
+//!    prefixes, prior-times-correction elsewhere.
+//!
 //! Disconnected partial patterns multiply their components' estimates (as
 //! the paper prescribes). The trait is pluggable — the paper notes the
 //! model "can be replaced if a more accurate model is proposed".
@@ -85,11 +98,16 @@ impl GraphStatsEstimator {
 impl CardinalityEstimator for GraphStatsEstimator {
     fn estimate_component(&self, n_vertices: usize, n_edges: usize) -> f64 {
         let n = self.num_vertices;
+        // A component with more vertices than the data graph admits no
+        // injective embedding at all.
+        if n_vertices as f64 > n {
+            return 0.0;
+        }
         // Edge probability of the G(N, M) model.
         let p = (2.0 * self.num_edges / (n * (n - 1.0))).min(1.0);
         let mut injective = 1.0;
         for i in 0..n_vertices {
-            injective *= (n - i as f64).max(1.0);
+            injective *= n - i as f64;
         }
         injective * p.powi(n_edges as i32)
     }
@@ -156,10 +174,27 @@ impl ChungLuEstimator {
 
 impl CardinalityEstimator for ChungLuEstimator {
     fn estimate_component(&self, n_vertices: usize, n_edges: usize) -> f64 {
-        // Degree-oblivious fallback: spread the edges evenly.
+        // Degree-oblivious fallback: spread the edges evenly. The average
+        // degree is fractional in general (a 3-vertex path has avg 4/3);
+        // rounding it to the nearest integer collapses distinct densities
+        // onto the same moment product, so interpolate geometrically
+        // between the floor and ceil moment products instead:
+        // `est = est_floor^(1-frac) · est_ceil^frac`.
         let avg = (2 * n_edges) as f64 / n_vertices.max(1) as f64;
-        let degrees = vec![avg.round() as usize; n_vertices];
-        self.estimate_component_degrees(&degrees, n_edges)
+        let lo = avg.floor() as usize;
+        let hi = avg.ceil() as usize;
+        let frac = avg - lo as f64;
+        let lo_est = self.estimate_component_degrees(&vec![lo; n_vertices], n_edges);
+        if lo == hi || frac == 0.0 {
+            return lo_est;
+        }
+        let hi_est = self.estimate_component_degrees(&vec![hi; n_vertices], n_edges);
+        if lo_est <= 0.0 || hi_est <= 0.0 {
+            // Degenerate moments (e.g. an empty data graph): fall back to
+            // the nearer integer rather than interpolating through zero.
+            return if frac < 0.5 { lo_est } else { hi_est };
+        }
+        lo_est.powf(1.0 - frac) * hi_est.powf(frac)
     }
 
     fn estimate_component_degrees(&self, degrees: &[usize], n_edges: usize) -> f64 {
@@ -369,5 +404,128 @@ mod tests {
         let path3 = est.estimate_component(3, 2);
         let tri = est.estimate_component(3, 3);
         assert!(tri < path3);
+    }
+
+    #[test]
+    fn oversized_components_estimate_zero() {
+        // Regression: the injective factor used to clamp each term with
+        // .max(1.0), so a 10-vertex component in a 5-vertex graph got a
+        // *positive* estimate. It must be exactly zero.
+        let est = GraphStatsEstimator::new(5, 8);
+        assert_eq!(est.estimate_component(10, 12), 0.0);
+        assert_eq!(est.estimate_component(6, 5), 0.0);
+        // Exactly N vertices is still feasible (last factor is 1).
+        assert!(est.estimate_component(5, 4) > 0.0);
+        // And through the subset API: a 6-clique mask in a 5-vertex graph.
+        let k6 = queries::clique(6);
+        assert_eq!(est.estimate_pattern_subset(&k6, 0b11_1111), 0.0);
+    }
+
+    #[test]
+    fn chung_lu_fallback_interpolates_fractional_degrees() {
+        let g = benu_graph::gen::barabasi_albert(300, 3, 7);
+        let cl = ChungLuEstimator::from_graph(&g);
+        // A 3-vertex/2-edge path has average degree 4/3; the estimate must
+        // lie strictly between the uniform degree-1 and degree-2 products
+        // (it used to round down to the degree-1 value).
+        let est = cl.estimate_component(3, 2);
+        let lo = cl.estimate_component_degrees(&[1, 1, 1], 2);
+        let hi = cl.estimate_component_degrees(&[2, 2, 2], 2);
+        assert!(lo < est && est < hi, "lo {lo} est {est} hi {hi}");
+        // Integral average degrees are untouched by interpolation.
+        let tri = cl.estimate_component(3, 3);
+        let tri_direct = cl.estimate_component_degrees(&[2, 2, 2], 3);
+        assert!((tri - tri_direct).abs() / tri_direct < 1e-12);
+    }
+
+    #[test]
+    fn chung_lu_fallback_is_monotone_in_density() {
+        // On a graph with min degree ≥ 1 the moments S_k are
+        // non-decreasing in k, so the interpolated moment product (the
+        // estimate with the (2M)^m edge-probability factor divided out)
+        // must be non-decreasing as the average degree sweeps through
+        // fractional values.
+        let g = benu_graph::gen::barabasi_albert(200, 2, 11);
+        let cl = ChungLuEstimator::from_graph(&g);
+        let two_m = (2 * g.num_edges()) as f64;
+        let n_vertices = 5usize;
+        let mut prev = f64::NEG_INFINITY;
+        for n_edges in 0..=10usize {
+            let numerator = cl.estimate_component(n_vertices, n_edges) * two_m.powi(n_edges as i32);
+            assert!(
+                numerator >= prev * (1.0 - 1e-12),
+                "moment product decreased at m={n_edges}: {numerator} < {prev}"
+            );
+            prev = numerator;
+        }
+    }
+
+    #[test]
+    fn chung_lu_histogram_agrees_with_graph_on_random_graphs() {
+        // Property: from_graph and from_degree_histogram are two routes to
+        // the same moments, on ER and BA graphs across seeds and subsets.
+        let patterns = [queries::triangle(), queries::path(4), queries::clique(4)];
+        for seed in 0..8u64 {
+            let graphs = [
+                benu_graph::gen::erdos_renyi_gnm(150, 600, seed),
+                benu_graph::gen::barabasi_albert(150, 3, seed),
+            ];
+            for g in &graphs {
+                let a = ChungLuEstimator::from_graph(g);
+                let b = ChungLuEstimator::from_degree_histogram(
+                    &benu_graph::stats::degree_histogram(g),
+                );
+                for p in &patterns {
+                    let full = (1u64 << p.num_vertices()) - 1;
+                    for mask in 1..=full {
+                        let ea = a.estimate_pattern_subset(p, mask);
+                        let eb = b.estimate_pattern_subset(p, mask);
+                        assert!(
+                            (ea - eb).abs() <= 1e-9 * ea.abs().max(1.0),
+                            "seed {seed} mask {mask:b}: {ea} vs {eb}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_are_invariant_under_pattern_relabeling() {
+        // Property: estimate_pattern_subset depends only on the isomorphism
+        // class of the induced subpattern, so relabeling the pattern and
+        // mapping the mask through the permutation preserves the estimate.
+        // This is what makes a canonical-hash keyed stats store sound.
+        let g = benu_graph::gen::barabasi_albert(200, 3, 5);
+        let cl = ChungLuEstimator::from_graph(&g);
+        let er = GraphStatsEstimator::new(g.num_vertices(), g.num_edges());
+        let patterns = [
+            queries::demo_pattern(),
+            queries::path(5),
+            queries::clique(4),
+        ];
+        // A few fixed permutations per size (rotations and a swap-heavy one).
+        for p in &patterns {
+            let n = p.num_vertices();
+            let perms: Vec<Vec<usize>> = vec![
+                (0..n).map(|i| (i + 1) % n).collect(),
+                (0..n).map(|i| n - 1 - i).collect(),
+            ];
+            for perm in &perms {
+                let q = p.relabeled(perm);
+                let full = (1u64 << n) - 1;
+                for mask in 1..=full {
+                    let mapped = mask_vertices(mask).fold(0u64, |m, v| m | (1 << perm[v]));
+                    for est in [&cl as &dyn CardinalityEstimator, &er] {
+                        let a = est.estimate_pattern_subset(p, mask);
+                        let b = est.estimate_pattern_subset(&q, mapped);
+                        assert!(
+                            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                            "mask {mask:b}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -13,12 +13,15 @@
 //!   Compression"),
 //! * [`cost`] — the pluggable cardinality estimator and plan cost model
 //!   (§IV-C),
+//! * [`feedback`] — per-instruction observed cardinalities and the
+//!   feedback estimator that re-ranks plans from them,
 //! * [`search`] — the best-plan search with dual and cost-based pruning
 //!   (Algorithm 3, §IV-D),
 //! * [`builder`] — the user-facing [`PlanBuilder`] API tying it together.
 
 pub mod builder;
 pub mod cost;
+pub mod feedback;
 pub mod generate;
 pub mod ir;
 pub mod optimize;
@@ -28,5 +31,6 @@ pub mod vcbc;
 
 pub use builder::PlanBuilder;
 pub use cost::{CardinalityEstimator, ChungLuEstimator, GraphStatsEstimator};
+pub use feedback::{EstimatorKind, FeedbackEstimator, PlanObs, SlotObs, MAX_OBS_SLOTS};
 pub use ir::{ExecutionPlan, FilterCond, FilterOp, Instruction, ResultItem, SetVar};
 pub use search::{BestPlanResult, SearchStats};

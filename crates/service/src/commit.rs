@@ -51,7 +51,9 @@ pub(crate) struct ExecutedChunk {
 /// of worker timing.
 #[derive(Debug)]
 enum ChunkOutcome {
-    Executed(ExecutedChunk),
+    // Boxed: an `ExecutedChunk` is hundreds of bytes, `Failed` a handful,
+    // and outcomes sit in the reorder map until their turn to commit.
+    Executed(Box<ExecutedChunk>),
     Failed { error: ServiceError },
 }
 
@@ -216,7 +218,7 @@ impl CommitState {
     /// Records a chunk that executed, commits every in-order chunk that
     /// became eligible, and evaluates budgets at each boundary.
     pub(crate) fn submit(&mut self, chunk: ExecutedChunk) {
-        self.submit_outcome(chunk.chunk, ChunkOutcome::Executed(chunk));
+        self.submit_outcome(chunk.chunk, ChunkOutcome::Executed(Box::new(chunk)));
     }
 
     /// Records a chunk whose execution hit an unrecoverable error. The
@@ -240,7 +242,7 @@ impl CommitState {
                 break;
             };
             match outcome {
-                ChunkOutcome::Executed(chunk) => self.commit(chunk),
+                ChunkOutcome::Executed(chunk) => self.commit(*chunk),
                 ChunkOutcome::Failed { error } => self.commit_failed(error),
             }
         }

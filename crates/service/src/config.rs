@@ -99,6 +99,15 @@ pub struct ServiceConfig {
     /// [`crate::Terminal::DegradedPartial`] naming the dark shards.
     /// Off by default (an outage then fails the affected query).
     pub graceful_degradation: bool,
+    /// Feedback-driven re-planning: record the per-instruction observed
+    /// cardinalities of every exhaustively completed query against its
+    /// plan-cache canonical key, and recompile the cached plan with a
+    /// [`benu_plan::FeedbackEstimator`] the next time the pattern class
+    /// is submitted. One recompilation per class; re-planning is a pure
+    /// function of the recorded observation, so a sequential
+    /// submit–wait–submit sequence is byte-deterministic. Off by
+    /// default.
+    pub feedback_replanning: bool,
     /// Backstop poll interval of the worker/waiter condvar signals: a
     /// missed wakeup degrades to a poll at this cadence, never a hang.
     pub signal_poll: Duration,
@@ -128,6 +137,7 @@ impl Default for ServiceConfig {
             max_queued_chunks: 0,
             admission_deadline_aware: false,
             graceful_degradation: false,
+            feedback_replanning: false,
             signal_poll: Duration::from_millis(10),
         }
     }
@@ -302,6 +312,12 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Re-plan repeat pattern classes from observed cardinalities.
+    pub fn feedback_replanning(mut self, yes: bool) -> Self {
+        self.0.feedback_replanning = yes;
+        self
+    }
+
     /// Backstop poll interval of the condvar signals.
     pub fn signal_poll(mut self, poll: Duration) -> Self {
         self.0.signal_poll = poll;
@@ -353,6 +369,7 @@ mod tests {
             .max_queued_chunks(100)
             .admission_deadline_aware(true)
             .graceful_degradation(true)
+            .feedback_replanning(true)
             .signal_poll(Duration::from_millis(2))
             .build();
         let literal = ServiceConfig {
@@ -377,6 +394,7 @@ mod tests {
             max_queued_chunks: 100,
             admission_deadline_aware: true,
             graceful_degradation: true,
+            feedback_replanning: true,
             signal_poll: Duration::from_millis(2),
         };
         assert_eq!(built, literal, "every builder method must land");

@@ -114,6 +114,36 @@ impl PlanCache {
         (cached, form.placement, false)
     }
 
+    /// Replaces (or inserts) the cached compilation of `canonical`'s
+    /// pattern class with a freshly compiled `plan` — the
+    /// feedback-replanning hook. Subsequent lookups of any pattern in
+    /// the class hit the new entry; the returned compilation also serves
+    /// the replacing submission directly.
+    pub fn replace(&self, canonical: Pattern, plan: ExecutionPlan) -> Arc<CachedPlan> {
+        let hash = fingerprint(&canonical);
+        let compiled = CompiledPlan::compile(&plan);
+        let cached = Arc::new(CachedPlan {
+            canonical,
+            plan,
+            compiled,
+        });
+        let mut entries = self.entries.lock();
+        if let Some(pos) = entries
+            .iter()
+            .position(|(h, e)| *h == hash && e.canonical == cached.canonical)
+        {
+            entries.remove(pos);
+            entries.push((hash, Arc::clone(&cached)));
+        } else if self.capacity > 0 {
+            if entries.len() >= self.capacity {
+                entries.remove(0);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            entries.push((hash, Arc::clone(&cached)));
+        }
+        cached
+    }
+
     /// Current counters.
     pub fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {

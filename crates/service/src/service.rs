@@ -48,7 +48,9 @@ use benu_fault::{FaultKind, FaultingStore, RetryPolicy};
 use benu_graph::{AdjSet, Graph, TotalOrder, VertexId};
 use benu_kvstore::KvStore;
 use benu_obs::{ObsHub, Report, ReportMode};
+use benu_pattern::canonical::fingerprint;
 use benu_pattern::{Pattern, PatternVertex};
+use benu_plan::{ChungLuEstimator, ExecutionPlan, FeedbackEstimator, PlanBuilder, PlanObs};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -392,6 +394,19 @@ impl QueryRun {
     }
 }
 
+/// One pattern class's observed-cardinality record: the plan the
+/// observation was made against and the accumulated per-instruction
+/// counts of every exhaustively completed query that ran it. Counter
+/// accumulation is commutative, so the record — and the re-planning it
+/// drives — is independent of completion order.
+struct FeedbackEntry {
+    hash: u64,
+    canonical: Pattern,
+    plan: ExecutionPlan,
+    obs: PlanObs,
+    replanned: bool,
+}
+
 struct Inner {
     config: ServiceConfig,
     store: Arc<KvStore>,
@@ -400,6 +415,11 @@ struct Inner {
     graph_edges: usize,
     caches: Vec<Arc<DbCache>>,
     plan_cache: PlanCache,
+    /// Observed-stats store keyed by the plan cache's canonical hash
+    /// (innermost lock — taken under `queries` and query-state locks,
+    /// never the reverse).
+    feedback: Mutex<Vec<FeedbackEntry>>,
+    replans: AtomicU64,
     queue: crate::fair::FairQueue<Arc<QueryRun>>,
     queries: Mutex<Vec<Arc<QueryRun>>>,
     obs: Option<Arc<ObsHub>>,
@@ -499,6 +519,8 @@ impl QueryService {
             graph_edges: g.num_edges(),
             caches,
             plan_cache: PlanCache::new(config.plan_cache_entries),
+            feedback: Mutex::new(Vec::new()),
+            replans: AtomicU64::new(0),
             queue: crate::fair::FairQueue::new(config.workers),
             queries: Mutex::new(Vec::new()),
             obs,
@@ -538,6 +560,12 @@ impl QueryService {
         self.inner.plan_cache.stats()
     }
 
+    /// Pattern classes re-planned from observed cardinalities so far
+    /// (always 0 unless [`ServiceConfig::feedback_replanning`] is set).
+    pub fn feedback_replans(&self) -> u64 {
+        self.inner.replans.load(Ordering::Relaxed)
+    }
+
     /// Un-granted chunks currently queued across every admitted query.
     pub fn queue_depth(&self) -> usize {
         self.inner.queue.depth()
@@ -566,6 +594,15 @@ impl QueryService {
             inner
                 .plan_cache
                 .get_or_compile(pattern, inner.store.num_vertices(), inner.graph_edges)
+        };
+        // Feedback re-planning: a repeat submission of an observed
+        // pattern class swaps in a plan re-ranked from the recorded
+        // cardinalities (once per class; still inside the admission
+        // lock, so the swap is ordered with every other submission).
+        let plan = if inner.config.feedback_replanning {
+            inner.maybe_replan(&plan).unwrap_or(plan)
+        } else {
+            plan
         };
         let exec_mode = options.exec_mode.unwrap_or(inner.config.exec_mode);
         let tasks = inner.generate_tasks(&plan);
@@ -775,6 +812,7 @@ impl QueryService {
         plan_cache.set("evictions", pc.evictions);
         plan_cache.set("entries", pc.entries);
         service.set_tree("plan_cache", plan_cache);
+        service.set("feedback_replans", inner.replans.load(Ordering::Relaxed));
         for run in inner.queries.lock().iter() {
             let state = run.state.lock();
             let Some(result) = &state.result else {
@@ -851,6 +889,68 @@ impl Inner {
         benu_engine::task::generate_tasks_from_degrees(&self.degrees, tau, second_adjacent)
     }
 
+    /// The Chung-Lu estimator over the resident degree distribution —
+    /// the prior the feedback estimator corrects.
+    fn chung_lu_prior(&self) -> ChungLuEstimator {
+        let max_d = self.degrees.iter().copied().max().unwrap_or(0) as usize;
+        let mut hist = vec![0usize; max_d + 1];
+        for &d in &self.degrees {
+            hist[d as usize] += 1;
+        }
+        ChungLuEstimator::from_degree_histogram(&hist)
+    }
+
+    /// Feedback re-planning at admission: when the submitted pattern
+    /// class has an observation recorded against exactly the cached
+    /// plan and has not been re-planned yet, recompile with the
+    /// feedback estimator, replace the cache entry, and serve the new
+    /// compilation. Pure function of the recorded observation.
+    fn maybe_replan(&self, current: &Arc<CachedPlan>) -> Option<Arc<CachedPlan>> {
+        let hash = fingerprint(&current.canonical);
+        let mut feedback = self.feedback.lock();
+        let entry = feedback
+            .iter_mut()
+            .find(|e| e.hash == hash && e.canonical == current.canonical)?;
+        if entry.replanned || entry.plan != current.plan || entry.obs.is_empty() {
+            return None;
+        }
+        let est = FeedbackEstimator::new(self.chung_lu_prior(), &entry.plan, &entry.obs);
+        let plan = PlanBuilder::new(&entry.canonical)
+            .observed_feedback(est)
+            .best_plan();
+        entry.replanned = true;
+        self.replans.fetch_add(1, Ordering::Relaxed);
+        if let Some(hub) = &self.obs {
+            hub.registry.counter("service.feedback.replans").inc();
+        }
+        Some(self.plan_cache.replace(entry.canonical.clone(), plan))
+    }
+
+    /// Records a completed query's observed per-instruction
+    /// cardinalities against its pattern class. Only observations made
+    /// against the plan already on record accumulate (counter addition
+    /// commutes, so the record is completion-order-independent).
+    fn record_feedback(&self, run: &QueryRun, obs: &PlanObs) {
+        let hash = fingerprint(&run.plan.canonical);
+        let mut feedback = self.feedback.lock();
+        if let Some(entry) = feedback
+            .iter_mut()
+            .find(|e| e.hash == hash && e.canonical == run.plan.canonical)
+        {
+            if entry.plan == run.plan.plan {
+                entry.obs += *obs;
+            }
+            return;
+        }
+        feedback.push(FeedbackEntry {
+            hash,
+            canonical: run.plan.canonical.clone(),
+            plan: run.plan.plan.clone(),
+            obs: *obs,
+            replanned: false,
+        });
+    }
+
     fn sync_queue_depth(&self) {
         if let Some(hub) = &self.obs {
             hub.registry
@@ -910,6 +1010,16 @@ impl Inner {
             hub.registry.counter(counter).inc();
             // Committed work only — the deterministic share of the run.
             out.metrics.record_into(&hub.registry);
+        }
+        // Exhaustively completed queries feed the observed-stats store:
+        // their committed metrics cover the full enumeration, so the
+        // recorded cardinalities are exact for the plan that ran.
+        if self.config.feedback_replanning
+            && out.exhaustive
+            && matches!(out.terminal, Terminal::Completed)
+            && !out.metrics.obs.is_empty()
+        {
+            self.record_feedback(run, &out.metrics.obs);
         }
         state.result = Some(QueryResult {
             id: run.id,
